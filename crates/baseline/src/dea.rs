@@ -1,0 +1,296 @@
+//! Data Envelopment Analysis (CCR model) source scoring.
+
+use mube_opt::lp::{solve, LpConstraint, LpOutcome, LpProblem, Relation};
+use mube_schema::{SourceId, Universe};
+
+/// A DEA input or output factor read off a source description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeaFactor {
+    /// The source's tuple count.
+    Cardinality,
+    /// A named source characteristic (e.g. `"mttf"`, `"latency"`).
+    Characteristic(String),
+}
+
+impl DeaFactor {
+    fn value(&self, universe: &Universe, id: SourceId, default: f64) -> f64 {
+        let source = universe.expect_source(id);
+        match self {
+            DeaFactor::Cardinality => source.cardinality() as f64,
+            DeaFactor::Characteristic(name) => {
+                source.characteristic(name).unwrap_or(default)
+            }
+        }
+    }
+}
+
+/// Efficiency score of one source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeaScore {
+    /// The source.
+    pub source: SourceId,
+    /// CCR efficiency in `(0, 1]` (0.0 for degenerate sources).
+    pub efficiency: f64,
+}
+
+/// The DEA source-selection baseline.
+///
+/// `inputs` are resources consumed (lower is better: latency, fees);
+/// `outputs` are value produced (higher is better: cardinality, MTTF).
+/// Every factor is rescaled by its universe-wide maximum before entering
+/// the LPs, purely for numerical conditioning — CCR efficiency is invariant
+/// under per-factor scaling.
+#[derive(Debug, Clone)]
+pub struct DeaBaseline {
+    /// Input factors (lower better).
+    pub inputs: Vec<DeaFactor>,
+    /// Output factors (higher better).
+    pub outputs: Vec<DeaFactor>,
+}
+
+impl DeaBaseline {
+    /// The configuration used by the comparison experiments: latency as the
+    /// input; cardinality and MTTF as outputs.
+    pub fn paper_comparison() -> Self {
+        Self {
+            inputs: vec![DeaFactor::Characteristic("latency".to_owned())],
+            outputs: vec![
+                DeaFactor::Cardinality,
+                DeaFactor::Characteristic("mttf".to_owned()),
+            ],
+        }
+    }
+
+    /// Collects the (scaled) factor matrix: per source, input values and
+    /// output values. Missing characteristics default to the factor's
+    /// universe mean so a silent source is neither punished nor rewarded.
+    fn factor_matrix(&self, universe: &Universe) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let collect = |factors: &[DeaFactor]| -> Vec<Vec<f64>> {
+            factors
+                .iter()
+                .map(|f| {
+                    let raw: Vec<f64> = universe
+                        .sources()
+                        .iter()
+                        .map(|s| f.value(universe, s.id(), f64::NAN))
+                        .collect();
+                    let known: Vec<f64> =
+                        raw.iter().copied().filter(|v| v.is_finite()).collect();
+                    let mean = if known.is_empty() {
+                        1.0
+                    } else {
+                        known.iter().sum::<f64>() / known.len() as f64
+                    };
+                    let filled: Vec<f64> = raw
+                        .iter()
+                        .map(|&v| if v.is_finite() { v } else { mean })
+                        .collect();
+                    let max = filled.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+                    filled.iter().map(|v| v / max).collect()
+                })
+                .collect()
+        };
+        (collect(&self.inputs), collect(&self.outputs))
+    }
+
+    /// Scores every source with one CCR LP each.
+    ///
+    /// CCR input-oriented multiplier form, for source `o`:
+    ///
+    /// ```text
+    /// max  Σ_r u_r · y_{r,o}
+    /// s.t. Σ_i v_i · x_{i,o} = 1
+    ///      Σ_r u_r · y_{r,j} − Σ_i v_i · x_{i,j} ≤ 0   for every source j
+    ///      u, v ≥ 0
+    /// ```
+    pub fn score_all(&self, universe: &Universe) -> Vec<DeaScore> {
+        assert!(
+            !self.inputs.is_empty() && !self.outputs.is_empty(),
+            "DEA needs at least one input and one output factor"
+        );
+        let n = universe.len();
+        let (x, y) = self.factor_matrix(universe);
+        let ni = x.len();
+        let no = y.len();
+
+        (0..n)
+            .map(|o| {
+                // Variables: [u_1..u_no, v_1..v_ni].
+                let mut objective = vec![0.0; no + ni];
+                for r in 0..no {
+                    objective[r] = y[r][o];
+                }
+                let mut constraints = Vec::with_capacity(n + 1);
+                // Normalization: Σ v_i x_io = 1.
+                let mut norm = vec![0.0; no + ni];
+                for i in 0..ni {
+                    norm[no + i] = x[i][o];
+                }
+                constraints.push(LpConstraint {
+                    coeffs: norm,
+                    rel: Relation::Eq,
+                    rhs: 1.0,
+                });
+                // Ratio bounds for every source.
+                for j in 0..n {
+                    let mut row = vec![0.0; no + ni];
+                    for r in 0..no {
+                        row[r] = y[r][j];
+                    }
+                    for i in 0..ni {
+                        row[no + i] = -x[i][j];
+                    }
+                    constraints.push(LpConstraint {
+                        coeffs: row,
+                        rel: Relation::Le,
+                        rhs: 0.0,
+                    });
+                }
+                let outcome = solve(&LpProblem {
+                    objective,
+                    constraints,
+                });
+                let efficiency = match outcome {
+                    LpOutcome::Optimal { objective, .. } => objective.clamp(0.0, 1.0),
+                    // Degenerate (e.g. all-zero inputs): score 0.
+                    LpOutcome::Infeasible | LpOutcome::Unbounded => 0.0,
+                };
+                DeaScore {
+                    source: SourceId(o as u32),
+                    efficiency,
+                }
+            })
+            .collect()
+    }
+
+    /// Selects the top-`m` sources by CCR efficiency (ties broken by id for
+    /// determinism), the DEA selection baseline.
+    pub fn select(&self, universe: &Universe, m: usize) -> Vec<SourceId> {
+        let mut scores = self.score_all(universe);
+        scores.sort_by(|a, b| {
+            b.efficiency
+                .partial_cmp(&a.efficiency)
+                .unwrap()
+                .then(a.source.cmp(&b.source))
+        });
+        let mut ids: Vec<SourceId> = scores.into_iter().take(m).map(|s| s.source).collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::SourceBuilder;
+
+    /// Universe where source 0 dominates (max outputs, min input) and
+    /// source 2 is dominated by everyone.
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        for (name, card, mttf, latency) in [
+            ("best", 1000u64, 200.0, 10.0),
+            ("mid", 500, 100.0, 50.0),
+            ("worst", 100, 20.0, 400.0),
+            ("odd", 900, 30.0, 15.0),
+        ] {
+            u.add_source(
+                SourceBuilder::new(name)
+                    .attributes(["x"])
+                    .cardinality(card)
+                    .characteristic("mttf", mttf)
+                    .characteristic("latency", latency),
+            )
+            .unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn dominant_source_is_fully_efficient() {
+        let u = universe();
+        let scores = DeaBaseline::paper_comparison().score_all(&u);
+        assert_eq!(scores.len(), 4);
+        let best = scores[0].efficiency;
+        assert!((best - 1.0).abs() < 1e-6, "dominant source score {best}");
+        for s in &scores {
+            assert!((0.0..=1.0).contains(&s.efficiency));
+        }
+    }
+
+    #[test]
+    fn dominated_source_scores_low() {
+        let u = universe();
+        let scores = DeaBaseline::paper_comparison().score_all(&u);
+        let worst = scores[2].efficiency;
+        let best = scores[0].efficiency;
+        assert!(
+            worst < best * 0.5,
+            "dominated source should score much lower: {worst} vs {best}"
+        );
+    }
+
+    #[test]
+    fn efficiency_is_scale_invariant() {
+        // Double every cardinality: scores unchanged (per-factor rescale).
+        let u1 = universe();
+        let mut u2 = Universe::new();
+        for s in u1.sources() {
+            u2.add_source(
+                SourceBuilder::new(s.name())
+                    .attributes(s.attributes().to_vec())
+                    .cardinality(s.cardinality() * 2)
+                    .characteristic("mttf", s.characteristic("mttf").unwrap())
+                    .characteristic("latency", s.characteristic("latency").unwrap()),
+            )
+            .unwrap();
+        }
+        let dea = DeaBaseline::paper_comparison();
+        let s1 = dea.score_all(&u1);
+        let s2 = dea.score_all(&u2);
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((a.efficiency - b.efficiency).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn select_returns_top_m_sorted() {
+        let u = universe();
+        let picks = DeaBaseline::paper_comparison().select(&u, 2);
+        assert_eq!(picks.len(), 2);
+        assert!(picks.windows(2).all(|w| w[0] < w[1]));
+        // The dominant source must be among the top 2.
+        assert!(picks.contains(&SourceId(0)));
+    }
+
+    #[test]
+    fn missing_characteristic_defaults_to_mean() {
+        let mut u = Universe::new();
+        u.add_source(
+            SourceBuilder::new("declares")
+                .attributes(["x"])
+                .cardinality(100)
+                .characteristic("latency", 100.0)
+                .characteristic("mttf", 100.0),
+        )
+        .unwrap();
+        u.add_source(SourceBuilder::new("silent").attributes(["x"]).cardinality(100))
+            .unwrap();
+        let scores = DeaBaseline::paper_comparison().score_all(&u);
+        // The silent source gets the mean latency/mttf -> identical factors
+        // -> both fully efficient.
+        assert!((scores[0].efficiency - 1.0).abs() < 1e-6);
+        assert!((scores[1].efficiency - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_factors_rejected() {
+        let u = universe();
+        DeaBaseline {
+            inputs: vec![],
+            outputs: vec![DeaFactor::Cardinality],
+        }
+        .score_all(&u);
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline source-selection strategies µBE is compared against.
+//!
+//! The paper's related work (Section 8) cites Naumann, Freytag &
+//! Spiliopoulou's *quality-driven source selection using Data Envelopment
+//! Analysis* and notes that "the provided solution is computationally
+//! expensive so it does not scale beyond 10 to 20 sources, and the paper
+//! does not consider user interaction". No implementation of that system is
+//! available, so this crate reimplements the DEA approach from first
+//! principles — the CCR (Charnes–Cooper–Rhodes) input-oriented model, one
+//! linear program per source, solved with the simplex solver in
+//! `mube-opt::lp` — plus trivial top-k heuristics, so the comparison
+//! experiments have real baselines to run against.
+//!
+//! DEA scores each source ("decision making unit") by the best-case ratio
+//! of weighted outputs (cardinality, MTTF, ...) to weighted inputs
+//! (latency, fees, ...), where the weights are chosen *per source* as
+//! favourably as LP allows, subject to no source exceeding ratio 1. The
+//! baseline then selects the top-`m` sources by efficiency. Crucially —
+//! and this is µBE's argument — DEA scores sources *independently*, so it
+//! is blind to schema coherence and data overlap between the chosen
+//! sources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dea;
+pub mod topk;
+
+pub use dea::{DeaBaseline, DeaFactor, DeaScore};
+pub use topk::TopCardinality;

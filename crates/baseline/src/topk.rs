@@ -1,0 +1,62 @@
+//! Trivial top-k selection heuristics — the floor every informed method
+//! must clear.
+
+use mube_schema::{SourceId, Universe};
+
+/// Selects the `m` sources with the largest tuple counts. The "just take
+/// the big ones" strategy a practitioner might start from; blind to schema
+/// coherence, overlap, and reliability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopCardinality;
+
+impl TopCardinality {
+    /// The top-`m` sources by cardinality (ties by id), sorted by id.
+    pub fn select(&self, universe: &Universe, m: usize) -> Vec<SourceId> {
+        let mut ids: Vec<SourceId> = universe.sources().iter().map(|s| s.id()).collect();
+        ids.sort_by(|a, b| {
+            universe
+                .expect_source(*b)
+                .cardinality()
+                .cmp(&universe.expect_source(*a).cardinality())
+                .then(a.cmp(b))
+        });
+        let mut picks: Vec<SourceId> = ids.into_iter().take(m).collect();
+        picks.sort();
+        picks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::SourceBuilder;
+
+    #[test]
+    fn picks_biggest_sources() {
+        let mut u = Universe::new();
+        for (name, card) in [("a", 10u64), ("b", 300), ("c", 200), ("d", 5)] {
+            u.add_source(SourceBuilder::new(name).attributes(["x"]).cardinality(card))
+                .unwrap();
+        }
+        let picks = TopCardinality.select(&u, 2);
+        assert_eq!(picks, vec![SourceId(1), SourceId(2)]);
+    }
+
+    #[test]
+    fn m_larger_than_universe() {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("only").attributes(["x"]).cardinality(1))
+            .unwrap();
+        assert_eq!(TopCardinality.select(&u, 10).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut u = Universe::new();
+        for name in ["a", "b", "c"] {
+            u.add_source(SourceBuilder::new(name).attributes(["x"]).cardinality(7))
+                .unwrap();
+        }
+        assert_eq!(TopCardinality.select(&u, 2), vec![SourceId(0), SourceId(1)]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **linkage** — single (paper) vs complete vs average cluster
+//!   similarity: cost of losing the bridging-friendly max-linkage;
+//! * **pruning** — Algorithm 1's elimination of hopeless clusters on/off
+//!   (output-invariant; measures the work saved);
+//! * **tabu tenure** — solve cost across tenures (quality is reported by
+//!   the `optimizer_comparison` binary; here we pin the time axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mube_bench::{engine, paper_spec, universe, Scale};
+use mube_cluster::{match_sources, Linkage, MatchConfig};
+use mube_opt::{Solver, TabuSearch};
+use mube_schema::{Constraints, SourceId};
+
+fn bench_linkage(c: &mut Criterion) {
+    let generated = universe(100, 42, Scale::Reduced);
+    let mube = engine(&generated);
+    let sources: Vec<SourceId> = (0..30u32).map(SourceId).collect();
+
+    let mut group = c.benchmark_group("ablation_linkage");
+    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+        let config = MatchConfig {
+            linkage,
+            ..MatchConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(linkage.name()),
+            &linkage,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(match_sources(
+                        mube.universe(),
+                        &sources,
+                        &Constraints::none(),
+                        &config,
+                        mube.similarity(),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let generated = universe(100, 42, Scale::Reduced);
+    let mube = engine(&generated);
+    let sources: Vec<SourceId> = (0..40u32).map(SourceId).collect();
+
+    let mut group = c.benchmark_group("ablation_pruning");
+    for (label, prune) in [("on", true), ("off", false)] {
+        let config = MatchConfig {
+            prune,
+            ..MatchConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &prune, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(match_sources(
+                    mube.universe(),
+                    &sources,
+                    &Constraints::none(),
+                    &config,
+                    mube.similarity(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tabu_tenure(c: &mut Criterion) {
+    let generated = universe(100, 42, Scale::Reduced);
+    let mube = engine(&generated);
+    let spec = paper_spec(10);
+
+    let mut group = c.benchmark_group("ablation_tabu_tenure");
+    group.sample_size(10);
+    for &tenure in &[2u64, 10, 40] {
+        let solver = TabuSearch {
+            tenure,
+            ..TabuSearch::quick()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(tenure), &tenure, |b, _| {
+            b.iter(|| {
+                let objective = mube.objective(&spec).unwrap();
+                std::hint::black_box(solver.solve(&objective, 7))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linkage, bench_pruning, bench_tabu_tenure);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks for the Match operator (Algorithm 1): clustering cost as
+//! the candidate source set grows, with and without GA-constraint seeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mube_bench::{engine, ga_constraints, universe, Scale};
+use mube_cluster::{match_sources, MatchConfig};
+use mube_schema::{Constraints, SourceId};
+
+fn bench_match(c: &mut Criterion) {
+    let generated = universe(200, 42, Scale::Reduced);
+    let mube = engine(&generated);
+    let config = MatchConfig::default();
+
+    let mut group = c.benchmark_group("match_operator");
+    for &k in &[10usize, 20, 50] {
+        let sources: Vec<SourceId> = (0..k as u32).map(SourceId).collect();
+        group.bench_with_input(BenchmarkId::new("unconstrained", k), &k, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(match_sources(
+                    mube.universe(),
+                    &sources,
+                    &Constraints::none(),
+                    &config,
+                    mube.similarity(),
+                ))
+            });
+        });
+
+        let mut constraints = Constraints::none();
+        for ga in ga_constraints(&generated, 2, 5, 42) {
+            constraints.require_ga(ga);
+        }
+        // The candidate set must contain the sources the GA constraints
+        // imply (the engine guarantees this; mirror it here).
+        let mut with_required = sources.clone();
+        for s in constraints.required_sources() {
+            if !with_required.contains(&s) {
+                with_required.push(s);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("with_2_ga_constraints", k), &k, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(match_sources(
+                    mube.universe(),
+                    &with_required,
+                    &constraints,
+                    &config,
+                    mube.similarity(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_match);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 5: one full µBE solve (choose 20 sources,
+//! tabu search, paper weights) at increasing universe sizes, with and
+//! without constraints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mube_bench::{constraint_variants, engine, paper_spec, universe, Scale};
+use mube_opt::{Solver, TabuSearch};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_universe_size");
+    group.sample_size(10);
+    for &size in &[100usize, 200, 400] {
+        let generated = universe(size, 42, Scale::Reduced);
+        let mube = engine(&generated);
+        let solver = TabuSearch::quick();
+
+        let spec = paper_spec(20);
+        group.bench_with_input(BenchmarkId::new("no_constraints", size), &size, |b, _| {
+            b.iter(|| {
+                let objective = mube.objective(&spec).unwrap();
+                std::hint::black_box(solver.solve(&objective, 7))
+            });
+        });
+
+        let patch = constraint_variants(&generated, 42).pop().unwrap().1;
+        let constrained = patch.apply(paper_spec(20));
+        group.bench_with_input(
+            BenchmarkId::new("5src_2ga_constraints", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let objective = mube.objective(&constrained).unwrap();
+                    std::hint::black_box(solver.solve(&objective, 7))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

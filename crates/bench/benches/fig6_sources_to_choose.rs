@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 6: one full µBE solve at a fixed 200-source
+//! universe, varying the number of sources to choose (m).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mube_bench::{engine, paper_spec, universe, Scale};
+use mube_opt::{Solver, TabuSearch};
+
+fn bench_fig6(c: &mut Criterion) {
+    let generated = universe(200, 42, Scale::Reduced);
+    let mube = engine(&generated);
+    let solver = TabuSearch::quick();
+
+    let mut group = c.benchmark_group("fig6_sources_to_choose");
+    group.sample_size(10);
+    for &m in &[10usize, 30, 50] {
+        let spec = paper_spec(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let objective = mube.objective(&spec).unwrap();
+                std::hint::black_box(solver.solve(&objective, 7))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks for the PCSA substrate: insertion throughput, OR-merge,
+//! and estimation, across signature sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mube_pcsa::{PcsaSketch, TupleHasher};
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcsa_insert");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    for &maps in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(maps), &maps, |b, &maps| {
+            b.iter(|| {
+                let mut s = PcsaSketch::new(maps, TupleHasher::default());
+                for t in 0..n {
+                    s.insert_u64(t);
+                }
+                std::hint::black_box(s)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_and_estimate(c: &mut Criterion) {
+    let sketches: Vec<PcsaSketch> = (0..50u64)
+        .map(|i| {
+            let mut s = PcsaSketch::new(256, TupleHasher::default());
+            for t in i * 1_000..(i + 2) * 1_000 {
+                s.insert_u64(t);
+            }
+            s
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("pcsa_union");
+    for &k in &[2usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::new("merge_estimate", k), &k, |b, &k| {
+            b.iter(|| std::hint::black_box(PcsaSketch::estimate_union(sketches[..k].iter())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_merge_and_estimate);
+criterion_main!(benches);

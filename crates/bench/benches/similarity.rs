@@ -1,0 +1,60 @@
+//! Microbenchmarks for the similarity substrate: measure costs and the
+//! all-pairs matrix build that the engine performs once per universe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mube_bench::{universe, Scale};
+use mube_core::MatrixSimilarity;
+use mube_similarity::{
+    Jaro, JaroWinkler, NgramCosine, NgramDice, NgramJaccard, NormalizedLevenshtein,
+    SimilarityMeasure,
+};
+
+fn bench_measures(c: &mut Criterion) {
+    let pairs = [
+        ("author", "author name"),
+        ("publication year", "publication years"),
+        ("keyword", "voltage"),
+    ];
+    let measures: Vec<(&str, Box<dyn SimilarityMeasure>)> = vec![
+        ("jaccard3", Box::new(NgramJaccard::default())),
+        ("dice3", Box::new(NgramDice::default())),
+        ("cosine3", Box::new(NgramCosine::default())),
+        ("levenshtein", Box::new(NormalizedLevenshtein)),
+        ("jaro", Box::new(Jaro)),
+        ("jaro_winkler", Box::new(JaroWinkler::default())),
+    ];
+    let mut group = c.benchmark_group("similarity_measures");
+    for (name, measure) in &measures {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (x, y) in &pairs {
+                    acc += measure.similarity(x, y);
+                }
+                std::hint::black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_matrix_build");
+    group.sample_size(10);
+    for &size in &[100usize, 400, 700] {
+        let generated = universe(size, 42, Scale::Reduced);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(MatrixSimilarity::new(
+                    &generated.universe,
+                    &NgramJaccard::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures, bench_matrix_build);
+criterion_main!(benches);

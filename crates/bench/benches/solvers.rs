@@ -1,0 +1,49 @@
+//! Criterion bench comparing the solvers on one fixed µBE instance — the
+//! wall-clock companion to the `optimizer_comparison` quality binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mube_bench::{engine, paper_spec, universe, Scale};
+use mube_opt::{
+    BinaryPso, Greedy, RandomSearch, SimulatedAnnealing, Solver, StochasticLocalSearch,
+    TabuSearch,
+};
+
+fn bench_solvers(c: &mut Criterion) {
+    let generated = universe(100, 42, Scale::Reduced);
+    let mube = engine(&generated);
+    let spec = paper_spec(10);
+
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(TabuSearch::quick()),
+        Box::new(SimulatedAnnealing {
+            max_iters: 1_000,
+            ..SimulatedAnnealing::default()
+        }),
+        Box::new(BinaryPso {
+            generations: 40,
+            ..BinaryPso::default()
+        }),
+        Box::new(StochasticLocalSearch {
+            restarts: 3,
+            ..StochasticLocalSearch::default()
+        }),
+        Box::new(Greedy),
+        Box::new(RandomSearch { samples: 500 }),
+    ];
+
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+    for solver in &solvers {
+        group.bench_function(solver.name(), |b| {
+            b.iter(|| {
+                let objective = mube.objective(&spec).unwrap();
+                std::hint::black_box(solver.solve(&objective, 7))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 5: execution time to choose 20 sources as the universe grows from
+//! 100 to 700 sources, under the five constraint variants.
+//!
+//! Expected shape (paper): time increases with universe size; adding
+//! constraints *reduces* time because they restrict the space to search.
+//!
+//! Run: `cargo run --release -p mube-bench --bin fig5 [--full]`
+
+use mube_bench::{
+    average_runs, constraint_variants, engine, paper_spec, print_table, universe, Scale,
+};
+use mube_opt::TabuSearch;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes: Vec<usize> = if scale == Scale::Full {
+        vec![100, 200, 300, 400, 500, 600, 700]
+    } else {
+        vec![100, 200, 300, 500, 700]
+    };
+    let m = 20;
+    let solver = TabuSearch::default();
+
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        let generated = universe(size, 42, scale);
+        let mube = engine(&generated);
+        let mut row = vec![size.to_string()];
+        for (_, patch) in constraint_variants(&generated, 42) {
+            let spec = patch.apply(paper_spec(m));
+            let summary = average_runs(&mube, &spec, &solver, 2);
+            row.push(format!("{:.2}", summary.mean_time.as_secs_f64()));
+            assert!(summary.last_solution.num_sources() <= m);
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 5: time (s) to choose {m} sources vs universe size"),
+        &[
+            "universe",
+            "no constraints",
+            "1 source",
+            "3 sources",
+            "5 sources",
+            "5 src + 2 GA",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: time grows with universe size; constraints reduce time.");
+}

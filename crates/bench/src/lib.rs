@@ -1,0 +1,332 @@
+//! Shared experiment harness for the µBE benchmark suite.
+//!
+//! Every table and figure of the paper's Section 7 has a regenerator binary
+//! in `src/bin/` (see DESIGN.md §5 for the index); the pieces they share —
+//! universe construction, the paper's default problem specification,
+//! constraint synthesis, timing, and table printing — live here.
+//!
+//! Scale: by default the binaries run a **reduced** scale (smaller tuple
+//! pools and cardinalities, fewer repetitions) so the whole suite finishes
+//! in minutes; pass `--full` (or set `MUBE_BENCH_FULL=1`) for the paper's
+//! exact parameters (10k–1M tuples per source, 4M-tuple pools).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use mube_core::{Mube, MubeBuilder, ProblemSpec, Solution};
+use mube_datagen::{GeneratedUniverse, UniverseConfig};
+use mube_opt::Solver;
+use mube_schema::{AttrId, GlobalAttribute, SourceId};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-exact data volumes.
+    Full,
+    /// Reduced data volumes (same structure) for quick runs.
+    Reduced,
+}
+
+impl Scale {
+    /// Reads the scale from argv (`--full`) or `MUBE_BENCH_FULL`.
+    pub fn from_env() -> Self {
+        let full = std::env::args().any(|a| a == "--full")
+            || std::env::var("MUBE_BENCH_FULL").is_ok_and(|v| v == "1");
+        if full {
+            Scale::Full
+        } else {
+            Scale::Reduced
+        }
+    }
+}
+
+/// Builds the experimental universe at a given size and seed.
+///
+/// Reduced scale shrinks tuple volumes 100× (pools 40k instead of 4M,
+/// cardinalities 100–10k instead of 10k–1M) but keeps the Zipf shape, the
+/// General/Specialty split, and every schema-side parameter identical.
+pub fn universe(size: usize, seed: u64, scale: Scale) -> GeneratedUniverse {
+    let mut config = UniverseConfig::paper(size, seed);
+    if scale == Scale::Reduced {
+        config.pool = mube_datagen::PoolConfig {
+            general: 20_000,
+            specialty: 20_000,
+            specialty_fraction: 0.10,
+        };
+        config.min_cardinality = 100;
+        config.max_cardinality = 10_000;
+    }
+    config.generate()
+}
+
+/// Builds the engine for a generated universe.
+pub fn engine(generated: &GeneratedUniverse) -> Mube<'_> {
+    MubeBuilder::new(&generated.universe)
+        .sketches(generated.sketches.clone())
+        .build()
+}
+
+/// The paper's default problem spec: weights .25/.25/.2/.15/.15 over
+/// matching/cardinality/coverage/redundancy/mttf, θ = 0.75, choose ≤ `m`.
+pub fn paper_spec(m: usize) -> ProblemSpec {
+    ProblemSpec::new(m)
+}
+
+/// Picks `k` source constraints: "random sources with schemas that are
+/// fully conformant to one of the original BAMM schemas" — deterministic in
+/// `seed`.
+pub fn source_constraints(generated: &GeneratedUniverse, k: usize, seed: u64) -> Vec<SourceId> {
+    let conformant = generated.conformant_sources();
+    // Simple LCG shuffle-free pick: stride through the conformant list.
+    let stride = (seed % 7 + 3) as usize;
+    (0..k)
+        .map(|i| conformant[(seed as usize + i * stride) % conformant.len()])
+        .collect()
+}
+
+/// Builds `k` GA constraints with up to `max_attrs` attributes each,
+/// "representing accurate matchings of attributes that appear in different
+/// sources" — synthesized from the generator's ground truth over the
+/// conformant sources.
+pub fn ga_constraints(
+    generated: &GeneratedUniverse,
+    k: usize,
+    max_attrs: usize,
+    seed: u64,
+) -> Vec<GlobalAttribute> {
+    let gt = &generated.ground_truth;
+    let conformant = generated.conformant_sources();
+    let mut out = Vec::with_capacity(k);
+    let mut concept = (seed % 14) as u8;
+    while out.len() < k {
+        let mut attrs: Vec<AttrId> = Vec::new();
+        for &sid in &conformant {
+            if attrs.len() >= max_attrs {
+                break;
+            }
+            let source = generated.universe.expect_source(sid);
+            for attr in source.attr_ids() {
+                if gt.concept_of(attr) == Some(mube_datagen::ConceptId(concept))
+                    && !attrs.iter().any(|a| a.source == sid)
+                {
+                    attrs.push(attr);
+                    break;
+                }
+            }
+        }
+        if attrs.len() >= 2 {
+            out.push(GlobalAttribute::new(attrs).expect("distinct sources by construction"));
+        }
+        concept = (concept + 1) % 14;
+    }
+    out
+}
+
+/// The five constraint variants of Figures 5 and 6.
+pub fn constraint_variants(
+    generated: &GeneratedUniverse,
+    seed: u64,
+) -> Vec<(&'static str, ProblemSpecPatch)> {
+    vec![
+        ("no constraints", ProblemSpecPatch::default()),
+        (
+            "1 source",
+            ProblemSpecPatch {
+                sources: source_constraints(generated, 1, seed),
+                gas: vec![],
+            },
+        ),
+        (
+            "3 sources",
+            ProblemSpecPatch {
+                sources: source_constraints(generated, 3, seed),
+                gas: vec![],
+            },
+        ),
+        (
+            "5 sources",
+            ProblemSpecPatch {
+                sources: source_constraints(generated, 5, seed),
+                gas: vec![],
+            },
+        ),
+        (
+            "5 src + 2 GA",
+            ProblemSpecPatch {
+                sources: source_constraints(generated, 5, seed),
+                gas: ga_constraints(generated, 2, 5, seed),
+            },
+        ),
+    ]
+}
+
+/// Constraints to apply on top of a base spec.
+#[derive(Debug, Clone, Default)]
+pub struct ProblemSpecPatch {
+    /// Source constraints.
+    pub sources: Vec<SourceId>,
+    /// GA constraints.
+    pub gas: Vec<GlobalAttribute>,
+}
+
+impl ProblemSpecPatch {
+    /// Applies the patch to a spec.
+    pub fn apply(&self, mut spec: ProblemSpec) -> ProblemSpec {
+        for &s in &self.sources {
+            spec.constraints.require_source(s);
+        }
+        for ga in &self.gas {
+            spec.constraints.require_ga(ga.clone());
+        }
+        spec
+    }
+}
+
+/// Runs one solve and returns `(solution, wall time)`.
+pub fn timed_solve(
+    mube: &Mube<'_>,
+    spec: &ProblemSpec,
+    solver: &dyn Solver,
+    seed: u64,
+) -> (Solution, Duration) {
+    let start = Instant::now();
+    let solution = mube
+        .solve(spec, solver, seed)
+        .expect("experiment problems must be feasible");
+    (solution, start.elapsed())
+}
+
+/// Mean wall time and mean quality over `reps` seeds.
+pub fn average_runs(
+    mube: &Mube<'_>,
+    spec: &ProblemSpec,
+    solver: &dyn Solver,
+    reps: u64,
+) -> RunSummary {
+    let mut total_time = Duration::ZERO;
+    let mut total_q = 0.0;
+    let mut best_q = f64::NEG_INFINITY;
+    let mut worst_q = f64::INFINITY;
+    let mut last = None;
+    for seed in 0..reps {
+        let (solution, elapsed) = timed_solve(mube, spec, solver, seed);
+        total_time += elapsed;
+        total_q += solution.overall_quality;
+        best_q = best_q.max(solution.overall_quality);
+        worst_q = worst_q.min(solution.overall_quality);
+        last = Some(solution);
+    }
+    RunSummary {
+        mean_time: total_time / reps as u32,
+        mean_quality: total_q / reps as f64,
+        best_quality: best_q,
+        worst_quality: worst_q,
+        last_solution: last.expect("reps >= 1"),
+    }
+}
+
+/// Aggregate of repeated solves.
+pub struct RunSummary {
+    /// Mean wall-clock time per solve.
+    pub mean_time: Duration,
+    /// Mean overall quality.
+    pub mean_quality: f64,
+    /// Best overall quality across seeds.
+    pub best_quality: f64,
+    /// Worst overall quality across seeds.
+    pub worst_quality: f64,
+    /// The final seed's solution (for schema inspection).
+    pub last_solution: Solution,
+}
+
+/// Prints a header + aligned rows; keeps the binaries terse.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(h.len())
+        })
+        .collect();
+    let fmt_row = |cells: Vec<&str>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header.to_vec()));
+    for row in rows {
+        println!("{}", fmt_row(row.iter().map(String::as_str).collect()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_opt::TabuSearch;
+
+    #[test]
+    fn constraint_synthesis_is_well_formed() {
+        let generated = universe(60, 1, Scale::Reduced);
+        let sources = source_constraints(&generated, 5, 3);
+        assert_eq!(sources.len(), 5);
+        for s in &sources {
+            assert!(s.index() < 50, "constraints must be conformant sources");
+        }
+        let gas = ga_constraints(&generated, 2, 5, 3);
+        assert_eq!(gas.len(), 2);
+        for ga in &gas {
+            assert!(ga.len() >= 2 && ga.len() <= 5);
+            // Accurate matching: all attrs share one concept.
+            let concepts: std::collections::BTreeSet<_> = ga
+                .attrs()
+                .map(|a| generated.ground_truth.concept_of(a))
+                .collect();
+            assert_eq!(concepts.len(), 1);
+            assert!(!concepts.contains(&None));
+        }
+    }
+
+    #[test]
+    fn variants_cover_the_paper_grid() {
+        let generated = universe(60, 1, Scale::Reduced);
+        let variants = constraint_variants(&generated, 1);
+        assert_eq!(variants.len(), 5);
+        assert_eq!(variants[0].1.sources.len(), 0);
+        assert_eq!(variants[3].1.sources.len(), 5);
+        assert_eq!(variants[4].1.gas.len(), 2);
+    }
+
+    #[test]
+    fn timed_solve_runs_under_constraints() {
+        let generated = universe(60, 2, Scale::Reduced);
+        let mube = engine(&generated);
+        let patch = constraint_variants(&generated, 2).pop().unwrap().1;
+        let spec = patch.apply(paper_spec(10));
+        let (solution, elapsed) = timed_solve(&mube, &spec, &TabuSearch::quick(), 0);
+        assert!(elapsed.as_nanos() > 0);
+        for s in &patch.sources {
+            assert!(solution.selected.contains(s));
+        }
+        assert!(solution.schema.subsumes_gas(patch.gas.iter()));
+    }
+
+    #[test]
+    fn average_runs_aggregates() {
+        let generated = universe(40, 3, Scale::Reduced);
+        let mube = engine(&generated);
+        let summary = average_runs(&mube, &paper_spec(5), &TabuSearch::quick(), 3);
+        assert!(summary.mean_quality > 0.0);
+        assert!(summary.best_quality >= summary.mean_quality);
+        assert!(summary.worst_quality <= summary.mean_quality + 1e-12);
+    }
+}

@@ -1,0 +1,528 @@
+//! Algorithm 1: greedy constrained similarity clustering.
+
+use std::collections::BTreeSet;
+
+use mube_schema::{
+    AttrId, Constraints, GlobalAttribute, MediatedSchema, SourceId, Universe,
+};
+
+use crate::linkage::Linkage;
+use crate::quality::schema_quality;
+use crate::similarity::AttrSimilarity;
+
+/// Parameters of one `Match(S)` invocation.
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Matching threshold θ: minimum cluster-pair similarity to merge, and
+    /// the guaranteed lower bound on the quality of every generated GA.
+    pub theta: f64,
+    /// Minimum number of attributes β in any output GA that does not come
+    /// from a user constraint. GAs below the floor are dropped after
+    /// clustering (`∀g ∈ (M − G): |g| ≥ β`).
+    pub beta: usize,
+    /// Cluster similarity linkage; [`Linkage::Single`] is the paper's.
+    pub linkage: Linkage,
+    /// When `true` (the paper's behaviour), clusters whose best similarity
+    /// to every other cluster is below θ are eliminated each round. Turning
+    /// this off is the `ablation_pruning` configuration: the output is
+    /// unchanged, only more clusters are carried through each round.
+    pub prune: bool,
+}
+
+impl Default for MatchConfig {
+    /// θ = 0.75 (the paper's experimental setting), β = 1, single linkage,
+    /// pruning on.
+    fn default() -> Self {
+        Self {
+            theta: 0.75,
+            beta: 1,
+            linkage: Linkage::Single,
+            prune: true,
+        }
+    }
+}
+
+/// Result of a successful `Match(S)` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOutcome {
+    /// The generated mediated schema.
+    pub schema: MediatedSchema,
+    /// Its matching quality (the `F1` value): mean GA quality.
+    pub quality: f64,
+    /// Number of outer clustering rounds executed (for the pruning
+    /// ablation's work accounting).
+    pub rounds: u32,
+}
+
+/// One cluster during the run.
+#[derive(Debug, Clone)]
+struct Cluster {
+    attrs: Vec<AttrId>,
+    sources: BTreeSet<SourceId>,
+    /// User-constraint provenance: never eliminated. Propagates on merge.
+    keep: bool,
+    /// Has this cluster (or any ancestor) ever been produced by a merge?
+    ever_merged: bool,
+    /// Per-round: consumed by a merge this round.
+    merged: bool,
+    /// Per-round: partner was consumed; retry next round.
+    merge_cand: bool,
+    alive: bool,
+}
+
+impl Cluster {
+    fn singleton(attr: AttrId) -> Self {
+        Self {
+            attrs: vec![attr],
+            sources: std::iter::once(attr.source).collect(),
+            keep: false,
+            ever_merged: false,
+            merged: false,
+            merge_cand: false,
+            alive: true,
+        }
+    }
+
+    fn from_ga(ga: &GlobalAttribute) -> Self {
+        Self {
+            attrs: ga.attrs().collect(),
+            sources: ga.sources().collect(),
+            keep: true,
+            ever_merged: false,
+            merged: false,
+            merge_cand: false,
+            alive: true,
+        }
+    }
+
+    fn can_merge(&self, other: &Cluster) -> bool {
+        self.sources.is_disjoint(&other.sources)
+    }
+}
+
+/// The `Match(S, C, G)` operator (Algorithm 1).
+///
+/// `sources` is the candidate set `S`; the caller must ensure it contains
+/// every source required by `constraints` (the µBE engine guarantees
+/// `C ⊆ S`). Returns `None` when no matching satisfies both the threshold
+/// and the source constraints — i.e. the produced schema is not valid on `C`
+/// — mirroring the paper's "return a null schema and 0 matching quality".
+pub fn match_sources(
+    universe: &Universe,
+    sources: &[SourceId],
+    constraints: &Constraints,
+    config: &MatchConfig,
+    sim: &dyn AttrSimilarity,
+) -> Option<MatchOutcome> {
+    let in_s: BTreeSet<SourceId> = sources.iter().copied().collect();
+    // GA constraints referencing sources outside S can never be satisfied.
+    for required in constraints.required_sources() {
+        if !in_s.contains(&required) {
+            return None;
+        }
+    }
+
+    // Lines 1–4: seed clusters.
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for ga in constraints.gas() {
+        clusters.push(Cluster::from_ga(ga));
+    }
+    let constrained = constraints.constrained_attrs();
+    for &sid in sources {
+        let source = universe.expect_source(sid);
+        for attr in source.attr_ids() {
+            if !constrained.contains(&attr) {
+                clusters.push(Cluster::singleton(attr));
+            }
+        }
+    }
+
+    // Lines 5–23: iterate rounds until no merge candidates remain.
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        let mut done = true;
+        for c in clusters.iter_mut().filter(|c| c.alive) {
+            c.merged = false;
+            c.merge_cand = false;
+        }
+
+        // Line 8: all alive cluster pairs with similarity ≥ θ, best first.
+        let alive: Vec<usize> = (0..clusters.len()).filter(|&i| clusters[i].alive).collect();
+        let mut heap: Vec<(f64, usize, usize)> = Vec::new();
+        for (pos, &i) in alive.iter().enumerate() {
+            for &j in &alive[pos + 1..] {
+                let s = config.linkage.cluster_similarity(
+                    &clusters[i].attrs,
+                    &clusters[j].attrs,
+                    sim,
+                );
+                if s >= config.theta {
+                    heap.push((s, i, j));
+                }
+            }
+        }
+        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+        // Lines 9–19: consume pairs in decreasing similarity.
+        let mut new_clusters: Vec<Cluster> = Vec::new();
+        for (_, i, j) in heap {
+            let (mi, mj) = (clusters[i].merged, clusters[j].merged);
+            match (mi, mj) {
+                (false, false) => {
+                    if clusters[i].can_merge(&clusters[j]) {
+                        let merged = Cluster {
+                            attrs: {
+                                let mut a = clusters[i].attrs.clone();
+                                a.extend_from_slice(&clusters[j].attrs);
+                                a.sort_unstable();
+                                a
+                            },
+                            sources: clusters[i]
+                                .sources
+                                .union(&clusters[j].sources)
+                                .copied()
+                                .collect(),
+                            keep: clusters[i].keep || clusters[j].keep,
+                            ever_merged: true,
+                            merged: false,
+                            merge_cand: false,
+                            alive: true,
+                        };
+                        clusters[i].merged = true;
+                        clusters[i].alive = false;
+                        clusters[j].merged = true;
+                        clusters[j].alive = false;
+                        new_clusters.push(merged);
+                    }
+                    // Invalid merge (overlapping sources): skip, per the
+                    // algorithm — neither side is flagged.
+                }
+                (true, false) => {
+                    clusters[j].merge_cand = true;
+                    done = false;
+                }
+                (false, true) => {
+                    clusters[i].merge_cand = true;
+                    done = false;
+                }
+                (true, true) => {}
+            }
+        }
+
+        // Lines 20–22: eliminate hopeless clusters (see the crate-level
+        // reconstruction note). New merged clusters always survive.
+        if config.prune {
+            for c in clusters.iter_mut().filter(|c| c.alive) {
+                if !c.ever_merged && !c.merge_cand && !c.keep {
+                    c.alive = false;
+                }
+            }
+        }
+        clusters.extend(new_clusters);
+
+        if done {
+            break;
+        }
+    }
+
+    // Assemble M: alive clusters that represent GAs. Without pruning,
+    // never-merged non-keep singletons are still floating around and are
+    // dropped here so both configurations produce identical schemas.
+    let gas: Vec<GlobalAttribute> = clusters
+        .iter()
+        .filter(|c| c.alive && (c.ever_merged || c.keep))
+        .filter(|c| c.keep || c.attrs.len() >= config.beta)
+        .map(|c| GlobalAttribute::from_valid_set(c.attrs.iter().copied().collect()))
+        .collect();
+    let schema = MediatedSchema::new(gas);
+
+    // Line 24: M must be valid on the source constraints C.
+    debug_assert!(schema.gas_disjoint());
+    if !schema.spans(constraints.sources().iter().copied()) {
+        return None;
+    }
+    let quality = schema_quality(&schema, sim);
+    Some(MatchOutcome {
+        schema,
+        quality,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::MeasureAdapter;
+    use mube_schema::SourceBuilder;
+    use mube_similarity::NgramJaccard;
+
+    /// Builds the four-attribute example of the paper's Figure 3:
+    /// F name / First Name / Nom / Prenom. "F name" and "First Name" are
+    /// similar; "Nom" and "Prenom" are similar; the two groups are not.
+    fn figure3_universe() -> Universe {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("en1").attributes(["F name", "city"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("en2").attributes(["First name", "town"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("fr1").attributes(["Prenom", "ville"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("fr2").attributes(["Le prenom", "cite"]))
+            .unwrap();
+        u
+    }
+
+    fn all_sources(u: &Universe) -> Vec<SourceId> {
+        u.sources().iter().map(|s| s.id()).collect()
+    }
+
+    fn jaccard_match(
+        u: &Universe,
+        constraints: &Constraints,
+        config: &MatchConfig,
+    ) -> Option<MatchOutcome> {
+        let measure = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(u, &measure);
+        match_sources(u, &all_sources(u), constraints, config, &adapter)
+    }
+
+    #[test]
+    fn without_constraints_language_gap_stays_open() {
+        let u = figure3_universe();
+        let config = MatchConfig {
+            theta: 0.4,
+            ..MatchConfig::default()
+        };
+        let out = jaccard_match(&u, &Constraints::none(), &config).unwrap();
+        // "F name"/"First name" and "Prenom"/"Le prenom" cluster; no GA
+        // spans the English/French gap.
+        for ga in out.schema.gas() {
+            let names: Vec<&str> = ga.attrs().map(|a| u.attr_name(a).unwrap()).collect();
+            let has_en = names.iter().any(|n| n.to_lowercase().contains("name"));
+            let has_fr = names.iter().any(|n| n.to_lowercase().contains("prenom"));
+            assert!(
+                !(has_en && has_fr),
+                "bridge appeared without a constraint: {names:?}"
+            );
+        }
+        assert!(out.quality >= 0.4);
+    }
+
+    #[test]
+    fn ga_constraint_bridges_the_gap() {
+        let u = figure3_universe();
+        let config = MatchConfig {
+            theta: 0.4,
+            ..MatchConfig::default()
+        };
+        // User knows F name == Prenom.
+        let mut constraints = Constraints::none();
+        constraints.require_ga(
+            GlobalAttribute::new([
+                AttrId::new(SourceId(0), 0),
+                AttrId::new(SourceId(2), 0),
+            ])
+            .unwrap(),
+        );
+        let out = jaccard_match(&u, &constraints, &config).unwrap();
+        // The constraint GA must be subsumed...
+        assert!(out.schema.subsumes_gas(constraints.gas()));
+        // ...and must have grown to absorb both neighbours via bridging.
+        let bridged = out
+            .schema
+            .ga_of(AttrId::new(SourceId(0), 0))
+            .expect("constraint attr in schema");
+        assert!(
+            bridged.contains(AttrId::new(SourceId(1), 0)),
+            "First name should join via F name: {bridged}"
+        );
+        assert!(
+            bridged.contains(AttrId::new(SourceId(3), 0)),
+            "Le prenom should join via Prenom: {bridged}"
+        );
+    }
+
+    #[test]
+    fn identical_names_cluster_across_sources() {
+        let mut u = Universe::new();
+        for name in ["s1", "s2", "s3"] {
+            u.add_source(SourceBuilder::new(name).attributes(["keyword", "unrelated stuff"]))
+                .unwrap();
+        }
+        let out = jaccard_match(&u, &Constraints::none(), &MatchConfig::default()).unwrap();
+        // One GA with the three "keyword" attributes; quality 1.0 each;
+        // wait: "unrelated stuff" also repeats identically across sources,
+        // so it forms a GA too.
+        assert_eq!(out.schema.len(), 2);
+        assert!(out.schema.gas().iter().all(|g| g.len() == 3));
+        assert!((out.quality - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_source_attrs_never_share_a_ga() {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("dup").attributes(["date", "date time"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("other").attributes(["date"]))
+            .unwrap();
+        let config = MatchConfig {
+            theta: 0.3,
+            ..MatchConfig::default()
+        };
+        let out = jaccard_match(&u, &Constraints::none(), &config).unwrap();
+        for ga in out.schema.gas() {
+            let from_dup = ga.attrs().filter(|a| a.source == SourceId(0)).count();
+            assert!(from_dup <= 1, "GA {ga} has {from_dup} attrs from one source");
+        }
+    }
+
+    #[test]
+    fn threshold_gates_merging() {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("a").attributes(["keyword"])).unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["keywords"])).unwrap();
+        let strict = MatchConfig {
+            theta: 0.99,
+            ..MatchConfig::default()
+        };
+        let out = jaccard_match(&u, &Constraints::none(), &strict).unwrap();
+        assert!(out.schema.is_empty());
+        assert_eq!(out.quality, 0.0);
+        let lax = MatchConfig {
+            theta: 0.5,
+            ..MatchConfig::default()
+        };
+        let out = jaccard_match(&u, &Constraints::none(), &lax).unwrap();
+        assert_eq!(out.schema.len(), 1);
+    }
+
+    #[test]
+    fn quality_at_least_theta_for_unconstrained_gas() {
+        let u = figure3_universe();
+        let config = MatchConfig {
+            theta: 0.4,
+            ..MatchConfig::default()
+        };
+        let measure = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&u, &measure);
+        let out =
+            match_sources(&u, &all_sources(&u), &Constraints::none(), &config, &adapter).unwrap();
+        for ga in out.schema.gas() {
+            assert!(crate::quality::ga_quality(ga, &adapter) >= config.theta);
+        }
+    }
+
+    #[test]
+    fn source_constraint_spanning_enforced() {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("a").attributes(["keyword"])).unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["keyword"])).unwrap();
+        u.add_source(SourceBuilder::new("island").attributes(["zzzqqq"]))
+            .unwrap();
+        // Constraint: the island source must be spanned — but nothing
+        // matches its only attribute, so Match must return None.
+        let mut constraints = Constraints::none();
+        constraints.require_source(SourceId(2));
+        assert!(jaccard_match(&u, &constraints, &MatchConfig::default()).is_none());
+        // Without the constraint the match succeeds (island unmatched).
+        let out = jaccard_match(&u, &Constraints::none(), &MatchConfig::default()).unwrap();
+        assert_eq!(out.schema.len(), 1);
+    }
+
+    #[test]
+    fn ga_constraint_outside_s_returns_none() {
+        let u = figure3_universe();
+        let mut constraints = Constraints::none();
+        constraints.require_ga(
+            GlobalAttribute::new([AttrId::new(SourceId(3), 0)]).unwrap(),
+        );
+        let measure = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&u, &measure);
+        // S omits source 3.
+        let s = vec![SourceId(0), SourceId(1), SourceId(2)];
+        assert!(match_sources(&u, &s, &constraints, &MatchConfig::default(), &adapter).is_none());
+    }
+
+    #[test]
+    fn beta_filters_small_gas() {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("a").attributes(["keyword", "price"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["keyword", "price"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("c").attributes(["keyword"])).unwrap();
+        let config = MatchConfig {
+            beta: 3,
+            ..MatchConfig::default()
+        };
+        let out = jaccard_match(&u, &Constraints::none(), &config).unwrap();
+        // "keyword" spans 3 sources -> kept; "price" spans 2 -> dropped.
+        assert_eq!(out.schema.len(), 1);
+        assert_eq!(out.schema.gas()[0].len(), 3);
+    }
+
+    #[test]
+    fn beta_does_not_apply_to_constraint_gas() {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("a").attributes(["xaxa"])).unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["zbzb"])).unwrap();
+        let mut constraints = Constraints::none();
+        constraints.require_ga(GlobalAttribute::new([AttrId::new(SourceId(0), 0)]).unwrap());
+        let config = MatchConfig {
+            beta: 2,
+            ..MatchConfig::default()
+        };
+        let out = jaccard_match(&u, &constraints, &config).unwrap();
+        assert_eq!(out.schema.len(), 1);
+        assert_eq!(out.schema.gas()[0].len(), 1);
+    }
+
+    #[test]
+    fn pruning_does_not_change_output() {
+        let u = figure3_universe();
+        for theta in [0.3, 0.5, 0.75] {
+            let with = MatchConfig {
+                theta,
+                prune: true,
+                ..MatchConfig::default()
+            };
+            let without = MatchConfig {
+                theta,
+                prune: false,
+                ..MatchConfig::default()
+            };
+            let a = jaccard_match(&u, &Constraints::none(), &with).unwrap();
+            let b = jaccard_match(&u, &Constraints::none(), &without).unwrap();
+            assert_eq!(a.schema, b.schema, "theta={theta}");
+            assert!((a.quality - b.quality).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_source_list_gives_empty_valid_schema() {
+        let u = figure3_universe();
+        let measure = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&u, &measure);
+        let out =
+            match_sources(&u, &[], &Constraints::none(), &MatchConfig::default(), &adapter)
+                .unwrap();
+        assert!(out.schema.is_empty());
+        assert_eq!(out.quality, 0.0);
+    }
+
+    #[test]
+    fn outcome_reports_rounds() {
+        let u = figure3_universe();
+        let out = jaccard_match(
+            &u,
+            &Constraints::none(),
+            &MatchConfig {
+                theta: 0.3,
+                ..MatchConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out.rounds >= 1);
+    }
+}

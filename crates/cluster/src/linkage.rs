@@ -1,0 +1,143 @@
+//! Cluster-to-cluster similarity linkage.
+
+use mube_schema::AttrId;
+
+use crate::similarity::AttrSimilarity;
+
+/// How the similarity between two clusters is derived from attribute-pair
+/// similarities.
+///
+/// The paper defines cluster similarity as "the maximum similarity between
+/// an attribute from the first cluster and an attribute from the second
+/// cluster" — [`Linkage::Single`]. Single linkage is what lets GA
+/// constraints bridge dissimilar attributes: a cluster containing the
+/// dissimilar pair `{a, b}` still attracts attributes similar to *either*
+/// seed. Complete and average linkage exist for the `ablation_linkage`
+/// bench, which quantifies how much of the bridging effect is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Maximum pair similarity (the paper's definition).
+    #[default]
+    Single,
+    /// Minimum pair similarity.
+    Complete,
+    /// Mean pair similarity.
+    Average,
+}
+
+impl Linkage {
+    /// Similarity between two attribute groups under this linkage.
+    ///
+    /// Returns 0.0 if either group is empty.
+    pub fn cluster_similarity(
+        self,
+        a: &[AttrId],
+        b: &[AttrId],
+        sim: &dyn AttrSimilarity,
+    ) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Linkage::Single => {
+                let mut best = 0.0f64;
+                for &x in a {
+                    for &y in b {
+                        best = best.max(sim.similarity(x, y));
+                    }
+                }
+                best
+            }
+            Linkage::Complete => {
+                let mut worst = f64::INFINITY;
+                for &x in a {
+                    for &y in b {
+                        worst = worst.min(sim.similarity(x, y));
+                    }
+                }
+                worst
+            }
+            Linkage::Average => {
+                let mut total = 0.0;
+                for &x in a {
+                    for &y in b {
+                        total += sim.similarity(x, y);
+                    }
+                }
+                total / (a.len() * b.len()) as f64
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::SourceId;
+    use std::collections::HashMap;
+
+    struct TableSim(HashMap<(u32, u32), f64>);
+
+    impl AttrSimilarity for TableSim {
+        fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+            let (x, y) = (a.source.0, b.source.0);
+            let key = if x <= y { (x, y) } else { (y, x) };
+            *self.0.get(&key).unwrap_or(&0.0)
+        }
+    }
+
+    fn attr(s: u32) -> AttrId {
+        AttrId::new(SourceId(s), 0)
+    }
+
+    fn table() -> TableSim {
+        let mut t = HashMap::new();
+        t.insert((0, 2), 0.9);
+        t.insert((0, 3), 0.1);
+        t.insert((1, 2), 0.5);
+        t.insert((1, 3), 0.3);
+        TableSim(t)
+    }
+
+    #[test]
+    fn single_takes_max() {
+        let s = Linkage::Single.cluster_similarity(&[attr(0), attr(1)], &[attr(2), attr(3)], &table());
+        assert_eq!(s, 0.9);
+    }
+
+    #[test]
+    fn complete_takes_min() {
+        let s =
+            Linkage::Complete.cluster_similarity(&[attr(0), attr(1)], &[attr(2), attr(3)], &table());
+        assert_eq!(s, 0.1);
+    }
+
+    #[test]
+    fn average_takes_mean() {
+        let s =
+            Linkage::Average.cluster_similarity(&[attr(0), attr(1)], &[attr(2), attr(3)], &table());
+        assert!((s - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_groups_are_zero() {
+        assert_eq!(Linkage::Single.cluster_similarity(&[], &[attr(0)], &table()), 0.0);
+        assert_eq!(Linkage::Complete.cluster_similarity(&[attr(0)], &[], &table()), 0.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Linkage::Single.name(), "single");
+        assert_eq!(Linkage::Complete.name(), "complete");
+        assert_eq!(Linkage::Average.name(), "average");
+    }
+}

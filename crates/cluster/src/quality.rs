@@ -1,0 +1,90 @@
+//! Matching-quality computation (the `F1` QEF).
+//!
+//! Section 3: "We define the quality of matching within a cluster as the
+//! maximum similarity between any two attributes in this cluster. [...] We
+//! define the quality of matching of the whole mediated schema, M, as the
+//! average quality of matching for all the GAs of this schema."
+
+use mube_schema::{GlobalAttribute, MediatedSchema};
+
+use crate::similarity::AttrSimilarity;
+
+/// Quality of one GA: the maximum pairwise attribute similarity inside it.
+///
+/// A singleton GA (possible only as a user constraint) is scored 1.0 — a
+/// single attribute carries no mismatch evidence, and scoring it 0 would
+/// penalize users for pinning an attribute they care about.
+pub fn ga_quality(ga: &GlobalAttribute, sim: &dyn AttrSimilarity) -> f64 {
+    let attrs: Vec<_> = ga.attrs().collect();
+    if attrs.len() <= 1 {
+        return 1.0;
+    }
+    let mut best = 0.0f64;
+    for i in 0..attrs.len() {
+        for j in i + 1..attrs.len() {
+            best = best.max(sim.similarity(attrs[i], attrs[j]));
+        }
+    }
+    best
+}
+
+/// Quality of a mediated schema: the mean GA quality, or 0.0 for an empty
+/// schema (an empty schema expresses no matching at all).
+pub fn schema_quality(schema: &MediatedSchema, sim: &dyn AttrSimilarity) -> f64 {
+    if schema.is_empty() {
+        return 0.0;
+    }
+    schema
+        .gas()
+        .iter()
+        .map(|ga| ga_quality(ga, sim))
+        .sum::<f64>()
+        / schema.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{AttrId, SourceId};
+
+    /// Similarity = 1 - |i - j| / 10 over source indices.
+    struct GradientSim;
+
+    impl AttrSimilarity for GradientSim {
+        fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+            1.0 - f64::from(a.source.0.abs_diff(b.source.0)) / 10.0
+        }
+    }
+
+    fn ga(sources: &[u32]) -> GlobalAttribute {
+        GlobalAttribute::new(sources.iter().map(|&s| AttrId::new(SourceId(s), 0))).unwrap()
+    }
+
+    #[test]
+    fn singleton_quality_is_one() {
+        assert_eq!(ga_quality(&ga(&[3]), &GradientSim), 1.0);
+    }
+
+    #[test]
+    fn pair_quality_is_their_similarity() {
+        assert!((ga_quality(&ga(&[0, 3]), &GradientSim) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_attr_quality_is_max_pair() {
+        // Pairs: (0,3)=0.7, (0,4)=0.6, (3,4)=0.9 -> max 0.9.
+        assert!((ga_quality(&ga(&[0, 3, 4]), &GradientSim) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schema_quality_is_mean_over_gas() {
+        let m = MediatedSchema::new([ga(&[0, 1]), ga(&[0, 5])]);
+        // GA qualities: 0.9 and 0.5 -> mean 0.7.
+        assert!((schema_quality(&m, &GradientSim) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schema_quality_is_zero() {
+        assert_eq!(schema_quality(&MediatedSchema::empty(), &GradientSim), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Attribute-level similarity access for the clustering algorithm.
+
+use std::collections::HashMap;
+
+use mube_schema::attribute::normalize_name;
+use mube_schema::{AttrId, Universe};
+use mube_similarity::SimilarityMeasure;
+
+/// Similarity between two attributes of a universe.
+///
+/// The clustering algorithm only needs pairwise lookups; implementations may
+/// compute on the fly (see [`MeasureAdapter`]) or serve from a precomputed
+/// matrix (the engine crate does this for the optimizer's hot path).
+pub trait AttrSimilarity {
+    /// Similarity of the named attributes, in `[0, 1]`.
+    fn similarity(&self, a: AttrId, b: AttrId) -> f64;
+}
+
+/// Computes similarities on demand from a universe and a string measure,
+/// caching per-attribute normalized names and token signatures.
+pub struct MeasureAdapter<'a> {
+    measure: &'a dyn SimilarityMeasure,
+    signatures: HashMap<AttrId, mube_similarity::measure::Signature>,
+}
+
+impl<'a> MeasureAdapter<'a> {
+    /// Prepares signatures for every attribute of `universe`.
+    pub fn new(universe: &Universe, measure: &'a dyn SimilarityMeasure) -> Self {
+        let mut signatures = HashMap::with_capacity(universe.total_attrs());
+        for source in universe.sources() {
+            for attr in source.attr_ids() {
+                let name = universe.attr_name(attr).expect("attr enumerated from universe");
+                signatures.insert(attr, measure.signature(&normalize_name(name)));
+            }
+        }
+        Self {
+            measure,
+            signatures,
+        }
+    }
+}
+
+impl AttrSimilarity for MeasureAdapter<'_> {
+    fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+        let sa = self.signatures.get(&a).expect("unknown attribute");
+        let sb = self.signatures.get(&b).expect("unknown attribute");
+        self.measure.similarity_sig(sa, sb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{SourceBuilder, SourceId};
+    use mube_similarity::NgramJaccard;
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("a").attributes(["Author", "Title"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["author", "keyword"]))
+            .unwrap();
+        u
+    }
+
+    #[test]
+    fn adapter_matches_direct_measure_on_normalized_names() {
+        let u = universe();
+        let m = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&u, &m);
+        let a = AttrId::new(SourceId(0), 0); // "Author"
+        let b = AttrId::new(SourceId(1), 0); // "author"
+        assert_eq!(adapter.similarity(a, b), 1.0);
+        let t = AttrId::new(SourceId(0), 1); // "Title"
+        let k = AttrId::new(SourceId(1), 1); // "keyword"
+        assert_eq!(adapter.similarity(t, k), m.similarity("title", "keyword"));
+    }
+
+    #[test]
+    fn adapter_is_symmetric() {
+        let u = universe();
+        let m = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&u, &m);
+        let a = AttrId::new(SourceId(0), 1);
+        let b = AttrId::new(SourceId(1), 1);
+        assert_eq!(adapter.similarity(a, b), adapter.similarity(b, a));
+    }
+}

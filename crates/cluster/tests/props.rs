@@ -1,0 +1,151 @@
+//! Property tests for the Match operator: the Algorithm 1 output contract
+//! over randomized universes and constraint sets.
+
+use proptest::prelude::*;
+
+use mube_cluster::{ga_quality, match_sources, Linkage, MatchConfig, MeasureAdapter};
+use mube_schema::{
+    AttrId, Constraints, GlobalAttribute, SourceBuilder, SourceId, Universe,
+};
+use mube_similarity::NgramJaccard;
+
+const VOCAB: &[&str] = &[
+    "title",
+    "book title",
+    "author",
+    "author name",
+    "author names",
+    "keyword",
+    "keywords",
+    "isbn",
+    "price",
+    "publication year",
+    "publication years",
+    "quasar",
+    "turbine",
+    "gearbox",
+];
+
+fn arb_universe() -> impl Strategy<Value = Universe> {
+    prop::collection::vec(
+        prop::collection::btree_set(0usize..VOCAB.len(), 1..5),
+        2..9,
+    )
+    .prop_map(|sources| {
+        let mut u = Universe::new();
+        for (i, words) in sources.into_iter().enumerate() {
+            u.add_source(
+                SourceBuilder::new(format!("s{i}"))
+                    .attributes(words.into_iter().map(|w| VOCAB[w].to_owned()))
+                    .cardinality(100),
+            )
+            .unwrap();
+        }
+        u
+    })
+}
+
+fn run(
+    universe: &Universe,
+    constraints: &Constraints,
+    config: &MatchConfig,
+) -> Option<mube_cluster::MatchOutcome> {
+    let measure = NgramJaccard::default();
+    let adapter = MeasureAdapter::new(universe, &measure);
+    let ids: Vec<SourceId> = universe.sources().iter().map(|s| s.id()).collect();
+    match_sources(universe, &ids, constraints, config, &adapter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn output_contract_holds_for_any_theta(universe in arb_universe(), theta in 0.05f64..1.0) {
+        let config = MatchConfig { theta, ..MatchConfig::default() };
+        let outcome = run(&universe, &Constraints::none(), &config).expect("unconstrained");
+        let measure = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&universe, &measure);
+        prop_assert!(outcome.schema.gas_disjoint());
+        prop_assert!((0.0..=1.0).contains(&outcome.quality));
+        for ga in outcome.schema.gas() {
+            prop_assert!(ga.len() >= 2);
+            prop_assert!(ga_quality(ga, &adapter) >= theta - 1e-9);
+            // Definition 1: at most one attribute per source.
+            let mut sources: Vec<SourceId> = ga.sources().collect();
+            let before = sources.len();
+            sources.sort();
+            sources.dedup();
+            prop_assert_eq!(sources.len(), before);
+        }
+    }
+
+    #[test]
+    fn lower_theta_never_reduces_matched_attrs(universe in arb_universe()) {
+        let strict = run(
+            &universe,
+            &Constraints::none(),
+            &MatchConfig { theta: 0.8, ..MatchConfig::default() },
+        )
+        .unwrap();
+        let lax = run(
+            &universe,
+            &Constraints::none(),
+            &MatchConfig { theta: 0.4, ..MatchConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(
+            lax.schema.total_attrs() >= strict.schema.total_attrs(),
+            "lax {} < strict {}",
+            lax.schema.total_attrs(),
+            strict.schema.total_attrs()
+        );
+    }
+
+    #[test]
+    fn ga_constraints_always_subsumed(universe in arb_universe(), a in 0u32..8, b in 0u32..8) {
+        let n = universe.len() as u32;
+        let (sa, sb) = (a % n, b % n);
+        prop_assume!(sa != sb);
+        let ga = GlobalAttribute::new([
+            AttrId::new(SourceId(sa), 0),
+            AttrId::new(SourceId(sb), 0),
+        ])
+        .unwrap();
+        let mut constraints = Constraints::none();
+        constraints.require_ga(ga.clone());
+        let outcome = run(&universe, &constraints, &MatchConfig::default());
+        // A GA constraint over sources present in S is always satisfiable
+        // (the constraint cluster survives regardless of similarity), so
+        // Match only fails if constraint sources are unmatched... they are
+        // covered by the constraint GA itself, so it never fails here.
+        let outcome = outcome.expect("constraint GA covers its own sources");
+        prop_assert!(outcome.schema.subsumes_gas([&ga]));
+    }
+
+    #[test]
+    fn linkages_agree_on_identical_name_clusters(universe in arb_universe()) {
+        // At theta = 1.0 - eps, only identical normalized names merge; all
+        // linkages coincide there because every cross pair has sim 1.
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let config = MatchConfig {
+                theta: 0.999,
+                linkage,
+                ..MatchConfig::default()
+            };
+            let out = run(&universe, &Constraints::none(), &config).unwrap();
+            for ga in out.schema.gas() {
+                let names: std::collections::BTreeSet<&str> = ga
+                    .attrs()
+                    .map(|a| universe.attr_name(a).unwrap())
+                    .collect();
+                prop_assert_eq!(names.len(), 1, "mixed names at theta≈1 under {:?}", linkage);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_reported_positive(universe in arb_universe()) {
+        let out = run(&universe, &Constraints::none(), &MatchConfig::default()).unwrap();
+        prop_assert!(out.rounds >= 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Comparing solutions across iterations.
+//!
+//! The sensitivity experiment (Section 7.4) reports how much a solution
+//! *changed* when the weights were perturbed — "at most 1 GA in the
+//! solution to change, and the selected sources rarely changed". This
+//! module gives sessions a first-class diff between two solutions.
+
+use std::fmt;
+
+use mube_schema::{GlobalAttribute, SourceId};
+
+use crate::solution::Solution;
+
+/// Differences between two solutions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionDiff {
+    /// Sources selected in the first solution only.
+    pub removed_sources: Vec<SourceId>,
+    /// Sources selected in the second solution only.
+    pub added_sources: Vec<SourceId>,
+    /// GAs present in the first schema only.
+    pub removed_gas: Vec<GlobalAttribute>,
+    /// GAs present in the second schema only.
+    pub added_gas: Vec<GlobalAttribute>,
+    /// Change in overall quality (second minus first).
+    pub quality_delta: f64,
+}
+
+impl SolutionDiff {
+    /// Computes the diff from `before` to `after`.
+    pub fn between(before: &Solution, after: &Solution) -> Self {
+        let removed_sources = before
+            .selected
+            .iter()
+            .copied()
+            .filter(|s| !after.selected.contains(s))
+            .collect();
+        let added_sources = after
+            .selected
+            .iter()
+            .copied()
+            .filter(|s| !before.selected.contains(s))
+            .collect();
+        let removed_gas = before
+            .schema
+            .gas()
+            .iter()
+            .filter(|ga| !after.schema.gas().contains(ga))
+            .cloned()
+            .collect();
+        let added_gas = after
+            .schema
+            .gas()
+            .iter()
+            .filter(|ga| !before.schema.gas().contains(ga))
+            .cloned()
+            .collect();
+        Self {
+            removed_sources,
+            added_sources,
+            removed_gas,
+            added_gas,
+            quality_delta: after.overall_quality - before.overall_quality,
+        }
+    }
+
+    /// Whether the two solutions are identical in sources and schema.
+    pub fn is_unchanged(&self) -> bool {
+        self.removed_sources.is_empty()
+            && self.added_sources.is_empty()
+            && self.removed_gas.is_empty()
+            && self.added_gas.is_empty()
+    }
+
+    /// Total number of source membership changes.
+    pub fn source_changes(&self) -> usize {
+        self.removed_sources.len() + self.added_sources.len()
+    }
+
+    /// Total number of GA membership changes (symmetric difference).
+    pub fn ga_changes(&self) -> usize {
+        self.removed_gas.len() + self.added_gas.len()
+    }
+}
+
+impl fmt::Display for SolutionDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unchanged() {
+            return write!(f, "no changes (ΔQ = {:+.4})", self.quality_delta);
+        }
+        writeln!(
+            f,
+            "ΔQ = {:+.4}; {} source changes, {} GA changes",
+            self.quality_delta,
+            self.source_changes(),
+            self.ga_changes()
+        )?;
+        for s in &self.removed_sources {
+            writeln!(f, "  - source {s}")?;
+        }
+        for s in &self.added_sources {
+            writeln!(f, "  + source {s}")?;
+        }
+        for ga in &self.removed_gas {
+            writeln!(f, "  - GA {ga}")?;
+        }
+        for ga in &self.added_gas {
+            writeln!(f, "  + GA {ga}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::SolveStats;
+    use mube_schema::{AttrId, MediatedSchema};
+
+    fn ga(pairs: &[(u32, u32)]) -> GlobalAttribute {
+        GlobalAttribute::new(pairs.iter().map(|&(s, j)| AttrId::new(SourceId(s), j))).unwrap()
+    }
+
+    fn solution(sources: &[u32], gas: Vec<GlobalAttribute>, q: f64) -> Solution {
+        Solution {
+            selected: sources.iter().map(|&s| SourceId(s)).collect(),
+            schema: MediatedSchema::new(gas),
+            overall_quality: q,
+            qef_values: Default::default(),
+            stats: SolveStats::default(),
+        }
+    }
+
+    #[test]
+    fn identical_solutions_have_empty_diff() {
+        let a = solution(&[0, 1], vec![ga(&[(0, 0), (1, 0)])], 0.5);
+        let diff = SolutionDiff::between(&a, &a);
+        assert!(diff.is_unchanged());
+        assert_eq!(diff.source_changes(), 0);
+        assert_eq!(diff.ga_changes(), 0);
+        assert_eq!(diff.quality_delta, 0.0);
+        assert!(diff.to_string().contains("no changes"));
+    }
+
+    #[test]
+    fn diff_captures_all_change_kinds() {
+        let a = solution(&[0, 1, 2], vec![ga(&[(0, 0), (1, 0)]), ga(&[(1, 1), (2, 0)])], 0.5);
+        let b = solution(&[0, 1, 3], vec![ga(&[(0, 0), (1, 0)]), ga(&[(1, 1), (3, 0)])], 0.6);
+        let diff = SolutionDiff::between(&a, &b);
+        assert_eq!(diff.removed_sources, vec![SourceId(2)]);
+        assert_eq!(diff.added_sources, vec![SourceId(3)]);
+        assert_eq!(diff.removed_gas.len(), 1);
+        assert_eq!(diff.added_gas.len(), 1);
+        assert!((diff.quality_delta - 0.1).abs() < 1e-12);
+        let text = diff.to_string();
+        assert!(text.contains("- source s2"));
+        assert!(text.contains("+ source s3"));
+        assert!(text.contains("2 GA changes"));
+    }
+
+    #[test]
+    fn diff_is_antisymmetric_in_delta() {
+        let a = solution(&[0], vec![], 0.3);
+        let b = solution(&[1], vec![], 0.7);
+        let ab = SolutionDiff::between(&a, &b);
+        let ba = SolutionDiff::between(&b, &a);
+        assert_eq!(ab.quality_delta, -ba.quality_delta);
+        assert_eq!(ab.added_sources, ba.removed_sources);
+    }
+}

@@ -1,0 +1,461 @@
+//! The [`Mube`] engine and its builder.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use mube_opt::{Solver, SubsetProblem, TabuSearch};
+use mube_pcsa::PcsaSketch;
+use mube_qef::{CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext, RedundancyQef};
+use mube_schema::{SourceId, Universe};
+use mube_similarity::{NgramJaccard, SimilarityMeasure};
+
+use crate::error::MubeError;
+use crate::matrix_sim::MatrixSimilarity;
+use crate::objective::{MubeObjective, QefBinding};
+use crate::problem::ProblemSpec;
+use crate::solution::{Solution, SolveStats};
+
+/// The µBE engine, bound to one universe.
+///
+/// Holds everything that is expensive and iteration-independent: the
+/// all-pairs attribute similarity matrix, the cached PCSA signatures, and
+/// the registered QEFs. Per-iteration inputs live in [`ProblemSpec`].
+pub struct Mube<'u> {
+    universe: &'u Universe,
+    ctx: QefContext<'u>,
+    sim: MatrixSimilarity,
+    qefs: Vec<Box<dyn Qef>>,
+}
+
+/// Builder for [`Mube`].
+pub struct MubeBuilder<'u, 'm> {
+    universe: &'u Universe,
+    sketches: Option<Vec<Option<PcsaSketch>>>,
+    measure: Option<&'m dyn SimilarityMeasure>,
+    extra_qefs: Vec<Box<dyn Qef>>,
+}
+
+impl<'u, 'm> MubeBuilder<'u, 'm> {
+    /// Starts a builder for `universe`.
+    pub fn new(universe: &'u Universe) -> Self {
+        Self {
+            universe,
+            sketches: None,
+            measure: None,
+            extra_qefs: Vec::new(),
+        }
+    }
+
+    /// Supplies the per-source PCSA signatures (index = source id). Without
+    /// them, coverage and redundancy degrade to the paper's uncooperative
+    /// mode (0-valued).
+    pub fn sketches(mut self, sketches: Vec<Option<PcsaSketch>>) -> Self {
+        self.sketches = Some(sketches);
+        self
+    }
+
+    /// Overrides the attribute similarity measure (default: 3-gram
+    /// Jaccard, the paper's choice).
+    pub fn measure(mut self, measure: &'m dyn SimilarityMeasure) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
+    /// Registers a user-defined QEF ("users ... can define new quality
+    /// metrics"). Its [`Qef::name`] becomes bindable from weights.
+    pub fn qef(mut self, qef: Box<dyn Qef>) -> Self {
+        self.extra_qefs.push(qef);
+        self
+    }
+
+    /// Builds the engine, computing the similarity matrix.
+    pub fn build(self) -> Mube<'u> {
+        let default_measure = NgramJaccard::default();
+        let measure: &dyn SimilarityMeasure = self.measure.unwrap_or(&default_measure);
+        let sim = MatrixSimilarity::new(self.universe, measure);
+        let ctx = match self.sketches {
+            Some(sketches) => QefContext::new(self.universe, sketches),
+            None => QefContext::without_sketches(self.universe),
+        };
+        let mut qefs: Vec<Box<dyn Qef>> = vec![
+            Box::new(CardinalityQef),
+            Box::new(CoverageQef),
+            Box::new(RedundancyQef),
+        ];
+        qefs.extend(self.extra_qefs);
+        Mube {
+            universe: self.universe,
+            ctx,
+            sim,
+            qefs,
+        }
+    }
+}
+
+impl<'u> Mube<'u> {
+    /// The engine's universe.
+    pub fn universe(&self) -> &'u Universe {
+        self.universe
+    }
+
+    /// The precomputed attribute similarity.
+    pub fn similarity(&self) -> &MatrixSimilarity {
+        &self.sim
+    }
+
+    /// The QEF evaluation context (sketches, ranges).
+    pub fn context(&self) -> &QefContext<'u> {
+        &self.ctx
+    }
+
+    /// Validates a spec and resolves its weights into QEF bindings.
+    fn resolve_bindings<'a>(
+        &'a self,
+        spec: &'a ProblemSpec,
+    ) -> Result<Vec<(f64, QefBinding<'a>)>, MubeError> {
+        let mut bindings = Vec::with_capacity(spec.weights.len());
+        for (name, w) in spec.weights.iter() {
+            let binding = if name == "matching" {
+                QefBinding::Matching
+            } else if let Some(qef) = self.qefs.iter().find(|q| q.name() == name) {
+                QefBinding::Registered(qef.as_ref())
+            } else if self.ctx.characteristic_range(name).is_some() {
+                QefBinding::Characteristic(CharacteristicQef::new(
+                    name,
+                    mube_qef::Aggregation::WeightedSum,
+                ))
+            } else {
+                return Err(MubeError::UnknownQef {
+                    name: name.to_owned(),
+                });
+            };
+            bindings.push((w, binding));
+        }
+        Ok(bindings)
+    }
+
+    fn validate_spec(&self, spec: &ProblemSpec) -> Result<(), MubeError> {
+        spec.constraints.validate(self.universe)?;
+        if spec.max_sources == 0 {
+            return Err(MubeError::ZeroMaxSources);
+        }
+        let required = spec.constraints.required_sources().len();
+        if spec.max_sources < required {
+            return Err(MubeError::MaxSourcesTooSmall {
+                max_sources: spec.max_sources,
+                required,
+            });
+        }
+        let theta = spec.match_config.theta;
+        if !(0.0..=1.0).contains(&theta) || !theta.is_finite() {
+            return Err(MubeError::InvalidTheta { theta });
+        }
+        Ok(())
+    }
+
+    /// Builds the optimizer-facing objective for a spec. Exposed for
+    /// benches and tests that want to drive solvers directly.
+    pub fn objective<'a>(
+        &'a self,
+        spec: &'a ProblemSpec,
+    ) -> Result<MubeObjective<'a>, MubeError> {
+        self.validate_spec(spec)?;
+        let bindings = self.resolve_bindings(spec)?;
+        Ok(MubeObjective::new(
+            self.universe,
+            &self.ctx,
+            &self.sim,
+            bindings,
+            &spec.constraints,
+            &spec.match_config,
+            spec.max_sources.min(self.universe.len().max(1)),
+        ))
+    }
+
+    /// Solves one iteration's optimization problem with the given solver.
+    pub fn solve(
+        &self,
+        spec: &ProblemSpec,
+        solver: &dyn Solver,
+        seed: u64,
+    ) -> Result<Solution, MubeError> {
+        let started = Instant::now();
+        let objective = self.objective(spec)?;
+        let result = solver.solve(&objective, seed);
+        if !result.is_feasible() {
+            return Err(MubeError::NoFeasibleSolution);
+        }
+        let selected: Vec<SourceId> =
+            result.best.iter().map(|i| SourceId(i as u32)).collect();
+        let outcome = objective
+            .match_schema(&selected)
+            .expect("feasible solution must have a valid matching");
+        let qef_values: BTreeMap<String, (f64, f64)> = objective
+            .component_values(&selected)
+            .into_iter()
+            .map(|(name, w, v)| (name, (w, v)))
+            .collect();
+        Ok(Solution {
+            selected,
+            schema: outcome.schema,
+            overall_quality: result.objective,
+            qef_values,
+            stats: SolveStats {
+                evaluations: result.evaluations,
+                iterations: result.iterations,
+                match_calls: objective.match_calls(),
+                cache_hits: objective.cache_hits(),
+                elapsed: started.elapsed(),
+            },
+        })
+    }
+
+    /// Convenience: solve with the paper's default solver (tabu search).
+    pub fn solve_default(&self, spec: &ProblemSpec, seed: u64) -> Result<Solution, MubeError> {
+        self.solve(spec, &TabuSearch::default(), seed)
+    }
+
+    /// Evaluates `Q(S)` for an explicit source set without searching —
+    /// useful for what-if analysis in sessions.
+    pub fn evaluate(&self, spec: &ProblemSpec, ids: &[SourceId]) -> Result<f64, MubeError> {
+        let objective = self.objective(spec)?;
+        let subset = mube_opt::Subset::from_indices(
+            self.universe.len(),
+            ids.iter().map(|id| id.index()),
+        );
+        Ok(objective.evaluate(&subset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_qef::Weights;
+    use mube_schema::SourceBuilder;
+
+    fn tiny_universe() -> Universe {
+        let mut u = Universe::new();
+        for (name, attrs, card) in [
+            ("a", vec!["title", "author"], 100u64),
+            ("b", vec!["title", "author", "isbn"], 200),
+            ("c", vec!["zzz", "qqq"], 300),
+            ("d", vec!["title", "price"], 150),
+        ] {
+            u.add_source(
+                SourceBuilder::new(name)
+                    .attributes(attrs)
+                    .cardinality(card)
+                    .characteristic("mttf", card as f64),
+            )
+            .unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn solve_picks_matching_sources() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2).with_weights(
+            Weights::new([("matching", 1.0)]).unwrap(),
+        );
+        let solution = mube.solve_default(&spec, 1).unwrap();
+        assert_eq!(solution.num_sources(), 2);
+        // The best pair for pure matching excludes source c.
+        assert!(!solution.selected.contains(&SourceId(2)));
+        assert!(solution.overall_quality > 0.9);
+        assert!(!solution.schema.is_empty());
+    }
+
+    #[test]
+    fn cardinality_weight_pulls_in_big_sources() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2)
+            .with_weights(Weights::new([("cardinality", 1.0)]).unwrap());
+        let solution = mube.solve_default(&spec, 2).unwrap();
+        // b (200) + c (300) dominate.
+        assert!(solution.selected.contains(&SourceId(1)));
+        assert!(solution.selected.contains(&SourceId(2)));
+    }
+
+    #[test]
+    fn unknown_qef_weight_is_an_error() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec =
+            ProblemSpec::new(2).with_weights(Weights::new([("nonsense", 1.0)]).unwrap());
+        assert!(matches!(
+            mube.solve_default(&spec, 0),
+            Err(MubeError::UnknownQef { .. })
+        ));
+    }
+
+    #[test]
+    fn characteristic_weight_binds_automatically() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2).with_weights(Weights::new([("mttf", 1.0)]).unwrap());
+        let solution = mube.solve_default(&spec, 3).unwrap();
+        assert!(solution.qef_value("mttf").is_some());
+    }
+
+    #[test]
+    fn constraints_are_respected() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2)
+            .with_weights(Weights::new([("matching", 1.0)]).unwrap())
+            .with_source_constraint(SourceId(3));
+        let solution = mube.solve_default(&spec, 4).unwrap();
+        assert!(solution.selected.contains(&SourceId(3)));
+    }
+
+    #[test]
+    fn unmatched_constraint_source_makes_problem_infeasible() {
+        // Source c's attributes match nothing, so M can never span C = {c}:
+        // the paper's Match returns a null schema and the whole problem is
+        // infeasible.
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2)
+            .with_weights(Weights::new([("matching", 1.0)]).unwrap())
+            .with_source_constraint(SourceId(2));
+        assert!(matches!(
+            mube.solve_default(&spec, 4),
+            Err(MubeError::NoFeasibleSolution)
+        ));
+    }
+
+    #[test]
+    fn max_sources_too_small_rejected() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(1)
+            .with_source_constraint(SourceId(0))
+            .with_source_constraint(SourceId(1));
+        assert!(matches!(
+            mube.solve_default(&spec, 0),
+            Err(MubeError::MaxSourcesTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_theta_rejected() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2).with_theta(1.5);
+        assert!(matches!(
+            mube.solve_default(&spec, 0),
+            Err(MubeError::InvalidTheta { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_explicit_sets() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec =
+            ProblemSpec::new(3).with_weights(Weights::new([("matching", 1.0)]).unwrap());
+        let good = mube.evaluate(&spec, &[SourceId(0), SourceId(1)]).unwrap();
+        let bad = mube.evaluate(&spec, &[SourceId(2)]).unwrap();
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn solution_deterministic_per_seed() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2);
+        let a = mube.solve_default(&spec, 9).unwrap();
+        let b = mube.solve_default(&spec, 9).unwrap();
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.schema, b.schema);
+    }
+
+    #[test]
+    fn custom_qef_registers_and_binds() {
+        use mube_qef::QefContext;
+        use mube_schema::SourceSelection;
+
+        /// A user-defined QEF: prefers selections containing source 0.
+        struct FavoriteSource;
+        impl mube_qef::Qef for FavoriteSource {
+            fn name(&self) -> &str {
+                "favorite"
+            }
+            fn evaluate(&self, selection: &SourceSelection, _ctx: &QefContext<'_>) -> f64 {
+                f64::from(u8::from(selection.contains(SourceId(0))))
+            }
+        }
+
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).qef(Box::new(FavoriteSource)).build();
+        let spec = ProblemSpec::new(1).with_weights(
+            Weights::new([("favorite", 1.0)]).unwrap(),
+        );
+        let solution = mube.solve_default(&spec, 0).unwrap();
+        assert_eq!(solution.selected, vec![SourceId(0)]);
+        assert_eq!(solution.qef_value("favorite"), Some(1.0));
+    }
+
+    #[test]
+    fn registered_qef_shadows_characteristic_of_same_name() {
+        use mube_qef::QefContext;
+        use mube_schema::SourceSelection;
+
+        // A registered QEF named "mttf" must win over the auto-derived
+        // characteristic binding (registration order is deliberate: the
+        // user's definition is more specific).
+        struct ConstantHalf;
+        impl mube_qef::Qef for ConstantHalf {
+            fn name(&self) -> &str {
+                "mttf"
+            }
+            fn evaluate(&self, _s: &SourceSelection, _c: &QefContext<'_>) -> f64 {
+                0.5
+            }
+        }
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).qef(Box::new(ConstantHalf)).build();
+        let spec = ProblemSpec::new(1).with_weights(Weights::new([("mttf", 1.0)]).unwrap());
+        let solution = mube.solve_default(&spec, 0).unwrap();
+        assert_eq!(solution.qef_value("mttf"), Some(0.5));
+        assert!((solution.overall_quality - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_propagates_into_matching() {
+        // With β = 3, only GAs spanning 3+ sources survive; the tiny
+        // universe's best 3-source "title" cluster qualifies but "author"
+        // (2 sources) does not.
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(3)
+            .with_weights(Weights::new([("matching", 1.0)]).unwrap())
+            .with_beta(3);
+        let solution = mube.solve_default(&spec, 1).unwrap();
+        for ga in solution.schema.gas() {
+            assert!(ga.len() >= 3, "GA below beta: {ga}");
+        }
+    }
+
+    #[test]
+    fn m_larger_than_universe_is_clamped() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(100);
+        let solution = mube.solve_default(&spec, 0).unwrap();
+        assert!(solution.num_sources() <= u.len());
+    }
+
+    #[test]
+    fn cache_reduces_match_calls() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2);
+        let solution = mube.solve_default(&spec, 5).unwrap();
+        assert!(solution.stats.cache_hits > 0, "tabu revisits should hit cache");
+        assert!(solution.stats.match_calls <= solution.stats.evaluations);
+    }
+}

@@ -1,0 +1,92 @@
+//! Engine errors.
+
+use std::fmt;
+
+use mube_schema::SchemaError;
+
+/// Errors surfaced by the µBE engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MubeError {
+    /// Constraint validation failed against the universe.
+    Schema(SchemaError),
+    /// A weight names a QEF that is neither registered nor a source
+    /// characteristic.
+    UnknownQef {
+        /// The unresolved weight name.
+        name: String,
+    },
+    /// `m` (max sources) is smaller than the number of constraint-required
+    /// sources — no feasible solution exists.
+    MaxSourcesTooSmall {
+        /// Requested bound.
+        max_sources: usize,
+        /// Number of sources constraints force in.
+        required: usize,
+    },
+    /// `m` must be at least 1.
+    ZeroMaxSources,
+    /// The matching threshold must lie in `[0, 1]`.
+    InvalidTheta {
+        /// The rejected value.
+        theta: f64,
+    },
+    /// The solver never found a feasible solution (all candidates violated
+    /// GA constraints).
+    NoFeasibleSolution,
+}
+
+impl fmt::Display for MubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MubeError::Schema(e) => write!(f, "constraint validation failed: {e}"),
+            MubeError::UnknownQef { name } => write!(
+                f,
+                "weight refers to unknown QEF {name:?} (not registered, not a characteristic)"
+            ),
+            MubeError::MaxSourcesTooSmall {
+                max_sources,
+                required,
+            } => write!(
+                f,
+                "max sources {max_sources} below the {required} sources required by constraints"
+            ),
+            MubeError::ZeroMaxSources => write!(f, "max sources must be at least 1"),
+            MubeError::InvalidTheta { theta } => {
+                write!(f, "matching threshold must be in [0,1], got {theta}")
+            }
+            MubeError::NoFeasibleSolution => {
+                write!(f, "no feasible solution found (GA constraints unsatisfiable?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MubeError {}
+
+impl From<SchemaError> for MubeError {
+    fn from(e: SchemaError) -> Self {
+        MubeError::Schema(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MubeError::ZeroMaxSources.to_string().contains("at least 1"));
+        assert!(MubeError::UnknownQef {
+            name: "latency".into()
+        }
+        .to_string()
+        .contains("latency"));
+        assert!(MubeError::InvalidTheta { theta: 2.0 }.to_string().contains('2'));
+    }
+
+    #[test]
+    fn schema_error_converts() {
+        let e: MubeError = SchemaError::EmptyGa.into();
+        assert!(matches!(e, MubeError::Schema(_)));
+    }
+}

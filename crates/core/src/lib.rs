@@ -1,0 +1,51 @@
+//! The µBE engine: formulation and solution of the source-selection /
+//! schema-mediation optimization problem, and the iterative user-guided
+//! session model.
+//!
+//! Sections 2 and 6 of the paper. The optimization problem is
+//!
+//! ```text
+//! arg max_{S ⊆ U} Q(S) = Σ_i w_i F_i(S)
+//! subject to  |S| ≤ m,  C ⊆ S,  G ⊑ M,
+//!             ∀g ∈ (M − G): F1({g}) ≥ θ ∧ |g| ≥ β
+//! ```
+//!
+//! where `M = Match(S)` is the automatically generated mediated schema.
+//! The θ and β bounds are enforced *by construction* inside the clustering
+//! algorithm (`mube-cluster`); the cardinality bound and source constraints
+//! are enforced structurally by the solvers (`mube-opt`, "permanently tabu
+//! regions"); the GA-constraint subsumption is enforced by `Match`
+//! returning a null schema — which this crate translates to an infeasible
+//! objective value.
+//!
+//! Main types:
+//!
+//! * [`Mube`] — the engine bound to one universe: precomputed similarity
+//!   matrix, cached PCSA signatures, registered QEFs. Build one per
+//!   universe with [`MubeBuilder`]; it is the expensive part.
+//! * [`ProblemSpec`] — the cheap, per-iteration part: weights, constraints,
+//!   `m`, θ, β. This is what the user edits between iterations.
+//! * [`Solution`] — selected sources + mediated schema + per-QEF values.
+//! * [`Session`] — the iterate/inspect/refine loop: feed a solution's GAs
+//!   back as constraints, reweight, re-solve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod engine;
+pub mod error;
+pub mod matrix_sim;
+pub mod objective;
+pub mod problem;
+pub mod session;
+pub mod solution;
+
+pub use diff::SolutionDiff;
+pub use engine::{Mube, MubeBuilder};
+pub use error::MubeError;
+pub use matrix_sim::MatrixSimilarity;
+pub use objective::MubeObjective;
+pub use problem::ProblemSpec;
+pub use session::Session;
+pub use solution::{Solution, SolveStats};

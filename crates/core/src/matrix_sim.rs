@@ -1,0 +1,114 @@
+//! Universe-wide precomputed attribute similarity.
+
+use mube_cluster::AttrSimilarity;
+use mube_schema::attribute::normalize_name;
+use mube_schema::{AttrId, Universe};
+use mube_similarity::{SimilarityMatrix, SimilarityMeasure};
+
+/// All-pairs attribute similarity for one universe, computed once and shared
+/// by every `Match(S)` call the optimizer makes.
+///
+/// Internally this flattens all attributes into one index space (source
+/// order, then attribute order) and delegates to
+/// [`mube_similarity::SimilarityMatrix`], which deduplicates identical
+/// normalized names.
+#[derive(Debug, Clone)]
+pub struct MatrixSimilarity {
+    matrix: SimilarityMatrix,
+    /// Per source id: the flat index of its first attribute.
+    offsets: Vec<u32>,
+}
+
+impl MatrixSimilarity {
+    /// Precomputes the matrix for `universe` under `measure`.
+    pub fn new(universe: &Universe, measure: &dyn SimilarityMeasure) -> Self {
+        let mut offsets = Vec::with_capacity(universe.len());
+        let mut names: Vec<String> = Vec::with_capacity(universe.total_attrs());
+        for source in universe.sources() {
+            offsets.push(names.len() as u32);
+            for attr in source.attributes() {
+                names.push(normalize_name(attr));
+            }
+        }
+        Self {
+            matrix: SimilarityMatrix::compute(&names, measure),
+            offsets,
+        }
+    }
+
+    fn flat(&self, attr: AttrId) -> usize {
+        self.offsets[attr.source.index()] as usize + attr.index as usize
+    }
+
+    /// Number of attributes covered.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Whether the universe had no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+}
+
+impl AttrSimilarity for MatrixSimilarity {
+    fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+        self.matrix.similarity(self.flat(a), self.flat(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_cluster::MeasureAdapter;
+    use mube_schema::{SourceBuilder, SourceId};
+    use mube_similarity::NgramJaccard;
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("a").attributes(["Author", "Title", "ISBN"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["author name", "keyword"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("c").attributes(["title"])).unwrap();
+        u
+    }
+
+    #[test]
+    fn agrees_with_on_the_fly_adapter() {
+        let u = universe();
+        let m = NgramJaccard::default();
+        let matrix = MatrixSimilarity::new(&u, &m);
+        let adapter = MeasureAdapter::new(&u, &m);
+        let attrs: Vec<AttrId> = u.all_attrs().collect();
+        for &a in &attrs {
+            for &b in &attrs {
+                let expect = adapter.similarity(a, b);
+                let got = matrix.similarity(a, b);
+                assert!(
+                    (expect - got).abs() < 1e-6,
+                    "{a} vs {b}: {expect} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_normalized_names_are_fully_similar() {
+        let u = universe();
+        let matrix = MatrixSimilarity::new(&u, &NgramJaccard::default());
+        // "Title" (0,1) vs "title" (2,0).
+        assert_eq!(
+            matrix.similarity(AttrId::new(SourceId(0), 1), AttrId::new(SourceId(2), 0)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn len_counts_attrs() {
+        let u = universe();
+        let matrix = MatrixSimilarity::new(&u, &NgramJaccard::default());
+        assert_eq!(matrix.len(), 6);
+        assert!(!matrix.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! The composite objective `Q(S)` as a subset-selection problem.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use mube_cluster::{match_sources, MatchConfig, MatchOutcome};
+use mube_opt::{Subset, SubsetProblem};
+use mube_qef::{CharacteristicQef, Qef, QefContext};
+use mube_schema::{Constraints, SourceId, SourceSelection, Universe};
+
+use crate::matrix_sim::MatrixSimilarity;
+
+/// A weight bound to the function it scales.
+pub(crate) enum QefBinding<'a> {
+    /// The `F1` matching-quality QEF (computed via `Match(S)`).
+    Matching,
+    /// A QEF registered on the engine.
+    Registered(&'a dyn Qef),
+    /// An automatically derived source-characteristic QEF.
+    Characteristic(CharacteristicQef),
+}
+
+/// `Q(S)` exposed through [`SubsetProblem`] so any `mube-opt` solver can
+/// drive it. Evaluations are memoized by selection fingerprint — tabu search
+/// revisits neighbourhoods constantly, and `Match(S)` dominates the cost of
+/// an evaluation.
+pub struct MubeObjective<'a> {
+    universe: &'a Universe,
+    ctx: &'a QefContext<'a>,
+    sim: &'a MatrixSimilarity,
+    bindings: Vec<(f64, QefBinding<'a>)>,
+    constraints: &'a Constraints,
+    match_config: &'a MatchConfig,
+    max_sources: usize,
+    pinned: Vec<usize>,
+    cache: RefCell<HashMap<Subset, f64>>,
+    caching: Cell<bool>,
+    match_calls: Cell<u64>,
+    cache_hits: Cell<u64>,
+}
+
+impl<'a> MubeObjective<'a> {
+    pub(crate) fn new(
+        universe: &'a Universe,
+        ctx: &'a QefContext<'a>,
+        sim: &'a MatrixSimilarity,
+        bindings: Vec<(f64, QefBinding<'a>)>,
+        constraints: &'a Constraints,
+        match_config: &'a MatchConfig,
+        max_sources: usize,
+    ) -> Self {
+        let mut pinned: Vec<usize> = constraints
+            .required_sources()
+            .into_iter()
+            .map(SourceId::index)
+            .collect();
+        pinned.sort_unstable();
+        Self {
+            universe,
+            ctx,
+            sim,
+            bindings,
+            constraints,
+            match_config,
+            max_sources,
+            pinned,
+            cache: RefCell::new(HashMap::new()),
+            caching: Cell::new(true),
+            match_calls: Cell::new(0),
+            cache_hits: Cell::new(0),
+        }
+    }
+
+    /// Enables or disables evaluation memoization. On by default; the
+    /// `ablation_cache` experiment turns it off to measure how much work
+    /// the cache saves the revisit-heavy tabu search.
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.caching.set(enabled);
+        if !enabled {
+            self.cache.borrow_mut().clear();
+        }
+    }
+
+    /// Runs `Match(S)` for a set of source ids (uncached; used by the
+    /// engine to reconstruct the winning schema).
+    pub fn match_schema(&self, ids: &[SourceId]) -> Option<MatchOutcome> {
+        match_sources(self.universe, ids, self.constraints, self.match_config, self.sim)
+    }
+
+    /// Number of `Match(S)` invocations so far (cache misses).
+    pub fn match_calls(&self) -> u64 {
+        self.match_calls.get()
+    }
+
+    /// Number of memoized evaluations served.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Evaluates every component QEF for a selection, returning
+    /// `(name, weight, value)` triples — used to report per-QEF values on
+    /// the final solution.
+    pub fn component_values(&self, ids: &[SourceId]) -> Vec<(String, f64, f64)> {
+        let selection =
+            SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
+        self.bindings
+            .iter()
+            .map(|(w, binding)| match binding {
+                QefBinding::Matching => {
+                    let quality = self.match_schema(ids).map_or(0.0, |o| o.quality);
+                    ("matching".to_owned(), *w, quality)
+                }
+                QefBinding::Registered(qef) => (
+                    qef.name().to_owned(),
+                    *w,
+                    qef.evaluate(&selection, self.ctx),
+                ),
+                QefBinding::Characteristic(qef) => (
+                    qef.name().to_owned(),
+                    *w,
+                    qef.evaluate(&selection, self.ctx),
+                ),
+            })
+            .collect()
+    }
+
+    fn compute(&self, subset: &Subset) -> f64 {
+        let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
+        let selection =
+            SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
+        let mut q = 0.0;
+        for (w, binding) in &self.bindings {
+            let value = match binding {
+                QefBinding::Matching => {
+                    self.match_calls.set(self.match_calls.get() + 1);
+                    match self.match_schema(&ids) {
+                        Some(outcome) => outcome.quality,
+                        // Null schema: the source/GA constraints cannot be
+                        // satisfied on this S — infeasible candidate.
+                        None => return f64::NEG_INFINITY,
+                    }
+                }
+                QefBinding::Registered(qef) => qef.evaluate(&selection, self.ctx),
+                QefBinding::Characteristic(qef) => qef.evaluate(&selection, self.ctx),
+            };
+            debug_assert!(
+                (0.0..=1.0 + 1e-9).contains(&value),
+                "QEF out of range: {value}"
+            );
+            q += w * value;
+        }
+        q
+    }
+}
+
+impl SubsetProblem for MubeObjective<'_> {
+    fn universe_size(&self) -> usize {
+        self.universe.len()
+    }
+
+    fn max_selected(&self) -> usize {
+        self.max_sources
+    }
+
+    fn pinned(&self) -> &[usize] {
+        &self.pinned
+    }
+
+    fn evaluate(&self, subset: &Subset) -> f64 {
+        if !self.caching.get() {
+            return self.compute(subset);
+        }
+        // Keyed on the subset itself: exact equality, no collision risk (a
+        // 64-bit fingerprint collision would silently poison the search).
+        if let Some(&v) = self.cache.borrow().get(subset) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return v;
+        }
+        let v = self.compute(subset);
+        self.cache.borrow_mut().insert(subset.clone(), v);
+        v
+    }
+}

@@ -1,0 +1,99 @@
+//! The per-iteration problem specification.
+
+use mube_cluster::MatchConfig;
+use mube_qef::Weights;
+use mube_schema::{Constraints, GaConstraint, SourceId};
+
+/// Everything the user edits between µBE iterations: weights, constraints,
+/// the source budget `m`, and the matching parameters θ and β.
+///
+/// "The user can specify new constraints on sources and mediated schema
+/// attributes to include, set new weights for the quality metrics, and
+/// define new quality metrics. µBE solves this new optimization problem,
+/// and the iterative feedback process continues."
+#[derive(Debug, Clone)]
+pub struct ProblemSpec {
+    /// QEF weights (`W`). Names bind to the `"matching"` QEF, a registered
+    /// QEF, or a source characteristic.
+    pub weights: Weights,
+    /// Source and GA constraints (`C` and `G`).
+    pub constraints: Constraints,
+    /// Maximum number of sources to select (`m`).
+    pub max_sources: usize,
+    /// Matching parameters: θ, β, linkage, pruning.
+    pub match_config: MatchConfig,
+}
+
+impl ProblemSpec {
+    /// A spec with the paper's default weights and matching configuration,
+    /// choosing at most `max_sources` sources, no constraints.
+    pub fn new(max_sources: usize) -> Self {
+        Self {
+            weights: Weights::paper_defaults(),
+            constraints: Constraints::none(),
+            max_sources,
+            match_config: MatchConfig::default(),
+        }
+    }
+
+    /// Sets the weights (builder style).
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Adds a source constraint (builder style).
+    pub fn with_source_constraint(mut self, id: SourceId) -> Self {
+        self.constraints.require_source(id);
+        self
+    }
+
+    /// Adds a GA constraint (builder style).
+    pub fn with_ga_constraint(mut self, ga: GaConstraint) -> Self {
+        self.constraints.require_ga(ga);
+        self
+    }
+
+    /// Sets the matching threshold θ (builder style).
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.match_config.theta = theta;
+        self
+    }
+
+    /// Sets the minimum GA size β (builder style).
+    pub fn with_beta(mut self, beta: usize) -> Self {
+        self.match_config.beta = beta;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{AttrId, GlobalAttribute};
+
+    #[test]
+    fn builder_style_composes() {
+        let ga = GlobalAttribute::new([AttrId::new(SourceId(1), 0)]).unwrap();
+        let spec = ProblemSpec::new(20)
+            .with_theta(0.6)
+            .with_beta(2)
+            .with_source_constraint(SourceId(3))
+            .with_ga_constraint(ga.clone());
+        assert_eq!(spec.max_sources, 20);
+        assert_eq!(spec.match_config.theta, 0.6);
+        assert_eq!(spec.match_config.beta, 2);
+        assert!(spec.constraints.sources().contains(&SourceId(3)));
+        assert_eq!(spec.constraints.gas(), &[ga]);
+        // Implied source from the GA constraint.
+        assert!(spec.constraints.required_sources().contains(&SourceId(1)));
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let spec = ProblemSpec::new(10);
+        assert_eq!(spec.match_config.theta, 0.75);
+        assert_eq!(spec.weights.get("matching"), 0.25);
+        assert!(spec.constraints.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! The solved data integration system.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use mube_schema::{MediatedSchema, SchemaMapping, SourceId, Universe};
+
+/// Search-effort statistics for one solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Objective evaluations (including memoized hits).
+    pub evaluations: u64,
+    /// Solver iterations.
+    pub iterations: u64,
+    /// `Match(S)` invocations (cache misses only — the expensive part).
+    pub match_calls: u64,
+    /// Evaluations served from the memo cache.
+    pub cache_hits: u64,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+/// A data integration system chosen by µBE: the selected sources, the
+/// automatically generated mediated schema over them, and the quality
+/// breakdown.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The selected sources `S`, in id order.
+    pub selected: Vec<SourceId>,
+    /// The mediated schema `M = Match(S)`.
+    pub schema: MediatedSchema,
+    /// The overall quality `Q(S)` the optimizer maximized.
+    pub overall_quality: f64,
+    /// Per-QEF `(weight, value)` breakdown, keyed by QEF name.
+    pub qef_values: BTreeMap<String, (f64, f64)>,
+    /// Search-effort statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// The value of one QEF on this solution, if it was weighted.
+    pub fn qef_value(&self, name: &str) -> Option<f64> {
+        self.qef_values.get(name).map(|&(_, v)| v)
+    }
+
+    /// Number of selected sources.
+    pub fn num_sources(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Materializes the source-to-mediated-schema mapping of this system
+    /// (the third component of the paper's data integration system
+    /// definition), ready for query translation.
+    pub fn mapping(&self, universe: &Universe) -> SchemaMapping {
+        SchemaMapping::new(universe, &self.schema, self.selected.iter().copied())
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "solution: {} sources, Q = {:.4} ({} GAs, {} match calls, {:?})",
+            self.selected.len(),
+            self.overall_quality,
+            self.schema.len(),
+            self.stats.match_calls,
+            self.stats.elapsed,
+        )?;
+        write!(f, "  sources:")?;
+        for id in &self.selected {
+            write!(f, " {id}")?;
+        }
+        writeln!(f)?;
+        for (name, (w, v)) in &self.qef_values {
+            writeln!(f, "  {name}: {v:.4} (weight {w:.2})")?;
+        }
+        write!(f, "{}", self.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solution {
+            selected: vec![SourceId(1), SourceId(4)],
+            schema: MediatedSchema::empty(),
+            overall_quality: 0.5,
+            qef_values: [("matching".to_owned(), (0.25, 0.8))].into_iter().collect(),
+            stats: SolveStats::default(),
+        };
+        assert_eq!(s.num_sources(), 2);
+        assert_eq!(s.qef_value("matching"), Some(0.8));
+        assert_eq!(s.qef_value("coverage"), None);
+        let text = s.to_string();
+        assert!(text.contains("2 sources"));
+        assert!(text.contains("matching: 0.8000"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The end-to-end universe generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mube_pcsa::{PcsaSketch, TupleHasher, DEFAULT_NUM_MAPS};
+use mube_schema::{AttrId, SourceBuilder, SourceId, Universe};
+
+use crate::ground_truth::GroundTruth;
+use crate::perturb::{perturb, PerturbConfig};
+use crate::repository::{base_schemas, NUM_BASE_SCHEMAS};
+use crate::sampler::{ClampedNormal, ZipfCardinality};
+use crate::tuples::{build_source_sketch, PoolConfig};
+
+/// Configuration of one synthetic universe.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Number of sources to generate. The first `min(n, 50)` are the
+    /// unperturbed base schemas ("random sources with schemas that are
+    /// fully conformant to one of the original BAMM schemas"); the rest are
+    /// perturbed copies of base `i mod 50`.
+    pub num_sources: usize,
+    /// Experiment seed driving perturbation, cardinalities, data, and MTTF.
+    pub seed: u64,
+    /// Perturbation probabilities.
+    pub perturb: PerturbConfig,
+    /// Tuple pools.
+    pub pool: PoolConfig,
+    /// Cardinality distribution.
+    pub min_cardinality: u64,
+    /// Upper cardinality bound.
+    pub max_cardinality: u64,
+    /// Zipf exponent for the cardinality distribution.
+    pub zipf_exponent: f64,
+    /// MTTF distribution (days).
+    pub mttf_mean: f64,
+    /// MTTF standard deviation (days).
+    pub mttf_std: f64,
+    /// PCSA bitmaps per source signature.
+    pub sketch_maps: usize,
+    /// Whether to build per-source data sketches at all. Schema-only
+    /// experiments can skip the (comparatively expensive) data synthesis.
+    pub with_data: bool,
+}
+
+impl UniverseConfig {
+    /// The paper's configuration at a given universe size and seed.
+    pub fn paper(num_sources: usize, seed: u64) -> Self {
+        Self {
+            num_sources,
+            seed,
+            perturb: PerturbConfig::default(),
+            pool: PoolConfig::default(),
+            min_cardinality: 10_000,
+            max_cardinality: 1_000_000,
+            zipf_exponent: 1.0,
+            mttf_mean: 100.0,
+            mttf_std: 40.0,
+            sketch_maps: DEFAULT_NUM_MAPS,
+            with_data: true,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit and integration tests:
+    /// small pools and cardinalities, same structure.
+    pub fn small_test(num_sources: usize, seed: u64) -> Self {
+        Self {
+            num_sources,
+            seed,
+            perturb: PerturbConfig::default(),
+            pool: PoolConfig::small(),
+            min_cardinality: 100,
+            max_cardinality: 5_000,
+            zipf_exponent: 1.0,
+            mttf_mean: 100.0,
+            mttf_std: 40.0,
+            sketch_maps: 64,
+            with_data: true,
+        }
+    }
+
+    /// Builds the universe.
+    pub fn generate(&self) -> GeneratedUniverse {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bases = base_schemas();
+        let zipf = ZipfCardinality::new(
+            self.min_cardinality,
+            self.max_cardinality,
+            20,
+            self.zipf_exponent,
+        );
+        let mttf = ClampedNormal {
+            mean: self.mttf_mean,
+            std: self.mttf_std,
+            floor: 1.0,
+        };
+        let hasher = TupleHasher::default();
+
+        let mut universe = Universe::new();
+        let mut sketches: Vec<Option<PcsaSketch>> = Vec::with_capacity(self.num_sources);
+        let mut ground_truth = GroundTruth::new();
+
+        for i in 0..self.num_sources {
+            let base = &bases[i % NUM_BASE_SCHEMAS];
+            let (site, attributes) = if i < NUM_BASE_SCHEMAS {
+                // Fully conformant original.
+                (
+                    base.site.clone(),
+                    base.attributes
+                        .iter()
+                        .map(|(n, c)| (n.clone(), Some(*c)))
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                let p = perturb(base, &self.perturb, &mut rng);
+                (format!("{}-v{}", base.site, i / NUM_BASE_SCHEMAS), p.attributes)
+            };
+
+            let cardinality = zipf.sample(&mut rng);
+            let mut builder = SourceBuilder::new(site)
+                .attributes(attributes.iter().map(|(n, _)| n.clone()))
+                .cardinality(cardinality)
+                .characteristic("mttf", mttf.sample(&mut rng));
+            // Characteristic beyond the paper's: a latency figure, handy
+            // for user-defined QEF examples.
+            builder = builder.characteristic("latency", rng.gen_range(20.0..800.0));
+            let id = universe
+                .add_source(builder)
+                .expect("generated schemas are well-formed");
+            debug_assert_eq!(id, SourceId(i as u32));
+
+            for (j, (_, concept)) in attributes.iter().enumerate() {
+                if let Some(c) = concept {
+                    ground_truth.record(AttrId::new(id, j as u32), *c);
+                }
+            }
+
+            if self.with_data {
+                // "Half the data sources got all their tuples from the
+                // General pool" — even ids general-only, odd ids mixed.
+                let mixed = i % 2 == 1;
+                sketches.push(Some(build_source_sketch(
+                    &self.pool,
+                    cardinality,
+                    mixed,
+                    hasher,
+                    self.sketch_maps,
+                    &mut rng,
+                )));
+            } else {
+                sketches.push(None);
+            }
+        }
+
+        GeneratedUniverse {
+            universe,
+            sketches,
+            ground_truth,
+        }
+    }
+}
+
+/// A generated universe: sources, their cached PCSA signatures, and the
+/// attribute-level ground truth for concept scoring.
+pub struct GeneratedUniverse {
+    /// The sources.
+    pub universe: Universe,
+    /// Per-source signature (index = source id); `None` when data synthesis
+    /// was disabled.
+    pub sketches: Vec<Option<PcsaSketch>>,
+    /// Which concept each attribute expresses.
+    pub ground_truth: GroundTruth,
+}
+
+impl GeneratedUniverse {
+    /// Ids of the fully conformant (unperturbed) sources, used to pick the
+    /// paper's source constraints.
+    pub fn conformant_sources(&self) -> Vec<SourceId> {
+        (0..self.universe.len().min(NUM_BASE_SCHEMAS))
+            .map(|i| SourceId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = UniverseConfig::small_test(30, 7).generate();
+        assert_eq!(g.universe.len(), 30);
+        assert_eq!(g.sketches.len(), 30);
+        assert!(g.sketches.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn first_fifty_are_conformant() {
+        let g = UniverseConfig::small_test(60, 7).generate();
+        let bases = base_schemas();
+        for (i, base) in bases.iter().enumerate().take(50) {
+            let s = &g.universe.sources()[i];
+            assert_eq!(s.name(), base.site);
+            let names: Vec<&str> = s.attributes().iter().map(String::as_str).collect();
+            let base_names: Vec<&str> =
+                base.attributes.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, base_names, "source {i} deviates from base");
+        }
+        assert_eq!(g.conformant_sources().len(), 50);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = UniverseConfig::small_test(20, 5).generate();
+        let b = UniverseConfig::small_test(20, 5).generate();
+        assert_eq!(a.universe, b.universe);
+        assert_eq!(a.sketches, b.sketches);
+        let c = UniverseConfig::small_test(20, 6).generate();
+        assert_ne!(a.universe, c.universe);
+    }
+
+    #[test]
+    fn cardinalities_within_bounds() {
+        let g = UniverseConfig::small_test(40, 9).generate();
+        for s in g.universe.sources() {
+            assert!((100..=5_000).contains(&s.cardinality()), "{}", s.cardinality());
+        }
+    }
+
+    #[test]
+    fn every_source_has_mttf_and_latency() {
+        let g = UniverseConfig::small_test(25, 11).generate();
+        for s in g.universe.sources() {
+            assert!(s.characteristic("mttf").unwrap() >= 1.0);
+            assert!(s.characteristic("latency").unwrap() >= 20.0);
+        }
+    }
+
+    #[test]
+    fn ground_truth_covers_unperturbed_attrs() {
+        let g = UniverseConfig::small_test(10, 13).generate();
+        // First 10 sources are conformant: every attribute has a concept.
+        for s in g.universe.sources() {
+            for attr in s.attr_ids() {
+                assert!(
+                    g.ground_truth.concept_of(attr).is_some(),
+                    "conformant attr {attr} lacks ground truth"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_universe_contains_noise() {
+        let g = UniverseConfig::small_test(150, 17).generate();
+        let noise = g
+            .universe
+            .all_attrs()
+            .filter(|a| g.ground_truth.concept_of(*a).is_none())
+            .count();
+        assert!(noise > 0, "150-source universe should contain noise attrs");
+    }
+
+    #[test]
+    fn without_data_skips_sketches() {
+        let mut cfg = UniverseConfig::small_test(10, 19);
+        cfg.with_data = false;
+        let g = cfg.generate();
+        assert!(g.sketches.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn sketch_estimates_are_plausible() {
+        let g = UniverseConfig::small_test(12, 23).generate();
+        for (s, sk) in g.universe.sources().iter().zip(&g.sketches) {
+            let est = sk.as_ref().unwrap().estimate();
+            let card = s.cardinality() as f64;
+            assert!(
+                (est - card).abs() / card < 0.45,
+                "estimate {est} vs cardinality {card}"
+            );
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Ground-truth concept labels and the Table 1 scoring.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mube_schema::{AttrId, MediatedSchema, SourceId};
+
+use crate::concepts::{ConceptId, NUM_CONCEPTS};
+
+/// Which concept every generated attribute expresses. Attributes absent
+/// from the map are off-domain noise.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    concept_of: HashMap<AttrId, ConceptId>,
+}
+
+/// Table 1 metrics for one solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaScore {
+    /// "True GAs selected": distinct concepts for which the schema contains
+    /// at least one *pure* GA (all attributes of one concept, ≥ 2 attrs).
+    pub true_gas: usize,
+    /// "Attributes in true GAs": total attributes inside pure GAs.
+    pub attrs_in_true_gas: usize,
+    /// "True GAs missed": concepts carried by ≥ 2 of the selected sources
+    /// under the *same surface form or not* (i.e. discoverable in
+    /// principle) but with no pure GA in the schema.
+    pub missed: usize,
+    /// GAs that mix two concepts, or mix a concept with noise. The paper
+    /// reports "µBE never produced false GAs".
+    pub false_gas: usize,
+    /// GAs consisting entirely of noise attributes. These arise when two
+    /// perturbed sources receive the same off-domain word — clustering them
+    /// is *correct* matching behaviour (identical names), just not a domain
+    /// concept, so they are counted separately from false GAs.
+    pub noise_gas: usize,
+}
+
+impl GroundTruth {
+    /// An empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `attr` expresses `concept`.
+    pub fn record(&mut self, attr: AttrId, concept: ConceptId) {
+        self.concept_of.insert(attr, concept);
+    }
+
+    /// The concept of an attribute, `None` for noise.
+    pub fn concept_of(&self, attr: AttrId) -> Option<ConceptId> {
+        self.concept_of.get(&attr).copied()
+    }
+
+    /// Number of attributes with ground-truth labels.
+    pub fn labeled_attrs(&self) -> usize {
+        self.concept_of.len()
+    }
+
+    /// Concepts that are *present* in a set of sources: carried by at least
+    /// two distinct selected sources (a GA needs two attributes from two
+    /// sources to exist).
+    pub fn concepts_present<I>(&self, sources: I) -> BTreeSet<ConceptId>
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        let selected: BTreeSet<SourceId> = sources.into_iter().collect();
+        let mut sources_per_concept: HashMap<ConceptId, BTreeSet<SourceId>> = HashMap::new();
+        for (attr, concept) in &self.concept_of {
+            if selected.contains(&attr.source) {
+                sources_per_concept
+                    .entry(*concept)
+                    .or_default()
+                    .insert(attr.source);
+            }
+        }
+        sources_per_concept
+            .into_iter()
+            .filter(|(_, srcs)| srcs.len() >= 2)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Scores a solution's mediated schema against the ground truth
+    /// (Table 1 columns).
+    pub fn score<I>(&self, schema: &MediatedSchema, selected_sources: I) -> GaScore
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        let mut found: BTreeSet<ConceptId> = BTreeSet::new();
+        let mut attrs_in_true_gas = 0usize;
+        let mut false_gas = 0usize;
+        let mut noise_gas = 0usize;
+        for ga in schema.gas() {
+            let mut concepts: BTreeSet<Option<ConceptId>> = BTreeSet::new();
+            for attr in ga.attrs() {
+                concepts.insert(self.concept_of(attr));
+            }
+            if concepts.len() == 1 {
+                if concepts.contains(&None) {
+                    // Entirely off-domain words (identical-name cluster).
+                    noise_gas += 1;
+                } else if ga.len() >= 2 {
+                    let concept = concepts
+                        .into_iter()
+                        .next()
+                        .flatten()
+                        .expect("pure GA has a concept");
+                    found.insert(concept);
+                    attrs_in_true_gas += ga.len();
+                }
+                // Pure singleton GAs (user constraints) are neither true
+                // (no matching evidence) nor false.
+            } else {
+                false_gas += 1;
+            }
+        }
+        let present = self.concepts_present(selected_sources);
+        let missed = present.difference(&found).count();
+        GaScore {
+            true_gas: found.len(),
+            attrs_in_true_gas,
+            missed,
+            false_gas,
+            noise_gas,
+        }
+    }
+
+    /// Maximum possible number of true GAs (the paper's 14).
+    pub fn max_true_gas(&self) -> usize {
+        NUM_CONCEPTS
+    }
+
+    /// Per-concept breakdown of a solution: for each concept, whether it is
+    /// present in the selected sources, whether a pure GA found it, and how
+    /// many of its attributes that GA covers out of those available.
+    pub fn concept_report<I>(
+        &self,
+        schema: &MediatedSchema,
+        selected_sources: I,
+    ) -> Vec<ConceptOutcome>
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        let selected: BTreeSet<SourceId> = selected_sources.into_iter().collect();
+        let present = self.concepts_present(selected.iter().copied());
+        // Available attrs per concept among selected sources.
+        let mut available: HashMap<ConceptId, usize> = HashMap::new();
+        for (attr, concept) in &self.concept_of {
+            if selected.contains(&attr.source) {
+                *available.entry(*concept).or_insert(0) += 1;
+            }
+        }
+        // Covered attrs per concept via pure GAs.
+        let mut covered: HashMap<ConceptId, usize> = HashMap::new();
+        for ga in schema.gas() {
+            let concepts: BTreeSet<Option<ConceptId>> =
+                ga.attrs().map(|a| self.concept_of(a)).collect();
+            if concepts.len() == 1 && ga.len() >= 2 {
+                if let Some(Some(c)) = concepts.into_iter().next() {
+                    *covered.entry(c).or_insert(0) += ga.len();
+                }
+            }
+        }
+        (0..NUM_CONCEPTS as u8)
+            .map(ConceptId)
+            .map(|concept| ConceptOutcome {
+                concept,
+                name: crate::concepts::CONCEPTS[concept.0 as usize].name,
+                present: present.contains(&concept),
+                found: covered.contains_key(&concept),
+                attrs_covered: covered.get(&concept).copied().unwrap_or(0),
+                attrs_available: available.get(&concept).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+}
+
+/// Per-concept row of [`GroundTruth::concept_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConceptOutcome {
+    /// The concept.
+    pub concept: ConceptId,
+    /// Its stable name.
+    pub name: &'static str,
+    /// Whether ≥ 2 selected sources carry it (discoverable in principle).
+    pub present: bool,
+    /// Whether some pure GA found it.
+    pub found: bool,
+    /// Attributes of this concept inside pure GAs.
+    pub attrs_covered: usize,
+    /// Attributes of this concept across the selected sources.
+    pub attrs_available: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::GlobalAttribute;
+
+    fn attr(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn truth() -> GroundTruth {
+        let mut gt = GroundTruth::new();
+        // Concept 0 in sources 0, 1, 2; concept 1 in sources 0, 1;
+        // concept 2 only in source 0. Attr (2,1) is noise.
+        gt.record(attr(0, 0), ConceptId(0));
+        gt.record(attr(1, 0), ConceptId(0));
+        gt.record(attr(2, 0), ConceptId(0));
+        gt.record(attr(0, 1), ConceptId(1));
+        gt.record(attr(1, 1), ConceptId(1));
+        gt.record(attr(0, 2), ConceptId(2));
+        gt
+    }
+
+    fn sel(ids: &[u32]) -> Vec<SourceId> {
+        ids.iter().map(|&i| SourceId(i)).collect()
+    }
+
+    #[test]
+    fn concepts_present_requires_two_sources() {
+        let gt = truth();
+        let present = gt.concepts_present(sel(&[0, 1, 2]));
+        assert!(present.contains(&ConceptId(0)));
+        assert!(present.contains(&ConceptId(1)));
+        assert!(!present.contains(&ConceptId(2)), "single-source concept");
+        let present = gt.concepts_present(sel(&[0]));
+        assert!(present.is_empty());
+    }
+
+    #[test]
+    fn perfect_solution_scores_clean() {
+        let gt = truth();
+        let m = MediatedSchema::new([
+            GlobalAttribute::new([attr(0, 0), attr(1, 0), attr(2, 0)]).unwrap(),
+            GlobalAttribute::new([attr(0, 1), attr(1, 1)]).unwrap(),
+        ]);
+        let score = gt.score(&m, sel(&[0, 1, 2]));
+        assert_eq!(score.true_gas, 2);
+        assert_eq!(score.attrs_in_true_gas, 5);
+        assert_eq!(score.missed, 0);
+        assert_eq!(score.false_gas, 0);
+    }
+
+    #[test]
+    fn missing_concept_counts_as_missed() {
+        let gt = truth();
+        let m = MediatedSchema::new([
+            GlobalAttribute::new([attr(0, 0), attr(1, 0)]).unwrap(),
+        ]);
+        let score = gt.score(&m, sel(&[0, 1, 2]));
+        assert_eq!(score.true_gas, 1);
+        assert_eq!(score.missed, 1, "concept 1 present but not found");
+    }
+
+    #[test]
+    fn mixed_ga_is_false() {
+        let gt = truth();
+        let m = MediatedSchema::new([
+            GlobalAttribute::new([attr(0, 0), attr(1, 1)]).unwrap(), // mixes 0 and 1
+        ]);
+        let score = gt.score(&m, sel(&[0, 1]));
+        assert_eq!(score.false_gas, 1);
+        assert_eq!(score.true_gas, 0);
+    }
+
+    #[test]
+    fn concept_noise_mix_is_false() {
+        let gt = truth();
+        let m = MediatedSchema::new([
+            GlobalAttribute::new([attr(0, 0), attr(2, 1)]).unwrap(), // (2,1) is noise
+        ]);
+        let score = gt.score(&m, sel(&[0, 2]));
+        assert_eq!(score.false_gas, 1);
+        assert_eq!(score.noise_gas, 0);
+    }
+
+    #[test]
+    fn all_noise_ga_is_noise_not_false() {
+        let gt = truth();
+        let m = MediatedSchema::new([
+            GlobalAttribute::new([attr(2, 1), attr(1, 5)]).unwrap(), // both unlabeled
+        ]);
+        let score = gt.score(&m, sel(&[1, 2]));
+        assert_eq!(score.false_gas, 0);
+        assert_eq!(score.noise_gas, 1);
+        assert_eq!(score.true_gas, 0);
+    }
+
+    #[test]
+    fn pure_singleton_is_neutral() {
+        let gt = truth();
+        let m = MediatedSchema::new([GlobalAttribute::new([attr(0, 0)]).unwrap()]);
+        let score = gt.score(&m, sel(&[0, 1]));
+        assert_eq!(score.true_gas, 0);
+        assert_eq!(score.false_gas, 0);
+        assert_eq!(score.attrs_in_true_gas, 0);
+    }
+
+    #[test]
+    fn empty_schema_misses_everything_present() {
+        let gt = truth();
+        let score = gt.score(&MediatedSchema::empty(), sel(&[0, 1, 2]));
+        assert_eq!(score.true_gas, 0);
+        assert_eq!(score.missed, 2);
+        assert_eq!(score.false_gas, 0);
+    }
+
+    #[test]
+    fn labeled_attr_count() {
+        assert_eq!(truth().labeled_attrs(), 6);
+        assert_eq!(truth().max_true_gas(), NUM_CONCEPTS);
+    }
+
+    #[test]
+    fn concept_report_rows() {
+        let gt = truth();
+        let m = MediatedSchema::new([
+            GlobalAttribute::new([attr(0, 0), attr(1, 0), attr(2, 0)]).unwrap(),
+        ]);
+        let report = gt.concept_report(&m, sel(&[0, 1, 2]));
+        assert_eq!(report.len(), NUM_CONCEPTS);
+        let c0 = &report[0];
+        assert!(c0.present && c0.found);
+        assert_eq!(c0.attrs_covered, 3);
+        assert_eq!(c0.attrs_available, 3);
+        assert_eq!(c0.name, "title");
+        let c1 = &report[1];
+        assert!(c1.present && !c1.found, "concept 1 present but missed");
+        assert_eq!(c1.attrs_covered, 0);
+        assert_eq!(c1.attrs_available, 2);
+        // Concept 2 only in one source: not present.
+        assert!(!report[2].present);
+    }
+
+    #[test]
+    fn concept_report_ignores_unselected_sources() {
+        let gt = truth();
+        let report = gt.concept_report(&MediatedSchema::empty(), sel(&[0]));
+        assert!(report.iter().all(|c| !c.present));
+        assert_eq!(report[0].attrs_available, 1);
+    }
+}

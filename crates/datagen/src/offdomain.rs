@@ -1,0 +1,98 @@
+//! Words unrelated to the Books domain, used by the perturbation model.
+//!
+//! The paper: "replace attributes from the schema with other attributes
+//! whose names we get from a list of words unrelated to the Books domain."
+
+/// Off-domain attribute names. None of these is similar to any concept
+/// alias at the matching thresholds the experiments use, so perturbation
+/// noise cannot silently form "true-looking" GAs — any GA containing one of
+/// these words is a false GA by construction (unless two perturbed sources
+/// happen to receive the same noise word, which forms a *noise* GA that the
+/// ground-truth scorer counts as false).
+pub const OFF_DOMAIN_WORDS: &[&str] = &[
+    "voltage",
+    "protein",
+    "galaxy",
+    "tariff",
+    "glacier",
+    "wingspan",
+    "torque",
+    "enzyme",
+    "aquifer",
+    "fuselage",
+    "hydraulics",
+    "meridian",
+    "plankton",
+    "quasar",
+    "rainfall",
+    "sediment",
+    "turbine",
+    "viscosity",
+    "watershed",
+    "zoning",
+    "amplitude",
+    "bandwidth",
+    "chlorophyll",
+    "dividend",
+    "elevation",
+    "fertilizer",
+    "gearbox",
+    "humidity",
+    "insulation",
+    "jetstream",
+    "kilowatt",
+    "lumber",
+    "magnetism",
+    "nitrogen",
+    "oscillator",
+    "pesticide",
+    "quarry",
+    "refinery",
+    "solstice",
+    "topsoil",
+    "uranium",
+    "ventilation",
+    "warranty mileage",
+    "xylem",
+    "yield strength",
+    "zeppelin",
+    "asphalt",
+    "ballast",
+    "condenser",
+    "drainage",
+    "embankment",
+    "flywheel",
+    "gypsum",
+    "horsepower",
+    "irrigation",
+    "jackhammer",
+    "kerosene",
+    "lighthouse",
+    "manifold",
+    "nebula",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::concept_of_name;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn words_are_unique() {
+        let set: BTreeSet<_> = OFF_DOMAIN_WORDS.iter().collect();
+        assert_eq!(set.len(), OFF_DOMAIN_WORDS.len());
+    }
+
+    #[test]
+    fn words_are_not_concept_aliases() {
+        for w in OFF_DOMAIN_WORDS {
+            assert!(concept_of_name(w).is_none(), "{w:?} collides with a concept");
+        }
+    }
+
+    #[test]
+    fn list_is_large_enough_for_variety() {
+        assert!(OFF_DOMAIN_WORDS.len() >= 50);
+    }
+}

@@ -1,0 +1,158 @@
+//! The 50 base Books-domain schemas — our stand-in for the BAMM repository.
+//!
+//! BAMM's Books schemas were extracted from real Web query interfaces. This
+//! module regenerates a repository with the same statistical character: 50
+//! sites, each exposing 3–8 of the [14 concepts](crate::concepts::CONCEPTS)
+//! under site-specific surface forms, with common concepts (title, author,
+//! keyword, isbn) present at most sites and rarer ones (edition, reader
+//! age) at few.
+//!
+//! The repository is **fixed**: it is derived from a hard-coded internal
+//! seed, independent of any experiment seed, exactly as the BAMM files were
+//! fixed inputs for the paper. Perturbation and data generation (which *do*
+//! vary per experiment) happen downstream in [`crate::perturb`] and
+//! [`crate::generator`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::concepts::{ConceptId, CONCEPTS, NUM_CONCEPTS};
+
+/// Number of base schemas, matching BAMM's Books domain.
+pub const NUM_BASE_SCHEMAS: usize = 50;
+
+/// Internal seed fixing the repository contents.
+const REPOSITORY_SEED: u64 = 0x00B0_0CA7_BA5E_D00D;
+
+/// Per-concept probability of appearing in a given site's interface.
+/// Ordered as [`CONCEPTS`]: title, author, isbn, keyword, publisher, price,
+/// format, subject, publication year, edition, language, condition,
+/// reader age, seller.
+const CONCEPT_FREQUENCY: [f64; NUM_CONCEPTS] = [
+    0.90, 0.88, 0.72, 0.80, 0.55, 0.45, 0.35, 0.50, 0.40, 0.18, 0.30, 0.25, 0.15, 0.22,
+];
+
+/// Probability that a site uses the canonical (index-0) alias for a concept
+/// it exposes; otherwise one of the other aliases, uniformly.
+const CANONICAL_ALIAS_PROBABILITY: f64 = 0.55;
+
+/// One base schema: a site name and its attributes with ground truth.
+#[derive(Debug, Clone)]
+pub struct BaseSchema {
+    /// Synthetic site name.
+    pub site: String,
+    /// `(attribute name, concept)` pairs.
+    pub attributes: Vec<(String, ConceptId)>,
+}
+
+/// Builds the fixed 50-schema repository.
+pub fn base_schemas() -> Vec<BaseSchema> {
+    let mut rng = StdRng::seed_from_u64(REPOSITORY_SEED);
+    let mut schemas = Vec::with_capacity(NUM_BASE_SCHEMAS);
+    for site_idx in 0..NUM_BASE_SCHEMAS {
+        let mut attributes: Vec<(String, ConceptId)> = Vec::new();
+        for (ci, concept) in CONCEPTS.iter().enumerate() {
+            if rng.gen::<f64>() < CONCEPT_FREQUENCY[ci] {
+                let alias = if rng.gen::<f64>() < CANONICAL_ALIAS_PROBABILITY {
+                    concept.aliases[0]
+                } else {
+                    concept.aliases[rng.gen_range(1..concept.aliases.len())]
+                };
+                attributes.push((alias.to_owned(), ConceptId(ci as u8)));
+            }
+        }
+        // Every interface has at least a keyword-ish search box; guarantee
+        // non-empty schemas by falling back to the keyword concept.
+        if attributes.is_empty() {
+            attributes.push((CONCEPTS[3].aliases[0].to_owned(), ConceptId(3)));
+        }
+        schemas.push(BaseSchema {
+            site: format!("books{site_idx:02}.example.com"),
+            attributes,
+        });
+    }
+    schemas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn fifty_schemas_every_time() {
+        let s = base_schemas();
+        assert_eq!(s.len(), 50);
+        // Deterministic: regenerating gives identical content.
+        let again = base_schemas();
+        for (a, b) in s.iter().zip(&again) {
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.attributes, b.attributes);
+        }
+    }
+
+    #[test]
+    fn schemas_are_nonempty_and_within_arity() {
+        for s in base_schemas() {
+            assert!(!s.attributes.is_empty(), "{} empty", s.site);
+            assert!(s.attributes.len() <= NUM_CONCEPTS);
+        }
+    }
+
+    #[test]
+    fn no_schema_repeats_a_concept() {
+        for s in base_schemas() {
+            let concepts: BTreeSet<_> = s.attributes.iter().map(|(_, c)| c).collect();
+            assert_eq!(concepts.len(), s.attributes.len(), "{}", s.site);
+        }
+    }
+
+    #[test]
+    fn all_fourteen_concepts_are_represented_somewhere() {
+        let mut seen = BTreeSet::new();
+        for s in base_schemas() {
+            for (_, c) in &s.attributes {
+                seen.insert(*c);
+            }
+        }
+        assert_eq!(seen.len(), NUM_CONCEPTS, "repository must cover all concepts");
+    }
+
+    #[test]
+    fn common_concepts_are_common() {
+        let schemas = base_schemas();
+        let count = |ci: u8| {
+            schemas
+                .iter()
+                .filter(|s| s.attributes.iter().any(|(_, c)| c.0 == ci))
+                .count()
+        };
+        // title and author in a clear majority; edition in a minority.
+        assert!(count(0) > 35, "title in {} sites", count(0));
+        assert!(count(1) > 35, "author in {} sites", count(1));
+        assert!(count(9) < 20, "edition in {} sites", count(9));
+    }
+
+    #[test]
+    fn every_concept_has_identical_name_pair_somewhere() {
+        // The strict θ = 0.75 threshold mostly clusters identical names; for
+        // a concept to be discoverable at all, at least two sites must share
+        // a surface form. Verify for the frequent concepts (the rare ones
+        // may legitimately be hard to discover in a small selection).
+        let schemas = base_schemas();
+        for ci in [0u8, 1, 2, 3, 4] {
+            let mut names: Vec<&str> = Vec::new();
+            for s in &schemas {
+                for (n, c) in &s.attributes {
+                    if c.0 == ci {
+                        names.push(n);
+                    }
+                }
+            }
+            let has_pair = names
+                .iter()
+                .any(|n| names.iter().filter(|m| *m == n).count() >= 2);
+            assert!(has_pair, "concept {ci} never repeats a surface form");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Statistical samplers: Zipf-distributed cardinalities and normal MTTF.
+
+use rand::Rng;
+
+/// Samples cardinalities "ranging from 10,000 to 1,000,000 that follow a
+/// Zipf distribution": a discrete Zipf over logarithmically spaced bucket
+/// values, so most sources are small and a heavy tail is large.
+#[derive(Debug, Clone)]
+pub struct ZipfCardinality {
+    values: Vec<u64>,
+    /// Cumulative probabilities per bucket.
+    cdf: Vec<f64>,
+}
+
+impl ZipfCardinality {
+    /// Buckets between `min` and `max` (inclusive, log-spaced), with
+    /// P(bucket j) ∝ 1/(j+1)^exponent — bucket 0 holds the smallest value.
+    ///
+    /// # Panics
+    /// Panics if `min == 0`, `min > max`, or `buckets == 0`.
+    pub fn new(min: u64, max: u64, buckets: usize, exponent: f64) -> Self {
+        assert!(min > 0 && min <= max && buckets > 0);
+        let values: Vec<u64> = (0..buckets)
+            .map(|j| {
+                if buckets == 1 {
+                    min
+                } else {
+                    let t = j as f64 / (buckets - 1) as f64;
+                    ((min as f64) * ((max as f64) / (min as f64)).powf(t)).round() as u64
+                }
+            })
+            .collect();
+        let mass: Vec<f64> = (0..buckets)
+            .map(|j| 1.0 / ((j + 1) as f64).powf(exponent))
+            .collect();
+        let total: f64 = mass.iter().sum();
+        let mut acc = 0.0;
+        let cdf = mass
+            .iter()
+            .map(|m| {
+                acc += m / total;
+                acc
+            })
+            .collect();
+        Self { values, cdf }
+    }
+
+    /// The paper's configuration: 10,000 to 1,000,000 tuples, 20 buckets,
+    /// exponent 1.0.
+    pub fn paper_defaults() -> Self {
+        Self::new(10_000, 1_000_000, 20, 1.0)
+    }
+
+    /// Draws one cardinality.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self
+            .cdf
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.cdf.len() - 1);
+        self.values[idx]
+    }
+}
+
+/// Samples from `Normal(mean, std)` via Box–Muller, clamped below at
+/// `floor`. Used for the MTTF characteristic: "mean 100 days and standard
+/// deviation 40".
+#[derive(Debug, Clone, Copy)]
+pub struct ClampedNormal {
+    /// Distribution mean.
+    pub mean: f64,
+    /// Distribution standard deviation.
+    pub std: f64,
+    /// Values below this are clamped up (characteristics must be ≥ 0).
+    pub floor: f64,
+}
+
+impl ClampedNormal {
+    /// The paper's MTTF distribution.
+    pub fn paper_mttf() -> Self {
+        Self {
+            mean: 100.0,
+            std: 40.0,
+            floor: 1.0,
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mean + self.std * z).max(self.floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_values_within_bounds() {
+        let z = ZipfCardinality::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let c = z.sample(&mut rng);
+            assert!((10_000..=1_000_000).contains(&c), "got {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small() {
+        let z = ZipfCardinality::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<u64> = (0..2000).map(|_| z.sample(&mut rng)).collect();
+        let small = draws.iter().filter(|&&c| c < 100_000).count();
+        let large = draws.iter().filter(|&&c| c > 500_000).count();
+        assert!(
+            small > large * 2,
+            "expected skew toward small: {small} small vs {large} large"
+        );
+    }
+
+    #[test]
+    fn zipf_single_bucket() {
+        let z = ZipfCardinality::new(5, 5, 1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_zero_min() {
+        ZipfCardinality::new(0, 10, 4, 1.0);
+    }
+
+    #[test]
+    fn normal_moments_approximately_right() {
+        let n = ClampedNormal {
+            mean: 100.0,
+            std: 40.0,
+            floor: f64::MIN,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+        assert!((var.sqrt() - 40.0).abs() < 2.0, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let n = ClampedNormal {
+            mean: 0.0,
+            std: 50.0,
+            floor: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(n.sample(&mut rng) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the synthetic universe generator.
+
+use proptest::prelude::*;
+
+use mube_datagen::{GaScore, UniverseConfig};
+use mube_schema::{GlobalAttribute, MediatedSchema};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_universes_are_well_formed(size in 5usize..80, seed in 0u64..1_000) {
+        let g = UniverseConfig::small_test(size, seed).generate();
+        prop_assert_eq!(g.universe.len(), size);
+        prop_assert_eq!(g.sketches.len(), size);
+        for s in g.universe.sources() {
+            prop_assert!(s.arity() >= 1);
+            prop_assert!((100..=5_000).contains(&s.cardinality()));
+            prop_assert!(s.characteristic("mttf").unwrap() >= 1.0);
+        }
+        // All ground-truth labels reference real attributes.
+        for attr in g.universe.all_attrs() {
+            let _ = g.ground_truth.concept_of(attr); // must not panic
+        }
+    }
+
+    #[test]
+    fn conformant_prefix_has_full_ground_truth(size in 5usize..60, seed in 0u64..100) {
+        let g = UniverseConfig::small_test(size, seed).generate();
+        for s in g.universe.sources().iter().take(size.min(50)) {
+            for attr in s.attr_ids() {
+                prop_assert!(
+                    g.ground_truth.concept_of(attr).is_some(),
+                    "conformant attr {attr} unlabeled"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scoring_is_consistent(size in 10usize..50, seed in 0u64..50) {
+        let g = UniverseConfig::small_test(size, seed).generate();
+        let gt = &g.ground_truth;
+        let all: Vec<_> = g.universe.sources().iter().map(|s| s.id()).collect();
+
+        // Empty schema: nothing found or false; everything present missed.
+        let empty: GaScore = gt.score(&MediatedSchema::empty(), all.iter().copied());
+        prop_assert_eq!(empty.true_gas, 0);
+        prop_assert_eq!(empty.false_gas, 0);
+        prop_assert_eq!(empty.missed, gt.concepts_present(all.iter().copied()).len());
+
+        // A perfect single-concept GA scores as one true GA.
+        let mut per_concept: std::collections::BTreeMap<_, Vec<_>> = Default::default();
+        for attr in g.universe.all_attrs() {
+            if let Some(c) = gt.concept_of(attr) {
+                per_concept.entry(c).or_default().push(attr);
+            }
+        }
+        if let Some((concept, attrs)) = per_concept
+            .iter()
+            .find(|(_, v)| {
+                let sources: std::collections::BTreeSet<_> =
+                    v.iter().map(|a| a.source).collect();
+                sources.len() >= 2
+            })
+        {
+            // One attribute per source.
+            let mut chosen = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for &a in attrs {
+                if seen.insert(a.source) {
+                    chosen.push(a);
+                }
+            }
+            let ga = GlobalAttribute::new(chosen).unwrap();
+            let m = MediatedSchema::new([ga]);
+            let score = gt.score(&m, all.iter().copied());
+            prop_assert_eq!(score.true_gas, 1, "concept {:?}", concept);
+            prop_assert_eq!(score.false_gas, 0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_same_seed_agrees(size in 10usize..40, seed in 0u64..100) {
+        let a = UniverseConfig::small_test(size, seed).generate();
+        let b = UniverseConfig::small_test(size, seed).generate();
+        prop_assert_eq!(&a.universe, &b.universe);
+        let c = UniverseConfig::small_test(size, seed + 1).generate();
+        // Cardinalities or schemas will differ with overwhelming likelihood.
+        prop_assert_ne!(&a.universe, &c.universe);
+    }
+}

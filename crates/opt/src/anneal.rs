@@ -1,0 +1,134 @@
+//! Constrained simulated annealing — one of the alternatives the paper
+//! evaluated against tabu search.
+//!
+//! Standard Metropolis acceptance over the same feasible-move neighborhood
+//! as tabu search (constraints handled by never generating moves that leave
+//! the feasible region), with geometric cooling.
+
+use rand::Rng;
+
+use crate::moves::sample_moves;
+use crate::problem::SubsetProblem;
+use crate::solver::{random_start, run_counted, SolveResult, Solver};
+
+/// Simulated annealing configuration.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Number of annealing steps.
+    pub max_iters: u64,
+    /// Initial temperature, in objective units.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per step, in `(0, 1)`.
+    pub cooling: f64,
+    /// Floor temperature.
+    pub min_temperature: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        Self {
+            max_iters: 4_000,
+            initial_temperature: 0.08,
+            cooling: 0.9985,
+            min_temperature: 1e-4,
+        }
+    }
+}
+
+impl Solver for SimulatedAnnealing {
+    fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
+        run_counted(problem, seed, |counted, rng| {
+            let mut current = random_start(counted, rng);
+            let mut current_obj = counted.evaluate(&current);
+            let mut best = current.clone();
+            let mut best_obj = current_obj;
+            let mut temp = self.initial_temperature;
+            let mut trajectory = Vec::with_capacity(self.max_iters as usize);
+            let mut iters = 0u64;
+
+            for _ in 0..self.max_iters {
+                iters += 1;
+                let moves = sample_moves(counted, &current, 1, rng);
+                let Some(mv) = moves.first().copied() else {
+                    trajectory.push(best_obj);
+                    break;
+                };
+                let next = mv.applied_to(&current);
+                let obj = counted.evaluate(&next);
+                let accept = if obj >= current_obj {
+                    true
+                } else if obj.is_finite() && current_obj.is_finite() {
+                    let delta = current_obj - obj;
+                    rng.gen::<f64>() < (-delta / temp.max(self.min_temperature)).exp()
+                } else {
+                    // Never walk from a feasible point into an infeasible one.
+                    !current_obj.is_finite()
+                };
+                if accept {
+                    current = next;
+                    current_obj = obj;
+                    if current_obj > best_obj {
+                        best_obj = current_obj;
+                        best = current.clone();
+                    }
+                }
+                temp = (temp * self.cooling).max(self.min_temperature);
+                trajectory.push(best_obj);
+            }
+            (best, best_obj, iters, trajectory)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::{PairBonus, TopValues};
+
+    #[test]
+    fn finds_top_values_optimum() {
+        let values: Vec<f64> = (0..20).map(|i| f64::from((i * 13) % 11) / 11.0).collect();
+        let p = TopValues::new(values, 5, vec![]);
+        let r = SimulatedAnnealing::default().solve(&p, 9);
+        assert!(
+            (r.objective - p.optimum()).abs() < 1e-9,
+            "got {}, optimum {}",
+            r.objective,
+            p.optimum()
+        );
+    }
+
+    #[test]
+    fn respects_pins_and_capacity() {
+        let p = TopValues::new(vec![1.0; 15], 4, vec![2, 8]);
+        let r = SimulatedAnnealing::default().solve(&p, 4);
+        assert!(r.best.contains(2) && r.best.contains(8));
+        assert!(r.best.len() <= 4);
+    }
+
+    #[test]
+    fn solves_pair_interactions_reasonably() {
+        let p = PairBonus::new(16, 4);
+        let r = SimulatedAnnealing::default().solve(&p, 11);
+        // Optimum is 6.0 (two complete pairs); SA should reach it here.
+        assert!(r.objective >= 6.0 - 1e-9, "got {}", r.objective);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PairBonus::new(12, 4);
+        let s = SimulatedAnnealing::default();
+        assert_eq!(s.solve(&p, 5).best, s.solve(&p, 5).best);
+    }
+
+    #[test]
+    fn trajectory_is_monotone() {
+        let p = PairBonus::new(12, 4);
+        let r = SimulatedAnnealing::default().solve(&p, 2);
+        assert!(r.trajectory.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

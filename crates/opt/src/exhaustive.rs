@@ -1,0 +1,127 @@
+//! Exhaustive enumeration — exact ground truth for small instances.
+//!
+//! Enumerates every subset that contains the pins and has size between
+//! `pins` and `m`. Cost is `Σ_k C(n - p, k - p)`; the constructor refuses
+//! instances whose enumeration would exceed a work bound, so tests cannot
+//! accidentally explode.
+
+use crate::problem::SubsetProblem;
+use crate::solver::{run_counted, SolveResult, Solver};
+use crate::subset::Subset;
+
+/// Exhaustive search with a safety bound on the number of candidates.
+#[derive(Debug, Clone)]
+pub struct Exhaustive {
+    /// Maximum number of candidates to enumerate before giving up (the
+    /// result is then the best found so far, still exact if enumeration
+    /// completed).
+    pub max_candidates: u64,
+}
+
+impl Default for Exhaustive {
+    fn default() -> Self {
+        Self {
+            max_candidates: 5_000_000,
+        }
+    }
+}
+
+impl Solver for Exhaustive {
+    fn solve(&self, problem: &dyn SubsetProblem, _seed: u64) -> SolveResult {
+        run_counted(problem, 0, |counted, _rng| {
+            let n = counted.universe_size();
+            let pins: Vec<usize> = counted.pinned().to_vec();
+            let m = counted.max_selected();
+            let free: Vec<usize> = (0..n).filter(|i| !pins.contains(i)).collect();
+            let budget = m.saturating_sub(pins.len());
+
+            let mut best = Subset::from_indices(n, pins.iter().copied());
+            let mut best_obj = counted.evaluate(&best);
+            let mut candidates = 1u64;
+            let mut stack: Vec<(usize, Subset)> = vec![(0, best.clone())];
+
+            // Depth-first enumeration of free-item combinations up to
+            // `budget` additional items.
+            while let Some((start, base)) = stack.pop() {
+                if base.len() >= pins.len() + budget {
+                    continue;
+                }
+                for (offset, &item) in free[start..].iter().enumerate() {
+                    if candidates >= self.max_candidates {
+                        stack.clear();
+                        break;
+                    }
+                    let mut next = base.clone();
+                    next.insert(item);
+                    candidates += 1;
+                    let obj = counted.evaluate(&next);
+                    if obj > best_obj {
+                        best_obj = obj;
+                        best = next.clone();
+                    }
+                    stack.push((start + offset + 1, next));
+                }
+            }
+            let traj = vec![best_obj];
+            (best, best_obj, candidates, traj)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::{PairBonus, TopValues};
+    use crate::solver::Solver;
+    use crate::tabu::TabuSearch;
+
+    #[test]
+    fn exact_on_small_modular() {
+        let values = vec![2.0, 7.0, 1.0, 8.0, 2.0, 8.0];
+        let p = TopValues::new(values, 3, vec![]);
+        let r = Exhaustive::default().solve(&p, 0);
+        assert_eq!(r.objective, p.optimum());
+    }
+
+    #[test]
+    fn exact_on_pair_interactions() {
+        let p = PairBonus::new(10, 4);
+        let r = Exhaustive::default().solve(&p, 0);
+        assert_eq!(r.objective, 6.0);
+    }
+
+    #[test]
+    fn respects_pins() {
+        let p = TopValues::new(vec![5.0, 1.0, 4.0], 2, vec![1]);
+        let r = Exhaustive::default().solve(&p, 0);
+        assert!(r.best.contains(1));
+        assert_eq!(r.objective, 6.0);
+    }
+
+    #[test]
+    fn agrees_with_tabu_on_small_instances() {
+        let p = PairBonus::new(12, 5);
+        let exact = Exhaustive::default().solve(&p, 0);
+        let tabu = TabuSearch::default().solve(&p, 13);
+        assert!(tabu.objective <= exact.objective + 1e-12);
+        assert!((tabu.objective - exact.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_cap_limits_work() {
+        let p = TopValues::new(vec![1.0; 40], 20, vec![]);
+        let r = Exhaustive { max_candidates: 1_000 }.solve(&p, 0);
+        assert!(r.evaluations <= 1_001);
+    }
+
+    #[test]
+    fn empty_universe_edge_case() {
+        let p = TopValues::new(vec![], 0, vec![]);
+        let r = Exhaustive::default().solve(&p, 0);
+        assert_eq!(r.best.len(), 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! A small dense linear-programming solver (two-phase primal simplex).
+//!
+//! Built for the Data Envelopment Analysis baseline (`mube-baseline`),
+//! which solves one LP per data source. Problems there are tiny — a handful
+//! of multiplier variables, one constraint per source — so this
+//! implementation optimizes for clarity and numerical robustness (two-phase
+//! with Bland's anti-cycling rule) rather than scale.
+//!
+//! Form: maximize `c·x` subject to rows `a·x {≤,=,≥} b` and `x ≥ 0`.
+
+/// Relation of one constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// One linear constraint `coeffs · x  rel  rhs`.
+#[derive(Debug, Clone)]
+pub struct LpConstraint {
+    /// Coefficients over the structural variables.
+    pub coeffs: Vec<f64>,
+    /// The relation.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: maximize `objective · x`, `x ≥ 0`, subject to
+/// `constraints`.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    /// Objective coefficients (maximization).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<LpConstraint>,
+}
+
+/// Result of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal {
+        /// Optimal structural variable values.
+        x: Vec<f64>,
+        /// Optimal objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+const MAX_PIVOTS: usize = 100_000;
+
+/// Dense simplex tableau over columns
+/// `[structural | slack/surplus | artificial | rhs]`.
+struct Tableau {
+    rows: Vec<Vec<f64>>,
+    /// Basis variable (column index) per row.
+    basis: Vec<usize>,
+    n_structural: usize,
+    n_total: usize,
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn build(problem: &LpProblem) -> Tableau {
+        let n = problem.objective.len();
+        let m = problem.constraints.len();
+        // Count slack (Le), surplus (Ge) columns, and artificials (Ge, Eq).
+        let n_slack = problem
+            .constraints
+            .iter()
+            .filter(|c| matches!(c.rel, Relation::Le | Relation::Ge))
+            .count();
+        let n_artificial = problem
+            .constraints
+            .iter()
+            .filter(|c| matches!(c.rel, Relation::Ge | Relation::Eq))
+            .count();
+        let n_total = n + n_slack + n_artificial;
+        let artificial_start = n + n_slack;
+
+        let mut rows = vec![vec![0.0; n_total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+        let mut art_idx = artificial_start;
+        for (i, con) in problem.constraints.iter().enumerate() {
+            // Normalize to non-negative rhs.
+            let (sign, rel) = if con.rhs < 0.0 {
+                (
+                    -1.0,
+                    match con.rel {
+                        Relation::Le => Relation::Ge,
+                        Relation::Ge => Relation::Le,
+                        Relation::Eq => Relation::Eq,
+                    },
+                )
+            } else {
+                (1.0, con.rel)
+            };
+            for (j, &a) in con.coeffs.iter().enumerate() {
+                rows[i][j] = sign * a;
+            }
+            rows[i][n_total] = sign * con.rhs;
+            match rel {
+                Relation::Le => {
+                    rows[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    rows[i][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        Tableau {
+            rows,
+            basis,
+            n_structural: n,
+            n_total,
+            artificial_start,
+        }
+    }
+
+    /// Runs the simplex on the given objective (maximization, coefficients
+    /// over ALL tableau columns). Returns `None` on unboundedness.
+    ///
+    /// The reduced-cost row is built once from the current basis and then
+    /// updated incrementally with every pivot, so one iteration costs
+    /// O(rows × cols) rather than O(rows × cols²).
+    fn optimize(&mut self, obj: &[f64], allow_cols: impl Fn(usize) -> bool) -> Option<f64> {
+        let m = self.rows.len();
+        let rhs_col = self.n_total;
+        // cost[j] = c_j - Σ_i c_{basis i} · a_ij ; cost[rhs] = -z.
+        let mut cost = vec![0.0; self.n_total + 1];
+        cost[..self.n_total].copy_from_slice(&obj[..self.n_total]);
+        for i in 0..m {
+            let cb = obj[self.basis[i]];
+            if cb.abs() > EPS {
+                for (c, a) in cost.iter_mut().zip(&self.rows[i]) {
+                    *c -= cb * a;
+                }
+            }
+        }
+        for _ in 0..MAX_PIVOTS {
+            // Entering column: largest positive reduced cost (Dantzig),
+            // smallest index among near-ties (Bland-flavoured tie-break).
+            let mut entering: Option<usize> = None;
+            let mut best_rc = EPS;
+            for (j, &rc) in cost.iter().enumerate().take(self.n_total) {
+                if rc > best_rc && allow_cols(j) {
+                    best_rc = rc;
+                    entering = Some(j);
+                }
+            }
+            let Some(e) = entering else {
+                return Some(-cost[rhs_col]);
+            };
+            // Ratio test (Bland tie-break on basis index).
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                let a = self.rows[i][e];
+                if a > EPS {
+                    let ratio = self.rows[i][rhs_col] / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leaving = Some(i);
+                    }
+                }
+            }
+            let Some(l) = leaving else {
+                return None; // unbounded in direction e
+            };
+            self.pivot(l, e);
+            // Update the cost row exactly like a tableau row.
+            let factor = cost[e];
+            if factor.abs() > EPS {
+                for (c, a) in cost.iter_mut().zip(&self.rows[l]) {
+                    *c -= factor * a;
+                }
+            }
+        }
+        // Pivot cap exceeded: numerically stuck; report current value.
+        Some(-cost[rhs_col])
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.rows[row][col];
+        debug_assert!(p.abs() > EPS);
+        for v in self.rows[row].iter_mut() {
+            *v /= p;
+        }
+        // Clone the pivot row once so the elimination loop can borrow the
+        // other rows mutably.
+        let pivot_row = self.rows[row].clone();
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() > EPS {
+                for (a, p) in r.iter_mut().zip(&pivot_row) {
+                    *a -= factor * p;
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn extract_solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_structural];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n_structural {
+                x[b] = self.rows[i][self.n_total];
+            }
+        }
+        x
+    }
+}
+
+/// Solves an LP with the two-phase primal simplex.
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    let n = problem.objective.len();
+    for con in &problem.constraints {
+        assert_eq!(
+            con.coeffs.len(),
+            n,
+            "constraint arity must match objective arity"
+        );
+    }
+    let mut tableau = Tableau::build(problem);
+
+    // Phase 1: maximize -(sum of artificials).
+    if tableau.artificial_start < tableau.n_total {
+        let mut phase1 = vec![0.0; tableau.n_total + 1];
+        phase1[tableau.artificial_start..tableau.n_total].fill(-1.0);
+        let value = tableau
+            .optimize(&phase1, |_| true)
+            .expect("phase 1 is bounded by construction");
+        if value < -1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificial still in the basis (at value ~0) out if
+        // possible; rows where it cannot leave are redundant and harmless
+        // because the artificial's value is zero and it is barred from
+        // re-entering in phase 2.
+        for i in 0..tableau.rows.len() {
+            if tableau.basis[i] >= tableau.artificial_start {
+                if let Some(col) = (0..tableau.artificial_start)
+                    .find(|&j| tableau.rows[i][j].abs() > 1e-7)
+                {
+                    tableau.pivot(i, col);
+                }
+            }
+        }
+    }
+
+    // Phase 2: the real objective; artificial columns barred.
+    let mut phase2 = vec![0.0; tableau.n_total + 1];
+    phase2[..n].copy_from_slice(&problem.objective);
+    let artificial_start = tableau.artificial_start;
+    match tableau.optimize(&phase2, |j| j < artificial_start) {
+        Some(objective) => LpOutcome::Optimal {
+            x: tableau.extract_solution(),
+            objective,
+        },
+        None => LpOutcome::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coeffs: Vec<f64>, rhs: f64) -> LpConstraint {
+        LpConstraint {
+            coeffs,
+            rel: Relation::Le,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 -> x=4, y=0, z=12.
+        let p = LpProblem {
+            objective: vec![3.0, 2.0],
+            constraints: vec![le(vec![1.0, 1.0], 4.0), le(vec![1.0, 3.0], 6.0)],
+        };
+        match solve(&p) {
+            LpOutcome::Optimal { x, objective } => {
+                assert!((objective - 12.0).abs() < 1e-6, "z={objective}");
+                assert!((x[0] - 4.0).abs() < 1e-6);
+                assert!(x[1].abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints_via_phase_one() {
+        // max x + y s.t. x + y = 2, x ≤ 1.5 -> z = 2.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                LpConstraint {
+                    coeffs: vec![1.0, 1.0],
+                    rel: Relation::Eq,
+                    rhs: 2.0,
+                },
+                le(vec![1.0, 0.0], 1.5),
+            ],
+        };
+        match solve(&p) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 2.0).abs() < 1e-6)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min x + y == max -(x+y) s.t. x + 2y ≥ 4, 3x + y ≥ 6, x,y ≥ 0.
+        // Optimum at intersection: x=1.6, y=1.2 -> cost 2.8.
+        let p = LpProblem {
+            objective: vec![-1.0, -1.0],
+            constraints: vec![
+                LpConstraint {
+                    coeffs: vec![1.0, 2.0],
+                    rel: Relation::Ge,
+                    rhs: 4.0,
+                },
+                LpConstraint {
+                    coeffs: vec![3.0, 1.0],
+                    rel: Relation::Ge,
+                    rhs: 6.0,
+                },
+            ],
+        };
+        match solve(&p) {
+            LpOutcome::Optimal { x, objective } => {
+                assert!((objective + 2.8).abs() < 1e-6, "z={objective}");
+                assert!((x[0] - 1.6).abs() < 1e-6);
+                assert!((x[1] - 1.2).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let p = LpProblem {
+            objective: vec![1.0],
+            constraints: vec![
+                le(vec![1.0], 1.0),
+                LpConstraint {
+                    coeffs: vec![1.0],
+                    rel: Relation::Ge,
+                    rhs: 2.0,
+                },
+            ],
+        };
+        assert_eq!(solve(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only y bounded.
+        let p = LpProblem {
+            objective: vec![1.0, 0.0],
+            constraints: vec![le(vec![0.0, 1.0], 1.0)],
+        };
+        assert_eq!(solve(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y ≤ -1 (i.e. y ≥ x + 1), max x + y with x + y ≤ 3.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![le(vec![1.0, -1.0], -1.0), le(vec![1.0, 1.0], 3.0)],
+        };
+        match solve(&p) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 3.0).abs() < 1e-6)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the origin.
+        let p = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                le(vec![1.0, 0.0], 0.0),
+                le(vec![0.0, 1.0], 2.0),
+                le(vec![1.0, 1.0], 2.0),
+                le(vec![2.0, 0.0], 0.0),
+            ],
+        };
+        match solve(&p) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 2.0).abs() < 1e-6)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = LpProblem {
+            objective: vec![],
+            constraints: vec![],
+        };
+        match solve(&p) {
+            LpOutcome::Optimal { x, objective } => {
+                assert!(x.is_empty());
+                assert_eq!(objective, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

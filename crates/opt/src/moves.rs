@@ -1,0 +1,213 @@
+//! Neighborhood moves shared by the local-search solvers.
+//!
+//! The neighborhood of a subset `S` consists of:
+//!
+//! * **Add(i)** — select an unselected item (only if `|S| < m`);
+//! * **Drop(i)** — unselect a selected, unpinned item;
+//! * **Swap(out, in)** — drop one unpinned selected item and add one
+//!   unselected item, keeping `|S|` constant.
+//!
+//! Pinned items are never dropped, which is how the paper's "constraints
+//! define permanently tabu regions of the space" is realized: the search can
+//! simply never leave the feasible region.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::problem::SubsetProblem;
+use crate::subset::Subset;
+
+/// One neighborhood move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Select item `0`.
+    Add(usize),
+    /// Unselect item `0`.
+    Drop(usize),
+    /// Unselect item `0`, select item `1`.
+    Swap(usize, usize),
+}
+
+impl Move {
+    /// Applies the move to a copy of `s`.
+    pub fn applied_to(&self, s: &Subset) -> Subset {
+        let mut out = s.clone();
+        match *self {
+            Move::Add(i) => {
+                out.insert(i);
+            }
+            Move::Drop(i) => {
+                out.remove(i);
+            }
+            Move::Swap(o, i) => {
+                out.remove(o);
+                out.insert(i);
+            }
+        }
+        out
+    }
+
+    /// The items whose membership this move flips (used for tabu tenure
+    /// bookkeeping: a move is tabu if it re-touches a recently flipped item).
+    pub fn touched(&self) -> (usize, Option<usize>) {
+        match *self {
+            Move::Add(i) | Move::Drop(i) => (i, None),
+            Move::Swap(o, i) => (o, Some(i)),
+        }
+    }
+}
+
+/// Generates up to `sample` random feasible moves from `s` (fewer if the
+/// neighborhood is smaller). Feasible means: never drops a pin, never
+/// exceeds `m`.
+pub fn sample_moves<P: SubsetProblem + ?Sized, R: Rng>(
+    problem: &P,
+    s: &Subset,
+    sample: usize,
+    rng: &mut R,
+) -> Vec<Move> {
+    sample_moves_biased(problem, s, sample, rng, None)
+}
+
+/// Like [`sample_moves`], but when `preference` is given (items in
+/// descending desirability, e.g. by singleton objective score), items to
+/// *add* or *swap in* are drawn from the top of that list 70% of the time —
+/// a tabu-search *candidate list* strategy that focuses the sampled
+/// neighborhood on promising items without forbidding exploration.
+pub fn sample_moves_biased<P: SubsetProblem + ?Sized, R: Rng>(
+    problem: &P,
+    s: &Subset,
+    sample: usize,
+    rng: &mut R,
+    preference: Option<&[usize]>,
+) -> Vec<Move> {
+    let pinned = problem.pinned();
+    let selected_free: Vec<usize> = s.iter().filter(|i| !pinned.contains(i)).collect();
+    let unselected: Vec<usize> = s.complement_iter().collect();
+    let mut moves: Vec<Move> = Vec::with_capacity(sample);
+
+    let can_add = s.len() < problem.max_selected() && !unselected.is_empty();
+    let can_drop = !selected_free.is_empty();
+    let can_swap = can_drop && !unselected.is_empty();
+
+    if !can_add && !can_drop && !can_swap {
+        return moves;
+    }
+    // Preferred unselected items (candidate list): the best-ranked
+    // unselected items, capped at 3·m.
+    let hot: Vec<usize> = preference
+        .map(|pref| {
+            let cap = (problem.max_selected() * 3).max(4);
+            pref.iter()
+                .copied()
+                .filter(|i| !s.contains(*i))
+                .take(cap)
+                .collect()
+        })
+        .unwrap_or_default();
+    let pick_in = |rng: &mut R| -> usize {
+        if !hot.is_empty() && rng.gen_range(0..10u32) < 7 {
+            *hot.choose(rng).expect("nonempty")
+        } else {
+            *unselected.choose(rng).expect("nonempty")
+        }
+    };
+    for _ in 0..sample {
+        // Weight swap most heavily: µBE solutions usually sit at |S| = m, so
+        // swaps are the moves that explore; adds/drops adjust cardinality.
+        let roll = rng.gen_range(0..10u32);
+        let mv = if can_swap && roll < 7 {
+            Move::Swap(*selected_free.choose(rng).expect("nonempty"), pick_in(rng))
+        } else if can_add && roll < 9 {
+            Move::Add(pick_in(rng))
+        } else if can_drop && s.len() > 1 {
+            Move::Drop(*selected_free.choose(rng).expect("nonempty"))
+        } else if can_swap {
+            Move::Swap(*selected_free.choose(rng).expect("nonempty"), pick_in(rng))
+        } else if can_add {
+            Move::Add(pick_in(rng))
+        } else {
+            continue;
+        };
+        moves.push(mv);
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::TopValues;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn applied_to_each_variant() {
+        let s = Subset::from_indices(6, [0, 1]);
+        assert_eq!(
+            Move::Add(3).applied_to(&s).iter().collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        assert_eq!(
+            Move::Drop(1).applied_to(&s).iter().collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(
+            Move::Swap(0, 5).applied_to(&s).iter().collect::<Vec<_>>(),
+            vec![1, 5]
+        );
+    }
+
+    #[test]
+    fn touched_items() {
+        assert_eq!(Move::Add(3).touched(), (3, None));
+        assert_eq!(Move::Swap(1, 2).touched(), (1, Some(2)));
+    }
+
+    #[test]
+    fn sampled_moves_are_feasible() {
+        let p = TopValues::new(vec![1.0; 20], 5, vec![0, 1]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Subset::from_indices(20, [0, 1, 7, 9, 12]);
+        for _ in 0..30 {
+            for mv in sample_moves(&p, &s, 16, &mut rng) {
+                let next = mv.applied_to(&s);
+                assert!(
+                    p.is_structurally_feasible(&next),
+                    "move {mv:?} produced infeasible {next}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_capacity_no_adds_generated() {
+        let p = TopValues::new(vec![1.0; 10], 3, vec![]);
+        let s = Subset::from_indices(10, [0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for mv in sample_moves(&p, &s, 64, &mut rng) {
+            if let Move::Add(_) = mv {
+                panic!("Add generated at capacity");
+            }
+        }
+    }
+
+    #[test]
+    fn fully_pinned_at_capacity_has_no_moves_except_none() {
+        let p = TopValues::new(vec![1.0; 4], 2, vec![0, 1]);
+        let s = Subset::from_indices(4, [0, 1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let moves = sample_moves(&p, &s, 16, &mut rng);
+        assert!(moves.is_empty(), "got {moves:?}");
+    }
+
+    #[test]
+    fn empty_subset_can_only_add() {
+        let p = TopValues::new(vec![1.0; 4], 2, vec![]);
+        let s = Subset::empty(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let moves = sample_moves(&p, &s, 16, &mut rng);
+        assert!(!moves.is_empty());
+        assert!(moves.iter().all(|m| matches!(m, Move::Add(_))));
+    }
+}

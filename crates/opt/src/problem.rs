@@ -1,0 +1,218 @@
+//! The subset-selection problem abstraction.
+
+use std::cell::Cell;
+
+use crate::subset::Subset;
+
+/// A maximization problem over subsets of `0..universe_size()`.
+///
+/// Feasibility contract shared by all solvers:
+///
+/// * candidates contain every pinned item (source constraints / implied GA
+///   constraint sources — the paper's "permanently tabu" regions);
+/// * candidates have `pinned().len() ≤ |S| ≤ max_selected()`;
+/// * `evaluate` may additionally return [`f64::NEG_INFINITY`] for candidates
+///   that violate problem-internal constraints the solver cannot see (µBE's
+///   GA-constraint subsumption); solvers treat those as strictly worse than
+///   any feasible candidate but may still walk through them.
+pub trait SubsetProblem {
+    /// Number of items to choose from (`N = |U|`).
+    fn universe_size(&self) -> usize;
+
+    /// Maximum subset size (`m`, "the maximum number of sources that the
+    /// user is willing to select").
+    fn max_selected(&self) -> usize;
+
+    /// Items that must be present in every candidate, sorted ascending.
+    fn pinned(&self) -> &[usize];
+
+    /// The objective to maximize; `NEG_INFINITY` marks infeasible.
+    fn evaluate(&self, subset: &Subset) -> f64;
+
+    /// Whether `subset` satisfies the structural constraints (pins and
+    /// cardinality bound). Solvers uphold this by construction; it is used
+    /// in assertions and tests.
+    fn is_structurally_feasible(&self, subset: &Subset) -> bool {
+        subset.len() <= self.max_selected()
+            && self.pinned().iter().all(|&i| subset.contains(i))
+    }
+}
+
+/// Wraps a problem and counts objective evaluations, used by experiments to
+/// compare search effort across solvers.
+pub struct CountingProblem<'a, P: SubsetProblem + ?Sized> {
+    inner: &'a P,
+    evals: Cell<u64>,
+}
+
+impl<'a, P: SubsetProblem + ?Sized> CountingProblem<'a, P> {
+    /// Wraps `inner` with a fresh counter.
+    pub fn new(inner: &'a P) -> Self {
+        Self {
+            inner,
+            evals: Cell::new(0),
+        }
+    }
+
+    /// Number of `evaluate` calls so far.
+    pub fn evals(&self) -> u64 {
+        self.evals.get()
+    }
+}
+
+impl<P: SubsetProblem + ?Sized> SubsetProblem for CountingProblem<'_, P> {
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn max_selected(&self) -> usize {
+        self.inner.max_selected()
+    }
+
+    fn pinned(&self) -> &[usize] {
+        self.inner.pinned()
+    }
+
+    fn evaluate(&self, subset: &Subset) -> f64 {
+        self.evals.set(self.evals.get() + 1);
+        self.inner.evaluate(subset)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared toy problems for solver tests.
+
+    use super::*;
+
+    /// Maximize the sum of item values, a modular objective whose optimum is
+    /// the top-`m` items (plus pins). Every solver should nail this.
+    pub struct TopValues {
+        pub values: Vec<f64>,
+        pub m: usize,
+        pub pins: Vec<usize>,
+    }
+
+    impl TopValues {
+        pub fn new(values: Vec<f64>, m: usize, pins: Vec<usize>) -> Self {
+            Self { values, m, pins }
+        }
+
+        /// The optimal objective value.
+        pub fn optimum(&self) -> f64 {
+            let pinned_sum: f64 = self.pins.iter().map(|&i| self.values[i]).sum();
+            let mut free: Vec<f64> = (0..self.values.len())
+                .filter(|i| !self.pins.contains(i))
+                .map(|i| self.values[i])
+                .collect();
+            free.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            pinned_sum
+                + free
+                    .iter()
+                    .take(self.m - self.pins.len())
+                    .filter(|v| **v > 0.0)
+                    .sum::<f64>()
+        }
+    }
+
+    impl SubsetProblem for TopValues {
+        fn universe_size(&self) -> usize {
+            self.values.len()
+        }
+
+        fn max_selected(&self) -> usize {
+            self.m
+        }
+
+        fn pinned(&self) -> &[usize] {
+            &self.pins
+        }
+
+        fn evaluate(&self, subset: &Subset) -> f64 {
+            subset.iter().map(|i| self.values[i]).sum()
+        }
+    }
+
+    /// A deceptive objective with interactions: pairs (2i, 2i+1) give a bonus
+    /// only when both are selected, so pure greedy item-by-item selection is
+    /// suboptimal. Used to show metaheuristics beat greedy.
+    pub struct PairBonus {
+        pub n: usize,
+        pub m: usize,
+        empty_pins: Vec<usize>,
+    }
+
+    impl PairBonus {
+        pub fn new(n: usize, m: usize) -> Self {
+            assert!(n.is_multiple_of(2));
+            Self {
+                n,
+                m,
+                empty_pins: Vec::new(),
+            }
+        }
+    }
+
+    impl SubsetProblem for PairBonus {
+        fn universe_size(&self) -> usize {
+            self.n
+        }
+
+        fn max_selected(&self) -> usize {
+            self.m
+        }
+
+        fn pinned(&self) -> &[usize] {
+            &self.empty_pins
+        }
+
+        fn evaluate(&self, subset: &Subset) -> f64 {
+            let mut score = 0.0;
+            for i in 0..self.n / 2 {
+                let a = subset.contains(2 * i);
+                let b = subset.contains(2 * i + 1);
+                match (a, b) {
+                    (true, true) => score += 3.0,
+                    (true, false) | (false, true) => score += 1.0,
+                    (false, false) => {}
+                }
+            }
+            score
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::TopValues;
+    use super::*;
+
+    #[test]
+    fn counting_wrapper_counts() {
+        let p = TopValues::new(vec![1.0, 2.0, 3.0], 2, vec![]);
+        let counting = CountingProblem::new(&p);
+        let s = Subset::from_indices(3, [0, 2]);
+        assert_eq!(counting.evals(), 0);
+        assert_eq!(counting.evaluate(&s), 4.0);
+        counting.evaluate(&s);
+        assert_eq!(counting.evals(), 2);
+        assert_eq!(counting.universe_size(), 3);
+        assert_eq!(counting.max_selected(), 2);
+    }
+
+    #[test]
+    fn structural_feasibility() {
+        let p = TopValues::new(vec![1.0; 5], 3, vec![1]);
+        assert!(p.is_structurally_feasible(&Subset::from_indices(5, [1, 2])));
+        assert!(!p.is_structurally_feasible(&Subset::from_indices(5, [2, 3])));
+        assert!(!p.is_structurally_feasible(&Subset::from_indices(5, [1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn top_values_optimum() {
+        let p = TopValues::new(vec![5.0, 1.0, 4.0, 3.0], 2, vec![]);
+        assert_eq!(p.optimum(), 9.0);
+        let p = TopValues::new(vec![5.0, 1.0, 4.0, 3.0], 2, vec![1]);
+        assert_eq!(p.optimum(), 6.0);
+    }
+}

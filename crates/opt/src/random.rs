@@ -1,0 +1,80 @@
+//! Pure random search baseline: sample feasible subsets uniformly, keep the
+//! best. The weakest sensible baseline for the optimizer comparison.
+
+use rand::Rng;
+
+use crate::problem::SubsetProblem;
+use crate::solver::{run_counted, SolveResult, Solver};
+use crate::subset::Subset;
+
+/// Random search configuration.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Number of feasible subsets sampled.
+    pub samples: u64,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        Self { samples: 2_000 }
+    }
+}
+
+impl Solver for RandomSearch {
+    fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
+        run_counted(problem, seed, |counted, rng| {
+            let n = counted.universe_size();
+            let pins: Vec<usize> = counted.pinned().to_vec();
+            let m = counted.max_selected();
+            let mut best = Subset::from_indices(n, pins.iter().copied());
+            let mut best_obj = counted.evaluate(&best);
+            let mut trajectory = Vec::with_capacity(self.samples as usize);
+            for _ in 0..self.samples {
+                // Vary the subset size uniformly in [max(1, pins), m].
+                let lo = pins.len().max(1).min(m);
+                let k = rng.gen_range(lo..=m.min(n));
+                let k = k.max(pins.len());
+                let candidate = Subset::random_with_pins(n, k, &pins, rng);
+                let obj = counted.evaluate(&candidate);
+                if obj > best_obj {
+                    best_obj = obj;
+                    best = candidate;
+                }
+                trajectory.push(best_obj);
+            }
+            (best, best_obj, self.samples, trajectory)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::TopValues;
+
+    #[test]
+    fn finds_decent_solutions_on_small_spaces() {
+        let p = TopValues::new(vec![1.0, 5.0, 2.0, 4.0], 2, vec![]);
+        let r = RandomSearch { samples: 500 }.solve(&p, 3);
+        assert_eq!(r.objective, 9.0);
+    }
+
+    #[test]
+    fn respects_pins() {
+        let p = TopValues::new(vec![1.0; 8], 3, vec![0, 7]);
+        let r = RandomSearch { samples: 100 }.solve(&p, 5);
+        assert!(r.best.contains(0) && r.best.contains(7));
+        assert!(r.best.len() <= 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = TopValues::new(vec![1.0, 2.0, 3.0, 4.0, 5.0], 2, vec![]);
+        let s = RandomSearch { samples: 50 };
+        assert_eq!(s.solve(&p, 6).best, s.solve(&p, 6).best);
+    }
+}

@@ -1,0 +1,122 @@
+//! Stochastic local search: random-restart best-improvement hill climbing —
+//! another alternative the paper compared against tabu search.
+
+use crate::moves::sample_moves;
+use crate::problem::SubsetProblem;
+use crate::solver::{random_start, run_counted, SolveResult, Solver};
+
+/// Stochastic local search configuration.
+#[derive(Debug, Clone)]
+pub struct StochasticLocalSearch {
+    /// Number of random restarts.
+    pub restarts: u64,
+    /// Maximum climbing steps per restart.
+    pub max_steps: u64,
+    /// Moves sampled and evaluated per step.
+    pub neighborhood_sample: usize,
+}
+
+impl Default for StochasticLocalSearch {
+    fn default() -> Self {
+        Self {
+            restarts: 8,
+            max_steps: 80,
+            neighborhood_sample: 24,
+        }
+    }
+}
+
+impl Solver for StochasticLocalSearch {
+    fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
+        run_counted(problem, seed, |counted, rng| {
+            let mut best = random_start(counted, rng);
+            let mut best_obj = counted.evaluate(&best);
+            let mut trajectory = Vec::new();
+            let mut iters = 0u64;
+
+            for restart in 0..self.restarts {
+                let mut current = if restart == 0 {
+                    best.clone()
+                } else {
+                    random_start(counted, rng)
+                };
+                let mut current_obj = counted.evaluate(&current);
+                for _ in 0..self.max_steps {
+                    iters += 1;
+                    let moves = sample_moves(counted, &current, self.neighborhood_sample, rng);
+                    // Best-improvement: evaluate the whole sample, take the
+                    // best strictly improving move; stop at a local optimum.
+                    let mut improved = false;
+                    let mut best_move: Option<(crate::moves::Move, f64)> = None;
+                    for mv in moves {
+                        let obj = counted.evaluate(&mv.applied_to(&current));
+                        if obj > current_obj
+                            && best_move.as_ref().is_none_or(|(_, b)| obj > *b)
+                        {
+                            best_move = Some((mv, obj));
+                        }
+                    }
+                    if let Some((mv, obj)) = best_move {
+                        current = mv.applied_to(&current);
+                        current_obj = obj;
+                        improved = true;
+                    }
+                    if current_obj > best_obj {
+                        best_obj = current_obj;
+                        best = current.clone();
+                    }
+                    trajectory.push(best_obj);
+                    if !improved {
+                        break;
+                    }
+                }
+            }
+            (best, best_obj, iters, trajectory)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "stochastic-local-search"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::{PairBonus, TopValues};
+
+    #[test]
+    fn finds_top_values_optimum() {
+        let values: Vec<f64> = (0..25).map(|i| f64::from((i * 7) % 13)).collect();
+        let p = TopValues::new(values, 5, vec![]);
+        let r = StochasticLocalSearch::default().solve(&p, 21);
+        assert!(
+            (r.objective - p.optimum()).abs() < 1e-9,
+            "got {}, optimum {}",
+            r.objective,
+            p.optimum()
+        );
+    }
+
+    #[test]
+    fn respects_pins() {
+        let p = TopValues::new(vec![1.0; 10], 3, vec![9]);
+        let r = StochasticLocalSearch::default().solve(&p, 2);
+        assert!(r.best.contains(9));
+        assert!(r.best.len() <= 3);
+    }
+
+    #[test]
+    fn improves_on_pair_problem() {
+        let p = PairBonus::new(16, 4);
+        let r = StochasticLocalSearch::default().solve(&p, 1);
+        assert!(r.objective >= 5.0, "got {}", r.objective);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PairBonus::new(12, 4);
+        let s = StochasticLocalSearch::default();
+        assert_eq!(s.solve(&p, 77).best, s.solve(&p, 77).best);
+    }
+}

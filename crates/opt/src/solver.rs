@@ -1,0 +1,210 @@
+//! The [`Solver`] trait and its result type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::problem::{CountingProblem, SubsetProblem};
+use crate::subset::Subset;
+
+/// Outcome of one solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResult {
+    /// The best subset found.
+    pub best: Subset,
+    /// Its objective value (may be `NEG_INFINITY` if the solver never found
+    /// a feasible candidate).
+    pub objective: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: u64,
+    /// Number of solver iterations (meaning is solver-specific: tabu steps,
+    /// SA steps, PSO generations, restarts × climbs, ...).
+    pub iterations: u64,
+    /// Best-objective-so-far trace, one entry per iteration, for convergence
+    /// plots and robustness comparisons.
+    pub trajectory: Vec<f64>,
+}
+
+impl SolveResult {
+    /// Whether the run found any feasible candidate.
+    pub fn is_feasible(&self) -> bool {
+        self.objective.is_finite()
+    }
+
+    /// First iteration (0-based) at which the best-so-far reached
+    /// `fraction` of the final objective — a convergence-speed measure for
+    /// the optimizer comparison. `None` if the trajectory never does (only
+    /// possible for empty trajectories or non-finite objectives).
+    pub fn iterations_to_reach(&self, fraction: f64) -> Option<u64> {
+        if !self.objective.is_finite() {
+            return None;
+        }
+        let target = self.objective * fraction;
+        self.trajectory
+            .iter()
+            .position(|&q| q >= target)
+            .map(|i| i as u64)
+    }
+
+    /// Mean of the best-so-far trajectory normalized by the final
+    /// objective, in `[0, 1]`: 1.0 means the final quality was found
+    /// immediately; lower values mean slower convergence. `None` for empty
+    /// trajectories or non-positive objectives.
+    pub fn convergence_auc(&self) -> Option<f64> {
+        if self.trajectory.is_empty() || !self.objective.is_finite() || self.objective <= 0.0 {
+            return None;
+        }
+        let mean: f64 =
+            self.trajectory.iter().sum::<f64>() / self.trajectory.len() as f64;
+        Some((mean / self.objective).clamp(0.0, 1.0))
+    }
+}
+
+/// A subset-selection solver. All solvers are deterministic given `seed`.
+pub trait Solver {
+    /// Runs the search on `problem` and returns the best solution found.
+    fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult;
+
+    /// Short name for experiment reports (e.g. `"tabu"`).
+    fn name(&self) -> &'static str;
+
+    /// Returns a variant of this solver that starts its search from the
+    /// given items instead of constructing a fresh starting point, or
+    /// `None` if the solver has no warm-start notion. Iterative µBE
+    /// sessions use this to *refine* the previous solution after small
+    /// feedback changes rather than re-searching from scratch.
+    fn with_warm_start(&self, _items: &[usize]) -> Option<Box<dyn Solver>> {
+        None
+    }
+}
+
+/// Shared harness used by solver implementations: wraps the problem with an
+/// evaluation counter, seeds the RNG, and runs `body`.
+pub(crate) fn run_counted<'p, F>(
+    problem: &'p (dyn SubsetProblem + 'p),
+    seed: u64,
+    body: F,
+) -> SolveResult
+where
+    F: FnOnce(
+        &CountingProblem<'p, dyn SubsetProblem + 'p>,
+        &mut StdRng,
+    ) -> (Subset, f64, u64, Vec<f64>),
+{
+    let counted = CountingProblem::new(problem);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (best, objective, iterations, trajectory) = body(&counted, &mut rng);
+    debug_assert!(problem.is_structurally_feasible(&best));
+    SolveResult {
+        best,
+        objective,
+        evaluations: counted.evals(),
+        iterations,
+        trajectory,
+    }
+}
+
+/// Builds a feasible starting point: the pins plus random items up to the
+/// cardinality bound (solvers that want a different start size can trim).
+pub(crate) fn random_start(
+    problem: &dyn SubsetProblem,
+    rng: &mut StdRng,
+) -> Subset {
+    let pins: Vec<usize> = problem.pinned().to_vec();
+    let k = problem.max_selected().min(problem.universe_size()).max(pins.len());
+    Subset::random_with_pins(problem.universe_size(), k, &pins, rng)
+}
+
+/// Scores every free item as `evaluate(pins ∪ {i})` and returns the item
+/// ordering (best first) plus the constructed top-`m` starting subset.
+/// Deterministic, costs `n` evaluations. The ordering doubles as the tabu
+/// candidate list (see [`crate::moves::sample_moves_biased`]).
+pub(crate) fn singleton_greedy_start<P: SubsetProblem + ?Sized>(
+    problem: &P,
+) -> (Subset, Vec<usize>) {
+    let n = problem.universe_size();
+    let pins: Vec<usize> = problem.pinned().to_vec();
+    let base = Subset::from_indices(n, pins.iter().copied());
+    let budget = problem.max_selected().min(n).saturating_sub(base.len());
+    let mut scored: Vec<(f64, usize)> = base
+        .complement_iter()
+        .map(|i| {
+            let mut candidate = base.clone();
+            candidate.insert(i);
+            (problem.evaluate(&candidate), i)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let ordering: Vec<usize> = scored.iter().map(|&(_, i)| i).collect();
+    let mut start = base;
+    for &i in ordering.iter().take(budget) {
+        start.insert(i);
+    }
+    (start, ordering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::TopValues;
+
+    #[test]
+    fn run_counted_reports_evaluations() {
+        let p = TopValues::new(vec![1.0, 2.0], 1, vec![]);
+        let result = run_counted(&p, 0, |counted, _rng| {
+            let s = Subset::from_indices(2, [1]);
+            let obj = counted.evaluate(&s);
+            (s, obj, 1, vec![obj])
+        });
+        assert_eq!(result.evaluations, 1);
+        assert_eq!(result.objective, 2.0);
+        assert!(result.is_feasible());
+    }
+
+    #[test]
+    fn infeasible_result_detected() {
+        let r = SolveResult {
+            best: Subset::empty(1),
+            objective: f64::NEG_INFINITY,
+            evaluations: 0,
+            iterations: 0,
+            trajectory: vec![],
+        };
+        assert!(!r.is_feasible());
+    }
+
+    #[test]
+    fn convergence_helpers() {
+        let r = SolveResult {
+            best: Subset::from_indices(4, [0]),
+            objective: 10.0,
+            evaluations: 4,
+            iterations: 4,
+            trajectory: vec![2.0, 5.0, 10.0, 10.0],
+        };
+        assert_eq!(r.iterations_to_reach(0.5), Some(1));
+        assert_eq!(r.iterations_to_reach(1.0), Some(2));
+        assert_eq!(r.iterations_to_reach(0.1), Some(0));
+        let auc = r.convergence_auc().unwrap();
+        assert!((auc - 0.675).abs() < 1e-12, "got {auc}");
+        let empty = SolveResult {
+            best: Subset::empty(1),
+            objective: f64::NEG_INFINITY,
+            evaluations: 0,
+            iterations: 0,
+            trajectory: vec![],
+        };
+        assert_eq!(empty.iterations_to_reach(0.5), None);
+        assert_eq!(empty.convergence_auc(), None);
+    }
+
+    #[test]
+    fn random_start_is_feasible_and_full_size() {
+        let p = TopValues::new(vec![0.0; 12], 5, vec![3, 4]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let s = random_start(&p, &mut rng);
+            assert_eq!(s.len(), 5);
+            assert!(p.is_structurally_feasible(&s));
+        }
+    }
+}

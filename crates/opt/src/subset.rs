@@ -1,0 +1,232 @@
+//! Dense bitset over item indices, the search state of every solver.
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A subset of `0..universe_size`, stored as a bitset.
+///
+/// Functionally parallel to `mube_schema::SourceSelection`, but kept separate
+/// so this crate stays domain-agnostic (it optimizes any subset-selection
+/// problem, not just source selection). The µBE engine converts between the
+/// two at its boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Subset {
+    words: Vec<u64>,
+    universe_size: usize,
+}
+
+impl Subset {
+    /// The empty subset of a universe with `universe_size` items.
+    pub fn empty(universe_size: usize) -> Self {
+        Self {
+            words: vec![0; universe_size.div_ceil(64)],
+            universe_size,
+        }
+    }
+
+    /// Builds a subset from item indices.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn from_indices<I>(universe_size: usize, indices: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut s = Self::empty(universe_size);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Samples a subset of exactly `k` items containing all of `pinned`,
+    /// uniformly over the remaining choices.
+    ///
+    /// # Panics
+    /// Panics if `k < pinned.len()` or `k > universe_size`.
+    pub fn random_with_pins<R: Rng>(
+        universe_size: usize,
+        k: usize,
+        pinned: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        assert!(k >= pinned.len(), "k smaller than the pinned set");
+        assert!(k <= universe_size, "k larger than the universe");
+        let mut s = Self::from_indices(universe_size, pinned.iter().copied());
+        let mut free: Vec<usize> = (0..universe_size).filter(|i| !s.contains(*i)).collect();
+        free.shuffle(rng);
+        for &i in free.iter().take(k - s.len()) {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The universe size this subset ranges over.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Inserts item `i`; returns whether it was newly added.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.universe_size, "index out of range");
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes item `i`; returns whether it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.universe_size {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.universe_size && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of selected items.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates selected indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Indices *not* selected, in increasing order.
+    pub fn complement_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.universe_size).filter(move |&i| !self.contains(i))
+    }
+
+    /// A 64-bit FNV fingerprint for memoization keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= self.universe_size as u64;
+        h.wrapping_mul(0x0000_0100_0000_01b3)
+    }
+}
+
+impl fmt::Display for Subset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_set_ops() {
+        let mut s = Subset::empty(100);
+        assert!(s.insert(3));
+        assert!(s.insert(99));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn random_with_pins_respects_invariants() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let s = Subset::random_with_pins(30, 10, &[2, 5, 7], &mut rng);
+            assert_eq!(s.len(), 10);
+            assert!(s.contains(2) && s.contains(5) && s.contains(7));
+        }
+    }
+
+    #[test]
+    fn random_with_pins_k_equals_pins() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = Subset::random_with_pins(10, 2, &[1, 8], &mut rng);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the pinned set")]
+    fn random_with_pins_too_small_k() {
+        let mut rng = StdRng::seed_from_u64(7);
+        Subset::random_with_pins(10, 1, &[1, 8], &mut rng);
+    }
+
+    #[test]
+    fn complement_iterates_unselected() {
+        let s = Subset::from_indices(5, [0, 2, 4]);
+        assert_eq!(s.complement_iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn random_covers_the_space() {
+        // Over many draws every free item should be picked at least once.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = vec![false; 20];
+        for _ in 0..200 {
+            let s = Subset::random_with_pins(20, 5, &[], &mut rng);
+            for i in s.iter() {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "unreached items: {seen:?}");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_repeats() {
+        let a = Subset::from_indices(100, [1, 2]);
+        let b = Subset::from_indices(100, [1, 3]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), Subset::from_indices(100, [2, 1]).fingerprint());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Subset::from_indices(10, [7, 1]);
+        assert_eq!(s.to_string(), "{1,7}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Exact distinct counting, the ground truth the accuracy experiments
+//! compare PCSA against ("worst case error of 7% compared to exact
+//! counting", Section 7.3).
+
+use std::collections::HashSet;
+
+/// An exact distinct counter over 64-bit tuple identifiers.
+///
+/// Mergeable like the sketch so experiments can run both side by side. This
+/// is intentionally the naive hash-set implementation — it exists to measure
+/// the sketch, not to be fast.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExactDistinct {
+    seen: HashSet<u64>,
+}
+
+impl ExactDistinct {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a tuple id.
+    pub fn insert_u64(&mut self, tuple: u64) {
+        self.seen.insert(tuple);
+    }
+
+    /// Number of distinct tuples inserted.
+    pub fn count(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Merges another counter (set union).
+    pub fn merge(&mut self, other: &ExactDistinct) {
+        self.seen.extend(other.seen.iter().copied());
+    }
+
+    /// Exact distinct count of the union of several counters.
+    pub fn count_union<'a, I>(counters: I) -> u64
+    where
+        I: IntoIterator<Item = &'a ExactDistinct>,
+    {
+        let mut union: HashSet<u64> = HashSet::new();
+        for c in counters {
+            union.extend(c.seen.iter().copied());
+        }
+        union.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_only() {
+        let mut c = ExactDistinct::new();
+        for v in [1u64, 2, 2, 3, 1] {
+            c.insert_u64(v);
+        }
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = ExactDistinct::new();
+        let mut b = ExactDistinct::new();
+        for v in 0..10 {
+            a.insert_u64(v);
+        }
+        for v in 5..15 {
+            b.insert_u64(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 15);
+        assert_eq!(ExactDistinct::count_union([&a, &b]), 15);
+    }
+
+    #[test]
+    fn empty_union() {
+        assert_eq!(ExactDistinct::count_union(std::iter::empty()), 0);
+        assert_eq!(ExactDistinct::new().count(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Probabilistic Counting with Stochastic Averaging (PCSA) for µBE.
+//!
+//! Section 4 of the paper estimates the cardinality of *unions* of data
+//! sources without touching their data: every source computes a PCSA hash
+//! signature (Flajolet & Martin, JCSS 1985) of its tuples once; µBE caches
+//! the signatures; and the distinct count of any union of sources is
+//! estimated by **bitwise OR-ing** the signatures and applying the PCSA
+//! estimator to the result.
+//!
+//! The implementation is the classical one:
+//!
+//! * `m` bitmaps of `L` bits (here `L = 64`);
+//! * each tuple is hashed; the low bits pick one of the `m` bitmaps
+//!   (stochastic averaging), the remaining bits feed a geometric "rank"
+//!   (index of the lowest zero-valued... precisely: position of the least
+//!   significant 1-bit of the remaining hash), which sets one bit in the
+//!   selected bitmap;
+//! * the estimate is `m / φ · 2^(R̄)` where `R̄` is the mean over bitmaps of
+//!   the index of the lowest unset bit and `φ ≈ 0.77351` is the
+//!   Flajolet–Martin magic constant;
+//! * small-cardinality bias is corrected with the standard
+//!   `2^R̄ - 2^(-κ·R̄)` refinement (Scheuermann & Mauve's variant of the FM
+//!   correction), which matters because many µBE sources are small relative
+//!   to the sketch capacity.
+//!
+//! OR-merging is exact with respect to the data-structure semantics: the
+//! merged signature is bit-for-bit identical to the signature the union of
+//! the tuple sets would have produced, because each tuple sets the same bit
+//! no matter which source inserted it. Merge is therefore commutative,
+//! associative, and idempotent — properties the property tests pin down.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod hash;
+pub mod hll;
+pub mod sketch;
+pub mod wire;
+
+pub use exact::ExactDistinct;
+pub use hll::HllSketch;
+pub use hash::TupleHasher;
+pub use sketch::{PcsaSketch, DEFAULT_NUM_MAPS};
+pub use wire::WireError;

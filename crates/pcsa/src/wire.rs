@@ -1,0 +1,232 @@
+//! Wire format for shipping signatures from sources to µBE.
+//!
+//! The paper's protocol has every cooperating source compute its signature
+//! locally and hand it to µBE, which caches it. This module provides the
+//! byte-level encoding for that hand-off: a small self-describing header
+//! (magic, version, kind, hasher seed, shape) followed by the registers.
+//! Little-endian throughout; decoding validates every field so a corrupted
+//! or truncated signature is rejected rather than silently misestimating.
+
+use crate::hash::TupleHasher;
+use crate::hll::HllSketch;
+use crate::sketch::PcsaSketch;
+
+/// Magic bytes opening every encoded signature.
+const MAGIC: &[u8; 4] = b"MUBE";
+/// Format version.
+const VERSION: u8 = 1;
+/// Sketch kind tags.
+const KIND_PCSA: u8 = 1;
+const KIND_HLL: u8 = 2;
+
+/// Errors decoding a signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Too short to contain the header or the declared payload.
+    Truncated,
+    /// Magic bytes missing.
+    BadMagic,
+    /// Unknown version.
+    BadVersion(u8),
+    /// Unknown sketch kind tag.
+    BadKind(u8),
+    /// Shape field invalid (e.g. non-power-of-two map count).
+    BadShape,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "signature truncated"),
+            WireError::BadMagic => write!(f, "not a µBE signature (bad magic)"),
+            WireError::BadVersion(v) => write!(f, "unsupported signature version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown sketch kind {k}"),
+            WireError::BadShape => write!(f, "invalid sketch shape"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn header(kind: u8, seed: u64, shape: u32, payload_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 1 + 8 + 4 + payload_len);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(&shape.to_le_bytes());
+    out
+}
+
+fn parse_header(bytes: &[u8]) -> Result<(u8, u64, u32, &[u8]), WireError> {
+    if bytes.len() < 18 {
+        return Err(WireError::Truncated);
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(WireError::BadVersion(bytes[4]));
+    }
+    let kind = bytes[5];
+    let seed = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+    let shape = u32::from_le_bytes(bytes[14..18].try_into().expect("4 bytes"));
+    Ok((kind, seed, shape, &bytes[18..]))
+}
+
+impl PcsaSketch {
+    /// Encodes the signature for shipping.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = header(
+            KIND_PCSA,
+            self.hasher().seed(),
+            self.num_maps() as u32,
+            self.num_maps() * 8,
+        );
+        for &map in self.maps() {
+            out.extend_from_slice(&map.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a signature previously encoded with
+    /// [`PcsaSketch::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<PcsaSketch, WireError> {
+        let (kind, seed, shape, payload) = parse_header(bytes)?;
+        if kind != KIND_PCSA {
+            return Err(WireError::BadKind(kind));
+        }
+        let maps = shape as usize;
+        if maps == 0 || !maps.is_power_of_two() {
+            return Err(WireError::BadShape);
+        }
+        if payload.len() != maps * 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut sketch = PcsaSketch::new(maps, TupleHasher::new(seed));
+        let words: Vec<u64> = payload
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        sketch.overwrite_maps(&words);
+        Ok(sketch)
+    }
+}
+
+impl HllSketch {
+    /// Encodes the signature for shipping.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = header(
+            KIND_HLL,
+            self.hasher().seed(),
+            self.precision(),
+            self.num_registers(),
+        );
+        out.extend_from_slice(self.registers());
+        out
+    }
+
+    /// Decodes a signature previously encoded with [`HllSketch::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<HllSketch, WireError> {
+        let (kind, seed, shape, payload) = parse_header(bytes)?;
+        if kind != KIND_HLL {
+            return Err(WireError::BadKind(kind));
+        }
+        if !(4..=16).contains(&shape) {
+            return Err(WireError::BadShape);
+        }
+        if payload.len() != 1usize << shape {
+            return Err(WireError::Truncated);
+        }
+        let mut sketch = HllSketch::new(shape, TupleHasher::new(seed));
+        sketch.overwrite_registers(payload);
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcsa_sample() -> PcsaSketch {
+        let mut s = PcsaSketch::new(64, TupleHasher::new(99));
+        for t in 0..10_000u64 {
+            s.insert_u64(t);
+        }
+        s
+    }
+
+    fn hll_sample() -> HllSketch {
+        let mut s = HllSketch::new(9, TupleHasher::new(7));
+        for t in 0..10_000u64 {
+            s.insert_u64(t);
+        }
+        s
+    }
+
+    #[test]
+    fn pcsa_roundtrip() {
+        let original = pcsa_sample();
+        let decoded = PcsaSketch::from_bytes(&original.to_bytes()).unwrap();
+        assert_eq!(original, decoded);
+        assert_eq!(original.estimate(), decoded.estimate());
+    }
+
+    #[test]
+    fn hll_roundtrip() {
+        let original = hll_sample();
+        let decoded = HllSketch::from_bytes(&original.to_bytes()).unwrap();
+        assert_eq!(original, decoded);
+    }
+
+    #[test]
+    fn decoded_sketches_merge_with_local_ones() {
+        // The whole point: a shipped signature must merge with locally
+        // computed ones (same seed, same shape).
+        let remote = PcsaSketch::from_bytes(&pcsa_sample().to_bytes()).unwrap();
+        let mut local = PcsaSketch::new(64, TupleHasher::new(99));
+        for t in 5_000..15_000u64 {
+            local.insert_u64(t);
+        }
+        local.merge(&remote);
+        let est = local.estimate();
+        assert!((est - 15_000.0).abs() / 15_000.0 < 0.3, "union est {est}");
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let good = pcsa_sample().to_bytes();
+        assert_eq!(PcsaSketch::from_bytes(&good[..10]), Err(WireError::Truncated));
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(PcsaSketch::from_bytes(&bad_magic), Err(WireError::BadMagic));
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            PcsaSketch::from_bytes(&bad_version),
+            Err(WireError::BadVersion(9))
+        );
+        let mut truncated = good.clone();
+        truncated.pop();
+        assert_eq!(PcsaSketch::from_bytes(&truncated), Err(WireError::Truncated));
+        // HLL bytes are not PCSA bytes.
+        assert_eq!(
+            PcsaSketch::from_bytes(&hll_sample().to_bytes()),
+            Err(WireError::BadKind(KIND_HLL))
+        );
+    }
+
+    #[test]
+    fn bad_shape_rejected() {
+        let mut bytes = pcsa_sample().to_bytes();
+        // Overwrite the shape field with a non-power-of-two.
+        bytes[14..18].copy_from_slice(&48u32.to_le_bytes());
+        assert_eq!(PcsaSketch::from_bytes(&bytes), Err(WireError::BadShape));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadKind(5).to_string().contains('5'));
+    }
+}

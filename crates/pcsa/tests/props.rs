@@ -1,0 +1,155 @@
+//! Property tests for the sketches: the algebraic laws that make OR/max
+//! merging equivalent to sketching set unions.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use mube_pcsa::{ExactDistinct, HllSketch, PcsaSketch, TupleHasher};
+use mube_pcsa::wire::WireError;
+
+fn pcsa_of(set: &BTreeSet<u64>) -> PcsaSketch {
+    let mut s = PcsaSketch::new(64, TupleHasher::default());
+    for &t in set {
+        s.insert_u64(t);
+    }
+    s
+}
+
+fn hll_of(set: &BTreeSet<u64>) -> HllSketch {
+    let mut s = HllSketch::new(8, TupleHasher::default());
+    for &t in set {
+        s.insert_u64(t);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn pcsa_merge_is_union_homomorphism(
+        a in prop::collection::btree_set(0u64..10_000, 0..400),
+        b in prop::collection::btree_set(0u64..10_000, 0..400),
+        c in prop::collection::btree_set(0u64..10_000, 0..400),
+    ) {
+        // merge(sketch(A), sketch(B)) == sketch(A ∪ B)
+        let mut ab = pcsa_of(&a);
+        ab.merge(&pcsa_of(&b));
+        prop_assert_eq!(&ab, &pcsa_of(&a.union(&b).copied().collect()));
+
+        // Associativity.
+        let mut left = pcsa_of(&a);
+        left.merge(&pcsa_of(&b));
+        left.merge(&pcsa_of(&c));
+        let mut bc = pcsa_of(&b);
+        bc.merge(&pcsa_of(&c));
+        let mut right = pcsa_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn hll_merge_is_union_homomorphism(
+        a in prop::collection::btree_set(0u64..10_000, 0..400),
+        b in prop::collection::btree_set(0u64..10_000, 0..400),
+    ) {
+        let mut ab = hll_of(&a);
+        ab.merge(&hll_of(&b));
+        prop_assert_eq!(&ab, &hll_of(&a.union(&b).copied().collect()));
+        // Idempotence.
+        let mut aa = hll_of(&a);
+        aa.merge(&hll_of(&a));
+        prop_assert_eq!(aa, hll_of(&a));
+    }
+
+    #[test]
+    fn estimates_are_monotone_under_insertion(
+        base in prop::collection::btree_set(0u64..100_000, 50..300),
+        extra in prop::collection::btree_set(100_000u64..200_000, 1..300),
+    ) {
+        // Estimate of a superset is ≥ estimate of the subset (bitmaps only
+        // gain bits; ranks only grow).
+        let small = pcsa_of(&base);
+        let all: BTreeSet<u64> = base.union(&extra).copied().collect();
+        let big = pcsa_of(&all);
+        prop_assert!(big.estimate() >= small.estimate() - 1e-9);
+        let small_h = hll_of(&base);
+        let big_h = hll_of(&all);
+        prop_assert!(big_h.estimate() >= small_h.estimate() - 1e-9);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_within_sketch_error(
+        set in prop::collection::btree_set(0u64..1_000_000, 500..3_000),
+    ) {
+        let mut exact = ExactDistinct::new();
+        for &t in &set {
+            exact.insert_u64(t);
+        }
+        let n = exact.count() as f64;
+        // 64-map PCSA: tolerate 50% (≈5σ); this is a sanity envelope, not a
+        // precision test — precision is measured by the accuracy bench.
+        let est = pcsa_of(&set).estimate();
+        prop_assert!((est - n).abs() / n < 0.5, "pcsa {est} vs exact {n}");
+        // p=8 HLL: ~6.5% stderr; tolerate 35%.
+        let est_h = hll_of(&set).estimate();
+        prop_assert!((est_h - n).abs() / n < 0.35, "hll {est_h} vs exact {n}");
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant(values in prop::collection::vec(0u64..5_000, 0..500)) {
+        let sorted: BTreeSet<u64> = values.iter().copied().collect();
+        let mut shuffled = PcsaSketch::new(64, TupleHasher::default());
+        for &v in &values {
+            shuffled.insert_u64(v);
+        }
+        prop_assert_eq!(shuffled, pcsa_of(&sorted));
+    }
+}
+
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_preserves_sketches(
+        values in prop::collection::vec(0u64..1_000_000, 0..500),
+        seed in any::<u64>(),
+    ) {
+        let mut pcsa = PcsaSketch::new(64, TupleHasher::new(seed));
+        let mut hll = HllSketch::new(8, TupleHasher::new(seed));
+        for &v in &values {
+            pcsa.insert_u64(v);
+            hll.insert_u64(v);
+        }
+        let pcsa2 = PcsaSketch::from_bytes(&pcsa.to_bytes()).unwrap();
+        prop_assert_eq!(&pcsa2, &pcsa);
+        prop_assert_eq!(pcsa2.hasher(), pcsa.hasher());
+        let hll2 = HllSketch::from_bytes(&hll.to_bytes()).unwrap();
+        prop_assert_eq!(&hll2, &hll);
+    }
+
+    #[test]
+    fn wire_rejects_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Random bytes must never decode successfully unless they start
+        // with the magic (probability ~2^-32 per case — treat a pass as
+        // failure-worthy only if it also validates).
+        if let Ok(s) = PcsaSketch::from_bytes(&bytes) {
+            // If it decoded, the bytes really did carry a valid header.
+            prop_assert_eq!(&bytes[0..4], b"MUBE");
+            prop_assert!(s.num_maps().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn wire_truncation_always_detected(values in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut s = PcsaSketch::new(32, TupleHasher::default());
+        for &v in &values {
+            s.insert_u64(v);
+        }
+        let bytes = s.to_bytes();
+        for cut in [1usize, bytes.len() / 2, bytes.len() - 1] {
+            let r = PcsaSketch::from_bytes(&bytes[..cut]);
+            prop_assert!(
+                matches!(r, Err(WireError::Truncated)),
+                "cut at {cut}: {r:?}"
+            );
+        }
+    }
+}

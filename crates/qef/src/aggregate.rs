@@ -1,0 +1,238 @@
+//! Aggregation functions turning per-source characteristic values into a
+//! `[0, 1]` quality score (Section 5).
+
+use mube_schema::{SourceSelection, Universe};
+
+use crate::context::QefContext;
+
+/// How a characteristic's per-source values aggregate over a selection.
+///
+/// Values are first min-max normalized against the whole universe's range
+/// for that characteristic (`(q − min_U) / (max_U − min_U)`), so any
+/// positive real scale works, as the paper requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// The paper's `wsum`: cardinality-weighted normalized sum,
+    /// `Σ_S (q_s − min) · |s| / (Σ_S |s| · (max − min))`. "If a source has
+    /// high availability and a large number of tuples, it is more valuable
+    /// than a source with high availability but only a few tuples."
+    #[default]
+    WeightedSum,
+    /// Unweighted mean of normalized values.
+    Mean,
+    /// Minimum normalized value (the selection is as good as its worst
+    /// source — right for availability-like characteristics).
+    Min,
+    /// Maximum normalized value.
+    Max,
+}
+
+impl Aggregation {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregation::WeightedSum => "wsum",
+            Aggregation::Mean => "mean",
+            Aggregation::Min => "min",
+            Aggregation::Max => "max",
+        }
+    }
+
+    /// Aggregates `characteristic` over the selected sources.
+    ///
+    /// Conventions for degenerate inputs, chosen to keep the value in
+    /// `[0, 1]` and not bias the search:
+    ///
+    /// * empty selection → 0.0;
+    /// * no source in the universe declares the characteristic → 0.0;
+    /// * all declaring sources share one value (`max == min`) → 1.0
+    ///   (nothing to discriminate, don't penalize);
+    /// * a selected source missing the characteristic contributes a
+    ///   normalized value of 0 (the pessimistic reading of "must be
+    ///   provided by the source").
+    pub fn evaluate(
+        self,
+        characteristic: &str,
+        selection: &SourceSelection,
+        ctx: &QefContext<'_>,
+    ) -> f64 {
+        if selection.is_empty() {
+            return 0.0;
+        }
+        let Some((lo, hi)) = ctx.characteristic_range(characteristic) else {
+            return 0.0;
+        };
+        if hi <= lo {
+            return 1.0;
+        }
+        let universe: &Universe = ctx.universe();
+        let normalized = |id| {
+            universe
+                .expect_source(id)
+                .characteristic(characteristic)
+                .map_or(0.0, |q| ((q - lo) / (hi - lo)).clamp(0.0, 1.0))
+        };
+        match self {
+            Aggregation::WeightedSum => {
+                let total: u64 = ctx.selected_cardinality(selection);
+                if total == 0 {
+                    return 0.0;
+                }
+                selection
+                    .iter()
+                    .map(|id| {
+                        normalized(id) * universe.expect_source(id).cardinality() as f64
+                    })
+                    .sum::<f64>()
+                    / total as f64
+            }
+            Aggregation::Mean => {
+                selection.iter().map(normalized).sum::<f64>() / selection.len() as f64
+            }
+            Aggregation::Min => selection
+                .iter()
+                .map(normalized)
+                .fold(f64::INFINITY, f64::min),
+            Aggregation::Max => selection.iter().map(normalized).fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{SourceBuilder, SourceId};
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        // mttf range 0..=100; cardinalities weight source 1 heavily.
+        u.add_source(
+            SourceBuilder::new("a")
+                .attributes(["x"])
+                .cardinality(100)
+                .characteristic("mttf", 0.0),
+        )
+        .unwrap();
+        u.add_source(
+            SourceBuilder::new("b")
+                .attributes(["x"])
+                .cardinality(900)
+                .characteristic("mttf", 100.0),
+        )
+        .unwrap();
+        u.add_source(
+            SourceBuilder::new("c")
+                .attributes(["x"])
+                .cardinality(1000)
+                .characteristic("mttf", 50.0),
+        )
+        .unwrap();
+        u
+    }
+
+    fn sel(u: &Universe, ids: &[u32]) -> SourceSelection {
+        SourceSelection::from_ids(u.len(), ids.iter().map(|&i| SourceId(i)))
+    }
+
+    #[test]
+    fn wsum_weights_by_cardinality() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        // a (norm 0, card 100) + b (norm 1, card 900): wsum = 900/1000.
+        let v = Aggregation::WeightedSum.evaluate("mttf", &sel(&u, &[0, 1]), &ctx);
+        assert!((v - 0.9).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn mean_ignores_cardinality() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        let v = Aggregation::Mean.evaluate("mttf", &sel(&u, &[0, 1]), &ctx);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_and_max() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        assert_eq!(Aggregation::Min.evaluate("mttf", &sel(&u, &[1, 2]), &ctx), 0.5);
+        assert_eq!(Aggregation::Max.evaluate("mttf", &sel(&u, &[0, 2]), &ctx), 0.5);
+    }
+
+    #[test]
+    fn empty_selection_is_zero() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        for agg in [
+            Aggregation::WeightedSum,
+            Aggregation::Mean,
+            Aggregation::Min,
+            Aggregation::Max,
+        ] {
+            assert_eq!(agg.evaluate("mttf", &sel(&u, &[]), &ctx), 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_characteristic_is_zero() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        assert_eq!(
+            Aggregation::WeightedSum.evaluate("fee", &sel(&u, &[0, 1]), &ctx),
+            0.0
+        );
+    }
+
+    #[test]
+    fn constant_characteristic_is_one() {
+        let mut u = Universe::new();
+        for name in ["a", "b"] {
+            u.add_source(
+                SourceBuilder::new(name)
+                    .attributes(["x"])
+                    .cardinality(10)
+                    .characteristic("fee", 5.0),
+            )
+            .unwrap();
+        }
+        let ctx = QefContext::without_sketches(&u);
+        assert_eq!(
+            Aggregation::WeightedSum.evaluate("fee", &sel(&u, &[0, 1]), &ctx),
+            1.0
+        );
+    }
+
+    #[test]
+    fn missing_characteristic_on_selected_source_counts_as_zero() {
+        let mut u = Universe::new();
+        u.add_source(
+            SourceBuilder::new("declares")
+                .attributes(["x"])
+                .cardinality(10)
+                .characteristic("mttf", 100.0),
+        )
+        .unwrap();
+        u.add_source(
+            SourceBuilder::new("lowest")
+                .attributes(["x"])
+                .cardinality(10)
+                .characteristic("mttf", 0.0),
+        )
+        .unwrap();
+        u.add_source(SourceBuilder::new("silent").attributes(["x"]).cardinality(10))
+            .unwrap();
+        let ctx = QefContext::without_sketches(&u);
+        let v = Aggregation::Mean.evaluate(
+            "mttf",
+            &SourceSelection::from_ids(3, [SourceId(0), SourceId(2)]),
+            &ctx,
+        );
+        assert!((v - 0.5).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Aggregation::WeightedSum.name(), "wsum");
+        assert_eq!(Aggregation::Min.name(), "min");
+    }
+}

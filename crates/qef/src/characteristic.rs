@@ -1,0 +1,86 @@
+//! User-defined QEFs over source characteristics (Section 5).
+
+use mube_schema::SourceSelection;
+
+use crate::aggregate::Aggregation;
+use crate::context::QefContext;
+use crate::qef::Qef;
+
+/// A QEF derived from one named source characteristic and an aggregation
+/// function — e.g. `CharacteristicQef::new("mttf", Aggregation::WeightedSum)`
+/// is the paper's MTTF quality dimension.
+#[derive(Debug, Clone)]
+pub struct CharacteristicQef {
+    characteristic: String,
+    aggregation: Aggregation,
+    name: String,
+}
+
+impl CharacteristicQef {
+    /// A QEF for `characteristic` under `aggregation`. Its QEF name is
+    /// `"<characteristic>"` (so weights bind to the characteristic name).
+    pub fn new(characteristic: impl Into<String>, aggregation: Aggregation) -> Self {
+        let characteristic = characteristic.into();
+        let name = characteristic.clone();
+        Self {
+            characteristic,
+            aggregation,
+            name,
+        }
+    }
+
+    /// The aggregation in use.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// The characteristic this QEF reads.
+    pub fn characteristic(&self) -> &str {
+        &self.characteristic
+    }
+}
+
+impl Qef for CharacteristicQef {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+        self.aggregation
+            .evaluate(&self.characteristic, selection, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{SourceBuilder, SourceId, Universe};
+
+    #[test]
+    fn delegates_to_aggregation() {
+        let mut u = Universe::new();
+        u.add_source(
+            SourceBuilder::new("a")
+                .attributes(["x"])
+                .cardinality(1)
+                .characteristic("latency", 10.0),
+        )
+        .unwrap();
+        u.add_source(
+            SourceBuilder::new("b")
+                .attributes(["x"])
+                .cardinality(1)
+                .characteristic("latency", 20.0),
+        )
+        .unwrap();
+        let ctx = QefContext::without_sketches(&u);
+        let qef = CharacteristicQef::new("latency", Aggregation::Max);
+        assert_eq!(qef.name(), "latency");
+        assert_eq!(qef.characteristic(), "latency");
+        assert_eq!(qef.aggregation(), Aggregation::Max);
+        let all = SourceSelection::from_ids(2, [SourceId(0), SourceId(1)]);
+        assert_eq!(qef.evaluate(&all, &ctx), 1.0);
+        let low = SourceSelection::from_ids(2, [SourceId(0)]);
+        assert_eq!(qef.evaluate(&low, &ctx), 0.0);
+    }
+}

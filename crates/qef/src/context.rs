@@ -1,0 +1,194 @@
+//! Shared evaluation context: the universe plus the cached per-source PCSA
+//! signatures and characteristic ranges.
+
+use std::collections::BTreeMap;
+
+use mube_pcsa::PcsaSketch;
+use mube_schema::{SourceId, SourceSelection, Universe};
+
+/// Everything the data and characteristic QEFs need, computed once per
+/// universe and shared across the optimizer's many evaluations.
+///
+/// Mirrors the paper's architecture: "These hash signatures are cached by
+/// µBE"; sources that do not cooperate simply have no signature and are
+/// "assigned 0 coverage and redundancy QEFs" (their tuples contribute
+/// nothing to union estimates).
+pub struct QefContext<'a> {
+    universe: &'a Universe,
+    /// Per source id: the cached PCSA signature, `None` for uncooperative
+    /// sources.
+    sketches: Vec<Option<PcsaSketch>>,
+    /// Estimated `|∪_{t∈U} t|`, the Coverage denominator.
+    universe_union: f64,
+    /// Per characteristic: (min, max) over sources declaring it.
+    char_ranges: BTreeMap<String, (f64, f64)>,
+}
+
+impl<'a> QefContext<'a> {
+    /// Builds a context from per-source signatures. `sketches[i]` must be
+    /// the signature of source `i`, or `None` if that source does not
+    /// cooperate.
+    ///
+    /// # Panics
+    /// Panics if `sketches.len()` differs from the universe size.
+    pub fn new(universe: &'a Universe, sketches: Vec<Option<PcsaSketch>>) -> Self {
+        assert_eq!(
+            sketches.len(),
+            universe.len(),
+            "one sketch slot per source required"
+        );
+        let universe_union =
+            PcsaSketch::estimate_union(sketches.iter().flatten());
+        let mut char_ranges: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        for source in universe.sources() {
+            for (name, &value) in source.characteristics() {
+                char_ranges
+                    .entry(name.clone())
+                    .and_modify(|(lo, hi)| {
+                        *lo = lo.min(value);
+                        *hi = hi.max(value);
+                    })
+                    .or_insert((value, value));
+            }
+        }
+        Self {
+            universe,
+            sketches,
+            universe_union,
+            char_ranges,
+        }
+    }
+
+    /// A context with no cooperating sources: data QEFs all evaluate to 0,
+    /// matching the paper's degraded mode.
+    pub fn without_sketches(universe: &'a Universe) -> Self {
+        Self::new(universe, vec![None; universe.len()])
+    }
+
+    /// The universe.
+    pub fn universe(&self) -> &Universe {
+        self.universe
+    }
+
+    /// The cached signature of one source.
+    pub fn sketch(&self, id: SourceId) -> Option<&PcsaSketch> {
+        self.sketches.get(id.index())?.as_ref()
+    }
+
+    /// Estimated distinct-tuple count of the whole universe.
+    pub fn universe_union(&self) -> f64 {
+        self.universe_union
+    }
+
+    /// Estimated distinct-tuple count of the union of the selected sources
+    /// (0.0 for an empty selection or if no selected source cooperates).
+    pub fn union_estimate(&self, selection: &SourceSelection) -> f64 {
+        PcsaSketch::estimate_union(
+            selection
+                .iter()
+                .filter_map(|id| self.sketches[id.index()].as_ref()),
+        )
+    }
+
+    /// Total tuple count of the selected sources (`Σ_{s∈S} |s|`).
+    pub fn selected_cardinality(&self, selection: &SourceSelection) -> u64 {
+        self.universe.cardinality_of(selection.iter())
+    }
+
+    /// The `(min, max)` range of a characteristic over the universe, if any
+    /// source declares it.
+    pub fn characteristic_range(&self, name: &str) -> Option<(f64, f64)> {
+        self.char_ranges.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::SourceBuilder;
+
+    fn universe_with_sketches() -> (Universe, Vec<Option<PcsaSketch>>) {
+        let mut u = Universe::new();
+        u.add_source(
+            SourceBuilder::new("a")
+                .attributes(["x"])
+                .cardinality(1000)
+                .characteristic("mttf", 50.0),
+        )
+        .unwrap();
+        u.add_source(
+            SourceBuilder::new("b")
+                .attributes(["y"])
+                .cardinality(2000)
+                .characteristic("mttf", 150.0),
+        )
+        .unwrap();
+        let mut s0 = PcsaSketch::with_defaults();
+        for t in 0..1000u64 {
+            s0.insert_u64(t);
+        }
+        let mut s1 = PcsaSketch::with_defaults();
+        for t in 500..2500u64 {
+            s1.insert_u64(t);
+        }
+        (u, vec![Some(s0), Some(s1)])
+    }
+
+    #[test]
+    fn union_estimates_reflect_overlap() {
+        let (u, sketches) = universe_with_sketches();
+        let ctx = QefContext::new(&u, sketches);
+        let both = SourceSelection::full(2);
+        let only_a = SourceSelection::from_ids(2, [SourceId(0)]);
+        // Universe distinct = 2500; source a distinct = 1000.
+        assert!((ctx.universe_union() - 2500.0).abs() / 2500.0 < 0.25);
+        assert!((ctx.union_estimate(&only_a) - 1000.0).abs() / 1000.0 < 0.25);
+        assert_eq!(ctx.union_estimate(&both), ctx.universe_union());
+    }
+
+    #[test]
+    fn selected_cardinality_sums_tuples() {
+        let (u, sketches) = universe_with_sketches();
+        let ctx = QefContext::new(&u, sketches);
+        assert_eq!(ctx.selected_cardinality(&SourceSelection::full(2)), 3000);
+        assert_eq!(
+            ctx.selected_cardinality(&SourceSelection::from_ids(2, [SourceId(1)])),
+            2000
+        );
+    }
+
+    #[test]
+    fn characteristic_ranges() {
+        let (u, sketches) = universe_with_sketches();
+        let ctx = QefContext::new(&u, sketches);
+        assert_eq!(ctx.characteristic_range("mttf"), Some((50.0, 150.0)));
+        assert_eq!(ctx.characteristic_range("fee"), None);
+    }
+
+    #[test]
+    fn uncooperative_sources_contribute_nothing() {
+        let (u, mut sketches) = universe_with_sketches();
+        sketches[1] = None;
+        let ctx = QefContext::new(&u, sketches);
+        let both = SourceSelection::full(2);
+        // Union over both = union over a only.
+        let only_a = SourceSelection::from_ids(2, [SourceId(0)]);
+        assert_eq!(ctx.union_estimate(&both), ctx.union_estimate(&only_a));
+        assert!(ctx.sketch(SourceId(1)).is_none());
+    }
+
+    #[test]
+    fn without_sketches_mode() {
+        let (u, _) = universe_with_sketches();
+        let ctx = QefContext::without_sketches(&u);
+        assert_eq!(ctx.universe_union(), 0.0);
+        assert_eq!(ctx.union_estimate(&SourceSelection::full(2)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sketch slot per source")]
+    fn sketch_count_mismatch_panics() {
+        let (u, _) = universe_with_sketches();
+        QefContext::new(&u, vec![None]);
+    }
+}

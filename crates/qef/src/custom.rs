@@ -1,0 +1,103 @@
+//! Closure-backed QEFs: the quickest way for users to "define new quality
+//! metrics" (Section 2.3) and "define their own aggregation functions"
+//! (Section 5) without a new type.
+
+use mube_schema::SourceSelection;
+
+use crate::context::QefContext;
+use crate::qef::Qef;
+
+/// A QEF defined by a closure.
+///
+/// The closure receives the candidate selection and the shared
+/// [`QefContext`] and must return a value in `[0, 1]` (clamped
+/// defensively). Example — an "availability floor" metric that scores a
+/// selection by its *worst* source's MTTF, normalized:
+///
+/// ```
+/// use mube_qef::{FnQef, Qef, QefContext};
+/// use mube_schema::{SourceBuilder, SourceId, SourceSelection, Universe};
+///
+/// let mut u = Universe::new();
+/// u.add_source(SourceBuilder::new("a").attributes(["x"]).characteristic("mttf", 50.0)).unwrap();
+/// u.add_source(SourceBuilder::new("b").attributes(["x"]).characteristic("mttf", 200.0)).unwrap();
+/// let ctx = QefContext::without_sketches(&u);
+///
+/// let floor = FnQef::new("mttf-floor", |sel: &SourceSelection, ctx: &QefContext<'_>| {
+///     let (lo, hi) = ctx.characteristic_range("mttf").unwrap_or((0.0, 1.0));
+///     sel.iter()
+///         .filter_map(|id| ctx.universe().expect_source(id).characteristic("mttf"))
+///         .map(|v| (v - lo) / (hi - lo).max(f64::EPSILON))
+///         .fold(1.0f64, f64::min)
+/// });
+/// let both = SourceSelection::from_ids(2, [SourceId(0), SourceId(1)]);
+/// assert_eq!(floor.evaluate(&both, &ctx), 0.0); // worst source dominates
+/// ```
+pub struct FnQef<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnQef<F>
+where
+    F: Fn(&SourceSelection, &QefContext<'_>) -> f64 + Send + Sync,
+{
+    /// Wraps `f` as a QEF named `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Qef for FnQef<F>
+where
+    F: Fn(&SourceSelection, &QefContext<'_>) -> f64 + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+        (self.f)(selection, ctx).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{SourceBuilder, SourceId, Universe};
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        for (name, card) in [("a", 10u64), ("b", 90)] {
+            u.add_source(SourceBuilder::new(name).attributes(["x"]).cardinality(card))
+                .unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn closure_is_invoked_with_context() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        let qef = FnQef::new("half-mass", |sel: &SourceSelection, ctx: &QefContext<'_>| {
+            ctx.selected_cardinality(sel) as f64 / ctx.universe().total_cardinality() as f64
+        });
+        assert_eq!(qef.name(), "half-mass");
+        let only_b = SourceSelection::from_ids(2, [SourceId(1)]);
+        assert!((qef.evaluate(&only_b, &ctx) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        let too_big = FnQef::new("big", |_: &SourceSelection, _: &QefContext<'_>| 7.0);
+        let negative = FnQef::new("neg", |_: &SourceSelection, _: &QefContext<'_>| -3.0);
+        let sel = SourceSelection::empty(2);
+        assert_eq!(too_big.evaluate(&sel, &ctx), 1.0);
+        assert_eq!(negative.evaluate(&sel, &ctx), 0.0);
+    }
+}

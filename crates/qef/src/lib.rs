@@ -1,0 +1,32 @@
+//! Quality Evaluation Functions (QEFs) for µBE.
+//!
+//! Section 2.3: a QEF `F_k(S)` maps a set of sources to `[0, 1]`, higher is
+//! better. The overall quality is the weighted sum `Q(S) = Σ w_i F_i(S)`
+//! with weights on the probability simplex.
+//!
+//! This crate implements the data-dependent QEFs of Section 4 —
+//! [`CardinalityQef`], [`CoverageQef`], [`RedundancyQef`] — on top of the
+//! PCSA sketches of `mube-pcsa`, and the source-characteristic QEFs of
+//! Section 5 ([`CharacteristicQef`] with pluggable [`Aggregation`]s,
+//! including the paper's `wsum`). The matching-quality QEF `F1` needs the
+//! `Match` operator and therefore lives in `mube-core`, which combines
+//! everything through the same [`Qef`] trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod characteristic;
+pub mod context;
+pub mod custom;
+pub mod data;
+pub mod qef;
+pub mod weights;
+
+pub use aggregate::Aggregation;
+pub use characteristic::CharacteristicQef;
+pub use context::QefContext;
+pub use custom::FnQef;
+pub use data::{CardinalityQef, CoverageQef, RedundancyQef};
+pub use qef::Qef;
+pub use weights::Weights;

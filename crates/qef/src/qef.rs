@@ -1,0 +1,44 @@
+//! The [`Qef`] trait.
+
+use mube_schema::SourceSelection;
+
+use crate::context::QefContext;
+
+/// A quality evaluation function `F_k(S) ∈ [0, 1]`, higher is better.
+///
+/// QEFs receive the candidate selection and a [`QefContext`] holding the
+/// universe-level statistics they need (cardinalities, cached PCSA
+/// signatures, characteristic ranges). Implementations must:
+///
+/// * return values in `[0, 1]`;
+/// * be deterministic for a given `(selection, context)`.
+pub trait Qef: Send + Sync {
+    /// The QEF's name, used to bind weights to functions.
+    fn name(&self) -> &str;
+
+    /// Evaluates the QEF on a selection.
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+
+    impl Qef for Constant {
+        fn name(&self) -> &str {
+            "constant"
+        }
+
+        fn evaluate(&self, _selection: &SourceSelection, _ctx: &QefContext<'_>) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let qefs: Vec<Box<dyn Qef>> = vec![Box::new(Constant(0.5))];
+        assert_eq!(qefs[0].name(), "constant");
+    }
+}

@@ -1,0 +1,251 @@
+//! QEF weights: the user's statement of relative importance.
+//!
+//! Section 2.3: weights are in `[0, 1]` and sum to 1; "they can be changed
+//! between iterations of µBE to guide the search for a solution towards
+//! different parts of the search space".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A validated weight vector over named QEFs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    weights: BTreeMap<String, f64>,
+}
+
+/// Tolerance on the simplex constraint `Σ w_i = 1`.
+const SUM_TOLERANCE: f64 = 1e-9;
+
+impl Weights {
+    /// Builds weights from `(name, weight)` pairs.
+    ///
+    /// # Errors
+    /// Returns a message if any weight is outside `[0, 1]`, the sum is not
+    /// 1 (within tolerance), a name repeats, or the set is empty.
+    pub fn new<I, S>(pairs: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut weights = BTreeMap::new();
+        for (name, w) in pairs {
+            let name = name.into();
+            if !(0.0..=1.0).contains(&w) || !w.is_finite() {
+                return Err(format!("weight for {name:?} out of [0,1]: {w}"));
+            }
+            if weights.insert(name.clone(), w).is_some() {
+                return Err(format!("duplicate weight for {name:?}"));
+            }
+        }
+        if weights.is_empty() {
+            return Err("at least one weight required".to_owned());
+        }
+        let sum: f64 = weights.values().sum();
+        if (sum - 1.0).abs() > SUM_TOLERANCE {
+            return Err(format!("weights must sum to 1, got {sum}"));
+        }
+        Ok(Self { weights })
+    }
+
+    /// Builds weights from raw non-negative importances, normalizing them to
+    /// the simplex. Errors if all importances are zero or any is negative.
+    pub fn normalized<I, S>(pairs: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let raw: Vec<(String, f64)> = pairs.into_iter().map(|(n, w)| (n.into(), w)).collect();
+        if let Some((name, w)) = raw.iter().find(|(_, w)| *w < 0.0 || !w.is_finite()) {
+            return Err(format!("importance for {name:?} must be ≥ 0, got {w}"));
+        }
+        let sum: f64 = raw.iter().map(|(_, w)| w).sum();
+        if sum <= 0.0 {
+            return Err("importances must not all be zero".to_owned());
+        }
+        Self::new(raw.into_iter().map(|(n, w)| (n, w / sum)))
+    }
+
+    /// The paper's default experimental weights: matching 0.25, cardinality
+    /// 0.25, coverage 0.2, redundancy 0.15, mttf 0.15.
+    pub fn paper_defaults() -> Self {
+        Self::new([
+            ("matching", 0.25),
+            ("cardinality", 0.25),
+            ("coverage", 0.2),
+            ("redundancy", 0.15),
+            ("mttf", 0.15),
+        ])
+        .expect("paper defaults are valid")
+    }
+
+    /// The weight of a QEF, 0.0 if absent.
+    pub fn get(&self, name: &str) -> f64 {
+        self.weights.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Whether a weight is declared for `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.weights.contains_key(name)
+    }
+
+    /// Iterates `(name, weight)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.weights.iter().map(|(n, &w)| (n.as_str(), w))
+    }
+
+    /// Number of weighted QEFs.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no weights (never true for validated instances).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Returns new weights with each weight multiplied by the matching
+    /// factor and the result renormalized — the Section 7.4 sensitivity
+    /// experiment perturbs all weights by up to ±15% this way.
+    ///
+    /// `factors` are matched positionally to names in name order; missing
+    /// factors default to 1.0.
+    ///
+    /// # Errors
+    /// Returns a message if a factor is negative or the perturbed sum is 0.
+    pub fn perturbed(&self, factors: &[f64]) -> Result<Self, String> {
+        let raw: Vec<(String, f64)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, (n, &w))| (n.clone(), w * factors.get(i).copied().unwrap_or(1.0)))
+            .collect();
+        Self::normalized(raw)
+    }
+
+    /// Returns new weights where `name` is pinned to `value` and the other
+    /// weights share the remainder proportionally to their old values (or
+    /// equally, when the rest were all zero) — used by the Figure 8 sweep
+    /// ("vary the weights on the Card QEF from 0.1 to 1, with the remaining
+    /// weights all set to equal values").
+    ///
+    /// # Errors
+    /// Returns a message for an unknown name or a value outside `[0, 1]`.
+    pub fn with_pinned(&self, name: &str, value: f64) -> Result<Self, String> {
+        if !self.contains(name) {
+            return Err(format!("unknown QEF {name:?}"));
+        }
+        if !(0.0..=1.0).contains(&value) {
+            return Err(format!("pinned weight out of [0,1]: {value}"));
+        }
+        let rest_old: f64 = self
+            .weights
+            .iter()
+            .filter(|(n, _)| n.as_str() != name)
+            .map(|(_, &w)| w)
+            .sum();
+        let remainder = 1.0 - value;
+        let others = self.weights.len() - 1;
+        let pairs: Vec<(String, f64)> = self
+            .weights
+            .keys()
+            .map(|n| {
+                if n == name {
+                    (n.clone(), value)
+                } else if rest_old > 0.0 {
+                    (n.clone(), remainder * self.weights[n] / rest_old)
+                } else if others > 0 {
+                    (n.clone(), remainder / others as f64)
+                } else {
+                    (n.clone(), 0.0)
+                }
+            })
+            .collect();
+        // Guard: with a single QEF, pinning to anything but 1 is invalid.
+        Self::new(pairs).map_err(|e| format!("cannot pin {name:?} to {value}: {e}"))
+    }
+}
+
+impl fmt::Display for Weights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (n, w)) in self.weights.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}={w:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_validate() {
+        let w = Weights::paper_defaults();
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.get("matching"), 0.25);
+        assert_eq!(w.get("mttf"), 0.15);
+        assert_eq!(w.get("unknown"), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_sums_and_ranges() {
+        assert!(Weights::new([("a", 0.5), ("b", 0.6)]).is_err());
+        assert!(Weights::new([("a", -0.1), ("b", 1.1)]).is_err());
+        assert!(Weights::new([("a", 1.5)]).is_err());
+        assert!(Weights::new(Vec::<(String, f64)>::new()).is_err());
+        assert!(Weights::new([("a", 0.5), ("a", 0.5)]).is_err());
+    }
+
+    #[test]
+    fn normalized_scales_importances() {
+        let w = Weights::normalized([("a", 1.0), ("b", 3.0)]).unwrap();
+        assert!((w.get("a") - 0.25).abs() < 1e-12);
+        assert!((w.get("b") - 0.75).abs() < 1e-12);
+        assert!(Weights::normalized([("a", 0.0)]).is_err());
+        assert!(Weights::normalized([("a", -1.0)]).is_err());
+    }
+
+    #[test]
+    fn perturbed_renormalizes() {
+        let w = Weights::new([("a", 0.5), ("b", 0.5)]).unwrap();
+        let p = w.perturbed(&[1.15, 0.85]).unwrap();
+        let sum: f64 = p.iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p.get("a") > p.get("b"));
+    }
+
+    #[test]
+    fn with_pinned_shares_remainder() {
+        let w = Weights::paper_defaults();
+        let p = w.with_pinned("cardinality", 0.6).unwrap();
+        assert!((p.get("cardinality") - 0.6).abs() < 1e-12);
+        let sum: f64 = p.iter().map(|(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Others keep their relative order.
+        assert!(p.get("matching") > p.get("mttf"));
+    }
+
+    #[test]
+    fn with_pinned_full_weight() {
+        let w = Weights::paper_defaults();
+        let p = w.with_pinned("cardinality", 1.0).unwrap();
+        assert_eq!(p.get("cardinality"), 1.0);
+        assert_eq!(p.get("matching"), 0.0);
+    }
+
+    #[test]
+    fn with_pinned_errors() {
+        let w = Weights::paper_defaults();
+        assert!(w.with_pinned("nope", 0.5).is_err());
+        assert!(w.with_pinned("cardinality", 1.5).is_err());
+    }
+
+    #[test]
+    fn display_lists_weights() {
+        let w = Weights::new([("a", 1.0)]).unwrap();
+        assert_eq!(w.to_string(), "a=1.000");
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the QEF layer: range, monotonicity, and weight
+//! algebra.
+
+use proptest::prelude::*;
+
+use mube_pcsa::{PcsaSketch, TupleHasher};
+use mube_qef::{
+    Aggregation, CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext,
+    RedundancyQef, Weights,
+};
+use mube_schema::{SourceBuilder, SourceId, SourceSelection, Universe};
+
+/// Builds a universe with the given per-source cardinalities and sketches
+/// over deterministic tuple ranges (consecutive, offset by `overlap`).
+fn universe_with(cards: &[u64], overlap: u64) -> (Universe, Vec<Option<PcsaSketch>>) {
+    let mut u = Universe::new();
+    let mut sketches = Vec::new();
+    let hasher = TupleHasher::default();
+    let mut start = 0u64;
+    for (i, &card) in cards.iter().enumerate() {
+        u.add_source(
+            SourceBuilder::new(format!("s{i}"))
+                .attributes(["x"])
+                .cardinality(card)
+                .characteristic("mttf", 10.0 + i as f64),
+        )
+        .unwrap();
+        let mut sk = PcsaSketch::new(64, hasher);
+        for t in start..start + card {
+            sk.insert_u64(t);
+        }
+        sketches.push(Some(sk));
+        start += card.saturating_sub(overlap.min(card));
+    }
+    (u, sketches)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_qefs_in_unit_interval(
+        cards in prop::collection::vec(10u64..5_000, 1..8),
+        overlap in 0u64..1_000,
+        mask in any::<u32>(),
+    ) {
+        let (u, sketches) = universe_with(&cards, overlap);
+        let ctx = QefContext::new(&u, sketches);
+        let selection = SourceSelection::from_ids(
+            u.len(),
+            (0..u.len()).filter(|i| mask & (1 << (i % 32)) != 0).map(|i| SourceId(i as u32)),
+        );
+        let char_qef = CharacteristicQef::new("mttf", Aggregation::WeightedSum);
+        for qef in [
+            &CardinalityQef as &dyn Qef,
+            &CoverageQef,
+            &RedundancyQef,
+            &char_qef,
+        ] {
+            let v = qef.evaluate(&selection, &ctx);
+            prop_assert!((0.0..=1.0).contains(&v), "{}: {v}", qef.name());
+        }
+    }
+
+    #[test]
+    fn cardinality_and_coverage_monotone_under_additions(
+        cards in prop::collection::vec(10u64..5_000, 2..8),
+        overlap in 0u64..1_000,
+    ) {
+        let (u, sketches) = universe_with(&cards, overlap);
+        let ctx = QefContext::new(&u, sketches);
+        // Grow the selection one source at a time; Card and Coverage must
+        // be non-decreasing.
+        let mut sel = SourceSelection::empty(u.len());
+        let mut prev_card = 0.0;
+        let mut prev_cov = 0.0;
+        for i in 0..u.len() {
+            sel.insert(SourceId(i as u32));
+            let card = CardinalityQef.evaluate(&sel, &ctx);
+            let cov = CoverageQef.evaluate(&sel, &ctx);
+            prop_assert!(card >= prev_card - 1e-12);
+            prop_assert!(cov >= prev_cov - 1e-12);
+            prev_card = card;
+            prev_cov = cov;
+        }
+        // Full selection: Card exactly 1.
+        prop_assert!((prev_card - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundancy_decreases_with_more_overlap(
+        cards in prop::collection::vec(1_000u64..3_000, 2..6),
+    ) {
+        let (u1, s1) = universe_with(&cards, 0);
+        let (u2, s2) = universe_with(&cards, 900);
+        let ctx1 = QefContext::new(&u1, s1);
+        let ctx2 = QefContext::new(&u2, s2);
+        let all1 = SourceSelection::full(u1.len());
+        let all2 = SourceSelection::full(u2.len());
+        let r_disjoint = RedundancyQef.evaluate(&all1, &ctx1);
+        let r_overlap = RedundancyQef.evaluate(&all2, &ctx2);
+        prop_assert!(
+            r_disjoint >= r_overlap - 0.15,
+            "disjoint {r_disjoint} vs overlapping {r_overlap}"
+        );
+    }
+
+    #[test]
+    fn weights_normalization_hits_the_simplex(raw in prop::collection::vec(0.01f64..10.0, 1..8)) {
+        let pairs: Vec<(String, f64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (format!("q{i}"), w))
+            .collect();
+        let weights = Weights::normalized(pairs).unwrap();
+        let sum: f64 = weights.iter().map(|(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for (_, w) in weights.iter() {
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn perturb_then_renormalize_stays_valid(
+        factors in prop::collection::vec(0.85f64..1.15, 5),
+    ) {
+        let w = Weights::paper_defaults();
+        let p = w.perturbed(&factors).unwrap();
+        let sum: f64 = p.iter().map(|(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // Perturbation by ≤15% cannot reorder weights that differ by > 35%.
+        prop_assert!(p.get("matching") > p.get("mttf") * 0.9);
+    }
+
+    #[test]
+    fn pinned_weight_sweeps_cleanly(value in 0.0f64..=1.0) {
+        let w = Weights::paper_defaults();
+        let p = w.with_pinned("cardinality", value).unwrap();
+        prop_assert!((p.get("cardinality") - value).abs() < 1e-12);
+        let sum: f64 = p.iter().map(|(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregations_agree_on_uniform_selections(card in 100u64..5_000) {
+        // All sources identical -> every aggregation returns the same value
+        // (1.0, the "nothing to discriminate" convention).
+        let mut u = Universe::new();
+        for i in 0..4 {
+            u.add_source(
+                SourceBuilder::new(format!("s{i}"))
+                    .attributes(["x"])
+                    .cardinality(card)
+                    .characteristic("fee", 5.0),
+            )
+            .unwrap();
+        }
+        let ctx = QefContext::without_sketches(&u);
+        let all = SourceSelection::full(4);
+        for agg in [
+            Aggregation::WeightedSum,
+            Aggregation::Mean,
+            Aggregation::Min,
+            Aggregation::Max,
+        ] {
+            prop_assert_eq!(agg.evaluate("fee", &all, &ctx), 1.0);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Attribute identifiers.
+//!
+//! An attribute is identified by the source it belongs to and its position in
+//! that source's schema. We never copy attribute names around during
+//! optimization — everything operates on these compact ids and resolves names
+//! through the [`Universe`](crate::Universe) when needed for display.
+
+use std::fmt;
+
+use crate::source::SourceId;
+
+/// Identifier of one attribute `a_ij`: attribute `j` of source `i`.
+///
+/// Ordering is lexicographic on `(source, index)`, which gives GAs and
+/// mediated schemas a canonical order for deterministic output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId {
+    /// The source this attribute belongs to.
+    pub source: SourceId,
+    /// Zero-based position within the source's schema.
+    pub index: u32,
+}
+
+impl AttrId {
+    /// Creates an attribute id for attribute `index` of `source`.
+    pub fn new(source: SourceId, index: u32) -> Self {
+        Self { source, index }
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}.{}", self.source.0, self.index)
+    }
+}
+
+/// Normalizes an attribute name for similarity comparison: lowercase, trims,
+/// and collapses runs of whitespace/punctuation separators to single spaces.
+///
+/// Web query interfaces label the same concept as `"Author"`, `"author name"`,
+/// or `"AUTHOR_NAME"`; normalization removes the casing/punctuation noise while
+/// leaving the token content to the n-gram similarity measure.
+pub fn normalize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut pending_space = false;
+    for ch in name.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for low in ch.to_lowercase() {
+                out.push(low);
+            }
+        } else {
+            pending_space = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_id_ordering_is_source_major() {
+        let a = AttrId::new(SourceId(1), 5);
+        let b = AttrId::new(SourceId(2), 0);
+        let c = AttrId::new(SourceId(1), 6);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn attr_id_display() {
+        assert_eq!(AttrId::new(SourceId(3), 7).to_string(), "a3.7");
+    }
+
+    #[test]
+    fn normalize_lowercases() {
+        assert_eq!(normalize_name("Author"), "author");
+        assert_eq!(normalize_name("ISBN"), "isbn");
+    }
+
+    #[test]
+    fn normalize_collapses_separators() {
+        assert_eq!(normalize_name("author  name"), "author name");
+        assert_eq!(normalize_name("AUTHOR_NAME"), "author name");
+        assert_eq!(normalize_name("after-date"), "after date");
+        assert_eq!(normalize_name("  keyword "), "keyword");
+    }
+
+    #[test]
+    fn normalize_empty_and_punctuation_only() {
+        assert_eq!(normalize_name(""), "");
+        assert_eq!(normalize_name("--- "), "");
+    }
+
+    #[test]
+    fn normalize_keeps_digits() {
+        assert_eq!(normalize_name("ISBN-13"), "isbn 13");
+    }
+}

@@ -1,0 +1,283 @@
+//! Compound schema elements: the paper's n:m matching extension.
+//!
+//! Section 2.1: "our formulation may be extended to accommodate compound
+//! schema elements by replacing the attributes in our definitions with
+//! compound elements (e.g., elements consisting of sets of attributes).
+//! This would enable us to handle matching with n:m cardinality by mapping
+//! n:m matches to 1:1 matches on compound elements."
+//!
+//! This module implements exactly that mapping: a [`CompoundUniverse`] is a
+//! *derived* universe in which chosen groups of attributes of one source
+//! (e.g. `{first name, last name}`) are fused into single compound
+//! attributes (with concatenated names, so n-gram similarity sees all the
+//! evidence). The entire µBE stack — similarity, clustering, QEFs,
+//! optimization — runs unchanged on the derived universe, and the mapping
+//! translates results back: a 1:1 GA over compound elements expands to an
+//! n:m correspondence over original attributes.
+
+use std::collections::BTreeMap;
+
+use crate::attribute::AttrId;
+use crate::error::SchemaError;
+use crate::ga::GlobalAttribute;
+use crate::mediated::MediatedSchema;
+use crate::source::{SourceBuilder, SourceId};
+use crate::universe::Universe;
+
+/// A grouping instruction: fuse these attributes of one source into a
+/// single compound element. Attributes of a source not covered by any
+/// group stay as singleton elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompoundGroup {
+    /// The source whose attributes are grouped.
+    pub source: SourceId,
+    /// Attribute indices (within the source) to fuse, in display order.
+    pub attrs: Vec<u32>,
+}
+
+/// A derived universe whose attributes are compound elements, plus the
+/// mapping back to the original attributes.
+#[derive(Debug, Clone)]
+pub struct CompoundUniverse {
+    derived: Universe,
+    /// Per derived attribute: the original attributes it stands for.
+    expansion: BTreeMap<AttrId, Vec<AttrId>>,
+}
+
+impl CompoundUniverse {
+    /// Builds the derived universe from `original` and the given groups.
+    ///
+    /// # Errors
+    /// Rejects groups referencing unknown sources/attributes, empty groups,
+    /// and attributes claimed by two groups.
+    pub fn new(original: &Universe, groups: &[CompoundGroup]) -> Result<Self, SchemaError> {
+        // Validate and index groups per source.
+        let mut grouped: BTreeMap<SourceId, Vec<&CompoundGroup>> = BTreeMap::new();
+        let mut claimed: BTreeMap<AttrId, ()> = BTreeMap::new();
+        for group in groups {
+            if group.attrs.is_empty() {
+                return Err(SchemaError::EmptyGa);
+            }
+            for &index in &group.attrs {
+                let attr = AttrId::new(group.source, index);
+                if !original.contains_attr(attr) {
+                    return Err(SchemaError::UnknownAttribute { attr });
+                }
+                if claimed.insert(attr, ()).is_some() {
+                    return Err(SchemaError::OverlappingGaConstraints { attr });
+                }
+            }
+            grouped.entry(group.source).or_default().push(group);
+        }
+
+        let mut derived = Universe::new();
+        let mut expansion: BTreeMap<AttrId, Vec<AttrId>> = BTreeMap::new();
+        for source in original.sources() {
+            let sid = source.id();
+            let groups_here = grouped.get(&sid).map(Vec::as_slice).unwrap_or(&[]);
+            // Derived attribute list: each group becomes one fused name;
+            // ungrouped attributes pass through.
+            let mut names: Vec<String> = Vec::new();
+            let mut expansions: Vec<Vec<AttrId>> = Vec::new();
+            for group in groups_here {
+                let fused_name = group
+                    .attrs
+                    .iter()
+                    .map(|&j| source.attribute_name(j).expect("validated above"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                names.push(fused_name);
+                expansions.push(
+                    group
+                        .attrs
+                        .iter()
+                        .map(|&j| AttrId::new(sid, j))
+                        .collect(),
+                );
+            }
+            for (j, name) in source.attributes().iter().enumerate() {
+                let attr = AttrId::new(sid, j as u32);
+                if !claimed.contains_key(&attr) {
+                    names.push(name.clone());
+                    expansions.push(vec![attr]);
+                }
+            }
+            let mut builder = SourceBuilder::new(source.name())
+                .attributes(names)
+                .cardinality(source.cardinality());
+            for (cname, &value) in source.characteristics() {
+                builder = builder.characteristic(cname.clone(), value);
+            }
+            let new_id = derived.add_source(builder)?;
+            debug_assert_eq!(new_id, sid, "derived universe preserves source ids");
+            for (j, exp) in expansions.into_iter().enumerate() {
+                expansion.insert(AttrId::new(new_id, j as u32), exp);
+            }
+        }
+        Ok(Self { derived, expansion })
+    }
+
+    /// The derived universe to run µBE on.
+    pub fn universe(&self) -> &Universe {
+        &self.derived
+    }
+
+    /// The original attributes a derived attribute stands for.
+    pub fn expand_attr(&self, attr: AttrId) -> &[AttrId] {
+        self.expansion
+            .get(&attr)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Expands a GA over compound elements into the original-attribute
+    /// correspondence it denotes. The result is an n:m match: it may
+    /// contain several attributes per source, which is exactly what
+    /// compound elements exist to express (it is *not* a valid Definition-1
+    /// GA over the original universe, by design).
+    pub fn expand_ga(&self, ga: &GlobalAttribute) -> Vec<AttrId> {
+        let mut out: Vec<AttrId> = ga
+            .attrs()
+            .flat_map(|a| self.expand_attr(a).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Expands a whole mediated schema into per-GA original-attribute
+    /// correspondences.
+    pub fn expand_schema(&self, schema: &MediatedSchema) -> Vec<Vec<AttrId>> {
+        schema.gas().iter().map(|ga| self.expand_ga(ga)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn original() -> Universe {
+        let mut u = Universe::new();
+        u.add_source(
+            SourceBuilder::new("split")
+                .attributes(["first name", "last name", "city"])
+                .cardinality(10)
+                .characteristic("mttf", 5.0),
+        )
+        .unwrap();
+        u.add_source(SourceBuilder::new("joined").attributes(["full name", "city"]))
+            .unwrap();
+        u
+    }
+
+    fn group(source: u32, attrs: &[u32]) -> CompoundGroup {
+        CompoundGroup {
+            source: SourceId(source),
+            attrs: attrs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn fuses_grouped_attributes() {
+        let u = original();
+        let cu = CompoundUniverse::new(&u, &[group(0, &[0, 1])]).unwrap();
+        let derived = cu.universe();
+        assert_eq!(derived.len(), 2);
+        let s0 = derived.expect_source(SourceId(0));
+        assert_eq!(s0.arity(), 2);
+        assert_eq!(s0.attribute_name(0), Some("first name last name"));
+        assert_eq!(s0.attribute_name(1), Some("city"));
+        // Characteristics and cardinality carry over.
+        assert_eq!(s0.cardinality(), 10);
+        assert_eq!(s0.characteristic("mttf"), Some(5.0));
+        // Untouched source passes through.
+        assert_eq!(derived.expect_source(SourceId(1)).arity(), 2);
+    }
+
+    #[test]
+    fn expansion_maps_back() {
+        let u = original();
+        let cu = CompoundUniverse::new(&u, &[group(0, &[0, 1])]).unwrap();
+        let fused = AttrId::new(SourceId(0), 0);
+        assert_eq!(
+            cu.expand_attr(fused),
+            &[AttrId::new(SourceId(0), 0), AttrId::new(SourceId(0), 1)]
+        );
+        let city = AttrId::new(SourceId(0), 1);
+        assert_eq!(cu.expand_attr(city), &[AttrId::new(SourceId(0), 2)]);
+    }
+
+    #[test]
+    fn ga_over_compounds_expands_to_n_m_match() {
+        let u = original();
+        let cu = CompoundUniverse::new(&u, &[group(0, &[0, 1])]).unwrap();
+        // 1:1 GA in the derived universe: {split.fused, joined.full name}.
+        let ga = GlobalAttribute::new([
+            AttrId::new(SourceId(0), 0),
+            AttrId::new(SourceId(1), 0),
+        ])
+        .unwrap();
+        let expanded = cu.expand_ga(&ga);
+        // 2:1 over the original attributes.
+        assert_eq!(
+            expanded,
+            vec![
+                AttrId::new(SourceId(0), 0),
+                AttrId::new(SourceId(0), 1),
+                AttrId::new(SourceId(1), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn expand_schema_covers_all_gas() {
+        let u = original();
+        let cu = CompoundUniverse::new(&u, &[group(0, &[0, 1])]).unwrap();
+        let schema = MediatedSchema::new([
+            GlobalAttribute::new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(1), 0)])
+                .unwrap(),
+            GlobalAttribute::new([AttrId::new(SourceId(0), 1), AttrId::new(SourceId(1), 1)])
+                .unwrap(),
+        ]);
+        let expanded = cu.expand_schema(&schema);
+        assert_eq!(expanded.len(), 2);
+        assert_eq!(expanded[0].len(), 3);
+        assert_eq!(expanded[1].len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_attr() {
+        let u = original();
+        assert!(matches!(
+            CompoundUniverse::new(&u, &[group(0, &[9])]),
+            Err(SchemaError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_double_claim() {
+        let u = original();
+        assert!(matches!(
+            CompoundUniverse::new(&u, &[group(0, &[0, 1]), group(0, &[1, 2])]),
+            Err(SchemaError::OverlappingGaConstraints { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_group() {
+        let u = original();
+        assert!(matches!(
+            CompoundUniverse::new(&u, &[group(0, &[])]),
+            Err(SchemaError::EmptyGa)
+        ));
+    }
+
+    #[test]
+    fn no_groups_is_identity_modulo_ids() {
+        let u = original();
+        let cu = CompoundUniverse::new(&u, &[]).unwrap();
+        assert_eq!(cu.universe().total_attrs(), u.total_attrs());
+        for attr in u.all_attrs() {
+            assert_eq!(cu.expand_attr(attr), &[attr]);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! User constraints: source constraints `C` and GA constraints `G`
+//! (Section 2.4).
+
+use std::collections::BTreeSet;
+
+use crate::attribute::AttrId;
+use crate::error::SchemaError;
+use crate::ga::GlobalAttribute;
+use crate::source::SourceId;
+use crate::universe::Universe;
+
+/// A GA constraint: a valid GA the user requires to be part of the solution.
+///
+/// The output mediated schema `M` must contain a GA that contains this one
+/// (`G ⊑ M`). GA constraints seed the clustering algorithm and enable the
+/// "bridging effect": two dissimilar attributes the user knows to be the same
+/// concept are placed in one cluster up front, and the cluster grows from
+/// both of them.
+pub type GaConstraint = GlobalAttribute;
+
+/// The full constraint set of one µBE iteration.
+///
+/// * `sources` (`C`): sources that must be part of the chosen solution.
+/// * `gas` (`G`): partial mediated schema that must be subsumed by the output.
+///
+/// A GA constraint *implies* source constraints: if a GA mentions `a_ij`,
+/// source `s_i` must be selected. [`Constraints::required_sources`] returns
+/// the union of explicit and implied source constraints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Constraints {
+    sources: BTreeSet<SourceId>,
+    gas: Vec<GaConstraint>,
+}
+
+impl Constraints {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source constraint.
+    pub fn require_source(&mut self, id: SourceId) -> &mut Self {
+        self.sources.insert(id);
+        self
+    }
+
+    /// Adds several source constraints.
+    pub fn require_sources<I>(&mut self, ids: I) -> &mut Self
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        self.sources.extend(ids);
+        self
+    }
+
+    /// Adds a GA constraint.
+    pub fn require_ga(&mut self, ga: GaConstraint) -> &mut Self {
+        self.gas.push(ga);
+        self
+    }
+
+    /// The explicit source constraints `C`.
+    pub fn sources(&self) -> &BTreeSet<SourceId> {
+        &self.sources
+    }
+
+    /// The GA constraints `G`.
+    pub fn gas(&self) -> &[GaConstraint] {
+        &self.gas
+    }
+
+    /// Whether there are no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty() && self.gas.is_empty()
+    }
+
+    /// The union of explicit source constraints and sources implied by GA
+    /// constraints. Every returned source must appear in any feasible
+    /// solution.
+    pub fn required_sources(&self) -> BTreeSet<SourceId> {
+        let mut all = self.sources.clone();
+        for ga in &self.gas {
+            all.extend(ga.sources());
+        }
+        all
+    }
+
+    /// Attributes pinned by GA constraints.
+    pub fn constrained_attrs(&self) -> BTreeSet<AttrId> {
+        self.gas.iter().flat_map(|g| g.attrs()).collect()
+    }
+
+    /// Validates the constraint set against a universe:
+    ///
+    /// * every source id must exist;
+    /// * every GA-constraint attribute must exist;
+    /// * GA constraints must be pairwise disjoint (otherwise no valid
+    ///   mediated schema can subsume all of them as distinct GAs).
+    pub fn validate(&self, universe: &Universe) -> Result<(), SchemaError> {
+        universe.validate_sources(self.sources.iter().copied())?;
+        let mut seen: BTreeSet<AttrId> = BTreeSet::new();
+        for ga in &self.gas {
+            for attr in ga.attrs() {
+                if !universe.contains_attr(attr) {
+                    return Err(SchemaError::UnknownAttribute { attr });
+                }
+                if !seen.insert(attr) {
+                    return Err(SchemaError::OverlappingGaConstraints { attr });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceBuilder;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        for name in ["s0", "s1", "s2"] {
+            u.add_source(SourceBuilder::new(name).attributes(["x", "y"]))
+                .unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn required_sources_includes_implied() {
+        let mut c = Constraints::none();
+        c.require_source(SourceId(0));
+        c.require_ga(GlobalAttribute::new([a(1, 0), a(2, 1)]).unwrap());
+        let req = c.required_sources();
+        assert_eq!(
+            req,
+            [SourceId(0), SourceId(1), SourceId(2)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let mut c = Constraints::none();
+        c.require_source(SourceId(2));
+        c.require_ga(GlobalAttribute::new([a(0, 0), a(1, 1)]).unwrap());
+        assert!(c.validate(&universe()).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_source() {
+        let mut c = Constraints::none();
+        c.require_source(SourceId(9));
+        assert!(matches!(
+            c.validate(&universe()),
+            Err(SchemaError::UnknownSource { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_attribute() {
+        let mut c = Constraints::none();
+        c.require_ga(GlobalAttribute::new([a(0, 5)]).unwrap());
+        assert!(matches!(
+            c.validate(&universe()),
+            Err(SchemaError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_ga_constraints() {
+        let mut c = Constraints::none();
+        c.require_ga(GlobalAttribute::new([a(0, 0), a(1, 0)]).unwrap());
+        c.require_ga(GlobalAttribute::new([a(0, 0), a(2, 0)]).unwrap());
+        assert!(matches!(
+            c.validate(&universe()),
+            Err(SchemaError::OverlappingGaConstraints { .. })
+        ));
+    }
+
+    #[test]
+    fn constrained_attrs_unions_gas() {
+        let mut c = Constraints::none();
+        c.require_ga(GlobalAttribute::new([a(0, 0), a(1, 0)]).unwrap());
+        c.require_ga(GlobalAttribute::new([a(2, 1)]).unwrap());
+        assert_eq!(c.constrained_attrs().len(), 3);
+    }
+
+    #[test]
+    fn empty_constraints() {
+        let c = Constraints::none();
+        assert!(c.is_empty());
+        assert!(c.required_sources().is_empty());
+        assert!(c.validate(&universe()).is_ok());
+    }
+}

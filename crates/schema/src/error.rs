@@ -1,0 +1,113 @@
+//! Error types for schema construction and constraint validation.
+
+use std::fmt;
+
+use crate::attribute::AttrId;
+use crate::source::SourceId;
+
+/// Errors raised while building universes or validating constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// A source was declared with no attributes.
+    EmptySchema {
+        /// Name of the offending source.
+        source: String,
+    },
+    /// A source declared an attribute whose name is empty or whitespace.
+    BlankAttribute {
+        /// Name of the offending source.
+        source: String,
+        /// The blank attribute text as given.
+        attribute: String,
+    },
+    /// A source characteristic was not a finite non-negative number.
+    InvalidCharacteristic {
+        /// Name of the offending source.
+        source: String,
+        /// Name of the characteristic.
+        characteristic: String,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A constraint referenced a source id not present in the universe.
+    UnknownSource {
+        /// The dangling id.
+        source: SourceId,
+    },
+    /// A constraint referenced an attribute not present in its source.
+    UnknownAttribute {
+        /// The dangling attribute id.
+        attr: AttrId,
+    },
+    /// A GA constraint contains two attributes from the same source,
+    /// violating Definition 1.
+    InvalidGa {
+        /// The two clashing attributes.
+        first: AttrId,
+        /// Second attribute of the clashing pair.
+        second: AttrId,
+    },
+    /// A GA constraint was empty (Definition 1 requires `g != ∅`).
+    EmptyGa,
+    /// Two GA constraints share an attribute, so no valid mediated schema can
+    /// contain both as distinct GAs (Definition 2 requires disjoint GAs).
+    OverlappingGaConstraints {
+        /// The shared attribute.
+        attr: AttrId,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::EmptySchema { source } => {
+                write!(f, "source {source:?} has an empty schema")
+            }
+            SchemaError::BlankAttribute { source, attribute } => {
+                write!(f, "source {source:?} has blank attribute {attribute:?}")
+            }
+            SchemaError::InvalidCharacteristic {
+                source,
+                characteristic,
+                value,
+            } => write!(
+                f,
+                "source {source:?} characteristic {characteristic:?} must be a finite \
+                 non-negative number, got {value}"
+            ),
+            SchemaError::UnknownSource { source } => {
+                write!(f, "constraint references unknown source {source}")
+            }
+            SchemaError::UnknownAttribute { attr } => {
+                write!(f, "constraint references unknown attribute {attr}")
+            }
+            SchemaError::InvalidGa { first, second } => write!(
+                f,
+                "GA constraint has two attributes from the same source: {first} and {second}"
+            ),
+            SchemaError::EmptyGa => write!(f, "GA constraint must be non-empty"),
+            SchemaError::OverlappingGaConstraints { attr } => {
+                write!(f, "two GA constraints share attribute {attr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = SchemaError::InvalidGa {
+            first: AttrId::new(SourceId(1), 0),
+            second: AttrId::new(SourceId(1), 2),
+        };
+        assert!(e.to_string().contains("a1.0"));
+        assert!(e.to_string().contains("a1.2"));
+        let e = SchemaError::UnknownSource { source: SourceId(9) };
+        assert!(e.to_string().contains("s9"));
+    }
+}

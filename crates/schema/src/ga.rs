@@ -1,0 +1,241 @@
+//! Global attributes (Definition 1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::attribute::AttrId;
+use crate::error::SchemaError;
+use crate::source::SourceId;
+
+/// A Global Attribute (GA): a set of attributes from different sources that
+/// all map to the same mediated-schema attribute.
+///
+/// Per Definition 1 a GA `g` is *valid* iff it is non-empty and no two of its
+/// attributes come from the same source ("the same concept cannot be expressed
+/// by two different attributes from the same source"). [`GlobalAttribute`]
+/// values constructed through [`GlobalAttribute::new`] are always valid;
+/// unchecked construction is available to internal callers that maintain the
+/// invariant themselves.
+///
+/// GAs are deliberately unnamed: the paper's automatic mediation discovers the
+/// grouping but does not impose names on the generated mediated-schema
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalAttribute {
+    attrs: BTreeSet<AttrId>,
+}
+
+impl GlobalAttribute {
+    /// Builds a GA from attributes, enforcing Definition 1.
+    ///
+    /// Returns [`SchemaError::EmptyGa`] for an empty input and
+    /// [`SchemaError::InvalidGa`] if two attributes share a source.
+    pub fn new<I>(attrs: I) -> Result<Self, SchemaError>
+    where
+        I: IntoIterator<Item = AttrId>,
+    {
+        let mut set = BTreeSet::new();
+        for attr in attrs {
+            if let Some(prev) = set.iter().copied().find(|a: &AttrId| a.source == attr.source) {
+                if prev != attr {
+                    return Err(SchemaError::InvalidGa {
+                        first: prev,
+                        second: attr,
+                    });
+                }
+            }
+            set.insert(attr);
+        }
+        if set.is_empty() {
+            return Err(SchemaError::EmptyGa);
+        }
+        Ok(Self { attrs: set })
+    }
+
+    /// Builds a GA with a single attribute (always valid).
+    pub fn singleton(attr: AttrId) -> Self {
+        let mut attrs = BTreeSet::new();
+        attrs.insert(attr);
+        Self { attrs }
+    }
+
+    /// Builds a GA from a set already known to satisfy Definition 1.
+    ///
+    /// Callers (e.g. the clustering algorithm, which only merges clusters
+    /// whose source sets are disjoint) must uphold the invariant. Debug builds
+    /// assert it.
+    pub fn from_valid_set(attrs: BTreeSet<AttrId>) -> Self {
+        debug_assert!(!attrs.is_empty());
+        debug_assert!({
+            let mut sources: Vec<SourceId> = attrs.iter().map(|a| a.source).collect();
+            sources.sort_unstable();
+            sources.windows(2).all(|w| w[0] != w[1])
+        });
+        Self { attrs }
+    }
+
+    /// The attributes of this GA in canonical order.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.attrs.iter().copied()
+    }
+
+    /// Number of attributes in the GA.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the GA is empty. Valid GAs never are; this exists for
+    /// completeness of the collection-like API.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Whether `attr` is a member of this GA.
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.attrs.contains(&attr)
+    }
+
+    /// Whether this GA contains any attribute of `source` (the `g ∩ s ≠ ∅`
+    /// test of Definition 2).
+    pub fn touches_source(&self, source: SourceId) -> bool {
+        self.attrs
+            .range(AttrId::new(source, 0)..=AttrId::new(source, u32::MAX))
+            .next()
+            .is_some()
+    }
+
+    /// The distinct sources contributing to this GA.
+    pub fn sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.attrs.iter().map(|a| a.source)
+    }
+
+    /// Whether this GA is a subset of `other` (the `g2 ⊆ g1` test used by
+    /// subsumption, Definition 3).
+    pub fn is_subset_of(&self, other: &GlobalAttribute) -> bool {
+        self.attrs.is_subset(&other.attrs)
+    }
+
+    /// Whether the two GAs share any attribute.
+    pub fn intersects(&self, other: &GlobalAttribute) -> bool {
+        // Iterate the smaller set.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.attrs.iter().any(|a| large.attrs.contains(a))
+    }
+
+    /// Whether merging with `other` would still satisfy Definition 1,
+    /// i.e. the source sets are disjoint.
+    pub fn can_merge(&self, other: &GlobalAttribute) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.sources().all(|s| !large.touches_source(s))
+    }
+
+    /// Merges two GAs with disjoint source sets.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the merge would violate Definition 1; use
+    /// [`GlobalAttribute::can_merge`] first.
+    pub fn merged_with(&self, other: &GlobalAttribute) -> GlobalAttribute {
+        debug_assert!(self.can_merge(other));
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other.attrs.iter().copied());
+        Self { attrs }
+    }
+}
+
+impl fmt::Display for GlobalAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<AttrId> for GlobalAttribute {
+    /// Collects attributes into a GA, panicking on invalid input; prefer
+    /// [`GlobalAttribute::new`] when the input is untrusted.
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        GlobalAttribute::new(iter).expect("invalid GA literal")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    #[test]
+    fn new_rejects_same_source_pair() {
+        let err = GlobalAttribute::new([a(0, 0), a(0, 1)]).unwrap_err();
+        assert!(matches!(err, SchemaError::InvalidGa { .. }));
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(GlobalAttribute::new([]), Err(SchemaError::EmptyGa));
+    }
+
+    #[test]
+    fn new_deduplicates_identical_attr() {
+        let g = GlobalAttribute::new([a(0, 1), a(0, 1)]).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn touches_source_checks_membership_by_source() {
+        let g = GlobalAttribute::new([a(0, 3), a(2, 1)]).unwrap();
+        assert!(g.touches_source(SourceId(0)));
+        assert!(g.touches_source(SourceId(2)));
+        assert!(!g.touches_source(SourceId(1)));
+    }
+
+    #[test]
+    fn can_merge_requires_disjoint_sources() {
+        let g1 = GlobalAttribute::new([a(0, 0), a(1, 0)]).unwrap();
+        let g2 = GlobalAttribute::new([a(2, 0)]).unwrap();
+        let g3 = GlobalAttribute::new([a(1, 2)]).unwrap();
+        assert!(g1.can_merge(&g2));
+        assert!(!g1.can_merge(&g3));
+    }
+
+    #[test]
+    fn merged_with_unions_attrs() {
+        let g1 = GlobalAttribute::new([a(0, 0)]).unwrap();
+        let g2 = GlobalAttribute::new([a(1, 1), a(2, 2)]).unwrap();
+        let m = g1.merged_with(&g2);
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(a(0, 0)) && m.contains(a(1, 1)) && m.contains(a(2, 2)));
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let g1 = GlobalAttribute::new([a(0, 0), a(1, 0), a(2, 0)]).unwrap();
+        let g2 = GlobalAttribute::new([a(0, 0), a(2, 0)]).unwrap();
+        let g3 = GlobalAttribute::new([a(3, 0)]).unwrap();
+        assert!(g2.is_subset_of(&g1));
+        assert!(!g1.is_subset_of(&g2));
+        assert!(g1.intersects(&g2));
+        assert!(!g1.intersects(&g3));
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        let g = GlobalAttribute::new([a(2, 0), a(0, 1)]).unwrap();
+        assert_eq!(g.to_string(), "{a0.1, a2.0}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Core schema model for µBE: data sources, attributes, global attributes,
+//! mediated schemas, and user constraints.
+//!
+//! This crate implements Section 2 of the paper ("Problem Definition"):
+//!
+//! * A **data source** ([`Source`]) is a relational schema (a list of attribute
+//!   names), a tuple-set summary (its cardinality; tuple contents are summarized
+//!   elsewhere by PCSA sketches), and a map of named **source characteristics**
+//!   (latency, MTTF, fees, ...).
+//! * The **universe** ([`Universe`]) is the set of all candidate sources.
+//! * A **global attribute** ([`GlobalAttribute`], GA) is a set of attributes
+//!   drawn from different sources that all express the same concept
+//!   (Definition 1). A GA is *valid* iff it is non-empty and contains at most
+//!   one attribute per source.
+//! * A **mediated schema** ([`MediatedSchema`]) is a set of GAs. It is *valid
+//!   on* a set of sources `S` iff its GAs are pairwise disjoint and every
+//!   source in `S` contributes at least one attribute to some GA
+//!   (Definition 2). Schema `M1` *subsumes* `M2` iff every GA of `M2` is
+//!   contained in some GA of `M1` (Definition 3).
+//! * **Constraints** ([`Constraints`]) are the user-guidance vocabulary:
+//!   source constraints (sources that must be selected) and GA constraints
+//!   (partial GAs that must appear, possibly grown, in the output schema).
+//!
+//! All identifiers are small copyable newtypes so they can be used freely as
+//! map keys and inside bitsets without allocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribute;
+pub mod compound;
+pub mod constraints;
+pub mod error;
+pub mod ga;
+pub mod mapping;
+pub mod mediated;
+pub mod selection;
+pub mod source;
+pub mod universe;
+
+pub use attribute::AttrId;
+pub use compound::{CompoundGroup, CompoundUniverse};
+pub use constraints::{Constraints, GaConstraint};
+pub use error::SchemaError;
+pub use ga::GlobalAttribute;
+pub use mapping::{GaIndex, SchemaMapping, SourceQuery};
+pub use mediated::MediatedSchema;
+pub use selection::SourceSelection;
+pub use source::{Source, SourceBuilder, SourceId};
+pub use universe::Universe;

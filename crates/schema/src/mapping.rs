@@ -1,0 +1,256 @@
+//! The source-to-mediated-schema mapping, and query translation over it.
+//!
+//! Section 2: "To define a data integration system, we must identify a set
+//! of data sources, a global mediated schema over these sources, and a
+//! **mapping from the sources to the mediated schema**." The GAs already
+//! encode that mapping implicitly (every attribute inside GA `k` maps to
+//! mediated attribute `k`); this module materializes it per source and uses
+//! it for the downstream task the system exists for — translating a query
+//! over the mediated schema into per-source queries over native attribute
+//! names.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attribute::AttrId;
+use crate::mediated::MediatedSchema;
+use crate::source::SourceId;
+use crate::universe::Universe;
+
+/// Index of a GA within its mediated schema's canonical order.
+pub type GaIndex = usize;
+
+/// The materialized mapping of one data integration system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaMapping {
+    /// Per source: its attributes that participate, with their GA index.
+    per_source: BTreeMap<SourceId, Vec<(AttrId, GaIndex)>>,
+    /// Attributes of selected sources that map to no GA (unmatched).
+    unmapped: Vec<AttrId>,
+    /// Number of GAs in the schema.
+    num_gas: usize,
+}
+
+impl SchemaMapping {
+    /// Materializes the mapping of `schema` over the `selected` sources of
+    /// `universe`.
+    pub fn new<I>(universe: &Universe, schema: &MediatedSchema, selected: I) -> Self
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        let mut ga_of: BTreeMap<AttrId, GaIndex> = BTreeMap::new();
+        for (k, ga) in schema.gas().iter().enumerate() {
+            for attr in ga.attrs() {
+                ga_of.insert(attr, k);
+            }
+        }
+        let mut per_source: BTreeMap<SourceId, Vec<(AttrId, GaIndex)>> = BTreeMap::new();
+        let mut unmapped = Vec::new();
+        for sid in selected {
+            let entry = per_source.entry(sid).or_default();
+            if let Some(source) = universe.source(sid) {
+                for attr in source.attr_ids() {
+                    match ga_of.get(&attr) {
+                        Some(&k) => entry.push((attr, k)),
+                        None => unmapped.push(attr),
+                    }
+                }
+            }
+        }
+        Self {
+            per_source,
+            unmapped,
+            num_gas: schema.len(),
+        }
+    }
+
+    /// The selected sources, in id order.
+    pub fn sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.per_source.keys().copied()
+    }
+
+    /// This source's `(attribute, GA index)` pairs, empty if the source is
+    /// not part of the system.
+    pub fn source_mapping(&self, source: SourceId) -> &[(AttrId, GaIndex)] {
+        self.per_source
+            .get(&source)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The native attribute of `source` that maps to mediated attribute
+    /// `ga`, if any (1:1 matching ⇒ at most one).
+    pub fn native_attr(&self, source: SourceId, ga: GaIndex) -> Option<AttrId> {
+        self.source_mapping(source)
+            .iter()
+            .find(|(_, k)| *k == ga)
+            .map(|(a, _)| *a)
+    }
+
+    /// Attributes of selected sources outside every GA.
+    pub fn unmapped(&self) -> &[AttrId] {
+        &self.unmapped
+    }
+
+    /// Number of mediated attributes (GAs).
+    pub fn num_gas(&self) -> usize {
+        self.num_gas
+    }
+
+    /// Fraction of selected sources' attributes covered by the mapping.
+    pub fn coverage(&self) -> f64 {
+        let mapped: usize = self.per_source.values().map(Vec::len).sum();
+        let total = mapped + self.unmapped.len();
+        if total == 0 {
+            0.0
+        } else {
+            mapped as f64 / total as f64
+        }
+    }
+
+    /// Translates a query over mediated attributes into per-source queries:
+    /// for each source, the native attributes standing in for the requested
+    /// GAs. Sources exposing none of the requested GAs are omitted —
+    /// querying them cannot contribute.
+    pub fn translate(&self, gas: &[GaIndex]) -> Vec<SourceQuery> {
+        self.per_source
+            .iter()
+            .filter_map(|(&source, pairs)| {
+                let attrs: Vec<(GaIndex, AttrId)> = gas
+                    .iter()
+                    .filter_map(|&k| {
+                        pairs
+                            .iter()
+                            .find(|(_, pk)| *pk == k)
+                            .map(|(a, _)| (k, *a))
+                    })
+                    .collect();
+                if attrs.is_empty() {
+                    None
+                } else {
+                    Some(SourceQuery { source, attrs })
+                }
+            })
+            .collect()
+    }
+}
+
+/// One source's share of a translated mediated-schema query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceQuery {
+    /// The source to contact.
+    pub source: SourceId,
+    /// `(requested GA, native attribute answering it)` pairs.
+    pub attrs: Vec<(GaIndex, AttrId)>,
+}
+
+impl fmt::Display for SourceQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.source)?;
+        for (i, (k, a)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "g{k}<-{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::GlobalAttribute;
+    use crate::source::SourceBuilder;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    /// Three sources; GA0 = title across all three, GA1 = author across
+    /// sources 0 and 1. Source 2's second attribute is unmatched.
+    fn system() -> (Universe, MediatedSchema, Vec<SourceId>) {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("s0").attributes(["title", "author"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("s1").attributes(["title", "author name"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("s2").attributes(["book title", "voltage"]))
+            .unwrap();
+        let schema = MediatedSchema::new([
+            GlobalAttribute::new([a(0, 0), a(1, 0), a(2, 0)]).unwrap(),
+            GlobalAttribute::new([a(0, 1), a(1, 1)]).unwrap(),
+        ]);
+        let selected = vec![SourceId(0), SourceId(1), SourceId(2)];
+        (u, schema, selected)
+    }
+
+    #[test]
+    fn mapping_assigns_ga_indices() {
+        let (u, schema, selected) = system();
+        let mapping = SchemaMapping::new(&u, &schema, selected);
+        assert_eq!(mapping.num_gas(), 2);
+        // Canonical GA order: schema sorts GAs; GA with a(0,0) sorts first.
+        let ga_title = mapping.source_mapping(SourceId(2))[0].1;
+        assert_eq!(mapping.native_attr(SourceId(2), ga_title), Some(a(2, 0)));
+        assert_eq!(mapping.native_attr(SourceId(2), 1 - ga_title), None);
+        assert_eq!(mapping.unmapped(), &[a(2, 1)]);
+    }
+
+    #[test]
+    fn coverage_counts_mapped_fraction() {
+        let (u, schema, selected) = system();
+        let mapping = SchemaMapping::new(&u, &schema, selected);
+        // 5 of 6 attributes mapped.
+        assert!((mapping.coverage() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translate_routes_to_capable_sources_only() {
+        let (u, schema, selected) = system();
+        let mapping = SchemaMapping::new(&u, &schema, selected.clone());
+        let ga_author = (0..2)
+            .find(|&k| mapping.native_attr(SourceId(0), k) == Some(a(0, 1)))
+            .unwrap();
+        let queries = mapping.translate(&[ga_author]);
+        // Source 2 has no author attribute: omitted.
+        assert_eq!(queries.len(), 2);
+        assert!(queries.iter().all(|q| q.source != SourceId(2)));
+        // Query both GAs: all three sources participate.
+        let queries = mapping.translate(&[0, 1]);
+        assert_eq!(queries.len(), 3);
+        let s1 = queries.iter().find(|q| q.source == SourceId(1)).unwrap();
+        assert_eq!(s1.attrs.len(), 2);
+    }
+
+    #[test]
+    fn translate_empty_query() {
+        let (u, schema, selected) = system();
+        let mapping = SchemaMapping::new(&u, &schema, selected);
+        assert!(mapping.translate(&[]).is_empty());
+    }
+
+    #[test]
+    fn unknown_source_has_empty_mapping() {
+        let (u, schema, selected) = system();
+        let mapping = SchemaMapping::new(&u, &schema, selected);
+        assert!(mapping.source_mapping(SourceId(9)).is_empty());
+    }
+
+    #[test]
+    fn source_query_display() {
+        let q = SourceQuery {
+            source: SourceId(1),
+            attrs: vec![(0, a(1, 0)), (1, a(1, 1))],
+        };
+        assert_eq!(q.to_string(), "s1: g0<-a1.0, g1<-a1.1");
+    }
+
+    #[test]
+    fn empty_system_coverage_zero() {
+        let u = Universe::new();
+        let mapping = SchemaMapping::new(&u, &MediatedSchema::empty(), []);
+        assert_eq!(mapping.coverage(), 0.0);
+        assert_eq!(mapping.sources().count(), 0);
+    }
+}

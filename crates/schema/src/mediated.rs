@@ -1,0 +1,239 @@
+//! Mediated schemas (Definitions 2 and 3).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::attribute::AttrId;
+use crate::ga::GlobalAttribute;
+use crate::source::SourceId;
+
+/// A mediated schema: a set of [`GlobalAttribute`]s.
+///
+/// Definition 2: a mediated schema `M` is *valid on* a set of sources `S` iff
+/// its GAs are pairwise disjoint and every source in `S` contributes an
+/// attribute to at least one GA ("spans" `S`).
+///
+/// Definition 3: `M1` *subsumes* `M2` (`M2 ⊑ M1`) iff every GA of `M2` is
+/// contained in some GA of `M1`. Subsumption is how GA constraints are
+/// checked: the user's partial schema `G` must satisfy `G ⊑ M`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MediatedSchema {
+    gas: Vec<GlobalAttribute>,
+}
+
+impl MediatedSchema {
+    /// An empty mediated schema.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from GAs, normalizing to a canonical order.
+    pub fn new<I>(gas: I) -> Self
+    where
+        I: IntoIterator<Item = GlobalAttribute>,
+    {
+        let mut gas: Vec<GlobalAttribute> = gas.into_iter().collect();
+        gas.sort();
+        Self { gas }
+    }
+
+    /// The GAs of this schema in canonical order.
+    pub fn gas(&self) -> &[GlobalAttribute] {
+        &self.gas
+    }
+
+    /// Number of GAs.
+    pub fn len(&self) -> usize {
+        self.gas.len()
+    }
+
+    /// Whether the schema has no GAs.
+    pub fn is_empty(&self) -> bool {
+        self.gas.is_empty()
+    }
+
+    /// Total number of attributes across all GAs.
+    pub fn total_attrs(&self) -> usize {
+        self.gas.iter().map(GlobalAttribute::len).sum()
+    }
+
+    /// Whether the GAs are pairwise disjoint (first half of Definition 2).
+    pub fn gas_disjoint(&self) -> bool {
+        let mut seen: BTreeSet<AttrId> = BTreeSet::new();
+        for ga in &self.gas {
+            for attr in ga.attrs() {
+                if !seen.insert(attr) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether every source in `sources` contributes to some GA (second half
+    /// of Definition 2).
+    pub fn spans<I>(&self, sources: I) -> bool
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        let covered: BTreeSet<SourceId> = self
+            .gas
+            .iter()
+            .flat_map(|g| g.sources())
+            .collect();
+        sources.into_iter().all(|s| covered.contains(&s))
+    }
+
+    /// Definition 2: valid on `sources` iff GAs are disjoint and the schema
+    /// spans every source in `sources`.
+    pub fn is_valid_on<I>(&self, sources: I) -> bool
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        self.gas_disjoint() && self.spans(sources)
+    }
+
+    /// Definition 3: whether `self` subsumes `other`, i.e. every GA of
+    /// `other` is contained in some GA of `self`.
+    pub fn subsumes(&self, other: &MediatedSchema) -> bool {
+        other
+            .gas
+            .iter()
+            .all(|g2| self.gas.iter().any(|g1| g2.is_subset_of(g1)))
+    }
+
+    /// Whether every GA in `gas` is contained in some GA of `self` — the
+    /// `G ⊑ M` constraint check, without building a schema from `gas`.
+    pub fn subsumes_gas<'a, I>(&self, gas: I) -> bool
+    where
+        I: IntoIterator<Item = &'a GlobalAttribute>,
+    {
+        gas.into_iter()
+            .all(|g2| self.gas.iter().any(|g1| g2.is_subset_of(g1)))
+    }
+
+    /// The set of sources that contribute at least one attribute.
+    pub fn covered_sources(&self) -> BTreeSet<SourceId> {
+        self.gas.iter().flat_map(|g| g.sources()).collect()
+    }
+
+    /// Finds the GA containing `attr`, if any.
+    pub fn ga_of(&self, attr: AttrId) -> Option<&GlobalAttribute> {
+        self.gas.iter().find(|g| g.contains(attr))
+    }
+
+    /// Symmetric-difference size between two schemas, counting GAs present in
+    /// exactly one of them. Used by the weight-sensitivity experiment
+    /// (Section 7.4) to report "at most 1 GA in the solution changed".
+    pub fn ga_changes(&self, other: &MediatedSchema) -> usize {
+        let a: BTreeSet<&GlobalAttribute> = self.gas.iter().collect();
+        let b: BTreeSet<&GlobalAttribute> = other.gas.iter().collect();
+        a.symmetric_difference(&b).count()
+    }
+}
+
+impl fmt::Display for MediatedSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mediated schema ({} GAs):", self.gas.len())?;
+        for ga in &self.gas {
+            writeln!(f, "  {ga}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<GlobalAttribute> for MediatedSchema {
+    fn from_iter<I: IntoIterator<Item = GlobalAttribute>>(iter: I) -> Self {
+        MediatedSchema::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn ga(attrs: &[(u32, u32)]) -> GlobalAttribute {
+        GlobalAttribute::new(attrs.iter().map(|&(s, j)| a(s, j))).unwrap()
+    }
+
+    #[test]
+    fn disjointness_detects_shared_attr() {
+        let m = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(1, 0), (2, 0)])]);
+        assert!(!m.gas_disjoint());
+        let m = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(1, 1), (2, 0)])]);
+        assert!(m.gas_disjoint());
+    }
+
+    #[test]
+    fn spanning_requires_every_source() {
+        let m = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        assert!(m.spans([SourceId(0), SourceId(1)]));
+        assert!(!m.spans([SourceId(0), SourceId(2)]));
+        assert!(m.spans([]));
+    }
+
+    #[test]
+    fn validity_combines_both_conditions() {
+        let m = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(0, 1), (2, 0)])]);
+        assert!(m.is_valid_on([SourceId(0), SourceId(1), SourceId(2)]));
+        assert!(!m.is_valid_on([SourceId(0), SourceId(3)]));
+    }
+
+    #[test]
+    fn empty_schema_valid_on_empty_source_set_only() {
+        let m = MediatedSchema::empty();
+        assert!(m.is_valid_on([]));
+        assert!(!m.is_valid_on([SourceId(0)]));
+    }
+
+    #[test]
+    fn subsumption_definition_3() {
+        let m1 = MediatedSchema::new([ga(&[(0, 0), (1, 0), (2, 0)]), ga(&[(3, 0), (4, 0)])]);
+        let m2 = MediatedSchema::new([ga(&[(0, 0), (2, 0)]), ga(&[(4, 0)])]);
+        assert!(m1.subsumes(&m2));
+        assert!(!m2.subsumes(&m1));
+        // A GA split across two of m1's GAs is not subsumed.
+        let m3 = MediatedSchema::new([ga(&[(0, 0), (3, 0)])]);
+        assert!(!m1.subsumes(&m3));
+    }
+
+    #[test]
+    fn subsumption_reflexive_and_empty() {
+        let m1 = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        assert!(m1.subsumes(&m1));
+        assert!(m1.subsumes(&MediatedSchema::empty()));
+        assert!(!MediatedSchema::empty().subsumes(&m1));
+    }
+
+    #[test]
+    fn ga_changes_counts_symmetric_difference() {
+        let m1 = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(2, 0), (3, 0)])]);
+        let m2 = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(2, 0), (4, 0)])]);
+        assert_eq!(m1.ga_changes(&m2), 2);
+        assert_eq!(m1.ga_changes(&m1), 0);
+    }
+
+    #[test]
+    fn ga_of_finds_container() {
+        let m = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        assert!(m.ga_of(a(1, 0)).is_some());
+        assert!(m.ga_of(a(1, 1)).is_none());
+    }
+
+    #[test]
+    fn canonical_order_independent_of_insertion() {
+        let m1 = MediatedSchema::new([ga(&[(2, 0)]), ga(&[(0, 0)])]);
+        let m2 = MediatedSchema::new([ga(&[(0, 0)]), ga(&[(2, 0)])]);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn total_attrs_sums_ga_sizes() {
+        let m = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(2, 0)])]);
+        assert_eq!(m.total_attrs(), 3);
+    }
+}

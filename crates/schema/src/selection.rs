@@ -1,0 +1,233 @@
+//! Bitset representation of a candidate source set `S ⊆ U`.
+
+use std::fmt;
+
+use crate::source::SourceId;
+
+/// A subset of the universe's sources, stored as a bitset over dense
+/// [`SourceId`]s.
+///
+/// This is the unit the combinatorial search moves around: cheap to clone,
+/// hashable (for objective memoization), and with O(words) set algebra.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceSelection {
+    words: Vec<u64>,
+    universe_size: usize,
+}
+
+impl SourceSelection {
+    /// An empty selection over a universe of `universe_size` sources.
+    pub fn empty(universe_size: usize) -> Self {
+        Self {
+            words: vec![0; universe_size.div_ceil(64)],
+            universe_size,
+        }
+    }
+
+    /// A selection containing every source of the universe.
+    pub fn full(universe_size: usize) -> Self {
+        let mut sel = Self::empty(universe_size);
+        for i in 0..universe_size {
+            sel.insert(SourceId(i as u32));
+        }
+        sel
+    }
+
+    /// Builds a selection from source ids.
+    ///
+    /// # Panics
+    /// Panics if an id is out of range for the universe.
+    pub fn from_ids<I>(universe_size: usize, ids: I) -> Self
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        let mut sel = Self::empty(universe_size);
+        for id in ids {
+            sel.insert(id);
+        }
+        sel
+    }
+
+    /// The size of the universe this selection ranges over.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Adds a source. Returns whether it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn insert(&mut self, id: SourceId) -> bool {
+        assert!(id.index() < self.universe_size, "source id out of range");
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes a source. Returns whether it was present.
+    pub fn remove(&mut self, id: SourceId) -> bool {
+        if id.index() >= self.universe_size {
+            return false;
+        }
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Whether the selection contains `id`.
+    pub fn contains(&self, id: SourceId) -> bool {
+        if id.index() >= self.universe_size {
+            return false;
+        }
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of selected sources (`|S|`).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no source is selected.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates selected source ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(SourceId((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// Whether every source of `other` is also selected here.
+    pub fn is_superset_of(&self, other: &SourceSelection) -> bool {
+        debug_assert_eq!(self.universe_size, other.universe_size);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &SourceSelection) {
+        debug_assert_eq!(self.universe_size, other.universe_size);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// A stable 64-bit fingerprint usable as a memoization key.
+    ///
+    /// This is an FNV-1a fold of the words; collisions are possible in theory
+    /// so callers that must be exact should compare selections, but for
+    /// objective caching a 64-bit key over ≤ thousands of distinct subsets is
+    /// ample.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= self.universe_size as u64;
+        h.wrapping_mul(0x0000_0100_0000_01b3)
+    }
+}
+
+impl fmt::Display for SourceSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SourceSelection::empty(130);
+        assert!(s.insert(SourceId(0)));
+        assert!(s.insert(SourceId(129)));
+        assert!(!s.insert(SourceId(0)));
+        assert!(s.contains(SourceId(0)));
+        assert!(s.contains(SourceId(129)));
+        assert!(!s.contains(SourceId(64)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(SourceId(0)));
+        assert!(!s.remove(SourceId(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        SourceSelection::empty(10).insert(SourceId(10));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s = SourceSelection::from_ids(200, [SourceId(150), SourceId(3), SourceId(64)]);
+        let ids: Vec<u32> = s.iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![3, 64, 150]);
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let s = SourceSelection::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(SourceId(69)));
+    }
+
+    #[test]
+    fn superset_and_union() {
+        let a = SourceSelection::from_ids(100, [SourceId(1), SourceId(2), SourceId(70)]);
+        let b = SourceSelection::from_ids(100, [SourceId(2), SourceId(70)]);
+        assert!(a.is_superset_of(&b));
+        assert!(!b.is_superset_of(&a));
+        let mut c = b.clone();
+        c.union_with(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_simple_cases() {
+        let a = SourceSelection::from_ids(100, [SourceId(1)]);
+        let b = SourceSelection::from_ids(100, [SourceId(2)]);
+        let a2 = SourceSelection::from_ids(100, [SourceId(1)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a2.fingerprint());
+    }
+
+    #[test]
+    fn display_lists_ids() {
+        let s = SourceSelection::from_ids(10, [SourceId(4), SourceId(1)]);
+        assert_eq!(s.to_string(), "{s1, s4}");
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let s = SourceSelection::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Data sources: schema, tuple-set cardinality, and named characteristics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::attribute::AttrId;
+use crate::error::SchemaError;
+
+/// Identifier of a source within a [`Universe`](crate::Universe).
+///
+/// Ids are dense indices assigned by the universe in insertion order, which
+/// lets selections be represented as bitsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A data source `s_i`: a name, a relational schema (list of attribute
+/// names), the cardinality of its tuple set, and its source characteristics.
+///
+/// Per Section 2.1 of the paper, a source "consists of a schema, a set of
+/// tuples, and a set of characteristics". The tuple set itself is never
+/// materialized here — sources cooperate by reporting their cardinality and a
+/// PCSA hash signature of their tuples (see the `mube-pcsa` crate); only the
+/// cardinality lives on the source record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Source {
+    id: SourceId,
+    name: String,
+    attributes: Vec<String>,
+    cardinality: u64,
+    characteristics: BTreeMap<String, f64>,
+}
+
+impl Source {
+    /// This source's id within its universe.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// Human-readable source name (e.g. the site hostname).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute names of this source's schema, in declaration order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Number of attributes in the schema.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The name of attribute `index`, if it exists.
+    pub fn attribute_name(&self, index: u32) -> Option<&str> {
+        self.attributes.get(index as usize).map(String::as_str)
+    }
+
+    /// Iterates over this source's attribute ids.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        let id = self.id;
+        (0..self.attributes.len() as u32).map(move |j| AttrId::new(id, j))
+    }
+
+    /// Number of tuples at this source (`|s|` in the paper's QEF formulas).
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// The value of a named source characteristic (e.g. `"mttf"`), if the
+    /// source declares it. Characteristics are positive reals of any
+    /// magnitude; normalization into `[0, 1]` happens in the QEF layer.
+    pub fn characteristic(&self, name: &str) -> Option<f64> {
+        self.characteristics.get(name).copied()
+    }
+
+    /// All characteristics declared by this source.
+    pub fn characteristics(&self) -> &BTreeMap<String, f64> {
+        &self.characteristics
+    }
+}
+
+/// Builder for [`Source`], used through [`Universe::add_source`](crate::Universe::add_source).
+#[derive(Debug, Clone, Default)]
+pub struct SourceBuilder {
+    name: String,
+    attributes: Vec<String>,
+    cardinality: u64,
+    characteristics: BTreeMap<String, f64>,
+}
+
+impl SourceBuilder {
+    /// Starts a builder for a source with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Appends one attribute to the schema.
+    pub fn attribute(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(name.into());
+        self
+    }
+
+    /// Sets the full schema at once, replacing any attributes added so far.
+    pub fn attributes<I, T>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        self.attributes = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the tuple-set cardinality.
+    pub fn cardinality(mut self, cardinality: u64) -> Self {
+        self.cardinality = cardinality;
+        self
+    }
+
+    /// Declares a named source characteristic (a positive real such as MTTF
+    /// in days, latency in ms, or a fee in dollars).
+    pub fn characteristic(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.characteristics.insert(name.into(), value);
+        self
+    }
+
+    /// Finalizes the source with the id assigned by the universe.
+    ///
+    /// Fails if the schema is empty, an attribute name is blank, or a
+    /// characteristic is not a finite non-negative number.
+    pub(crate) fn build(self, id: SourceId) -> Result<Source, SchemaError> {
+        if self.attributes.is_empty() {
+            return Err(SchemaError::EmptySchema { source: self.name });
+        }
+        if let Some(attr) = self.attributes.iter().find(|a| a.trim().is_empty()) {
+            return Err(SchemaError::BlankAttribute {
+                source: self.name,
+                attribute: attr.clone(),
+            });
+        }
+        if let Some((name, value)) = self
+            .characteristics
+            .iter()
+            .find(|(_, v)| !v.is_finite() || **v < 0.0)
+        {
+            return Err(SchemaError::InvalidCharacteristic {
+                source: self.name,
+                characteristic: name.clone(),
+                value: *value,
+            });
+        }
+        Ok(Source {
+            id,
+            name: self.name,
+            attributes: self.attributes,
+            cardinality: self.cardinality,
+            characteristics: self.characteristics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(b: SourceBuilder) -> Result<Source, SchemaError> {
+        b.build(SourceId(0))
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let s = build(
+            SourceBuilder::new("aceticket.com")
+                .attributes(["state", "city", "event", "venue"])
+                .cardinality(42_000)
+                .characteristic("mttf", 120.0),
+        )
+        .unwrap();
+        assert_eq!(s.name(), "aceticket.com");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attribute_name(2), Some("event"));
+        assert_eq!(s.attribute_name(4), None);
+        assert_eq!(s.cardinality(), 42_000);
+        assert_eq!(s.characteristic("mttf"), Some(120.0));
+        assert_eq!(s.characteristic("latency"), None);
+    }
+
+    #[test]
+    fn attr_ids_enumerate_schema() {
+        let s = build(SourceBuilder::new("x").attributes(["a", "b"])).unwrap();
+        let ids: Vec<_> = s.attr_ids().collect();
+        assert_eq!(ids, vec![AttrId::new(SourceId(0), 0), AttrId::new(SourceId(0), 1)]);
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            build(SourceBuilder::new("empty")),
+            Err(SchemaError::EmptySchema { .. })
+        ));
+    }
+
+    #[test]
+    fn blank_attribute_rejected() {
+        assert!(matches!(
+            build(SourceBuilder::new("x").attributes(["ok", "  "])),
+            Err(SchemaError::BlankAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_characteristic_rejected() {
+        assert!(matches!(
+            build(SourceBuilder::new("x").attribute("a").characteristic("fee", -1.0)),
+            Err(SchemaError::InvalidCharacteristic { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_characteristic_rejected() {
+        assert!(matches!(
+            build(SourceBuilder::new("x").attribute("a").characteristic("fee", f64::NAN)),
+            Err(SchemaError::InvalidCharacteristic { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_appends_after_attributes_replaces() {
+        let s = build(SourceBuilder::new("x").attributes(["a"]).attribute("b")).unwrap();
+        assert_eq!(s.attributes(), &["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,195 @@
+//! The universe `U = {s_1, ..., s_N}` of candidate sources.
+
+use std::collections::BTreeSet;
+
+use crate::attribute::AttrId;
+use crate::error::SchemaError;
+use crate::source::{Source, SourceBuilder, SourceId};
+
+/// The set of all data sources from which µBE chooses a solution.
+///
+/// The paper targets problems with "hundreds to a few thousands of sources";
+/// sources are stored densely and addressed by [`SourceId`] so selections can
+/// be bitsets and attribute similarity can be cached in flat arrays.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Universe {
+    sources: Vec<Source>,
+    total_cardinality: u64,
+    total_attrs: usize,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source, assigning it the next dense id.
+    pub fn add_source(&mut self, builder: SourceBuilder) -> Result<SourceId, SchemaError> {
+        let id = SourceId(self.sources.len() as u32);
+        let source = builder.build(id)?;
+        self.total_cardinality += source.cardinality();
+        self.total_attrs += source.arity();
+        self.sources.push(source);
+        Ok(id)
+    }
+
+    /// Number of sources (`N`).
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the universe has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// All sources in id order.
+    pub fn sources(&self) -> &[Source] {
+        &self.sources
+    }
+
+    /// The source with the given id, if it exists.
+    pub fn source(&self, id: SourceId) -> Option<&Source> {
+        self.sources.get(id.index())
+    }
+
+    /// The source with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is not in this universe.
+    pub fn expect_source(&self, id: SourceId) -> &Source {
+        &self.sources[id.index()]
+    }
+
+    /// Resolves an attribute id to its name, if valid.
+    pub fn attr_name(&self, attr: AttrId) -> Option<&str> {
+        self.source(attr.source)?.attribute_name(attr.index)
+    }
+
+    /// Whether `attr` identifies a real attribute of this universe.
+    pub fn contains_attr(&self, attr: AttrId) -> bool {
+        self.attr_name(attr).is_some()
+    }
+
+    /// Iterates all attribute ids of all sources.
+    pub fn all_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.sources.iter().flat_map(Source::attr_ids)
+    }
+
+    /// Total attribute count across all sources.
+    pub fn total_attrs(&self) -> usize {
+        self.total_attrs
+    }
+
+    /// `Σ_{t∈U} |t|`: the total tuple count over all sources, the denominator
+    /// of the paper's `Card(S)` QEF.
+    pub fn total_cardinality(&self) -> u64 {
+        self.total_cardinality
+    }
+
+    /// Sum of cardinalities over a set of sources (`Σ_{s∈S} |s|`).
+    pub fn cardinality_of<I>(&self, sources: I) -> u64
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        sources
+            .into_iter()
+            .filter_map(|id| self.source(id))
+            .map(Source::cardinality)
+            .sum()
+    }
+
+    /// Validates that every id in `ids` names a source of this universe.
+    pub fn validate_sources<I>(&self, ids: I) -> Result<(), SchemaError>
+    where
+        I: IntoIterator<Item = SourceId>,
+    {
+        for id in ids {
+            if self.source(id).is_none() {
+                return Err(SchemaError::UnknownSource { source: id });
+            }
+        }
+        Ok(())
+    }
+
+    /// All source ids as a set (convenience for "select everything" flows).
+    pub fn all_ids(&self) -> BTreeSet<SourceId> {
+        (0..self.sources.len() as u32).map(SourceId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Universe {
+        let mut u = Universe::new();
+        u.add_source(SourceBuilder::new("a").attributes(["x", "y"]).cardinality(10))
+            .unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["z"]).cardinality(5))
+            .unwrap();
+        u
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let u = small();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.sources()[0].id(), SourceId(0));
+        assert_eq!(u.sources()[1].id(), SourceId(1));
+        assert_eq!(u.source(SourceId(1)).unwrap().name(), "b");
+        assert!(u.source(SourceId(2)).is_none());
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let u = small();
+        assert_eq!(u.total_cardinality(), 15);
+        assert_eq!(u.total_attrs(), 3);
+    }
+
+    #[test]
+    fn attr_resolution() {
+        let u = small();
+        assert_eq!(u.attr_name(AttrId::new(SourceId(0), 1)), Some("y"));
+        assert_eq!(u.attr_name(AttrId::new(SourceId(0), 2)), None);
+        assert_eq!(u.attr_name(AttrId::new(SourceId(9), 0)), None);
+        assert!(u.contains_attr(AttrId::new(SourceId(1), 0)));
+    }
+
+    #[test]
+    fn all_attrs_enumerates_everything() {
+        let u = small();
+        let attrs: Vec<_> = u.all_attrs().collect();
+        assert_eq!(attrs.len(), 3);
+        assert_eq!(attrs[0], AttrId::new(SourceId(0), 0));
+        assert_eq!(attrs[2], AttrId::new(SourceId(1), 0));
+    }
+
+    #[test]
+    fn cardinality_of_subset() {
+        let u = small();
+        assert_eq!(u.cardinality_of([SourceId(0)]), 10);
+        assert_eq!(u.cardinality_of([SourceId(0), SourceId(1)]), 15);
+        assert_eq!(u.cardinality_of([]), 0);
+    }
+
+    #[test]
+    fn validate_sources_catches_dangling_ids() {
+        let u = small();
+        assert!(u.validate_sources([SourceId(0), SourceId(1)]).is_ok());
+        assert!(matches!(
+            u.validate_sources([SourceId(7)]),
+            Err(SchemaError::UnknownSource { source: SourceId(7) })
+        ));
+    }
+
+    #[test]
+    fn builder_errors_propagate() {
+        let mut u = Universe::new();
+        assert!(u.add_source(SourceBuilder::new("empty")).is_err());
+        assert_eq!(u.len(), 0);
+        assert_eq!(u.total_cardinality(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the schema model.
+
+use proptest::prelude::*;
+
+use mube_schema::{AttrId, GlobalAttribute, MediatedSchema, SchemaMapping, SourceBuilder, SourceId, SourceSelection, Universe};
+
+/// Strategy: an arbitrary valid GA over up to 12 sources (distinct sources,
+/// arbitrary attribute indices).
+fn arb_ga() -> impl Strategy<Value = GlobalAttribute> {
+    prop::collection::btree_map(0u32..12, 0u32..6, 1..8).prop_map(|pairs| {
+        GlobalAttribute::new(
+            pairs
+                .into_iter()
+                .map(|(s, j)| AttrId::new(SourceId(s), j)),
+        )
+        .expect("distinct sources by construction")
+    })
+}
+
+proptest! {
+    #[test]
+    fn valid_gas_have_distinct_sources(ga in arb_ga()) {
+        let mut sources: Vec<SourceId> = ga.sources().collect();
+        let before = sources.len();
+        sources.sort();
+        sources.dedup();
+        prop_assert_eq!(sources.len(), before);
+        prop_assert!(!ga.is_empty());
+    }
+
+    #[test]
+    fn merge_of_disjoint_gas_is_valid_and_commutative(a in arb_ga(), b in arb_ga()) {
+        if a.can_merge(&b) {
+            let ab = a.merged_with(&b);
+            let ba = b.merged_with(&a);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert_eq!(ab.len(), a.len() + b.len());
+            prop_assert!(a.is_subset_of(&ab));
+            prop_assert!(b.is_subset_of(&ab));
+        } else {
+            // Merge is forbidden exactly when a source is shared.
+            let shared = a.sources().any(|s| b.touches_source(s));
+            prop_assert!(shared);
+        }
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_transitive_on_chains(gas in prop::collection::vec(arb_ga(), 1..5)) {
+        let m = MediatedSchema::new(gas.clone());
+        prop_assert!(m.subsumes(&m));
+        // Dropping GAs preserves being subsumed.
+        let dropped = MediatedSchema::new(gas.into_iter().skip(1));
+        prop_assert!(m.subsumes(&dropped));
+    }
+
+    #[test]
+    fn schema_display_roundtrips_ga_count(gas in prop::collection::vec(arb_ga(), 0..6)) {
+        let m = MediatedSchema::new(gas);
+        let text = m.to_string();
+        let expected = format!("{} GAs", m.len());
+        let found = text.contains(&expected);
+        prop_assert!(found, "missing {expected:?} in {text:?}");
+    }
+
+    #[test]
+    fn selection_set_semantics(ids in prop::collection::btree_set(0u32..300, 0..80)) {
+        let sel = SourceSelection::from_ids(300, ids.iter().map(|&i| SourceId(i)));
+        prop_assert_eq!(sel.len(), ids.len());
+        for &i in &ids {
+            prop_assert!(sel.contains(SourceId(i)));
+        }
+        let collected: Vec<u32> = sel.iter().map(|s| s.0).collect();
+        let expected: Vec<u32> = ids.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+        // Fingerprint is stable.
+        let again = SourceSelection::from_ids(300, ids.iter().map(|&i| SourceId(i)));
+        prop_assert_eq!(sel.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn selection_union_is_superset(
+        a in prop::collection::btree_set(0u32..100, 0..30),
+        b in prop::collection::btree_set(0u32..100, 0..30),
+    ) {
+        let sa = SourceSelection::from_ids(100, a.iter().map(|&i| SourceId(i)));
+        let sb = SourceSelection::from_ids(100, b.iter().map(|&i| SourceId(i)));
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert!(u.is_superset_of(&sa));
+        prop_assert!(u.is_superset_of(&sb));
+        prop_assert_eq!(u.len(), a.union(&b).count());
+    }
+
+    #[test]
+    fn ga_changes_is_a_metric_like_symmetric_difference(
+        xs in prop::collection::vec(arb_ga(), 0..5),
+        ys in prop::collection::vec(arb_ga(), 0..5),
+    ) {
+        let mx = MediatedSchema::new(xs);
+        let my = MediatedSchema::new(ys);
+        prop_assert_eq!(mx.ga_changes(&my), my.ga_changes(&mx));
+        prop_assert_eq!(mx.ga_changes(&mx), 0);
+    }
+}
+
+
+/// A universe with `n` sources of 3 attributes each, plus a mediated schema
+/// built from a random valid partition of (source, attr-0) attributes.
+fn arb_system() -> impl Strategy<Value = (Universe, MediatedSchema)> {
+    (2usize..8).prop_flat_map(|n| {
+        let groups = prop::collection::vec(0usize..3, n);
+        groups.prop_map(move |assignment| {
+            let mut u = Universe::new();
+            for i in 0..n {
+                u.add_source(
+                    SourceBuilder::new(format!("s{i}")).attributes(["a", "b", "c"]),
+                )
+                .unwrap();
+            }
+            // Partition sources into up to 3 GAs by `assignment`; each GA
+            // takes attribute 0 of its sources. GAs with < 1 member vanish.
+            let mut buckets: Vec<Vec<AttrId>> = vec![Vec::new(); 3];
+            for (i, &g) in assignment.iter().enumerate() {
+                buckets[g].push(AttrId::new(SourceId(i as u32), 0));
+            }
+            let schema = MediatedSchema::new(
+                buckets
+                    .into_iter()
+                    .filter(|b| !b.is_empty())
+                    .map(|b| GlobalAttribute::new(b).unwrap()),
+            );
+            (u, schema)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn mapping_is_consistent_with_its_schema((u, schema) in arb_system()) {
+        let selected: Vec<SourceId> = u.sources().iter().map(|s| s.id()).collect();
+        let mapping = SchemaMapping::new(&u, &schema, selected.iter().copied());
+        prop_assert_eq!(mapping.num_gas(), schema.len());
+        // Every mapped pair points into the right GA.
+        for sid in mapping.sources() {
+            for &(attr, k) in mapping.source_mapping(sid) {
+                prop_assert!(schema.gas()[k].contains(attr));
+                prop_assert_eq!(attr.source, sid);
+            }
+        }
+        // Mapped + unmapped partition all attributes of selected sources.
+        let mapped: usize = selected
+            .iter()
+            .map(|&s| mapping.source_mapping(s).len())
+            .sum();
+        prop_assert_eq!(mapped + mapping.unmapped().len(), u.total_attrs());
+        // Translation of every GA reaches exactly the GA's sources.
+        for (k, ga) in schema.gas().iter().enumerate() {
+            let queries = mapping.translate(&[k]);
+            let reached: std::collections::BTreeSet<SourceId> =
+                queries.iter().map(|q| q.source).collect();
+            let expected: std::collections::BTreeSet<SourceId> = ga.sources().collect();
+            prop_assert_eq!(reached, expected);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Jaro and Jaro-Winkler string similarity.
+
+use crate::measure::SimilarityMeasure;
+
+/// Classic Jaro similarity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaro;
+
+/// Jaro-Winkler: Jaro boosted by the length of the common prefix, which fits
+/// attribute names where the stem carries the concept (`"keyword"` /
+/// `"keywords"`).
+#[derive(Debug, Clone, Copy)]
+pub struct JaroWinkler {
+    /// Prefix scaling factor, conventionally 0.1, at most 0.25.
+    pub prefix_scale: f64,
+    /// Maximum prefix length considered, conventionally 4.
+    pub max_prefix: usize,
+}
+
+impl Default for JaroWinkler {
+    fn default() -> Self {
+        Self {
+            prefix_scale: 0.1,
+            max_prefix: 4,
+        }
+    }
+}
+
+/// Computes the Jaro similarity of two strings.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+impl SimilarityMeasure for Jaro {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaro"
+    }
+}
+
+impl SimilarityMeasure for JaroWinkler {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let j = jaro(a, b);
+        let prefix = a
+            .chars()
+            .zip(b.chars())
+            .take(self.max_prefix)
+            .take_while(|(x, y)| x == y)
+            .count() as f64;
+        (j + prefix * self.prefix_scale * (1.0 - j)).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaro-winkler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaro_reference_values() {
+        // Classic textbook pair.
+        let s = jaro("martha", "marhta");
+        assert!((s - 0.944444).abs() < 1e-4, "got {s}");
+        let s = jaro("dixon", "dicksonx");
+        assert!((s - 0.766667).abs() < 1e-4, "got {s}");
+    }
+
+    #[test]
+    fn jaro_identical_and_empty() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("", ""), 0.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_no_matches() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn winkler_boosts_shared_prefix() {
+        let j = Jaro.similarity("keyword", "keywords");
+        let w = JaroWinkler::default().similarity("keyword", "keywords");
+        assert!(w > j);
+        assert!(w <= 1.0);
+    }
+
+    #[test]
+    fn winkler_equals_jaro_without_prefix() {
+        let j = Jaro.similarity("venue", "avenue");
+        let w = JaroWinkler::default().similarity("venue", "avenue");
+        assert!((j - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(jaro("event", "venue"), jaro("venue", "event"));
+        let w = JaroWinkler::default();
+        // Jaro-Winkler prefix is computed on the pair jointly -> symmetric.
+        assert_eq!(w.similarity("date", "data"), w.similarity("data", "date"));
+    }
+}

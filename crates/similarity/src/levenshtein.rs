@@ -1,0 +1,85 @@
+//! Normalized Levenshtein edit-distance similarity.
+
+use crate::measure::SimilarityMeasure;
+
+/// Similarity `1 - lev(a, b) / max(|a|, |b|)`.
+///
+/// A character-level alternative to n-gram measures; sensitive to
+/// transpositions and better on very short names where 3-grams are sparse.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedLevenshtein;
+
+/// Plain Levenshtein distance with a two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+impl SimilarityMeasure for NormalizedLevenshtein {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return 0.0;
+        }
+        1.0 - levenshtein(a, b) as f64 / max_len as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "levenshtein"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn similarity_identical() {
+        assert_eq!(NormalizedLevenshtein.similarity("title", "title"), 1.0);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let s = NormalizedLevenshtein.similarity("author", "actor");
+        assert!((0.0..=1.0).contains(&s));
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn similarity_empty_names() {
+        assert_eq!(NormalizedLevenshtein.similarity("", ""), 0.0);
+        assert_eq!(NormalizedLevenshtein.similarity("", "ab"), 0.0);
+    }
+
+    #[test]
+    fn similarity_symmetric() {
+        let m = NormalizedLevenshtein;
+        assert_eq!(m.similarity("venue", "event"), m.similarity("event", "venue"));
+    }
+}

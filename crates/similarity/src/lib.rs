@@ -1,0 +1,33 @@
+//! Attribute-name similarity measures for µBE.
+//!
+//! Section 3 of the paper: "our measure of similarity between a pair of
+//! attributes is the Jaccard similarity coefficient between the 3-grams in the
+//! attribute names" — but "`Match(S)` can use any attribute similarity
+//! measure". This crate therefore exposes a [`SimilarityMeasure`] trait, with
+//! the paper's default ([`NgramJaccard`] with `n = 3`) plus alternatives:
+//! Dice and cosine coefficients over n-grams, normalized Levenshtein, and
+//! Jaro-Winkler.
+//!
+//! Similarity values are always in `[0, 1]`, symmetric, and `1.0` for
+//! identical normalized names.
+//!
+//! [`SimilarityMatrix`] precomputes all pairwise similarities among the
+//! attributes of a universe once, so the optimizer's many `Match(S)` calls
+//! reduce to O(1) lookups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jaro;
+pub mod levenshtein;
+pub mod matrix;
+pub mod measure;
+pub mod ngram;
+pub mod token;
+
+pub use jaro::{Jaro, JaroWinkler};
+pub use levenshtein::NormalizedLevenshtein;
+pub use matrix::SimilarityMatrix;
+pub use measure::{NgramCosine, NgramDice, NgramJaccard, SimilarityMeasure};
+pub use ngram::{ngram_multiset, ngram_set};
+pub use token::{MongeElkan, TokenJaccard};

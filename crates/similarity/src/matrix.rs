@@ -1,0 +1,174 @@
+//! Precomputed all-pairs similarity over a fixed list of attribute names.
+//!
+//! µBE's optimizer calls `Match(S)` once per objective evaluation, and every
+//! call needs pairwise similarities among the attributes of the candidate
+//! sources. Computing Jaccard from scratch on each lookup would dominate the
+//! run time, so we precompute the full matrix once per universe.
+//!
+//! Two space/time optimizations, both behaviour-preserving:
+//!
+//! * **Name deduplication.** Web-form schemas repeat names heavily ("keyword"
+//!   appears in many sources), so similarities are computed among *distinct
+//!   normalized names* only and attributes map onto them.
+//! * **Packed triangle.** Only the strict upper triangle of the
+//!   distinct-name matrix is stored, as `f32` (the measure's precision is far
+//!   below 1e-7 anyway).
+
+use crate::measure::SimilarityMeasure;
+
+/// All-pairs similarity among `names`, addressable by the original indices.
+#[derive(Debug, Clone)]
+pub struct SimilarityMatrix {
+    /// Per original index: which distinct-name slot it refers to.
+    distinct_of: Vec<u32>,
+    /// Number of distinct names.
+    distinct_count: usize,
+    /// Packed strict upper triangle among distinct names: entry for
+    /// `(i, j)` with `i < j` lives at `j*(j-1)/2 + i`.
+    tri: Vec<f32>,
+    /// Self-similarity per distinct name (1.0 for non-empty names; 0.0 for
+    /// empty ones, mirroring the measures' "no evidence" convention).
+    self_sim: Vec<f32>,
+}
+
+impl SimilarityMatrix {
+    /// Computes the matrix for `names` (already normalized) under `measure`.
+    pub fn compute(names: &[String], measure: &dyn SimilarityMeasure) -> Self {
+        // Deduplicate names, preserving first-seen order.
+        let mut distinct: Vec<&str> = Vec::new();
+        let mut slot_of_name: std::collections::HashMap<&str, u32> =
+            std::collections::HashMap::with_capacity(names.len());
+        let mut distinct_of = Vec::with_capacity(names.len());
+        for name in names {
+            let slot = *slot_of_name.entry(name.as_str()).or_insert_with(|| {
+                distinct.push(name.as_str());
+                (distinct.len() - 1) as u32
+            });
+            distinct_of.push(slot);
+        }
+        let d = distinct.len();
+        let signatures: Vec<_> = distinct.iter().map(|n| measure.signature(n)).collect();
+        let mut tri = vec![0f32; d * (d.saturating_sub(1)) / 2];
+        for j in 1..d {
+            let base = j * (j - 1) / 2;
+            for i in 0..j {
+                tri[base + i] =
+                    measure.similarity_sig(&signatures[i], &signatures[j]) as f32;
+            }
+        }
+        let self_sim = signatures
+            .iter()
+            .map(|sig| measure.similarity_sig(sig, sig) as f32)
+            .collect();
+        Self {
+            distinct_of,
+            distinct_count: d,
+            tri,
+            self_sim,
+        }
+    }
+
+    /// Number of attributes (original indices) covered.
+    pub fn len(&self) -> usize {
+        self.distinct_of.len()
+    }
+
+    /// Whether the matrix covers no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.distinct_of.is_empty()
+    }
+
+    /// Number of distinct normalized names among the attributes.
+    pub fn distinct_names(&self) -> usize {
+        self.distinct_count
+    }
+
+    /// Similarity between attributes `i` and `j` (original indices).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn similarity(&self, i: usize, j: usize) -> f64 {
+        let di = self.distinct_of[i] as usize;
+        let dj = self.distinct_of[j] as usize;
+        if di == dj {
+            return f64::from(self.self_sim[di]);
+        }
+        let (lo, hi) = if di < dj { (di, dj) } else { (dj, di) };
+        f64::from(self.tri[hi * (hi - 1) / 2 + lo])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::NgramJaccard;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn matrix_matches_direct_computation() {
+        let m = NgramJaccard::default();
+        let ns = names(&["author", "author name", "keyword", "key word", "isbn"]);
+        let matrix = SimilarityMatrix::compute(&ns, &m);
+        for i in 0..ns.len() {
+            for j in 0..ns.len() {
+                let expect = m.similarity(&ns[i], &ns[j]) as f32;
+                let got = matrix.similarity(i, j) as f32;
+                assert!(
+                    (expect - got).abs() < 1e-6,
+                    "({i},{j}): {expect} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_share_slots() {
+        let m = NgramJaccard::default();
+        let ns = names(&["keyword", "title", "keyword", "keyword"]);
+        let matrix = SimilarityMatrix::compute(&ns, &m);
+        assert_eq!(matrix.len(), 4);
+        assert_eq!(matrix.distinct_names(), 2);
+        assert_eq!(matrix.similarity(0, 2), 1.0);
+        assert_eq!(matrix.similarity(2, 3), 1.0);
+        assert!(matrix.similarity(0, 1) < 1.0);
+    }
+
+    #[test]
+    fn symmetric_lookups() {
+        let m = NgramJaccard::default();
+        let ns = names(&["event name", "event type", "venue"]);
+        let matrix = SimilarityMatrix::compute(&ns, &m);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(matrix.similarity(i, j), matrix.similarity(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_names_self_similarity_is_zero() {
+        let m = NgramJaccard::default();
+        let ns = names(&["", ""]);
+        let matrix = SimilarityMatrix::compute(&ns, &m);
+        assert_eq!(matrix.similarity(0, 1), 0.0);
+        assert_eq!(matrix.similarity(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = NgramJaccard::default();
+        let matrix = SimilarityMatrix::compute(&[], &m);
+        assert!(matrix.is_empty());
+        assert_eq!(matrix.len(), 0);
+    }
+
+    #[test]
+    fn single_name() {
+        let m = NgramJaccard::default();
+        let matrix = SimilarityMatrix::compute(&names(&["title"]), &m);
+        assert_eq!(matrix.similarity(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! The [`SimilarityMeasure`] trait and the n-gram set measures.
+
+use std::collections::BTreeMap;
+
+use crate::ngram::{ngram_multiset, ngram_set};
+
+/// A precomputed per-name token signature, used by
+/// [`SimilarityMatrix`](crate::SimilarityMatrix) to avoid re-tokenizing names
+/// on every pair during all-pairs computation.
+///
+/// n-gram measures hash each gram to a `u64` once; pairwise scoring then
+/// reduces to merging sorted integer lists. Character-level measures fall
+/// back to keeping the text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signature {
+    /// The normalized name itself (no useful precomputation).
+    Text(String),
+    /// Sorted, deduplicated gram hashes (for Jaccard/Dice).
+    GramSet(Vec<u64>),
+    /// Sorted gram hashes with counts plus the vector's Euclidean norm
+    /// (for cosine).
+    GramCounts(Vec<(u64, u32)>, f64),
+}
+
+/// FNV-1a over a gram's bytes, used to hash grams into signature entries.
+fn hash_gram(gram: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in gram.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds a sorted gram-hash set signature.
+pub(crate) fn gram_set_signature(name: &str, n: usize) -> Signature {
+    let mut hashes: Vec<u64> = ngram_set(name, n).iter().map(|g| hash_gram(g)).collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    Signature::GramSet(hashes)
+}
+
+/// A symmetric attribute-name similarity in `[0, 1]`.
+///
+/// Implementations receive *normalized* names (lowercased, separators
+/// collapsed). A measure must be symmetric and return `1.0` for equal
+/// non-empty names. Returning exactly `0.0` for maximally dissimilar names is
+/// conventional but not required.
+pub trait SimilarityMeasure: Send + Sync {
+    /// Similarity of two normalized attribute names.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+
+    /// Short human-readable name of the measure (for experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Precomputes a signature for `name`; paired with
+    /// [`SimilarityMeasure::similarity_sig`] this is the all-pairs fast path.
+    fn signature(&self, name: &str) -> Signature {
+        Signature::Text(name.to_owned())
+    }
+
+    /// Similarity of two precomputed signatures. Must agree with
+    /// [`SimilarityMeasure::similarity`] on the originating names.
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+        match (a, b) {
+            (Signature::Text(a), Signature::Text(b)) => self.similarity(a, b),
+            _ => panic!("signature kind does not match measure {}", self.name()),
+        }
+    }
+}
+
+/// Intersection size of two sorted, deduplicated hash lists.
+fn hash_intersection(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut inter) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Jaccard coefficient over character n-gram sets — the paper's measure with
+/// `n = 3`: `|G(a) ∩ G(b)| / |G(a) ∪ G(b)|`.
+#[derive(Debug, Clone, Copy)]
+pub struct NgramJaccard {
+    n: usize,
+}
+
+impl NgramJaccard {
+    /// Jaccard over n-grams of the given size.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram size must be positive");
+        Self { n }
+    }
+
+    /// The gram size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Default for NgramJaccard {
+    /// The paper's configuration: 3-grams.
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+/// Computes intersection and union sizes of two sorted gram lists.
+fn set_overlap(a: &[String], b: &[String]) -> (usize, usize) {
+    let (mut i, mut j, mut inter) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (inter, a.len() + b.len() - inter)
+}
+
+impl SimilarityMeasure for NgramJaccard {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ga = ngram_set(a, self.n);
+        let gb = ngram_set(b, self.n);
+        if ga.is_empty() && gb.is_empty() {
+            // Two empty names: define as 0 — they carry no evidence of a
+            // shared concept.
+            return 0.0;
+        }
+        let (inter, union) = set_overlap(&ga, &gb);
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ngram-jaccard"
+    }
+
+    fn signature(&self, name: &str) -> Signature {
+        gram_set_signature(name, self.n)
+    }
+
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+        match (a, b) {
+            (Signature::GramSet(a), Signature::GramSet(b)) => {
+                let inter = hash_intersection(a, b);
+                let union = a.len() + b.len() - inter;
+                if union == 0 {
+                    0.0
+                } else {
+                    inter as f64 / union as f64
+                }
+            }
+            _ => panic!("signature kind does not match ngram-jaccard"),
+        }
+    }
+}
+
+/// Dice (Sørensen) coefficient over n-gram sets:
+/// `2·|G(a) ∩ G(b)| / (|G(a)| + |G(b)|)`.
+#[derive(Debug, Clone, Copy)]
+pub struct NgramDice {
+    n: usize,
+}
+
+impl NgramDice {
+    /// Dice over n-grams of the given size.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram size must be positive");
+        Self { n }
+    }
+}
+
+impl Default for NgramDice {
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+impl SimilarityMeasure for NgramDice {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ga = ngram_set(a, self.n);
+        let gb = ngram_set(b, self.n);
+        let total = ga.len() + gb.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let (inter, _) = set_overlap(&ga, &gb);
+        2.0 * inter as f64 / total as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "ngram-dice"
+    }
+
+    fn signature(&self, name: &str) -> Signature {
+        gram_set_signature(name, self.n)
+    }
+
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+        match (a, b) {
+            (Signature::GramSet(a), Signature::GramSet(b)) => {
+                let total = a.len() + b.len();
+                if total == 0 {
+                    return 0.0;
+                }
+                2.0 * hash_intersection(a, b) as f64 / total as f64
+            }
+            _ => panic!("signature kind does not match ngram-dice"),
+        }
+    }
+}
+
+/// Cosine similarity over n-gram count vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct NgramCosine {
+    n: usize,
+}
+
+impl NgramCosine {
+    /// Cosine over n-grams of the given size.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram size must be positive");
+        Self { n }
+    }
+}
+
+impl Default for NgramCosine {
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+impl SimilarityMeasure for NgramCosine {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ca = ngram_multiset(a, self.n);
+        let cb = ngram_multiset(b, self.n);
+        if ca.is_empty() || cb.is_empty() {
+            return 0.0;
+        }
+        let dot: f64 = dot_product(&ca, &cb);
+        let na: f64 = ca.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        let nb: f64 = cb.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "ngram-cosine"
+    }
+
+    fn signature(&self, name: &str) -> Signature {
+        let counts = ngram_multiset(name, self.n);
+        let mut pairs: Vec<(u64, u32)> = counts
+            .iter()
+            .map(|(g, &c)| (hash_gram(g), c))
+            .collect();
+        pairs.sort_unstable();
+        let norm = pairs
+            .iter()
+            .map(|&(_, c)| (c as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        Signature::GramCounts(pairs, norm)
+    }
+
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+        match (a, b) {
+            (Signature::GramCounts(a, na), Signature::GramCounts(b, nb)) => {
+                if a.is_empty() || b.is_empty() {
+                    return 0.0;
+                }
+                let (mut i, mut j) = (0, 0);
+                let mut dot = 0.0;
+                while i < a.len() && j < b.len() {
+                    match a[i].0.cmp(&b[j].0) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            dot += a[i].1 as f64 * b[j].1 as f64;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                (dot / (na * nb)).clamp(0.0, 1.0)
+            }
+            _ => panic!("signature kind does not match ngram-cosine"),
+        }
+    }
+}
+
+fn dot_product(a: &BTreeMap<String, u32>, b: &BTreeMap<String, u32>) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter_map(|(g, &ca)| large.get(g).map(|&cb| ca as f64 * cb as f64))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identical_names() {
+        let m = NgramJaccard::default();
+        assert_eq!(m.similarity("author", "author"), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_names() {
+        let m = NgramJaccard::default();
+        assert_eq!(m.similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap_in_unit_interval() {
+        let m = NgramJaccard::default();
+        let s = m.similarity("author", "author name");
+        assert!(s > 0.0 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn jaccard_symmetric() {
+        let m = NgramJaccard::default();
+        assert_eq!(
+            m.similarity("keyword", "key word"),
+            m.similarity("key word", "keyword")
+        );
+    }
+
+    #[test]
+    fn jaccard_empty_names_are_zero() {
+        let m = NgramJaccard::default();
+        assert_eq!(m.similarity("", ""), 0.0);
+        assert_eq!(m.similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn related_names_beat_unrelated() {
+        let m = NgramJaccard::default();
+        assert!(m.similarity("event name", "event type") > m.similarity("event name", "radius"));
+        assert!(m.similarity("after date", "before date") > m.similarity("after date", "venue"));
+    }
+
+    #[test]
+    fn dice_geq_jaccard() {
+        // Dice = 2J/(1+J) >= J for J in [0,1].
+        let j = NgramJaccard::default();
+        let d = NgramDice::default();
+        for (a, b) in [("author", "author name"), ("keyword", "keywords"), ("x", "y")] {
+            assert!(d.similarity(a, b) >= j.similarity(a, b) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn dice_identical_and_disjoint() {
+        let d = NgramDice::default();
+        assert_eq!(d.similarity("title", "title"), 1.0);
+        assert_eq!(d.similarity("abc", "xyz"), 0.0);
+        assert_eq!(d.similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn cosine_identical_and_bounds() {
+        let c = NgramCosine::default();
+        assert!((c.similarity("title", "title") - 1.0).abs() < 1e-12);
+        let s = c.similarity("program title", "title");
+        assert!((0.0..=1.0).contains(&s));
+        assert!(s > 0.0);
+        assert_eq!(c.similarity("", "title"), 0.0);
+    }
+
+    #[test]
+    fn measure_names() {
+        assert_eq!(NgramJaccard::default().name(), "ngram-jaccard");
+        assert_eq!(NgramDice::default().name(), "ngram-dice");
+        assert_eq!(NgramCosine::default().name(), "ngram-cosine");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gram_size_panics() {
+        NgramJaccard::new(0);
+    }
+
+    #[test]
+    fn signatures_agree_with_direct_similarity() {
+        let names = ["author", "author name", "keyword", "", "isbn 13", "title"];
+        let jac = NgramJaccard::default();
+        let dice = NgramDice::default();
+        let cos = NgramCosine::default();
+        for a in names {
+            for b in names {
+                for m in [&jac as &dyn SimilarityMeasure, &dice, &cos] {
+                    let direct = m.similarity(a, b);
+                    let via_sig = m.similarity_sig(&m.signature(a), &m.signature(b));
+                    assert!(
+                        (direct - via_sig).abs() < 1e-12,
+                        "{}: {a:?} vs {b:?}: {direct} != {via_sig}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_signature_kind_panics() {
+        let jac = NgramJaccard::default();
+        jac.similarity_sig(&Signature::Text("a".into()), &Signature::Text("b".into()));
+    }
+
+    #[test]
+    fn default_signature_is_text_roundtrip() {
+        use crate::levenshtein::NormalizedLevenshtein;
+        let m = NormalizedLevenshtein;
+        let sig_a = m.signature("author");
+        let sig_b = m.signature("actor");
+        assert_eq!(
+            m.similarity_sig(&sig_a, &sig_b),
+            m.similarity("author", "actor")
+        );
+    }
+}

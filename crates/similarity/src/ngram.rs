@@ -1,0 +1,96 @@
+//! Character n-gram extraction.
+//!
+//! Names are compared on their character n-grams (default `n = 3`,
+//! the paper's choice). Extraction pads the normalized name with `n - 1`
+//! boundary markers on each side, the standard construction that lets short
+//! names (shorter than `n`) still produce grams and weights word boundaries.
+
+use std::collections::BTreeMap;
+
+/// The padding character used at name boundaries. It cannot occur inside
+/// normalized names (normalization strips non-alphanumerics), so padded grams
+/// never collide with interior grams.
+pub const PAD: char = '#';
+
+/// Extracts the set of character n-grams of `name`, padded with `n - 1`
+/// copies of [`PAD`] at both ends.
+///
+/// `name` should already be normalized (see
+/// `mube_schema::attribute::normalize_name`); this function does not
+/// normalize. Returns an empty set for an empty name or `n == 0`.
+pub fn ngram_set(name: &str, n: usize) -> Vec<String> {
+    let mut grams: Vec<String> = ngram_multiset(name, n).into_keys().collect();
+    grams.sort_unstable();
+    grams
+}
+
+/// Extracts the multiset of character n-grams with occurrence counts.
+///
+/// The multiset form feeds the cosine measure, which weights repeated grams;
+/// Jaccard and Dice use the supporting set.
+pub fn ngram_multiset(name: &str, n: usize) -> BTreeMap<String, u32> {
+    let mut counts = BTreeMap::new();
+    if n == 0 || name.is_empty() {
+        return counts;
+    }
+    let mut padded: Vec<char> = Vec::with_capacity(name.chars().count() + 2 * (n - 1));
+    padded.extend(std::iter::repeat_n(PAD, n - 1));
+    padded.extend(name.chars());
+    padded.extend(std::iter::repeat_n(PAD, n - 1));
+    for window in padded.windows(n) {
+        let gram: String = window.iter().collect();
+        *counts.entry(gram).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigrams_of_short_word() {
+        // "ab" padded -> "##ab##": grams ##a, #ab, ab#, b##
+        let grams = ngram_set("ab", 3);
+        assert_eq!(grams, vec!["##a", "#ab", "ab#", "b##"]);
+    }
+
+    #[test]
+    fn single_char_still_has_grams() {
+        let grams = ngram_set("x", 3);
+        assert_eq!(grams, vec!["##x", "#x#", "x##"]);
+    }
+
+    #[test]
+    fn empty_name_has_no_grams() {
+        assert!(ngram_set("", 3).is_empty());
+        assert!(ngram_multiset("", 3).is_empty());
+    }
+
+    #[test]
+    fn n_zero_has_no_grams() {
+        assert!(ngram_set("abc", 0).is_empty());
+    }
+
+    #[test]
+    fn multiset_counts_repeats() {
+        // "aaaa" padded to "##aaaa##": windows ##a #aa aaa aaa aa# a##
+        let counts = ngram_multiset("aaaa", 3);
+        assert_eq!(counts.get("aaa"), Some(&2));
+        assert_eq!(counts.get("##a"), Some(&1));
+    }
+
+    #[test]
+    fn unigrams_have_no_padding() {
+        let grams = ngram_set("abca", 1);
+        assert_eq!(grams, vec!["a", "b", "c"]);
+        let counts = ngram_multiset("abca", 1);
+        assert_eq!(counts.get("a"), Some(&2));
+    }
+
+    #[test]
+    fn multibyte_chars_are_single_units() {
+        let grams = ngram_set("éé", 3);
+        assert!(grams.iter().any(|g| g == "#éé"));
+    }
+}

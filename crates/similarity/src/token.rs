@@ -1,0 +1,144 @@
+//! Token-level (word-level) similarity measures.
+//!
+//! Web-form attribute labels are short phrases ("publication year", "after
+//! date"); sometimes the signal is in shared *words* rather than shared
+//! character n-grams. These measures complement the character-level ones:
+//!
+//! * [`TokenJaccard`] — Jaccard over the word sets;
+//! * [`MongeElkan`] — the average, over the words of the shorter name, of
+//!   the best inner-measure similarity against any word of the longer name.
+//!   A classic hybrid: word-level alignment with character-level fuzziness.
+
+use crate::measure::SimilarityMeasure;
+
+/// Jaccard coefficient over whitespace-separated word sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenJaccard;
+
+impl SimilarityMeasure for TokenJaccard {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let wa: std::collections::BTreeSet<&str> = a.split_whitespace().collect();
+        let wb: std::collections::BTreeSet<&str> = b.split_whitespace().collect();
+        if wa.is_empty() && wb.is_empty() {
+            return 0.0;
+        }
+        let inter = wa.intersection(&wb).count();
+        let union = wa.len() + wb.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "token-jaccard"
+    }
+}
+
+/// Monge-Elkan similarity with a pluggable word-level inner measure.
+pub struct MongeElkan<M> {
+    inner: M,
+}
+
+impl<M: SimilarityMeasure> MongeElkan<M> {
+    /// Monge-Elkan over the given inner word measure.
+    pub fn new(inner: M) -> Self {
+        Self { inner }
+    }
+}
+
+impl Default for MongeElkan<crate::jaro::JaroWinkler> {
+    /// The conventional configuration: Jaro-Winkler as the inner measure.
+    fn default() -> Self {
+        Self::new(crate::jaro::JaroWinkler::default())
+    }
+}
+
+impl<M: SimilarityMeasure> SimilarityMeasure for MongeElkan<M> {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let wa: Vec<&str> = a.split_whitespace().collect();
+        let wb: Vec<&str> = b.split_whitespace().collect();
+        if wa.is_empty() || wb.is_empty() {
+            return 0.0;
+        }
+        // Symmetrize: average both directions (raw Monge-Elkan is
+        // asymmetric, but SimilarityMeasure requires symmetry).
+        let directed = |from: &[&str], to: &[&str]| {
+            from.iter()
+                .map(|w| {
+                    to.iter()
+                        .map(|v| self.inner.similarity(w, v))
+                        .fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / from.len() as f64
+        };
+        ((directed(&wa, &wb) + directed(&wb, &wa)) / 2.0).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "monge-elkan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_jaccard_counts_shared_words() {
+        let m = TokenJaccard;
+        assert_eq!(m.similarity("after date", "before date"), 1.0 / 3.0);
+        assert_eq!(m.similarity("keyword", "keyword"), 1.0);
+        assert_eq!(m.similarity("keyword", "venue"), 0.0);
+        assert_eq!(m.similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn token_jaccard_order_insensitive() {
+        let m = TokenJaccard;
+        assert_eq!(m.similarity("name first", "first name"), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_rewards_fuzzy_word_matches() {
+        let m = MongeElkan::default();
+        // "authors" vs "author" are near-identical words.
+        let s = m.similarity("author name", "authors names");
+        assert!(s > 0.9, "got {s}");
+        // Unrelated words stay low.
+        let s = m.similarity("venue", "keyword");
+        assert!(s < 0.6, "got {s}");
+    }
+
+    #[test]
+    fn monge_elkan_symmetric_and_bounded() {
+        let m = MongeElkan::default();
+        for (a, b) in [
+            ("publication year", "year published"),
+            ("event name", "venue"),
+            ("", "x"),
+        ] {
+            let ab = m.similarity(a, b);
+            let ba = m.similarity(b, a);
+            assert!((ab - ba).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&ab));
+        }
+    }
+
+    #[test]
+    fn monge_elkan_identity() {
+        let m = MongeElkan::default();
+        assert!((m.similarity("after date", "after date") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_beats_char_ngrams_on_word_reorder() {
+        use crate::measure::NgramJaccard;
+        let me = MongeElkan::default();
+        let ng = NgramJaccard::default();
+        let (a, b) = ("year published", "published year");
+        assert!(me.similarity(a, b) > ng.similarity(a, b));
+    }
+}

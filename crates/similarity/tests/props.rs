@@ -1,0 +1,87 @@
+//! Property tests for the similarity measures: the contract every measure
+//! must satisfy so the clustering algorithm behaves.
+
+use proptest::prelude::*;
+
+use mube_similarity::{
+    Jaro, JaroWinkler, NgramCosine, NgramDice, NgramJaccard, NormalizedLevenshtein,
+    SimilarityMatrix, SimilarityMeasure,
+};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Normalized-name shaped strings: lowercase words with single spaces.
+    prop::collection::vec("[a-z]{1,8}", 1..4).prop_map(|words| words.join(" "))
+}
+
+fn measures() -> Vec<Box<dyn SimilarityMeasure>> {
+    vec![
+        Box::new(NgramJaccard::default()),
+        Box::new(NgramDice::default()),
+        Box::new(NgramCosine::default()),
+        Box::new(NormalizedLevenshtein),
+        Box::new(Jaro),
+        Box::new(JaroWinkler::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_measures_bounded_and_symmetric(a in arb_name(), b in arb_name()) {
+        for m in measures() {
+            let s_ab = m.similarity(&a, &b);
+            let s_ba = m.similarity(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&s_ab), "{}: {s_ab}", m.name());
+            prop_assert!((s_ab - s_ba).abs() < 1e-12, "{} asymmetric", m.name());
+        }
+    }
+
+    #[test]
+    fn identity_scores_one(a in arb_name()) {
+        for m in measures() {
+            prop_assert!(
+                (m.similarity(&a, &a) - 1.0).abs() < 1e-12,
+                "{} on {a:?}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn signatures_agree_with_direct(a in arb_name(), b in arb_name()) {
+        for m in measures() {
+            let direct = m.similarity(&a, &b);
+            let sig = m.similarity_sig(&m.signature(&a), &m.signature(&b));
+            prop_assert!((direct - sig).abs() < 1e-9, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn matrix_agrees_with_measure(names in prop::collection::vec(arb_name(), 1..12)) {
+        let m = NgramJaccard::default();
+        let matrix = SimilarityMatrix::compute(&names, &m);
+        for i in 0..names.len() {
+            for j in 0..names.len() {
+                let direct = m.similarity(&names[i], &names[j]) as f32;
+                let got = matrix.similarity(i, j) as f32;
+                prop_assert!((direct - got).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn dice_dominates_jaccard(a in arb_name(), b in arb_name()) {
+        // Dice = 2J/(1+J) ≥ J on [0,1].
+        let j = NgramJaccard::default().similarity(&a, &b);
+        let d = NgramDice::default().similarity(&a, &b);
+        prop_assert!(d >= j - 1e-12);
+    }
+
+    #[test]
+    fn winkler_dominates_jaro(a in arb_name(), b in arb_name()) {
+        let j = Jaro.similarity(&a, &b);
+        let w = JaroWinkler::default().similarity(&a, &b);
+        prop_assert!(w >= j - 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! An end-to-end iterative exploration on the paper's synthetic Books
+//! universe: generate 200 sources (50 BAMM-style bases + perturbed copies),
+//! run µBE, inspect ground-truth quality, then guide it with feedback.
+//!
+//! Run with: `cargo run --release --example books_iterative`
+
+use mube::datagen::{GroundTruth, UniverseConfig};
+use mube::prelude::*;
+
+fn main() {
+    // Scaled-down data volumes so the example runs fast even in debug; pass
+    // --full for the paper's 10k..1M cardinalities.
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full {
+        UniverseConfig::paper(200, 1)
+    } else {
+        UniverseConfig::small_test(200, 1)
+    };
+    println!("generating {}-source Books universe...", config.num_sources);
+    let generated = config.generate();
+    let universe = &generated.universe;
+
+    println!(
+        "universe: {} sources, {} attributes, {} total tuples",
+        universe.len(),
+        universe.total_attrs(),
+        universe.total_cardinality()
+    );
+
+    let mube = MubeBuilder::new(universe)
+        .sketches(generated.sketches.clone())
+        .build();
+
+    // Iteration 1: paper defaults, choose 20 sources.
+    let spec = ProblemSpec::new(20); // paper-default weights, θ = 0.75
+    let mut session = Session::new(&mube, spec).with_seed(11);
+    let first = session.iterate().expect("iteration 1 solves").clone();
+    report(universe, &generated.ground_truth, &first, "iteration 1 (defaults)");
+
+    // Feedback A: the user cares about breadth of data — upweight coverage.
+    session.set_weights(
+        Weights::new([
+            ("matching", 0.2),
+            ("cardinality", 0.15),
+            ("coverage", 0.4),
+            ("redundancy", 0.15),
+            ("mttf", 0.1),
+        ])
+        .unwrap(),
+    );
+    let second = session.iterate().expect("iteration 2 solves").clone();
+    report(universe, &generated.ground_truth, &second, "iteration 2 (coverage-heavy)");
+
+    // Feedback B: pin a favorite source (people have preferred shops) and
+    // adopt the largest GA from the previous output as a constraint, so it
+    // can only grow from here.
+    let favorite = SourceId(0);
+    session.require_source(favorite);
+    if let Some(biggest) = second
+        .schema
+        .gas()
+        .iter()
+        .max_by_key(|ga| ga.len())
+        .cloned()
+    {
+        println!(
+            "adopting GA with {} attributes as a constraint, pinning {}",
+            biggest.len(),
+            universe.expect_source(favorite).name()
+        );
+        session.adopt_ga(biggest);
+    }
+    let third = session.iterate().expect("iteration 3 solves").clone();
+    report(universe, &generated.ground_truth, &third, "iteration 3 (pinned + adopted GA)");
+
+    assert!(third.selected.contains(&favorite));
+    println!("session history: {} iterations", session.history().len());
+}
+
+fn report(universe: &Universe, gt: &GroundTruth, solution: &Solution, label: &str) {
+    let score = gt.score(&solution.schema, solution.selected.iter().copied());
+    println!("\n=== {label} ===");
+    println!(
+        "Q = {:.4}; {} sources; {} GAs; {:?} ({} Match calls, {} cache hits)",
+        solution.overall_quality,
+        solution.num_sources(),
+        solution.schema.len(),
+        solution.stats.elapsed,
+        solution.stats.match_calls,
+        solution.stats.cache_hits,
+    );
+    for (name, (w, v)) in &solution.qef_values {
+        println!("  {name:<12} weight {w:.2}  value {v:.4}");
+    }
+    println!(
+        "  ground truth: {} true GAs (of {}), {} attrs covered, {} missed, {} false, {} noise",
+        score.true_gas,
+        gt.max_true_gas(),
+        score.attrs_in_true_gas,
+        score.missed,
+        score.false_gas,
+        score.noise_gas
+    );
+    let _ = universe;
+}

@@ -1,0 +1,113 @@
+//! The paper's motivating scenario (Figure 1): theater-ticket sources
+//! discovered through a hidden-Web search engine, with the exact schemas
+//! the paper lists from CompletePlanet.com.
+//!
+//! Demonstrates the two-problem interplay: which of the discovered sources
+//! to integrate, and what mediated schema emerges — then how a GA
+//! constraint ("keyword" and "search for" mean the same thing) changes the
+//! answer.
+//!
+//! Run with: `cargo run --example theater_tickets`
+
+use mube::prelude::*;
+
+fn main() {
+    // Figure 1 of the paper, verbatim.
+    let figure1: [(&str, Vec<&str>); 11] = [
+        ("tonyawards.com", vec!["keywords"]),
+        ("whatsonstage.com", vec!["your town"]),
+        ("aceticket.com", vec!["state", "city", "event", "venue"]),
+        ("canadiantheatre.com", vec!["phrase", "search term"]),
+        ("londontheatre.co.uk", vec!["type", "keyword"]),
+        ("mime.info.com", vec!["search for"]),
+        (
+            "pbs.org",
+            vec!["program title", "date", "author", "actor", "director", "keyword"],
+        ),
+        ("pa.msu.edu", vec!["keyword"]),
+        ("wstonline.org", vec!["keyword", "after date", "before date"]),
+        (
+            "officiallondontheatre.co.uk",
+            vec!["keyword", "after date", "before date"],
+        ),
+        (
+            "lastminute.com",
+            vec!["event name", "event type", "location", "date", "radius"],
+        ),
+    ];
+
+    let mut universe = Universe::new();
+    for (i, (site, attrs)) in figure1.iter().enumerate() {
+        universe
+            .add_source(
+                SourceBuilder::new(*site)
+                    .attributes(attrs.iter().copied())
+                    // Synthetic volumes/latencies: ticket aggregators are big,
+                    // niche sites small.
+                    .cardinality(5_000 + 20_000 * (i as u64 % 4))
+                    .characteristic("mttf", 60.0 + 15.0 * (i as f64 % 5.0)),
+            )
+            .expect("well-formed source");
+    }
+
+    let mube = MubeBuilder::new(&universe).build();
+
+    // Iteration 1: pure schema coherence, pick 5 of the 11 sources.
+    let spec = ProblemSpec::new(5)
+        .with_weights(
+            Weights::new([("matching", 0.7), ("cardinality", 0.15), ("mttf", 0.15)]).unwrap(),
+        )
+        .with_theta(0.7);
+    let mut session = Session::new(&mube, spec).with_seed(7);
+    let first = session.iterate().expect("iteration 1 solves");
+    println!("=== iteration 1: no constraints ===");
+    print_solution(&universe, first);
+
+    // The user inspects the output: the keyword-search sites clustered, but
+    // mime.info.com's "search for" box was not recognized as the same
+    // concept as "keyword". Provide a bridging GA constraint — µBE's
+    // "matching by example".
+    let keyword_attr = universe
+        .all_attrs()
+        .find(|a| universe.attr_name(*a) == Some("keyword"))
+        .expect("keyword attr exists");
+    let search_for_attr = universe
+        .all_attrs()
+        .find(|a| universe.attr_name(*a) == Some("search for"))
+        .expect("search for attr exists");
+    let bridge = GlobalAttribute::new([keyword_attr, search_for_attr]).unwrap();
+    println!("\nuser bridges: {bridge}  (keyword == search for)\n");
+    session.adopt_ga(bridge);
+
+    let second = session.iterate().expect("iteration 2 solves");
+    println!("=== iteration 2: with the bridging GA constraint ===");
+    print_solution(&universe, second);
+}
+
+fn print_solution(universe: &Universe, solution: &Solution) {
+    println!(
+        "Q = {:.4}; {} sources; {} GAs; solved in {:?} ({} Match calls)",
+        solution.overall_quality,
+        solution.num_sources(),
+        solution.schema.len(),
+        solution.stats.elapsed,
+        solution.stats.match_calls
+    );
+    for id in &solution.selected {
+        println!("  + {}", universe.expect_source(*id).name());
+    }
+    for ga in solution.schema.gas() {
+        let names: Vec<String> = ga
+            .attrs()
+            .map(|a| {
+                format!(
+                    "{}:{}",
+                    universe.expect_source(a.source).name(),
+                    universe.attr_name(a).unwrap_or("?")
+                )
+            })
+            .collect();
+        println!("  GA {{{}}}", names.join(" | "));
+    }
+    println!();
+}

