@@ -1,0 +1,34 @@
+//! Static invariant auditor for µBE mediated schemas and solutions.
+//!
+//! The paper's Section 2 ("Problem Definition") pins down exactly what a
+//! legal output of µBE looks like: GAs are non-empty and hold at most one
+//! attribute per source (Definition 1); the GAs of a mediated schema are
+//! pairwise disjoint and span the constrained sources (Definition 2); every
+//! user GA constraint is subsumed by the output (`G ⊑ M`, Definition 3);
+//! the selection respects `|S| ≤ m` and `C ⊆ S`; QEF values and their
+//! weighted combination live in `[0, 1]` on the probability simplex.
+//!
+//! This crate turns each of those rules into a machine check:
+//!
+//! * [`SchemaAuditor`] verifies a [`mube_schema::MediatedSchema`] (plus
+//!   optional constraints, θ, β, and a similarity oracle) and returns an
+//!   [`AuditReport`] of structured [`AuditViolation`]s — never a panic.
+//! * [`SolutionAuditor`] additionally verifies the source-selection side of
+//!   a solved problem from plain [`SolutionFacts`], so it does not depend
+//!   on the engine crate (the engine depends on *us* and runs the auditor
+//!   as a debug-mode oracle after every solve).
+//!
+//! See DESIGN.md's "Invariants & auditing" section for the rule ↔ variant
+//! mapping.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod schema_audit;
+pub mod solution_audit;
+pub mod violation;
+
+pub use mube_cluster::AttrSimilarity;
+pub use schema_audit::{FnSimilarity, SchemaAuditor};
+pub use solution_audit::{SolutionAuditor, SolutionFacts};
+pub use violation::{AuditReport, AuditViolation};

@@ -1,0 +1,340 @@
+//! Mediated-schema invariant checks (Definitions 1–3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mube_cluster::AttrSimilarity;
+use mube_schema::{AttrId, Constraints, GlobalAttribute, MediatedSchema, Universe};
+
+use crate::violation::{AuditReport, AuditViolation};
+
+/// Adapter making any `Fn(AttrId, AttrId) -> f64` usable as an
+/// [`AttrSimilarity`] oracle — handy for tests and synthetic audits.
+pub struct FnSimilarity<F>(pub F);
+
+impl<F: Fn(AttrId, AttrId) -> f64> AttrSimilarity for FnSimilarity<F> {
+    fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+        (self.0)(a, b)
+    }
+}
+
+/// Verifies a [`MediatedSchema`] against the paper's structural invariants.
+///
+/// The auditor is configured builder-style; every input beyond the universe
+/// is optional, and checks that need a missing input are skipped:
+///
+/// * [`SchemaAuditor::constraints`] enables subsumption (`G ⊑ M`) and
+///   spanning (`M` valid on `C`) checks, and exempts constraint-derived GAs
+///   from the β/θ floors (a user may pin a singleton GA; the paper scores it
+///   1.0 and keeps it regardless of β).
+/// * [`SchemaAuditor::similarity`] enables the similarity-range check and,
+///   together with [`SchemaAuditor::theta`], the per-GA quality floor.
+/// * [`SchemaAuditor::beta`] enables the minimum-GA-size check.
+///
+/// Checks never panic; every defect becomes an [`AuditViolation`] in the
+/// returned [`AuditReport`].
+pub struct SchemaAuditor<'a> {
+    universe: &'a Universe,
+    constraints: Option<&'a Constraints>,
+    theta: Option<f64>,
+    beta: Option<usize>,
+    similarity: Option<&'a dyn AttrSimilarity>,
+}
+
+impl<'a> SchemaAuditor<'a> {
+    /// Starts an auditor for schemas over `universe`.
+    pub fn new(universe: &'a Universe) -> Self {
+        Self {
+            universe,
+            constraints: None,
+            theta: None,
+            beta: None,
+            similarity: None,
+        }
+    }
+
+    /// Supplies the user constraints the schema must honour.
+    pub fn constraints(mut self, constraints: &'a Constraints) -> Self {
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// Supplies the matching threshold θ for the GA-quality floor.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = Some(theta);
+        self
+    }
+
+    /// Supplies the minimum GA size β.
+    pub fn beta(mut self, beta: usize) -> Self {
+        self.beta = Some(beta);
+        self
+    }
+
+    /// Supplies the attribute-similarity oracle used for quality checks.
+    pub fn similarity(mut self, sim: &'a dyn AttrSimilarity) -> Self {
+        self.similarity = Some(sim);
+        self
+    }
+
+    /// Audits `schema`, returning every violated invariant.
+    pub fn audit(&self, schema: &MediatedSchema) -> AuditReport {
+        let mut out = Vec::new();
+        self.collect(schema, &mut out);
+        AuditReport::new(out)
+    }
+
+    /// Appends `schema`'s violations to `out` (shared with the solution
+    /// auditor, which layers selection checks on top).
+    pub(crate) fn collect(&self, schema: &MediatedSchema, out: &mut Vec<AuditViolation>) {
+        self.check_ga_validity(schema, out);
+        self.check_disjointness(schema, out);
+        self.check_constraints(schema, out);
+        self.check_floors(schema, out);
+    }
+
+    /// Definition 1 per GA (non-empty, one attribute per source) plus
+    /// referential integrity against the universe.
+    fn check_ga_validity(&self, schema: &MediatedSchema, out: &mut Vec<AuditViolation>) {
+        for (ga_index, ga) in schema.gas().iter().enumerate() {
+            if ga.is_empty() {
+                out.push(AuditViolation::EmptyGa { ga_index });
+                continue;
+            }
+            let mut by_source: BTreeMap<_, AttrId> = BTreeMap::new();
+            for attr in ga.attrs() {
+                if !self.universe.contains_attr(attr) {
+                    out.push(AuditViolation::UnknownAttribute { ga_index, attr });
+                }
+                if let Some(&first) = by_source.get(&attr.source) {
+                    out.push(AuditViolation::SameSourceInGa {
+                        ga_index,
+                        first,
+                        second: attr,
+                    });
+                } else {
+                    by_source.insert(attr.source, attr);
+                }
+            }
+        }
+    }
+
+    /// Definition 2, first half: GAs are pairwise disjoint.
+    fn check_disjointness(&self, schema: &MediatedSchema, out: &mut Vec<AuditViolation>) {
+        let mut owner: BTreeMap<AttrId, usize> = BTreeMap::new();
+        for (ga_index, ga) in schema.gas().iter().enumerate() {
+            for attr in ga.attrs() {
+                if let Some(&first_ga) = owner.get(&attr) {
+                    out.push(AuditViolation::OverlappingGas {
+                        first_ga,
+                        second_ga: ga_index,
+                        attr,
+                    });
+                } else {
+                    owner.insert(attr, ga_index);
+                }
+            }
+        }
+    }
+
+    /// Definition 3 (`G ⊑ M`) and Definition 2, second half (`M` spans `C`).
+    fn check_constraints(&self, schema: &MediatedSchema, out: &mut Vec<AuditViolation>) {
+        let Some(constraints) = self.constraints else {
+            return;
+        };
+        for (constraint_index, required) in constraints.gas().iter().enumerate() {
+            let subsumed = schema.gas().iter().any(|ga| required.is_subset_of(ga));
+            if !subsumed {
+                out.push(AuditViolation::GaConstraintNotSubsumed { constraint_index });
+            }
+        }
+        let covered = schema.covered_sources();
+        for &source in constraints.sources() {
+            if !covered.contains(&source) {
+                out.push(AuditViolation::ConstraintSourceNotSpanned { source });
+            }
+        }
+    }
+
+    /// Section 3 floors: `|g| ≥ β` and quality `≥ θ` for every GA not seeded
+    /// by a user constraint; similarity scores must themselves be in `[0, 1]`.
+    fn check_floors(&self, schema: &MediatedSchema, out: &mut Vec<AuditViolation>) {
+        let pinned: BTreeSet<AttrId> = self
+            .constraints
+            .map(Constraints::constrained_attrs)
+            .unwrap_or_default();
+        for (ga_index, ga) in schema.gas().iter().enumerate() {
+            let exempt = ga.attrs().any(|a| pinned.contains(&a));
+            if let Some(beta) = self.beta {
+                if !exempt && ga.len() < beta {
+                    out.push(AuditViolation::GaBelowBeta {
+                        ga_index,
+                        len: ga.len(),
+                        beta,
+                    });
+                }
+            }
+            if let Some(sim) = self.similarity {
+                let quality = self.checked_ga_quality(ga, sim, out);
+                if let Some(theta) = self.theta {
+                    if !exempt && quality < theta {
+                        out.push(AuditViolation::GaQualityBelowTheta {
+                            ga_index,
+                            quality,
+                            theta,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Max-pairwise-similarity GA quality (singletons score 1.0, matching
+    /// `mube_cluster::ga_quality`), flagging any score outside `[0, 1]`.
+    fn checked_ga_quality(
+        &self,
+        ga: &GlobalAttribute,
+        sim: &dyn AttrSimilarity,
+        out: &mut Vec<AuditViolation>,
+    ) -> f64 {
+        let attrs: Vec<AttrId> = ga.attrs().collect();
+        if attrs.len() <= 1 {
+            return 1.0;
+        }
+        let mut best = 0.0f64;
+        for i in 0..attrs.len() {
+            for j in i + 1..attrs.len() {
+                let value = sim.similarity(attrs[i], attrs[j]);
+                if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                    out.push(AuditViolation::SimilarityOutOfRange {
+                        a: attrs[i],
+                        b: attrs[j],
+                        value,
+                    });
+                }
+                // f64::max ignores NaN on the rhs, so a poisoned score
+                // cannot silently become the GA's quality.
+                best = best.max(value);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{SourceBuilder, SourceId};
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn ga(attrs: &[(u32, u32)]) -> GlobalAttribute {
+        GlobalAttribute::new(attrs.iter().map(|&(s, j)| a(s, j))).expect("valid test GA")
+    }
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        for name in ["s0", "s1", "s2", "s3"] {
+            u.add_source(SourceBuilder::new(name).attributes(["x", "y"]))
+                .expect("test universe");
+        }
+        u
+    }
+
+    #[test]
+    fn clean_schema_passes() {
+        let u = universe();
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(2, 1), (3, 1)])]);
+        let report = SchemaAuditor::new(&u).audit(&schema);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn overlapping_gas_detected_with_indices() {
+        let u = universe();
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(1, 0), (2, 0)])]);
+        let report = SchemaAuditor::new(&u).audit(&schema);
+        assert!(report.has_code("schema.overlapping-gas"));
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, AuditViolation::OverlappingGas { attr, .. } if *attr == a(1, 0))));
+    }
+
+    #[test]
+    fn unknown_attribute_detected() {
+        let u = universe();
+        let schema = MediatedSchema::new([ga(&[(0, 0), (9, 0)])]);
+        let report = SchemaAuditor::new(&u).audit(&schema);
+        assert!(report.has_code("schema.unknown-attribute"));
+    }
+
+    #[test]
+    fn unsubsumed_ga_constraint_detected() {
+        let u = universe();
+        let mut c = Constraints::none();
+        c.require_ga(ga(&[(0, 0), (2, 0)]));
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let report = SchemaAuditor::new(&u).constraints(&c).audit(&schema);
+        assert!(report.has_code("constraint.ga-not-subsumed"));
+        // A schema whose GA grows the constraint is fine.
+        let grown = MediatedSchema::new([ga(&[(0, 0), (1, 1), (2, 0)])]);
+        assert!(SchemaAuditor::new(&u)
+            .constraints(&c)
+            .audit(&grown)
+            .is_clean());
+    }
+
+    #[test]
+    fn unspanned_constraint_source_detected() {
+        let u = universe();
+        let mut c = Constraints::none();
+        c.require_source(SourceId(3));
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let report = SchemaAuditor::new(&u).constraints(&c).audit(&schema);
+        assert!(report.has_code("constraint.source-not-spanned"));
+    }
+
+    #[test]
+    fn beta_floor_exempts_constraint_gas() {
+        let u = universe();
+        let mut c = Constraints::none();
+        c.require_ga(ga(&[(2, 0)]));
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)]), ga(&[(2, 0)])]);
+        let report = SchemaAuditor::new(&u)
+            .constraints(&c)
+            .beta(2)
+            .audit(&schema);
+        assert!(report.is_clean(), "{report}");
+        // Without the constraint the singleton violates β = 2.
+        let report = SchemaAuditor::new(&u).beta(2).audit(&schema);
+        assert!(report.has_code("ga.below-beta"));
+    }
+
+    #[test]
+    fn theta_floor_uses_max_pair_quality() {
+        let u = universe();
+        let sim = FnSimilarity(|x: AttrId, y: AttrId| {
+            if x.source.0.abs_diff(y.source.0) <= 1 {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        let good = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let bad = MediatedSchema::new([ga(&[(0, 1), (2, 1)])]);
+        let auditor = || SchemaAuditor::new(&u).similarity(&sim).theta(0.75);
+        assert!(auditor().audit(&good).is_clean());
+        assert!(auditor().audit(&bad).has_code("ga.quality-below-theta"));
+    }
+
+    #[test]
+    fn similarity_out_of_range_detected() {
+        let u = universe();
+        let sim = FnSimilarity(|_: AttrId, _: AttrId| f64::NAN);
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let report = SchemaAuditor::new(&u).similarity(&sim).audit(&schema);
+        assert!(report.has_code("similarity.out-of-range"));
+    }
+}

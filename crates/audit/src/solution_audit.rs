@@ -1,0 +1,313 @@
+//! Whole-solution invariant checks (selection, QEF values, weights).
+
+use std::collections::BTreeSet;
+
+use mube_cluster::AttrSimilarity;
+use mube_schema::{Constraints, MediatedSchema, SourceId, Universe};
+
+use crate::schema_audit::SchemaAuditor;
+use crate::violation::{AuditReport, AuditViolation};
+
+/// Absolute tolerance for floating-point identity checks (simplex sums and
+/// the reported-vs-recomputed quality). QEF combination is a handful of
+/// multiply-adds, so anything beyond this is a logic error, not rounding.
+const TOLERANCE: f64 = 1e-6;
+
+/// Tolerance for individual QEF values: normalized aggregates may land a few
+/// ulps above 1.0, matching the engine's own `1e-9` debug assertion.
+const VALUE_EPS: f64 = 1e-9;
+
+/// The facts of one solved µBE problem, decoupled from the engine's own
+/// `Solution` type so the auditor can sit *below* `mube-core` in the
+/// dependency graph (the engine depends on the auditor, not vice versa).
+#[derive(Debug, Clone, Copy)]
+pub struct SolutionFacts<'s> {
+    /// The selected sources `S`.
+    pub selected: &'s [SourceId],
+    /// The mediated schema `M = Match(S)`.
+    pub schema: &'s MediatedSchema,
+    /// Per-QEF `(name, weight, value)` breakdown.
+    pub qef_breakdown: &'s [(String, f64, f64)],
+    /// The overall quality `Q(S)` the optimizer reported.
+    pub overall_quality: f64,
+}
+
+/// Verifies a full solution: everything [`SchemaAuditor`] checks on the
+/// schema, plus the selection side (`|S| ≤ m`, `C ⊆ S`, no dangling or
+/// duplicate sources, schema confined to `S`) and the quality arithmetic
+/// (QEF values in `[0, 1]`, weights on the simplex, `Q(S) = Σ wᵢFᵢ(S)`).
+pub struct SolutionAuditor<'a> {
+    schema_auditor: SchemaAuditor<'a>,
+    universe: &'a Universe,
+    constraints: Option<&'a Constraints>,
+    max_sources: Option<usize>,
+}
+
+impl<'a> SolutionAuditor<'a> {
+    /// Starts an auditor for solutions over `universe`.
+    pub fn new(universe: &'a Universe) -> Self {
+        Self {
+            schema_auditor: SchemaAuditor::new(universe),
+            universe,
+            constraints: None,
+            max_sources: None,
+        }
+    }
+
+    /// Supplies the user constraints the solution must honour.
+    pub fn constraints(mut self, constraints: &'a Constraints) -> Self {
+        self.schema_auditor = self.schema_auditor.constraints(constraints);
+        self.constraints = Some(constraints);
+        self
+    }
+
+    /// Supplies the matching threshold θ for the GA-quality floor.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.schema_auditor = self.schema_auditor.theta(theta);
+        self
+    }
+
+    /// Supplies the minimum GA size β.
+    pub fn beta(mut self, beta: usize) -> Self {
+        self.schema_auditor = self.schema_auditor.beta(beta);
+        self
+    }
+
+    /// Supplies the attribute-similarity oracle used for quality checks.
+    pub fn similarity(mut self, sim: &'a dyn AttrSimilarity) -> Self {
+        self.schema_auditor = self.schema_auditor.similarity(sim);
+        self
+    }
+
+    /// Supplies the source budget `m`.
+    pub fn max_sources(mut self, m: usize) -> Self {
+        self.max_sources = Some(m);
+        self
+    }
+
+    /// Audits the solution facts, returning every violated invariant.
+    pub fn audit(&self, facts: &SolutionFacts<'_>) -> AuditReport {
+        let mut out = Vec::new();
+        let selected = self.check_selection(facts, &mut out);
+        self.schema_auditor.collect(facts.schema, &mut out);
+        self.check_schema_confinement(facts.schema, &selected, &mut out);
+        self.check_quality(facts, &mut out);
+        AuditReport::new(out)
+    }
+
+    /// `|S| ≤ m`, `C ⊆ S`, ids valid and unique. Returns the selection as a
+    /// set for the confinement check.
+    fn check_selection(
+        &self,
+        facts: &SolutionFacts<'_>,
+        out: &mut Vec<AuditViolation>,
+    ) -> BTreeSet<SourceId> {
+        let mut selected = BTreeSet::new();
+        for &source in facts.selected {
+            if self.universe.source(source).is_none() {
+                out.push(AuditViolation::UnknownSelectedSource { source });
+            }
+            if !selected.insert(source) {
+                out.push(AuditViolation::DuplicateSelectedSource { source });
+            }
+        }
+        if let Some(max_sources) = self.max_sources {
+            if facts.selected.len() > max_sources {
+                out.push(AuditViolation::TooManySources {
+                    selected: facts.selected.len(),
+                    max_sources,
+                });
+            }
+        }
+        if let Some(constraints) = self.constraints {
+            for source in constraints.required_sources() {
+                if !selected.contains(&source) {
+                    out.push(AuditViolation::MissingRequiredSource { source });
+                }
+            }
+        }
+        selected
+    }
+
+    /// `M` is a schema over `S`: no GA may reference an unselected source.
+    fn check_schema_confinement(
+        &self,
+        schema: &MediatedSchema,
+        selected: &BTreeSet<SourceId>,
+        out: &mut Vec<AuditViolation>,
+    ) {
+        for (ga_index, ga) in schema.gas().iter().enumerate() {
+            let mut flagged: BTreeSet<SourceId> = BTreeSet::new();
+            for source in ga.sources() {
+                if !selected.contains(&source) && flagged.insert(source) {
+                    out.push(AuditViolation::SchemaSourceOutsideSelection { ga_index, source });
+                }
+            }
+        }
+    }
+
+    /// QEF values in `[0, 1]`, weights finite/non-negative and on the
+    /// simplex, `Q(S)` equal to the weighted sum and itself in `[0, 1]`.
+    fn check_quality(&self, facts: &SolutionFacts<'_>, out: &mut Vec<AuditViolation>) {
+        let mut weight_sum = 0.0;
+        let mut recomputed = 0.0;
+        for (name, weight, value) in facts.qef_breakdown {
+            if !value.is_finite() || !(-VALUE_EPS..=1.0 + VALUE_EPS).contains(value) {
+                out.push(AuditViolation::QefOutOfRange {
+                    name: name.clone(),
+                    value: *value,
+                });
+            }
+            if !weight.is_finite() || *weight < 0.0 {
+                out.push(AuditViolation::WeightOutOfRange {
+                    name: name.clone(),
+                    weight: *weight,
+                });
+            }
+            weight_sum += weight;
+            recomputed += weight * value;
+        }
+        if !facts.qef_breakdown.is_empty() && (weight_sum - 1.0).abs() > TOLERANCE {
+            out.push(AuditViolation::WeightsOffSimplex { sum: weight_sum });
+        }
+        if !facts.qef_breakdown.is_empty()
+            && ((facts.overall_quality - recomputed).abs() > TOLERANCE
+                || facts.overall_quality.is_nan() != recomputed.is_nan())
+        {
+            out.push(AuditViolation::QualityMismatch {
+                reported: facts.overall_quality,
+                recomputed,
+            });
+        }
+        let q = facts.overall_quality;
+        if !q.is_finite() || !(-TOLERANCE..=1.0 + TOLERANCE).contains(&q) {
+            out.push(AuditViolation::QualityOutOfRange { value: q });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mube_schema::{AttrId, GlobalAttribute, SourceBuilder};
+
+    fn a(s: u32, j: u32) -> AttrId {
+        AttrId::new(SourceId(s), j)
+    }
+
+    fn ga(attrs: &[(u32, u32)]) -> GlobalAttribute {
+        GlobalAttribute::new(attrs.iter().map(|&(s, j)| a(s, j))).expect("valid test GA")
+    }
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        for name in ["s0", "s1", "s2"] {
+            u.add_source(SourceBuilder::new(name).attributes(["x", "y"]))
+                .expect("test universe");
+        }
+        u
+    }
+
+    fn breakdown() -> Vec<(String, f64, f64)> {
+        vec![
+            ("matching".to_owned(), 0.5, 0.8),
+            ("cardinality".to_owned(), 0.5, 0.6),
+        ]
+    }
+
+    #[test]
+    fn clean_solution_passes() {
+        let u = universe();
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let facts = SolutionFacts {
+            selected: &[SourceId(0), SourceId(1)],
+            schema: &schema,
+            qef_breakdown: &breakdown(),
+            overall_quality: 0.7,
+        };
+        let report = SolutionAuditor::new(&u).max_sources(2).audit(&facts);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn budget_and_duplicates_detected() {
+        let u = universe();
+        let schema = MediatedSchema::empty();
+        let facts = SolutionFacts {
+            selected: &[SourceId(0), SourceId(0), SourceId(7)],
+            schema: &schema,
+            qef_breakdown: &[],
+            overall_quality: 0.0,
+        };
+        let report = SolutionAuditor::new(&u).max_sources(2).audit(&facts);
+        assert!(report.has_code("selection.duplicate-source"));
+        assert!(report.has_code("selection.unknown-source"));
+        assert!(report.has_code("selection.too-many-sources"));
+    }
+
+    #[test]
+    fn missing_required_source_detected() {
+        let u = universe();
+        let mut c = Constraints::none();
+        c.require_ga(ga(&[(2, 0)]));
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let facts = SolutionFacts {
+            selected: &[SourceId(0), SourceId(1)],
+            schema: &schema,
+            qef_breakdown: &breakdown(),
+            overall_quality: 0.7,
+        };
+        let report = SolutionAuditor::new(&u).constraints(&c).audit(&facts);
+        assert!(report.has_code("selection.missing-required-source"));
+        // The constraint GA is also not subsumed by the schema.
+        assert!(report.has_code("constraint.ga-not-subsumed"));
+    }
+
+    #[test]
+    fn schema_outside_selection_detected() {
+        let u = universe();
+        let schema = MediatedSchema::new([ga(&[(0, 0), (2, 0)])]);
+        let facts = SolutionFacts {
+            selected: &[SourceId(0)],
+            schema: &schema,
+            qef_breakdown: &breakdown(),
+            overall_quality: 0.7,
+        };
+        let report = SolutionAuditor::new(&u).audit(&facts);
+        assert!(report.has_code("schema.source-outside-selection"));
+    }
+
+    #[test]
+    fn quality_arithmetic_checked() {
+        let u = universe();
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let bad_breakdown = vec![
+            ("matching".to_owned(), 0.5, 1.2),
+            ("cardinality".to_owned(), 0.7, 0.5),
+        ];
+        let facts = SolutionFacts {
+            selected: &[SourceId(0), SourceId(1)],
+            schema: &schema,
+            qef_breakdown: &bad_breakdown,
+            overall_quality: 0.3,
+        };
+        let report = SolutionAuditor::new(&u).audit(&facts);
+        assert!(report.has_code("qef.out-of-range"));
+        assert!(report.has_code("weights.off-simplex"));
+        assert!(report.has_code("quality.mismatch"));
+    }
+
+    #[test]
+    fn nan_quality_detected() {
+        let u = universe();
+        let schema = MediatedSchema::new([ga(&[(0, 0), (1, 0)])]);
+        let facts = SolutionFacts {
+            selected: &[SourceId(0), SourceId(1)],
+            schema: &schema,
+            qef_breakdown: &[],
+            overall_quality: f64::NAN,
+        };
+        let report = SolutionAuditor::new(&u).audit(&facts);
+        assert!(report.has_code("quality.out-of-range"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Structured audit findings.
+
+use std::fmt;
+
+use mube_schema::{AttrId, SourceId};
+
+/// One violated invariant, with enough context to locate the defect.
+///
+/// Each variant corresponds to a rule of the paper's Section 2/3 problem
+/// statement (see DESIGN.md's "Invariants & auditing" table). Auditors
+/// return these as values — they never panic — so callers decide whether a
+/// violation is fatal (the engine's debug oracle) or data (tests, benches).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditViolation {
+    /// Definition 1: a GA must be non-empty.
+    EmptyGa {
+        /// Index of the GA in the schema's canonical order.
+        ga_index: usize,
+    },
+    /// Definition 1: a GA holds at most one attribute per source.
+    SameSourceInGa {
+        /// Index of the GA in the schema's canonical order.
+        ga_index: usize,
+        /// First attribute of the clashing pair.
+        first: AttrId,
+        /// Second attribute of the clashing pair.
+        second: AttrId,
+    },
+    /// Definition 2: the GAs of a mediated schema are pairwise disjoint.
+    OverlappingGas {
+        /// Index of the GA that first claimed the attribute.
+        first_ga: usize,
+        /// Index of the GA that claimed it again.
+        second_ga: usize,
+        /// The shared attribute.
+        attr: AttrId,
+    },
+    /// Well-formedness: every schema attribute must exist in the universe.
+    UnknownAttribute {
+        /// Index of the offending GA.
+        ga_index: usize,
+        /// The dangling attribute id.
+        attr: AttrId,
+    },
+    /// Definition 3 / Section 2.4: every user GA constraint must be subsumed
+    /// by the output schema (`G ⊑ M`).
+    GaConstraintNotSubsumed {
+        /// Index of the constraint in `Constraints::gas()` order.
+        constraint_index: usize,
+    },
+    /// Definition 2: the schema must span every explicitly constrained
+    /// source (`M` valid on `C`).
+    ConstraintSourceNotSpanned {
+        /// The constrained source no GA touches.
+        source: SourceId,
+    },
+    /// Section 3: every non-constraint GA has at least β attributes
+    /// (`∀g ∈ (M − G): |g| ≥ β`).
+    GaBelowBeta {
+        /// Index of the offending GA.
+        ga_index: usize,
+        /// Its size.
+        len: usize,
+        /// The configured floor.
+        beta: usize,
+    },
+    /// Section 3: clusters merge only at similarity ≥ θ, so every
+    /// non-constraint GA's matching quality (max pairwise similarity) is
+    /// at least θ.
+    GaQualityBelowTheta {
+        /// Index of the offending GA.
+        ga_index: usize,
+        /// Its measured quality.
+        quality: f64,
+        /// The configured threshold.
+        theta: f64,
+    },
+    /// Similarities are scores in `[0, 1]` and must be NaN-free.
+    SimilarityOutOfRange {
+        /// First attribute of the scored pair.
+        a: AttrId,
+        /// Second attribute of the scored pair.
+        b: AttrId,
+        /// The offending score.
+        value: f64,
+    },
+    /// A selected source id does not exist in the universe.
+    UnknownSelectedSource {
+        /// The dangling id.
+        source: SourceId,
+    },
+    /// A source appears more than once in the selection.
+    DuplicateSelectedSource {
+        /// The repeated id.
+        source: SourceId,
+    },
+    /// Section 2: at most `m` sources may be selected (`|S| ≤ m`).
+    TooManySources {
+        /// Number of selected sources.
+        selected: usize,
+        /// The configured budget `m`.
+        max_sources: usize,
+    },
+    /// Section 2.4: every constraint-required source must be selected
+    /// (`C ⊆ S`, including sources implied by GA constraints).
+    MissingRequiredSource {
+        /// The required-but-unselected source.
+        source: SourceId,
+    },
+    /// The schema may only mention attributes of selected sources
+    /// (`M` is a schema *over* `S`).
+    SchemaSourceOutsideSelection {
+        /// Index of the offending GA.
+        ga_index: usize,
+        /// The unselected source it references.
+        source: SourceId,
+    },
+    /// Section 2.3: every QEF value lies in `[0, 1]` and is NaN-free.
+    QefOutOfRange {
+        /// QEF name.
+        name: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// Section 2.3: weights are non-negative, finite numbers.
+    WeightOutOfRange {
+        /// Weight name.
+        name: String,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// Section 2.3: weights lie on the probability simplex (`Σ w_i = 1`).
+    WeightsOffSimplex {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// The reported overall quality must equal the weighted QEF sum.
+    QualityMismatch {
+        /// `Q(S)` as reported by the optimizer.
+        reported: f64,
+        /// `Σ w_i · F_i(S)` recomputed from the breakdown.
+        recomputed: f64,
+    },
+    /// Overall quality is a weighted mean of `[0, 1]` values, so it must lie
+    /// in `[0, 1]` and be NaN-free.
+    QualityOutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl AuditViolation {
+    /// A stable, grep-friendly code naming the violated rule.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AuditViolation::EmptyGa { .. } => "ga.empty",
+            AuditViolation::SameSourceInGa { .. } => "ga.same-source",
+            AuditViolation::OverlappingGas { .. } => "schema.overlapping-gas",
+            AuditViolation::UnknownAttribute { .. } => "schema.unknown-attribute",
+            AuditViolation::GaConstraintNotSubsumed { .. } => "constraint.ga-not-subsumed",
+            AuditViolation::ConstraintSourceNotSpanned { .. } => "constraint.source-not-spanned",
+            AuditViolation::GaBelowBeta { .. } => "ga.below-beta",
+            AuditViolation::GaQualityBelowTheta { .. } => "ga.quality-below-theta",
+            AuditViolation::SimilarityOutOfRange { .. } => "similarity.out-of-range",
+            AuditViolation::UnknownSelectedSource { .. } => "selection.unknown-source",
+            AuditViolation::DuplicateSelectedSource { .. } => "selection.duplicate-source",
+            AuditViolation::TooManySources { .. } => "selection.too-many-sources",
+            AuditViolation::MissingRequiredSource { .. } => "selection.missing-required-source",
+            AuditViolation::SchemaSourceOutsideSelection { .. } => {
+                "schema.source-outside-selection"
+            }
+            AuditViolation::QefOutOfRange { .. } => "qef.out-of-range",
+            AuditViolation::WeightOutOfRange { .. } => "weights.out-of-range",
+            AuditViolation::WeightsOffSimplex { .. } => "weights.off-simplex",
+            AuditViolation::QualityMismatch { .. } => "quality.mismatch",
+            AuditViolation::QualityOutOfRange { .. } => "quality.out-of-range",
+        }
+    }
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            AuditViolation::EmptyGa { ga_index } => write!(f, "GA #{ga_index} is empty"),
+            AuditViolation::SameSourceInGa {
+                ga_index,
+                first,
+                second,
+            } => write!(
+                f,
+                "GA #{ga_index} holds two attributes of one source: {first} and {second}"
+            ),
+            AuditViolation::OverlappingGas {
+                first_ga,
+                second_ga,
+                attr,
+            } => write!(
+                f,
+                "GAs #{first_ga} and #{second_ga} both contain attribute {attr}"
+            ),
+            AuditViolation::UnknownAttribute { ga_index, attr } => {
+                write!(f, "GA #{ga_index} references unknown attribute {attr}")
+            }
+            AuditViolation::GaConstraintNotSubsumed { constraint_index } => write!(
+                f,
+                "user GA constraint #{constraint_index} is not contained in any schema GA"
+            ),
+            AuditViolation::ConstraintSourceNotSpanned { source } => write!(
+                f,
+                "constrained source {source} contributes no attribute to any GA"
+            ),
+            AuditViolation::GaBelowBeta {
+                ga_index,
+                len,
+                beta,
+            } => write!(
+                f,
+                "non-constraint GA #{ga_index} has {len} attributes, below the β = {beta} floor"
+            ),
+            AuditViolation::GaQualityBelowTheta {
+                ga_index,
+                quality,
+                theta,
+            } => write!(
+                f,
+                "non-constraint GA #{ga_index} has matching quality {quality}, below θ = {theta}"
+            ),
+            AuditViolation::SimilarityOutOfRange { a, b, value } => {
+                write!(f, "similarity({a}, {b}) = {value} is outside [0, 1]")
+            }
+            AuditViolation::UnknownSelectedSource { source } => {
+                write!(f, "selected source {source} does not exist in the universe")
+            }
+            AuditViolation::DuplicateSelectedSource { source } => {
+                write!(f, "source {source} is selected more than once")
+            }
+            AuditViolation::TooManySources {
+                selected,
+                max_sources,
+            } => write!(
+                f,
+                "{selected} sources selected, above the m = {max_sources} budget"
+            ),
+            AuditViolation::MissingRequiredSource { source } => {
+                write!(f, "constraint-required source {source} is not selected")
+            }
+            AuditViolation::SchemaSourceOutsideSelection { ga_index, source } => write!(
+                f,
+                "GA #{ga_index} references source {source}, which is not selected"
+            ),
+            AuditViolation::QefOutOfRange { name, value } => {
+                write!(f, "QEF {name:?} evaluates to {value}, outside [0, 1]")
+            }
+            AuditViolation::WeightOutOfRange { name, weight } => {
+                write!(
+                    f,
+                    "weight {name:?} is {weight}, not a finite non-negative number"
+                )
+            }
+            AuditViolation::WeightsOffSimplex { sum } => {
+                write!(f, "weights sum to {sum}, not 1")
+            }
+            AuditViolation::QualityMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported quality {reported} disagrees with recomputed Σ wᵢFᵢ = {recomputed}"
+            ),
+            AuditViolation::QualityOutOfRange { value } => {
+                write!(f, "overall quality {value} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+/// The outcome of one audit: every violated invariant, in detection order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Wraps raw violations in a report.
+    pub fn new(violations: Vec<AuditViolation>) -> Self {
+        AuditReport { violations }
+    }
+
+    /// Whether no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations in detection order.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Whether the report holds no violations (alias of [`AuditReport::is_clean`]
+    /// for collection-like call sites).
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether some violation carries the given [`AuditViolation::code`].
+    pub fn has_code(&self, code: &str) -> bool {
+        self.violations.iter().any(|v| v.code() == code)
+    }
+
+    /// Consumes the report, yielding the raw violations.
+    pub fn into_violations(self) -> Vec<AuditViolation> {
+        self.violations
+    }
+
+    /// Panics with the full violation list if the report is not clean.
+    /// The engine's debug-mode oracle funnels through this.
+    #[track_caller]
+    pub fn assert_clean(&self, context: &str) {
+        assert!(self.is_clean(), "audit failed in {context}:\n{self}");
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return write!(f, "audit clean");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for AuditReport {
+    type Item = AuditViolation;
+    type IntoIter = std::vec::IntoIter<AuditViolation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.violations.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_displayed() {
+        let v = AuditViolation::TooManySources {
+            selected: 5,
+            max_sources: 3,
+        };
+        assert_eq!(v.code(), "selection.too-many-sources");
+        let text = v.to_string();
+        assert!(text.contains("selection.too-many-sources"));
+        assert!(text.contains('5') && text.contains('3'));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let clean = AuditReport::default();
+        assert!(clean.is_clean());
+        clean.assert_clean("test");
+        let report = AuditReport::new(vec![AuditViolation::QualityOutOfRange { value: 2.0 }]);
+        assert!(!report.is_clean());
+        assert_eq!(report.len(), 1);
+        assert!(report.has_code("quality.out-of-range"));
+        assert!(!report.has_code("ga.empty"));
+        assert!(report.to_string().contains("1 violation(s)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "audit failed in oracle")]
+    fn assert_clean_panics_with_context() {
+        AuditReport::new(vec![AuditViolation::EmptyGa { ga_index: 0 }]).assert_clean("oracle");
+    }
+}

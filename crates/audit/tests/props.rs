@@ -1,0 +1,173 @@
+//! Property tests for the invariant auditor: clustering output always
+//! passes, and targeted corruptions of a valid schema/solution are caught
+//! with the precise violation code.
+
+use proptest::prelude::*;
+
+use mube_audit::{SchemaAuditor, SolutionAuditor, SolutionFacts};
+use mube_cluster::{match_sources, MatchConfig, MeasureAdapter};
+use mube_schema::{
+    Constraints, GlobalAttribute, MediatedSchema, SourceBuilder, SourceId, Universe,
+};
+use mube_similarity::NgramJaccard;
+
+/// A universe of 2–8 sources over a vocabulary with deliberate
+/// near-duplicates so clustering actually merges attributes.
+fn arb_universe() -> impl Strategy<Value = Universe> {
+    let vocab = prop::sample::select(vec![
+        "title",
+        "book title",
+        "author",
+        "author name",
+        "keyword",
+        "keywords",
+        "isbn",
+        "price",
+        "publication year",
+        "publication years",
+        "venue",
+    ]);
+    let source = (prop::collection::vec(vocab, 1..5), 1u64..1000);
+    prop::collection::vec(source, 2..8).prop_map(|sources| {
+        let mut u = Universe::new();
+        for (i, (names, card)) in sources.into_iter().enumerate() {
+            u.add_source(
+                SourceBuilder::new(format!("s{i}"))
+                    .attributes(names)
+                    .cardinality(card),
+            )
+            .unwrap();
+        }
+        u
+    })
+}
+
+/// Runs the paper's Match over the full universe with no constraints.
+fn cluster(universe: &Universe, theta: f64) -> (MediatedSchema, MatchConfig) {
+    let measure = NgramJaccard::default();
+    let adapter = MeasureAdapter::new(universe, &measure);
+    let ids: Vec<SourceId> = universe.sources().iter().map(|s| s.id()).collect();
+    let config = MatchConfig {
+        theta,
+        ..MatchConfig::default()
+    };
+    let outcome = match_sources(universe, &ids, &Constraints::none(), &config, &adapter)
+        .expect("no constraints -> always feasible");
+    (outcome.schema, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Positive path: whatever the clustering algorithm emits satisfies
+    /// every §2 schema invariant under the exact same θ/β/similarity.
+    #[test]
+    fn clustered_schemas_always_pass_audit(
+        universe in arb_universe(),
+        theta in 0.15f64..0.95,
+    ) {
+        let measure = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&universe, &measure);
+        let (schema, config) = cluster(&universe, theta);
+        let none = Constraints::none();
+        let report = SchemaAuditor::new(&universe)
+            .constraints(&none)
+            .theta(config.theta)
+            .beta(config.beta)
+            .similarity(&adapter)
+            .audit(&schema);
+        prop_assert!(report.is_clean(), "clean schema flagged: {report}");
+    }
+
+    /// Duplicating one attribute into a second GA breaks pairwise
+    /// disjointness (paper Def. 2) and nothing can mask it.
+    #[test]
+    fn duplicated_attr_across_gas_is_flagged(
+        universe in arb_universe(),
+        theta in 0.15f64..0.95,
+    ) {
+        let (schema, _) = cluster(&universe, theta);
+        prop_assume!(!schema.is_empty());
+        let stolen = schema.gas()[0].attrs().next().expect("GAs are non-empty");
+        let corrupted = MediatedSchema::new(
+            schema
+                .gas()
+                .iter()
+                .cloned()
+                .chain([GlobalAttribute::singleton(stolen)]),
+        );
+        let report = SchemaAuditor::new(&universe).audit(&corrupted);
+        prop_assert!(
+            report.has_code("schema.overlapping-gas"),
+            "overlap not flagged: {report}"
+        );
+    }
+
+    /// Dropping a constraint-required source from the selection violates
+    /// `C ⊆ S` no matter what the rest of the solution looks like.
+    #[test]
+    fn dropping_required_source_is_flagged(
+        universe in arb_universe(),
+        theta in 0.15f64..0.95,
+    ) {
+        let mut constraints = Constraints::none();
+        constraints.require_source(SourceId(0));
+        // Select every source *except* the required one.
+        let selected: Vec<SourceId> = universe
+            .sources()
+            .iter()
+            .map(|s| s.id())
+            .filter(|&id| id != SourceId(0))
+            .collect();
+        let measure = NgramJaccard::default();
+        let adapter = MeasureAdapter::new(&universe, &measure);
+        let config = MatchConfig { theta, ..MatchConfig::default() };
+        let outcome =
+            match_sources(&universe, &selected, &Constraints::none(), &config, &adapter)
+                .expect("unconstrained match");
+        let breakdown = vec![("matching".to_owned(), 1.0, 0.5)];
+        let report = SolutionAuditor::new(&universe)
+            .constraints(&constraints)
+            .max_sources(universe.len())
+            .audit(&SolutionFacts {
+                selected: &selected,
+                schema: &outcome.schema,
+                qef_breakdown: &breakdown,
+                overall_quality: 0.5,
+            });
+        prop_assert!(
+            report.has_code("selection.missing-required-source"),
+            "missing required source not flagged: {report}"
+        );
+    }
+
+    /// A QEF value pushed out of `[0, 1]` is reported per-QEF by name.
+    #[test]
+    fn qef_out_of_range_is_flagged(
+        universe in arb_universe(),
+        theta in 0.15f64..0.95,
+        excess in 0.01f64..5.0,
+        negative in proptest::arbitrary::any::<bool>(),
+    ) {
+        let (schema, _) = cluster(&universe, theta);
+        let selected: Vec<SourceId> =
+            universe.sources().iter().map(|s| s.id()).collect();
+        let bad_value = if negative { -excess } else { 1.0 + excess };
+        let breakdown = vec![
+            ("matching".to_owned(), 0.5, bad_value),
+            ("coverage".to_owned(), 0.5, 0.5),
+        ];
+        let report = SolutionAuditor::new(&universe)
+            .max_sources(universe.len())
+            .audit(&SolutionFacts {
+                selected: &selected,
+                schema: &schema,
+                qef_breakdown: &breakdown,
+                overall_quality: 0.5 * bad_value + 0.25,
+            });
+        prop_assert!(
+            report.has_code("qef.out-of-range"),
+            "out-of-range QEF not flagged: {report}"
+        );
+    }
+}

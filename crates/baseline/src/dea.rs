@@ -17,9 +17,7 @@ impl DeaFactor {
         let source = universe.expect_source(id);
         match self {
             DeaFactor::Cardinality => source.cardinality() as f64,
-            DeaFactor::Characteristic(name) => {
-                source.characteristic(name).unwrap_or(default)
-            }
+            DeaFactor::Characteristic(name) => source.characteristic(name).unwrap_or(default),
         }
     }
 }
@@ -74,8 +72,7 @@ impl DeaBaseline {
                         .iter()
                         .map(|s| f.value(universe, s.id(), f64::NAN))
                         .collect();
-                    let known: Vec<f64> =
-                        raw.iter().copied().filter(|v| v.is_finite()).collect();
+                    let known: Vec<f64> = raw.iter().copied().filter(|v| v.is_finite()).collect();
                     let mean = if known.is_empty() {
                         1.0
                     } else {
@@ -169,8 +166,7 @@ impl DeaBaseline {
         let mut scores = self.score_all(universe);
         scores.sort_by(|a, b| {
             b.efficiency
-                .partial_cmp(&a.efficiency)
-                .unwrap()
+                .total_cmp(&a.efficiency)
                 .then(a.source.cmp(&b.source))
         });
         let mut ids: Vec<SourceId> = scores.into_iter().take(m).map(|s| s.source).collect();
@@ -274,8 +270,12 @@ mod tests {
                 .characteristic("mttf", 100.0),
         )
         .unwrap();
-        u.add_source(SourceBuilder::new("silent").attributes(["x"]).cardinality(100))
-            .unwrap();
+        u.add_source(
+            SourceBuilder::new("silent")
+                .attributes(["x"])
+                .cardinality(100),
+        )
+        .unwrap();
         let scores = DeaBaseline::paper_comparison().score_all(&u);
         // The silent source gets the mean latency/mttf -> identical factors
         // -> both fully efficient.

@@ -21,7 +21,7 @@
 //! sources.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dea;
 pub mod topk;

@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use mube_bench::{engine, paper_spec, universe, Scale};
 use mube_opt::{
-    BinaryPso, Greedy, RandomSearch, SimulatedAnnealing, Solver, StochasticLocalSearch,
-    TabuSearch,
+    BinaryPso, Greedy, RandomSearch, SimulatedAnnealing, Solver, StochasticLocalSearch, TabuSearch,
 };
 
 fn bench_solvers(c: &mut Criterion) {

@@ -39,7 +39,14 @@ fn main() {
     }
     print_table(
         "Ablation: objective memoization (universe 200, m = 20, tabu, seed 7)",
-        &["cache", "Q(S)", "evals", "Match calls", "cache hits", "time (s)"],
+        &[
+            "cache",
+            "Q(S)",
+            "evals",
+            "Match calls",
+            "cache hits",
+            "time (s)",
+        ],
         &rows,
     );
     assert_eq!(

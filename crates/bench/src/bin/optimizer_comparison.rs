@@ -13,8 +13,7 @@
 
 use mube_bench::{average_runs, engine, paper_spec, print_table, universe, Scale};
 use mube_opt::{
-    BinaryPso, Greedy, RandomSearch, SimulatedAnnealing, Solver, StochasticLocalSearch,
-    TabuSearch,
+    BinaryPso, Greedy, RandomSearch, SimulatedAnnealing, Solver, StochasticLocalSearch, TabuSearch,
 };
 
 fn main() {
@@ -55,7 +54,9 @@ fn main() {
     }
     print_table(
         &format!("Optimizer comparison (universe 200, m = {m}, {reps} seeds)"),
-        &["solver", "mean Q", "worst Q", "best Q", "spread", "time (s)"],
+        &[
+            "solver", "mean Q", "worst Q", "best Q", "spread", "time (s)",
+        ],
         &rows,
     );
     println!(

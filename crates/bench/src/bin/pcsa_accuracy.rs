@@ -66,8 +66,9 @@ fn main() {
         let trials = 40;
         for _ in 0..trials {
             let k = union_rng.gen_range(2..=10.min(num_sources));
-            let picks: Vec<usize> =
-                (0..k).map(|_| union_rng.gen_range(0..num_sources)).collect();
+            let picks: Vec<usize> = (0..k)
+                .map(|_| union_rng.gen_range(0..num_sources))
+                .collect();
             let est = PcsaSketch::estimate_union(picks.iter().map(|&i| &sketches[i]));
             let exact = ExactDistinct::count_union(picks.iter().map(|&i| &exacts[i])) as f64;
             let err = (est - exact).abs() / exact;
@@ -121,8 +122,9 @@ fn main() {
         let trials = 40;
         for _ in 0..trials {
             let k = union_rng.gen_range(2..=10.min(num_sources));
-            let picks: Vec<usize> =
-                (0..k).map(|_| union_rng.gen_range(0..num_sources)).collect();
+            let picks: Vec<usize> = (0..k)
+                .map(|_| union_rng.gen_range(0..num_sources))
+                .collect();
             let est = HllSketch::estimate_union(picks.iter().map(|&i| &sketches[i]));
             let exact = ExactDistinct::count_union(picks.iter().map(|&i| &exacts[i])) as f64;
             let err = (est - exact).abs() / exact;

@@ -2,9 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use mube_schema::{
-    AttrId, Constraints, GlobalAttribute, MediatedSchema, SourceId, Universe,
-};
+use mube_schema::{AttrId, Constraints, GlobalAttribute, MediatedSchema, SourceId, Universe};
 
 use crate::linkage::Linkage;
 use crate::quality::schema_quality;
@@ -152,17 +150,18 @@ pub fn match_sources(
         let mut heap: Vec<(f64, usize, usize)> = Vec::new();
         for (pos, &i) in alive.iter().enumerate() {
             for &j in &alive[pos + 1..] {
-                let s = config.linkage.cluster_similarity(
-                    &clusters[i].attrs,
-                    &clusters[j].attrs,
-                    sim,
-                );
+                let s =
+                    config
+                        .linkage
+                        .cluster_similarity(&clusters[i].attrs, &clusters[j].attrs, sim);
                 if s >= config.theta {
                     heap.push((s, i, j));
                 }
             }
         }
-        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        // Total order: a NaN-poisoned similarity must not panic the sort
+        // (the audit crate reports it; here it just sorts deterministically).
+        heap.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         // Lines 9–19: consume pairs in decreasing similarity.
         let mut new_clusters: Vec<Cluster> = Vec::new();
@@ -319,11 +318,8 @@ mod tests {
         // User knows F name == Prenom.
         let mut constraints = Constraints::none();
         constraints.require_ga(
-            GlobalAttribute::new([
-                AttrId::new(SourceId(0), 0),
-                AttrId::new(SourceId(2), 0),
-            ])
-            .unwrap(),
+            GlobalAttribute::new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(2), 0)])
+                .unwrap(),
         );
         let out = jaccard_match(&u, &constraints, &config).unwrap();
         // The constraint GA must be subsumed...
@@ -373,15 +369,20 @@ mod tests {
         let out = jaccard_match(&u, &Constraints::none(), &config).unwrap();
         for ga in out.schema.gas() {
             let from_dup = ga.attrs().filter(|a| a.source == SourceId(0)).count();
-            assert!(from_dup <= 1, "GA {ga} has {from_dup} attrs from one source");
+            assert!(
+                from_dup <= 1,
+                "GA {ga} has {from_dup} attrs from one source"
+            );
         }
     }
 
     #[test]
     fn threshold_gates_merging() {
         let mut u = Universe::new();
-        u.add_source(SourceBuilder::new("a").attributes(["keyword"])).unwrap();
-        u.add_source(SourceBuilder::new("b").attributes(["keywords"])).unwrap();
+        u.add_source(SourceBuilder::new("a").attributes(["keyword"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["keywords"]))
+            .unwrap();
         let strict = MatchConfig {
             theta: 0.99,
             ..MatchConfig::default()
@@ -406,8 +407,14 @@ mod tests {
         };
         let measure = NgramJaccard::default();
         let adapter = MeasureAdapter::new(&u, &measure);
-        let out =
-            match_sources(&u, &all_sources(&u), &Constraints::none(), &config, &adapter).unwrap();
+        let out = match_sources(
+            &u,
+            &all_sources(&u),
+            &Constraints::none(),
+            &config,
+            &adapter,
+        )
+        .unwrap();
         for ga in out.schema.gas() {
             assert!(crate::quality::ga_quality(ga, &adapter) >= config.theta);
         }
@@ -416,8 +423,10 @@ mod tests {
     #[test]
     fn source_constraint_spanning_enforced() {
         let mut u = Universe::new();
-        u.add_source(SourceBuilder::new("a").attributes(["keyword"])).unwrap();
-        u.add_source(SourceBuilder::new("b").attributes(["keyword"])).unwrap();
+        u.add_source(SourceBuilder::new("a").attributes(["keyword"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["keyword"]))
+            .unwrap();
         u.add_source(SourceBuilder::new("island").attributes(["zzzqqq"]))
             .unwrap();
         // Constraint: the island source must be spanned — but nothing
@@ -434,9 +443,7 @@ mod tests {
     fn ga_constraint_outside_s_returns_none() {
         let u = figure3_universe();
         let mut constraints = Constraints::none();
-        constraints.require_ga(
-            GlobalAttribute::new([AttrId::new(SourceId(3), 0)]).unwrap(),
-        );
+        constraints.require_ga(GlobalAttribute::new([AttrId::new(SourceId(3), 0)]).unwrap());
         let measure = NgramJaccard::default();
         let adapter = MeasureAdapter::new(&u, &measure);
         // S omits source 3.
@@ -451,7 +458,8 @@ mod tests {
             .unwrap();
         u.add_source(SourceBuilder::new("b").attributes(["keyword", "price"]))
             .unwrap();
-        u.add_source(SourceBuilder::new("c").attributes(["keyword"])).unwrap();
+        u.add_source(SourceBuilder::new("c").attributes(["keyword"]))
+            .unwrap();
         let config = MatchConfig {
             beta: 3,
             ..MatchConfig::default()
@@ -465,8 +473,10 @@ mod tests {
     #[test]
     fn beta_does_not_apply_to_constraint_gas() {
         let mut u = Universe::new();
-        u.add_source(SourceBuilder::new("a").attributes(["xaxa"])).unwrap();
-        u.add_source(SourceBuilder::new("b").attributes(["zbzb"])).unwrap();
+        u.add_source(SourceBuilder::new("a").attributes(["xaxa"]))
+            .unwrap();
+        u.add_source(SourceBuilder::new("b").attributes(["zbzb"]))
+            .unwrap();
         let mut constraints = Constraints::none();
         constraints.require_ga(GlobalAttribute::new([AttrId::new(SourceId(0), 0)]).unwrap());
         let config = MatchConfig {
@@ -504,9 +514,14 @@ mod tests {
         let u = figure3_universe();
         let measure = NgramJaccard::default();
         let adapter = MeasureAdapter::new(&u, &measure);
-        let out =
-            match_sources(&u, &[], &Constraints::none(), &MatchConfig::default(), &adapter)
-                .unwrap();
+        let out = match_sources(
+            &u,
+            &[],
+            &Constraints::none(),
+            &MatchConfig::default(),
+            &adapter,
+        )
+        .unwrap();
         assert!(out.schema.is_empty());
         assert_eq!(out.quality, 0.0);
     }

@@ -36,7 +36,7 @@
 //! Complete and average linkage are provided for the ablation benches.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod linkage;

@@ -4,6 +4,27 @@ use mube_schema::AttrId;
 
 use crate::similarity::AttrSimilarity;
 
+/// Total-order maximum over similarity scores: deterministic even when a
+/// buggy measure yields NaN (which sorts above every number under
+/// [`f64::total_cmp`], so poison surfaces instead of being silently dropped
+/// the way `f64::max` would).
+pub(crate) fn total_max(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b).is_lt() {
+        b
+    } else {
+        a
+    }
+}
+
+/// Total-order minimum over similarity scores; see [`total_max`].
+pub(crate) fn total_min(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b).is_gt() {
+        b
+    } else {
+        a
+    }
+}
+
 /// How the similarity between two clusters is derived from attribute-pair
 /// similarities.
 ///
@@ -29,12 +50,7 @@ impl Linkage {
     /// Similarity between two attribute groups under this linkage.
     ///
     /// Returns 0.0 if either group is empty.
-    pub fn cluster_similarity(
-        self,
-        a: &[AttrId],
-        b: &[AttrId],
-        sim: &dyn AttrSimilarity,
-    ) -> f64 {
+    pub fn cluster_similarity(self, a: &[AttrId], b: &[AttrId], sim: &dyn AttrSimilarity) -> f64 {
         if a.is_empty() || b.is_empty() {
             return 0.0;
         }
@@ -43,7 +59,7 @@ impl Linkage {
                 let mut best = 0.0f64;
                 for &x in a {
                     for &y in b {
-                        best = best.max(sim.similarity(x, y));
+                        best = total_max(best, sim.similarity(x, y));
                     }
                 }
                 best
@@ -52,7 +68,7 @@ impl Linkage {
                 let mut worst = f64::INFINITY;
                 for &x in a {
                     for &y in b {
-                        worst = worst.min(sim.similarity(x, y));
+                        worst = total_min(worst, sim.similarity(x, y));
                     }
                 }
                 worst
@@ -110,14 +126,18 @@ mod tests {
 
     #[test]
     fn single_takes_max() {
-        let s = Linkage::Single.cluster_similarity(&[attr(0), attr(1)], &[attr(2), attr(3)], &table());
+        let s =
+            Linkage::Single.cluster_similarity(&[attr(0), attr(1)], &[attr(2), attr(3)], &table());
         assert_eq!(s, 0.9);
     }
 
     #[test]
     fn complete_takes_min() {
-        let s =
-            Linkage::Complete.cluster_similarity(&[attr(0), attr(1)], &[attr(2), attr(3)], &table());
+        let s = Linkage::Complete.cluster_similarity(
+            &[attr(0), attr(1)],
+            &[attr(2), attr(3)],
+            &table(),
+        );
         assert_eq!(s, 0.1);
     }
 
@@ -130,8 +150,14 @@ mod tests {
 
     #[test]
     fn empty_groups_are_zero() {
-        assert_eq!(Linkage::Single.cluster_similarity(&[], &[attr(0)], &table()), 0.0);
-        assert_eq!(Linkage::Complete.cluster_similarity(&[attr(0)], &[], &table()), 0.0);
+        assert_eq!(
+            Linkage::Single.cluster_similarity(&[], &[attr(0)], &table()),
+            0.0
+        );
+        assert_eq!(
+            Linkage::Complete.cluster_similarity(&[attr(0)], &[], &table()),
+            0.0
+        );
     }
 
     #[test]

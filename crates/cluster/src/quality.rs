@@ -7,6 +7,7 @@
 
 use mube_schema::{GlobalAttribute, MediatedSchema};
 
+use crate::linkage::total_max;
 use crate::similarity::AttrSimilarity;
 
 /// Quality of one GA: the maximum pairwise attribute similarity inside it.
@@ -22,7 +23,7 @@ pub fn ga_quality(ga: &GlobalAttribute, sim: &dyn AttrSimilarity) -> f64 {
     let mut best = 0.0f64;
     for i in 0..attrs.len() {
         for j in i + 1..attrs.len() {
-            best = best.max(sim.similarity(attrs[i], attrs[j]));
+            best = total_max(best, sim.similarity(attrs[i], attrs[j]));
         }
     }
     best

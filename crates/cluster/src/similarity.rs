@@ -28,8 +28,8 @@ impl<'a> MeasureAdapter<'a> {
     pub fn new(universe: &Universe, measure: &'a dyn SimilarityMeasure) -> Self {
         let mut signatures = HashMap::with_capacity(universe.total_attrs());
         for source in universe.sources() {
-            for attr in source.attr_ids() {
-                let name = universe.attr_name(attr).expect("attr enumerated from universe");
+            for (j, name) in source.attributes().iter().enumerate() {
+                let attr = AttrId::new(source.id(), j as u32);
                 signatures.insert(attr, measure.signature(&normalize_name(name)));
             }
         }
@@ -42,9 +42,12 @@ impl<'a> MeasureAdapter<'a> {
 
 impl AttrSimilarity for MeasureAdapter<'_> {
     fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
-        let sa = self.signatures.get(&a).expect("unknown attribute");
-        let sb = self.signatures.get(&b).expect("unknown attribute");
-        self.measure.similarity_sig(sa, sb)
+        match (self.signatures.get(&a), self.signatures.get(&b)) {
+            (Some(sa), Some(sb)) => self.measure.similarity_sig(sa, sb),
+            // An attribute outside the prepared universe carries no
+            // similarity evidence.
+            _ => 0.0,
+        }
     }
 }
 

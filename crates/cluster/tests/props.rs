@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use mube_cluster::{ga_quality, match_sources, Linkage, MatchConfig, MeasureAdapter};
-use mube_schema::{
-    AttrId, Constraints, GlobalAttribute, SourceBuilder, SourceId, Universe,
-};
+use mube_schema::{AttrId, Constraints, GlobalAttribute, SourceBuilder, SourceId, Universe};
 use mube_similarity::NgramJaccard;
 
 const VOCAB: &[&str] = &[
@@ -27,22 +25,20 @@ const VOCAB: &[&str] = &[
 ];
 
 fn arb_universe() -> impl Strategy<Value = Universe> {
-    prop::collection::vec(
-        prop::collection::btree_set(0usize..VOCAB.len(), 1..5),
-        2..9,
+    prop::collection::vec(prop::collection::btree_set(0usize..VOCAB.len(), 1..5), 2..9).prop_map(
+        |sources| {
+            let mut u = Universe::new();
+            for (i, words) in sources.into_iter().enumerate() {
+                u.add_source(
+                    SourceBuilder::new(format!("s{i}"))
+                        .attributes(words.into_iter().map(|w| VOCAB[w].to_owned()))
+                        .cardinality(100),
+                )
+                .unwrap();
+            }
+            u
+        },
     )
-    .prop_map(|sources| {
-        let mut u = Universe::new();
-        for (i, words) in sources.into_iter().enumerate() {
-            u.add_source(
-                SourceBuilder::new(format!("s{i}"))
-                    .attributes(words.into_iter().map(|w| VOCAB[w].to_owned()))
-                    .cardinality(100),
-            )
-            .unwrap();
-        }
-        u
-    })
 }
 
 fn run(

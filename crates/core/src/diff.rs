@@ -144,8 +144,16 @@ mod tests {
 
     #[test]
     fn diff_captures_all_change_kinds() {
-        let a = solution(&[0, 1, 2], vec![ga(&[(0, 0), (1, 0)]), ga(&[(1, 1), (2, 0)])], 0.5);
-        let b = solution(&[0, 1, 3], vec![ga(&[(0, 0), (1, 0)]), ga(&[(1, 1), (3, 0)])], 0.6);
+        let a = solution(
+            &[0, 1, 2],
+            vec![ga(&[(0, 0), (1, 0)]), ga(&[(1, 1), (2, 0)])],
+            0.5,
+        );
+        let b = solution(
+            &[0, 1, 3],
+            vec![ga(&[(0, 0), (1, 0)]), ga(&[(1, 1), (3, 0)])],
+            0.6,
+        );
         let diff = SolutionDiff::between(&a, &b);
         assert_eq!(diff.removed_sources, vec![SourceId(2)]);
         assert_eq!(diff.added_sources, vec![SourceId(3)]);

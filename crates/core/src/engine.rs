@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use mube_audit::{AuditReport, SolutionAuditor, SolutionFacts};
 use mube_opt::{Solver, SubsetProblem, TabuSearch};
 use mube_pcsa::PcsaSketch;
 use mube_qef::{CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext, RedundancyQef};
@@ -155,10 +156,7 @@ impl<'u> Mube<'u> {
 
     /// Builds the optimizer-facing objective for a spec. Exposed for
     /// benches and tests that want to drive solvers directly.
-    pub fn objective<'a>(
-        &'a self,
-        spec: &'a ProblemSpec,
-    ) -> Result<MubeObjective<'a>, MubeError> {
+    pub fn objective<'a>(&'a self, spec: &'a ProblemSpec) -> Result<MubeObjective<'a>, MubeError> {
         self.validate_spec(spec)?;
         let bindings = self.resolve_bindings(spec)?;
         Ok(MubeObjective::new(
@@ -185,17 +183,16 @@ impl<'u> Mube<'u> {
         if !result.is_feasible() {
             return Err(MubeError::NoFeasibleSolution);
         }
-        let selected: Vec<SourceId> =
-            result.best.iter().map(|i| SourceId(i as u32)).collect();
+        let selected: Vec<SourceId> = result.best.iter().map(|i| SourceId(i as u32)).collect();
         let outcome = objective
             .match_schema(&selected)
-            .expect("feasible solution must have a valid matching");
+            .ok_or(MubeError::InconsistentSolverResult)?;
         let qef_values: BTreeMap<String, (f64, f64)> = objective
             .component_values(&selected)
             .into_iter()
             .map(|(name, w, v)| (name, (w, v)))
             .collect();
-        Ok(Solution {
+        let solution = Solution {
             selected,
             schema: outcome.schema,
             overall_quality: result.objective,
@@ -207,7 +204,39 @@ impl<'u> Mube<'u> {
                 cache_hits: objective.cache_hits(),
                 elapsed: started.elapsed(),
             },
-        })
+        };
+        // Debug-mode oracle: every solve must satisfy the paper's §2
+        // invariants. Release builds skip the check; tests and benches can
+        // call `Mube::audit` explicitly.
+        #[cfg(debug_assertions)]
+        self.audit(spec, &solution).assert_clean("Mube::solve");
+        Ok(solution)
+    }
+
+    /// Statically verifies a solution against the paper's §2 invariants
+    /// (GA validity and disjointness, constraint subsumption and spanning,
+    /// β/θ floors, `|S| ≤ m`, `C ⊆ S`, QEF ranges and weight simplex).
+    ///
+    /// Debug builds run this automatically after every [`Mube::solve`];
+    /// call it directly to audit externally constructed or stored solutions.
+    pub fn audit(&self, spec: &ProblemSpec, solution: &Solution) -> AuditReport {
+        let qef_breakdown: Vec<(String, f64, f64)> = solution
+            .qef_values
+            .iter()
+            .map(|(name, &(w, v))| (name.clone(), w, v))
+            .collect();
+        SolutionAuditor::new(self.universe)
+            .constraints(&spec.constraints)
+            .theta(spec.match_config.theta)
+            .beta(spec.match_config.beta)
+            .similarity(&self.sim)
+            .max_sources(spec.max_sources.min(self.universe.len().max(1)))
+            .audit(&SolutionFacts {
+                selected: &solution.selected,
+                schema: &solution.schema,
+                qef_breakdown: &qef_breakdown,
+                overall_quality: solution.overall_quality,
+            })
     }
 
     /// Convenience: solve with the paper's default solver (tabu search).
@@ -219,10 +248,8 @@ impl<'u> Mube<'u> {
     /// useful for what-if analysis in sessions.
     pub fn evaluate(&self, spec: &ProblemSpec, ids: &[SourceId]) -> Result<f64, MubeError> {
         let objective = self.objective(spec)?;
-        let subset = mube_opt::Subset::from_indices(
-            self.universe.len(),
-            ids.iter().map(|id| id.index()),
-        );
+        let subset =
+            mube_opt::Subset::from_indices(self.universe.len(), ids.iter().map(|id| id.index()));
         Ok(objective.evaluate(&subset))
     }
 }
@@ -256,9 +283,7 @@ mod tests {
     fn solve_picks_matching_sources() {
         let u = tiny_universe();
         let mube = MubeBuilder::new(&u).build();
-        let spec = ProblemSpec::new(2).with_weights(
-            Weights::new([("matching", 1.0)]).unwrap(),
-        );
+        let spec = ProblemSpec::new(2).with_weights(Weights::new([("matching", 1.0)]).unwrap());
         let solution = mube.solve_default(&spec, 1).unwrap();
         assert_eq!(solution.num_sources(), 2);
         // The best pair for pure matching excludes source c.
@@ -271,8 +296,7 @@ mod tests {
     fn cardinality_weight_pulls_in_big_sources() {
         let u = tiny_universe();
         let mube = MubeBuilder::new(&u).build();
-        let spec = ProblemSpec::new(2)
-            .with_weights(Weights::new([("cardinality", 1.0)]).unwrap());
+        let spec = ProblemSpec::new(2).with_weights(Weights::new([("cardinality", 1.0)]).unwrap());
         let solution = mube.solve_default(&spec, 2).unwrap();
         // b (200) + c (300) dominate.
         assert!(solution.selected.contains(&SourceId(1)));
@@ -283,8 +307,7 @@ mod tests {
     fn unknown_qef_weight_is_an_error() {
         let u = tiny_universe();
         let mube = MubeBuilder::new(&u).build();
-        let spec =
-            ProblemSpec::new(2).with_weights(Weights::new([("nonsense", 1.0)]).unwrap());
+        let spec = ProblemSpec::new(2).with_weights(Weights::new([("nonsense", 1.0)]).unwrap());
         assert!(matches!(
             mube.solve_default(&spec, 0),
             Err(MubeError::UnknownQef { .. })
@@ -355,8 +378,7 @@ mod tests {
     fn evaluate_explicit_sets() {
         let u = tiny_universe();
         let mube = MubeBuilder::new(&u).build();
-        let spec =
-            ProblemSpec::new(3).with_weights(Weights::new([("matching", 1.0)]).unwrap());
+        let spec = ProblemSpec::new(3).with_weights(Weights::new([("matching", 1.0)]).unwrap());
         let good = mube.evaluate(&spec, &[SourceId(0), SourceId(1)]).unwrap();
         let bad = mube.evaluate(&spec, &[SourceId(2)]).unwrap();
         assert!(good > bad);
@@ -391,9 +413,7 @@ mod tests {
 
         let u = tiny_universe();
         let mube = MubeBuilder::new(&u).qef(Box::new(FavoriteSource)).build();
-        let spec = ProblemSpec::new(1).with_weights(
-            Weights::new([("favorite", 1.0)]).unwrap(),
-        );
+        let spec = ProblemSpec::new(1).with_weights(Weights::new([("favorite", 1.0)]).unwrap());
         let solution = mube.solve_default(&spec, 0).unwrap();
         assert_eq!(solution.selected, vec![SourceId(0)]);
         assert_eq!(solution.qef_value("favorite"), Some(1.0));
@@ -455,7 +475,10 @@ mod tests {
         let mube = MubeBuilder::new(&u).build();
         let spec = ProblemSpec::new(2);
         let solution = mube.solve_default(&spec, 5).unwrap();
-        assert!(solution.stats.cache_hits > 0, "tabu revisits should hit cache");
+        assert!(
+            solution.stats.cache_hits > 0,
+            "tabu revisits should hit cache"
+        );
         assert!(solution.stats.match_calls <= solution.stats.evaluations);
     }
 }

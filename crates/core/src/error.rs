@@ -33,6 +33,9 @@ pub enum MubeError {
     /// The solver never found a feasible solution (all candidates violated
     /// GA constraints).
     NoFeasibleSolution,
+    /// The solver reported a feasible selection whose `Match(S)` nevertheless
+    /// produced a null schema — a solver/objective contract breach.
+    InconsistentSolverResult,
 }
 
 impl fmt::Display for MubeError {
@@ -55,8 +58,15 @@ impl fmt::Display for MubeError {
                 write!(f, "matching threshold must be in [0,1], got {theta}")
             }
             MubeError::NoFeasibleSolution => {
-                write!(f, "no feasible solution found (GA constraints unsatisfiable?)")
+                write!(
+                    f,
+                    "no feasible solution found (GA constraints unsatisfiable?)"
+                )
             }
+            MubeError::InconsistentSolverResult => write!(
+                f,
+                "solver reported a feasible selection but Match(S) returned a null schema"
+            ),
         }
     }
 }
@@ -81,7 +91,9 @@ mod tests {
         }
         .to_string()
         .contains("latency"));
-        assert!(MubeError::InvalidTheta { theta: 2.0 }.to_string().contains('2'));
+        assert!(MubeError::InvalidTheta { theta: 2.0 }
+            .to_string()
+            .contains('2'));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!   back as constraints, reweight, re-solve.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod diff;
 pub mod engine;

@@ -70,7 +70,8 @@ mod tests {
             .unwrap();
         u.add_source(SourceBuilder::new("b").attributes(["author name", "keyword"]))
             .unwrap();
-        u.add_source(SourceBuilder::new("c").attributes(["title"])).unwrap();
+        u.add_source(SourceBuilder::new("c").attributes(["title"]))
+            .unwrap();
         u
     }
 
@@ -85,10 +86,7 @@ mod tests {
             for &b in &attrs {
                 let expect = adapter.similarity(a, b);
                 let got = matrix.similarity(a, b);
-                assert!(
-                    (expect - got).abs() < 1e-6,
-                    "{a} vs {b}: {expect} vs {got}"
-                );
+                assert!((expect - got).abs() < 1e-6, "{a} vs {b}: {expect} vs {got}");
             }
         }
     }

@@ -84,7 +84,13 @@ impl<'a> MubeObjective<'a> {
     /// Runs `Match(S)` for a set of source ids (uncached; used by the
     /// engine to reconstruct the winning schema).
     pub fn match_schema(&self, ids: &[SourceId]) -> Option<MatchOutcome> {
-        match_sources(self.universe, ids, self.constraints, self.match_config, self.sim)
+        match_sources(
+            self.universe,
+            ids,
+            self.constraints,
+            self.match_config,
+            self.sim,
+        )
     }
 
     /// Number of `Match(S)` invocations so far (cache misses).
@@ -101,8 +107,7 @@ impl<'a> MubeObjective<'a> {
     /// `(name, weight, value)` triples — used to report per-QEF values on
     /// the final solution.
     pub fn component_values(&self, ids: &[SourceId]) -> Vec<(String, f64, f64)> {
-        let selection =
-            SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
+        let selection = SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
         self.bindings
             .iter()
             .map(|(w, binding)| match binding {
@@ -126,8 +131,7 @@ impl<'a> MubeObjective<'a> {
 
     fn compute(&self, subset: &Subset) -> f64 {
         let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
-        let selection =
-            SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
+        let selection = SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
         let mut q = 0.0;
         for (w, binding) in &self.bindings {
             let value = match binding {

@@ -48,7 +48,12 @@ pub const CONCEPTS: [Concept; NUM_CONCEPTS] = [
     },
     Concept {
         name: "publisher",
-        aliases: &["publisher", "publisher name", "publisher names", "publishing house"],
+        aliases: &[
+            "publisher",
+            "publisher name",
+            "publisher names",
+            "publishing house",
+        ],
     },
     Concept {
         name: "price",
@@ -60,7 +65,12 @@ pub const CONCEPTS: [Concept; NUM_CONCEPTS] = [
     },
     Concept {
         name: "subject",
-        aliases: &["subject", "subject category", "subject categories", "category"],
+        aliases: &[
+            "subject",
+            "subject category",
+            "subject categories",
+            "category",
+        ],
     },
     Concept {
         name: "publication year",

@@ -113,7 +113,10 @@ impl UniverseConfig {
                 )
             } else {
                 let p = perturb(base, &self.perturb, &mut rng);
-                (format!("{}-v{}", base.site, i / NUM_BASE_SCHEMAS), p.attributes)
+                (
+                    format!("{}-v{}", base.site, i / NUM_BASE_SCHEMAS),
+                    p.attributes,
+                )
             };
 
             let cardinality = zipf.sample(&mut rng);
@@ -202,8 +205,7 @@ mod tests {
             let s = &g.universe.sources()[i];
             assert_eq!(s.name(), base.site);
             let names: Vec<&str> = s.attributes().iter().map(String::as_str).collect();
-            let base_names: Vec<&str> =
-                base.attributes.iter().map(|(n, _)| n.as_str()).collect();
+            let base_names: Vec<&str> = base.attributes.iter().map(|(n, _)| n.as_str()).collect();
             assert_eq!(names, base_names, "source {i} deviates from base");
         }
         assert_eq!(g.conformant_sources().len(), 50);
@@ -223,7 +225,11 @@ mod tests {
     fn cardinalities_within_bounds() {
         let g = UniverseConfig::small_test(40, 9).generate();
         for s in g.universe.sources() {
-            assert!((100..=5_000).contains(&s.cardinality()), "{}", s.cardinality());
+            assert!(
+                (100..=5_000).contains(&s.cardinality()),
+                "{}",
+                s.cardinality()
+            );
         }
     }
 

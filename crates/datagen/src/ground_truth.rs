@@ -246,9 +246,7 @@ mod tests {
     #[test]
     fn missing_concept_counts_as_missed() {
         let gt = truth();
-        let m = MediatedSchema::new([
-            GlobalAttribute::new([attr(0, 0), attr(1, 0)]).unwrap(),
-        ]);
+        let m = MediatedSchema::new([GlobalAttribute::new([attr(0, 0), attr(1, 0)]).unwrap()]);
         let score = gt.score(&m, sel(&[0, 1, 2]));
         assert_eq!(score.true_gas, 1);
         assert_eq!(score.missed, 1, "concept 1 present but not found");
@@ -317,7 +315,7 @@ mod tests {
     fn concept_report_rows() {
         let gt = truth();
         let m = MediatedSchema::new([
-            GlobalAttribute::new([attr(0, 0), attr(1, 0), attr(2, 0)]).unwrap(),
+            GlobalAttribute::new([attr(0, 0), attr(1, 0), attr(2, 0)]).unwrap()
         ]);
         let report = gt.concept_report(&m, sel(&[0, 1, 2]));
         assert_eq!(report.len(), NUM_CONCEPTS);

@@ -32,7 +32,7 @@
 //! missed / false GAs") is computed from.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod concepts;
 pub mod generator;

@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn words_are_not_concept_aliases() {
         for w in OFF_DOMAIN_WORDS {
-            assert!(concept_of_name(w).is_none(), "{w:?} collides with a concept");
+            assert!(
+                concept_of_name(w).is_none(),
+                "{w:?} collides with a concept"
+            );
         }
     }
 

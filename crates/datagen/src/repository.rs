@@ -115,7 +115,11 @@ mod tests {
                 seen.insert(*c);
             }
         }
-        assert_eq!(seen.len(), NUM_CONCEPTS, "repository must cover all concepts");
+        assert_eq!(
+            seen.len(),
+            NUM_CONCEPTS,
+            "repository must cover all concepts"
+        );
     }
 
     #[test]

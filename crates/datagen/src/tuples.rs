@@ -164,7 +164,10 @@ mod tests {
         }
         let mut merged = general_all.clone();
         merged.merge(&source);
-        assert_eq!(merged, general_all, "general-only source leaked specialty ids");
+        assert_eq!(
+            merged, general_all,
+            "general-only source leaked specialty ids"
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn candidate_cap_limits_work() {
         let p = TopValues::new(vec![1.0; 40], 20, vec![]);
-        let r = Exhaustive { max_candidates: 1_000 }.solve(&p, 0);
+        let r = Exhaustive {
+            max_candidates: 1_000,
+        }
+        .solve(&p, 0);
         assert!(r.evaluations <= 1_001);
     }
 

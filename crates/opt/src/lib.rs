@@ -20,7 +20,7 @@
 //! so experiments can compare search effort.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod anneal;
 pub mod exhaustive;

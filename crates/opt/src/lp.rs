@@ -255,9 +255,12 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     if tableau.artificial_start < tableau.n_total {
         let mut phase1 = vec![0.0; tableau.n_total + 1];
         phase1[tableau.artificial_start..tableau.n_total].fill(-1.0);
-        let value = tableau
-            .optimize(&phase1, |_| true)
-            .expect("phase 1 is bounded by construction");
+        // Phase 1 maximizes -(Σ artificials) ≤ 0, so it is bounded by
+        // construction; treat the impossible None defensively rather than
+        // panicking.
+        let Some(value) = tableau.optimize(&phase1, |_| true) else {
+            return LpOutcome::Unbounded;
+        };
         if value < -1e-6 {
             return LpOutcome::Infeasible;
         }
@@ -267,8 +270,8 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
         // re-entering in phase 2.
         for i in 0..tableau.rows.len() {
             if tableau.basis[i] >= tableau.artificial_start {
-                if let Some(col) = (0..tableau.artificial_start)
-                    .find(|&j| tableau.rows[i][j].abs() > 1e-7)
+                if let Some(col) =
+                    (0..tableau.artificial_start).find(|&j| tableau.rows[i][j].abs() > 1e-7)
                 {
                     tableau.pivot(i, col);
                 }

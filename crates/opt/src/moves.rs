@@ -105,31 +105,39 @@ pub fn sample_moves_biased<P: SubsetProblem + ?Sized, R: Rng>(
                 .collect()
         })
         .unwrap_or_default();
-    let pick_in = |rng: &mut R| -> usize {
+    let pick_in = |rng: &mut R| -> Option<usize> {
         if !hot.is_empty() && rng.gen_range(0..10u32) < 7 {
-            *hot.choose(rng).expect("nonempty")
+            hot.choose(rng).copied()
         } else {
-            *unselected.choose(rng).expect("nonempty")
+            unselected.choose(rng).copied()
         }
+    };
+    let swap = |rng: &mut R| -> Option<Move> {
+        let out = *selected_free.choose(rng)?;
+        Some(Move::Swap(out, pick_in(rng)?))
     };
     for _ in 0..sample {
         // Weight swap most heavily: µBE solutions usually sit at |S| = m, so
         // swaps are the moves that explore; adds/drops adjust cardinality.
+        // The can_* guards prove each drawn-from slice is non-empty, so the
+        // None fallbacks never fire; they just keep this hot path panic-free.
         let roll = rng.gen_range(0..10u32);
         let mv = if can_swap && roll < 7 {
-            Move::Swap(*selected_free.choose(rng).expect("nonempty"), pick_in(rng))
+            swap(rng)
         } else if can_add && roll < 9 {
-            Move::Add(pick_in(rng))
+            pick_in(rng).map(Move::Add)
         } else if can_drop && s.len() > 1 {
-            Move::Drop(*selected_free.choose(rng).expect("nonempty"))
+            selected_free.choose(rng).map(|&o| Move::Drop(o))
         } else if can_swap {
-            Move::Swap(*selected_free.choose(rng).expect("nonempty"), pick_in(rng))
+            swap(rng)
         } else if can_add {
-            Move::Add(pick_in(rng))
+            pick_in(rng).map(Move::Add)
         } else {
-            continue;
+            None
         };
-        moves.push(mv);
+        if let Some(mv) = mv {
+            moves.push(mv);
+        }
     }
     moves
 }

@@ -33,8 +33,7 @@ pub trait SubsetProblem {
     /// cardinality bound). Solvers uphold this by construction; it is used
     /// in assertions and tests.
     fn is_structurally_feasible(&self, subset: &Subset) -> bool {
-        subset.len() <= self.max_selected()
-            && self.pinned().iter().all(|&i| subset.contains(i))
+        subset.len() <= self.max_selected() && self.pinned().iter().all(|&i| subset.contains(i))
     }
 }
 
@@ -105,7 +104,7 @@ pub(crate) mod testutil {
                 .filter(|i| !self.pins.contains(i))
                 .map(|i| self.values[i])
                 .collect();
-            free.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            free.sort_by(|a, b| b.total_cmp(a));
             pinned_sum
                 + free
                     .iter()

@@ -51,18 +51,12 @@ fn sigmoid(x: f64) -> f64 {
 /// Repairs a desired-membership vector into a feasible subset: pins first,
 /// then the highest-velocity desired items, then (if the position selects
 /// fewer than one item) nothing further — empty-but-for-pins is feasible.
-fn repair(
-    problem: &dyn SubsetProblem,
-    desired: &[bool],
-    velocity: &[f64],
-) -> Subset {
+fn repair(problem: &dyn SubsetProblem, desired: &[bool], velocity: &[f64]) -> Subset {
     let n = problem.universe_size();
     let m = problem.max_selected();
     let mut s = Subset::from_indices(n, problem.pinned().iter().copied());
-    let mut wanted: Vec<usize> = (0..n)
-        .filter(|&i| desired[i] && !s.contains(i))
-        .collect();
-    wanted.sort_by(|&a, &b| velocity[b].partial_cmp(&velocity[a]).unwrap());
+    let mut wanted: Vec<usize> = (0..n).filter(|&i| desired[i] && !s.contains(i)).collect();
+    wanted.sort_by(|&a, &b| velocity[b].total_cmp(&velocity[a]));
     for i in wanted {
         if s.len() >= m {
             break;
@@ -88,13 +82,13 @@ impl Solver for BinaryPso {
                 })
                 .collect();
             let mut pbest = positions.clone();
-            let mut pbest_obj: Vec<f64> =
-                positions.iter().map(|p| counted.evaluate(p)).collect();
-            let (mut gbest_idx, _) = pbest_obj
+            let mut pbest_obj: Vec<f64> = positions.iter().map(|p| counted.evaluate(p)).collect();
+            let mut gbest_idx = pbest_obj
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .expect("at least one particle");
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
             let mut gbest = pbest[gbest_idx].clone();
             let mut gbest_obj = pbest_obj[gbest_idx];
             let mut trajectory = Vec::with_capacity(self.generations as usize);

@@ -50,9 +50,7 @@ impl Solver for StochasticLocalSearch {
                     let mut best_move: Option<(crate::moves::Move, f64)> = None;
                     for mv in moves {
                         let obj = counted.evaluate(&mv.applied_to(&current));
-                        if obj > current_obj
-                            && best_move.as_ref().is_none_or(|(_, b)| obj > *b)
-                        {
+                        if obj > current_obj && best_move.as_ref().is_none_or(|(_, b)| obj > *b) {
                             best_move = Some((mv, obj));
                         }
                     }

@@ -53,8 +53,7 @@ impl SolveResult {
         if self.trajectory.is_empty() || !self.objective.is_finite() || self.objective <= 0.0 {
             return None;
         }
-        let mean: f64 =
-            self.trajectory.iter().sum::<f64>() / self.trajectory.len() as f64;
+        let mean: f64 = self.trajectory.iter().sum::<f64>() / self.trajectory.len() as f64;
         Some((mean / self.objective).clamp(0.0, 1.0))
     }
 }
@@ -105,12 +104,12 @@ where
 
 /// Builds a feasible starting point: the pins plus random items up to the
 /// cardinality bound (solvers that want a different start size can trim).
-pub(crate) fn random_start(
-    problem: &dyn SubsetProblem,
-    rng: &mut StdRng,
-) -> Subset {
+pub(crate) fn random_start(problem: &dyn SubsetProblem, rng: &mut StdRng) -> Subset {
     let pins: Vec<usize> = problem.pinned().to_vec();
-    let k = problem.max_selected().min(problem.universe_size()).max(pins.len());
+    let k = problem
+        .max_selected()
+        .min(problem.universe_size())
+        .max(pins.len());
     Subset::random_with_pins(problem.universe_size(), k, &pins, rng)
 }
 
@@ -133,7 +132,7 @@ pub(crate) fn singleton_greedy_start<P: SubsetProblem + ?Sized>(
             (problem.evaluate(&candidate), i)
         })
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let ordering: Vec<usize> = scored.iter().map(|&(_, i)| i).collect();
     let mut start = base;
     for &i in ordering.iter().take(budget) {

@@ -221,7 +221,10 @@ mod tests {
         let a = Subset::from_indices(100, [1, 2]);
         let b = Subset::from_indices(100, [1, 3]);
         assert_ne!(a.fingerprint(), b.fingerprint());
-        assert_eq!(a.fingerprint(), Subset::from_indices(100, [2, 1]).fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            Subset::from_indices(100, [2, 1]).fingerprint()
+        );
     }
 
     #[test]

@@ -92,12 +92,16 @@ impl TabuSearch {
     /// The iteration/stall budget for a given problem shape.
     fn budget(&self, n: usize, m: usize, pins: usize) -> (u64, u64) {
         if !self.scale_effort_to_free_space || pins == 0 || n <= pins || m <= pins {
-            let full = if m <= pins && pins > 0 { 1 } else { self.max_iters };
+            let full = if m <= pins && pins > 0 {
+                1
+            } else {
+                self.max_iters
+            };
             return (full, self.stall_limit);
         }
         let m = m.min(n);
-        let factor = ((m - pins) as f64 * ((n - pins) as f64).ln())
-            / (m as f64 * (n as f64).ln().max(1.0));
+        let factor =
+            ((m - pins) as f64 * ((n - pins) as f64).ln()) / (m as f64 * (n as f64).ln().max(1.0));
         let factor = factor.clamp(0.05, 1.0);
         (
             ((self.max_iters as f64) * factor).ceil() as u64,
@@ -118,10 +122,7 @@ impl Solver for TabuSearch {
                 self.neighborhood_sample
             };
             let (mut current, preference) = if let Some(items) = &self.warm_start {
-                let mut start = Subset::from_indices(
-                    n,
-                    counted.pinned().iter().copied(),
-                );
+                let mut start = Subset::from_indices(n, counted.pinned().iter().copied());
                 for &i in items {
                     if start.len() >= counted.max_selected() {
                         break;
@@ -149,13 +150,8 @@ impl Solver for TabuSearch {
 
             for iter in 0..max_iters {
                 iters = iter + 1;
-                let moves = sample_moves_biased(
-                    counted,
-                    &current,
-                    sample,
-                    rng,
-                    preference.as_deref(),
-                );
+                let moves =
+                    sample_moves_biased(counted, &current, sample, rng, preference.as_deref());
                 if moves.is_empty() {
                     trajectory.push(best_obj);
                     break;
@@ -165,8 +161,7 @@ impl Solver for TabuSearch {
                 let mut chosen: Option<(Move, Subset, f64)> = None;
                 for mv in moves {
                     let (a, b) = mv.touched();
-                    let tabu = tabu_until[a] > iter
-                        || b.is_some_and(|b| tabu_until[b] > iter);
+                    let tabu = tabu_until[a] > iter || b.is_some_and(|b| tabu_until[b] > iter);
                     let next = mv.applied_to(&current);
                     let obj = counted.evaluate(&next);
                     let aspired = obj > best_obj;
@@ -303,7 +298,10 @@ mod tests {
             scale_effort_to_free_space: false,
             ..TabuSearch::default()
         };
-        assert_eq!(fixed.solve(&pinned, 3).iterations, fixed.solve(&free, 3).iterations);
+        assert_eq!(
+            fixed.solve(&pinned, 3).iterations,
+            fixed.solve(&free, 3).iterations
+        );
     }
 
     #[test]

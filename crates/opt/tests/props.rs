@@ -5,9 +5,8 @@
 use proptest::prelude::*;
 
 use mube_opt::{
-    lp_solve, BinaryPso, Exhaustive, Greedy, LpConstraint, LpOutcome, LpProblem,
-    RandomSearch, Relation, SimulatedAnnealing, Solver, StochasticLocalSearch, Subset,
-    SubsetProblem, TabuSearch,
+    lp_solve, BinaryPso, Exhaustive, Greedy, LpConstraint, LpOutcome, LpProblem, RandomSearch,
+    Relation, SimulatedAnnealing, Solver, StochasticLocalSearch, Subset, SubsetProblem, TabuSearch,
 };
 
 /// A random modular-plus-pairwise objective:
@@ -66,7 +65,11 @@ fn arb_problem() -> impl Strategy<Value = RandomQuadratic> {
             }
         }
         let m = m.min(n);
-        let pins = if m >= 2 && n >= 2 { vec![n / 2] } else { vec![] };
+        let pins = if m >= 2 && n >= 2 {
+            vec![n / 2]
+        } else {
+            vec![]
+        };
         RandomQuadratic {
             values,
             synergy,
@@ -149,7 +152,6 @@ proptest! {
     }
 }
 
-
 /// Random small LPs: max c·x s.t. A·x ≤ b with b ≥ 0 — always feasible
 /// (x = 0) and bounded when every objective-positive column has a positive
 /// constraint coefficient somewhere. We only assert the *soundness* side:
@@ -160,10 +162,7 @@ fn arb_lp() -> impl Strategy<Value = LpProblem> {
         .prop_flat_map(move |(nvars, nrows)| {
             (
                 prop::collection::vec(coeff.clone(), nvars),
-                prop::collection::vec(
-                    (prop::collection::vec(0i32..5, nvars), 1i32..20),
-                    nrows,
-                ),
+                prop::collection::vec((prop::collection::vec(0i32..5, nvars), 1i32..20), nrows),
             )
         })
         .prop_map(|(c, rows)| LpProblem {

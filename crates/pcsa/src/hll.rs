@@ -99,7 +99,10 @@ impl HllSketch {
     /// # Panics
     /// Panics on incompatible sketches.
     pub fn merge(&mut self, other: &HllSketch) {
-        assert!(self.compatible(other), "cannot merge incompatible HLL sketches");
+        assert!(
+            self.compatible(other),
+            "cannot merge incompatible HLL sketches"
+        );
         for (a, b) in self.registers.iter_mut().zip(&other.registers) {
             *a = (*a).max(*b);
         }

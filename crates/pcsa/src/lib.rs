@@ -30,7 +30,7 @@
 //! associative, and idempotent — properties the property tests pin down.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod exact;
 pub mod hash;
@@ -39,7 +39,7 @@ pub mod sketch;
 pub mod wire;
 
 pub use exact::ExactDistinct;
-pub use hll::HllSketch;
 pub use hash::TupleHasher;
+pub use hll::HllSketch;
 pub use sketch::{PcsaSketch, DEFAULT_NUM_MAPS};
 pub use wire::WireError;

@@ -225,7 +225,11 @@ mod tests {
         for &n in &[1_000u64, 10_000, 100_000, 1_000_000] {
             let est = sketch_of(0..n).estimate();
             let err = (est - n as f64).abs() / n as f64;
-            assert!(err < 0.20, "n={n}: estimate {est:.0}, error {:.1}%", err * 100.0);
+            assert!(
+                err < 0.20,
+                "n={n}: estimate {est:.0}, error {:.1}%",
+                err * 100.0
+            );
         }
     }
 
@@ -255,7 +259,9 @@ mod tests {
 
     #[test]
     fn merged_over_collection() {
-        let parts: Vec<PcsaSketch> = (0..4).map(|i| sketch_of(i * 1000..(i + 1) * 1000)).collect();
+        let parts: Vec<PcsaSketch> = (0..4)
+            .map(|i| sketch_of(i * 1000..(i + 1) * 1000))
+            .collect();
         let merged = PcsaSketch::merged(parts.iter()).unwrap();
         assert_eq!(merged, sketch_of(0..4000));
         assert!(PcsaSketch::merged(std::iter::empty()).is_none());
@@ -289,7 +295,10 @@ mod tests {
         // Two disjoint sources should estimate roughly the sum.
         let c = sketch_of(50_000..100_000);
         let disjoint = PcsaSketch::estimate_union([&a, &c]);
-        assert!(disjoint > single * 1.5, "disjoint union {disjoint} vs {single}");
+        assert!(
+            disjoint > single * 1.5,
+            "disjoint union {disjoint} vs {single}"
+        );
     }
 
     #[test]

@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn corrupt_inputs_rejected() {
         let good = pcsa_sample().to_bytes();
-        assert_eq!(PcsaSketch::from_bytes(&good[..10]), Err(WireError::Truncated));
+        assert_eq!(
+            PcsaSketch::from_bytes(&good[..10]),
+            Err(WireError::Truncated)
+        );
         let mut bad_magic = good.clone();
         bad_magic[0] = b'X';
         assert_eq!(PcsaSketch::from_bytes(&bad_magic), Err(WireError::BadMagic));
@@ -208,7 +211,10 @@ mod tests {
         );
         let mut truncated = good.clone();
         truncated.pop();
-        assert_eq!(PcsaSketch::from_bytes(&truncated), Err(WireError::Truncated));
+        assert_eq!(
+            PcsaSketch::from_bytes(&truncated),
+            Err(WireError::Truncated)
+        );
         // HLL bytes are not PCSA bytes.
         assert_eq!(
             PcsaSketch::from_bytes(&hll_sample().to_bytes()),

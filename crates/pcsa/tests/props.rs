@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-use mube_pcsa::{ExactDistinct, HllSketch, PcsaSketch, TupleHasher};
 use mube_pcsa::wire::WireError;
+use mube_pcsa::{ExactDistinct, HllSketch, PcsaSketch, TupleHasher};
 
 fn pcsa_of(set: &BTreeSet<u64>) -> PcsaSketch {
     let mut s = PcsaSketch::new(64, TupleHasher::default());
@@ -104,7 +104,6 @@ proptest! {
         prop_assert_eq!(shuffled, pcsa_of(&sorted));
     }
 }
-
 
 proptest! {
     #[test]

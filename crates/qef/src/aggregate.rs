@@ -80,9 +80,7 @@ impl Aggregation {
                 }
                 selection
                     .iter()
-                    .map(|id| {
-                        normalized(id) * universe.expect_source(id).cardinality() as f64
-                    })
+                    .map(|id| normalized(id) * universe.expect_source(id).cardinality() as f64)
                     .sum::<f64>()
                     / total as f64
             }
@@ -155,8 +153,14 @@ mod tests {
     fn min_and_max() {
         let u = universe();
         let ctx = QefContext::without_sketches(&u);
-        assert_eq!(Aggregation::Min.evaluate("mttf", &sel(&u, &[1, 2]), &ctx), 0.5);
-        assert_eq!(Aggregation::Max.evaluate("mttf", &sel(&u, &[0, 2]), &ctx), 0.5);
+        assert_eq!(
+            Aggregation::Min.evaluate("mttf", &sel(&u, &[1, 2]), &ctx),
+            0.5
+        );
+        assert_eq!(
+            Aggregation::Max.evaluate("mttf", &sel(&u, &[0, 2]), &ctx),
+            0.5
+        );
     }
 
     #[test]
@@ -219,8 +223,12 @@ mod tests {
                 .characteristic("mttf", 0.0),
         )
         .unwrap();
-        u.add_source(SourceBuilder::new("silent").attributes(["x"]).cardinality(10))
-            .unwrap();
+        u.add_source(
+            SourceBuilder::new("silent")
+                .attributes(["x"])
+                .cardinality(10),
+        )
+        .unwrap();
         let ctx = QefContext::without_sketches(&u);
         let v = Aggregation::Mean.evaluate(
             "mttf",

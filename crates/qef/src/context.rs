@@ -37,8 +37,7 @@ impl<'a> QefContext<'a> {
             universe.len(),
             "one sketch slot per source required"
         );
-        let universe_union =
-            PcsaSketch::estimate_union(sketches.iter().flatten());
+        let universe_union = PcsaSketch::estimate_union(sketches.iter().flatten());
         let mut char_ranges: BTreeMap<String, (f64, f64)> = BTreeMap::new();
         for source in universe.sources() {
             for (name, &value) in source.characteristics() {

@@ -82,9 +82,12 @@ mod tests {
     fn closure_is_invoked_with_context() {
         let u = universe();
         let ctx = QefContext::without_sketches(&u);
-        let qef = FnQef::new("half-mass", |sel: &SourceSelection, ctx: &QefContext<'_>| {
-            ctx.selected_cardinality(sel) as f64 / ctx.universe().total_cardinality() as f64
-        });
+        let qef = FnQef::new(
+            "half-mass",
+            |sel: &SourceSelection, ctx: &QefContext<'_>| {
+                ctx.selected_cardinality(sel) as f64 / ctx.universe().total_cardinality() as f64
+            },
+        );
         assert_eq!(qef.name(), "half-mass");
         let only_b = SourceSelection::from_ids(2, [SourceId(1)]);
         assert!((qef.evaluate(&only_b, &ctx) - 0.9).abs() < 1e-12);

@@ -98,8 +98,12 @@ mod tests {
     fn setup() -> (Universe, Vec<Option<PcsaSketch>>) {
         let mut u = Universe::new();
         for name in ["a", "b", "c"] {
-            u.add_source(SourceBuilder::new(name).attributes(["x"]).cardinality(10_000))
-                .unwrap();
+            u.add_source(
+                SourceBuilder::new(name)
+                    .attributes(["x"])
+                    .cardinality(10_000),
+            )
+            .unwrap();
         }
         let sketch_of = |range: std::ops::Range<u64>| {
             let mut s = PcsaSketch::with_defaults();
@@ -110,7 +114,11 @@ mod tests {
         };
         (
             u,
-            vec![sketch_of(0..10_000), sketch_of(0..10_000), sketch_of(10_000..20_000)],
+            vec![
+                sketch_of(0..10_000),
+                sketch_of(0..10_000),
+                sketch_of(10_000..20_000),
+            ],
         )
     }
 
@@ -149,7 +157,10 @@ mod tests {
         // Tolerances follow the sketch's error envelope: a ±10% union
         // estimate error shifts redundancy by up to ~2× that.
         assert!(clones < 0.2, "identical sources should be ~0, got {clones}");
-        assert!(disjoint > 0.7, "disjoint sources should be ~1, got {disjoint}");
+        assert!(
+            disjoint > 0.7,
+            "disjoint sources should be ~1, got {disjoint}"
+        );
         assert!(disjoint > clones + 0.4, "ordering must be decisive");
     }
 

@@ -13,7 +13,7 @@
 //! everything through the same [`Qef`] trait.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod characteristic;

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use mube_pcsa::{PcsaSketch, TupleHasher};
 use mube_qef::{
-    Aggregation, CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext,
-    RedundancyQef, Weights,
+    Aggregation, CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext, RedundancyQef,
+    Weights,
 };
 use mube_schema::{SourceBuilder, SourceId, SourceSelection, Universe};
 

@@ -80,20 +80,18 @@ impl CompoundUniverse {
             let mut names: Vec<String> = Vec::new();
             let mut expansions: Vec<Vec<AttrId>> = Vec::new();
             for group in groups_here {
-                let fused_name = group
-                    .attrs
-                    .iter()
-                    .map(|&j| source.attribute_name(j).expect("validated above"))
-                    .collect::<Vec<_>>()
-                    .join(" ");
-                names.push(fused_name);
-                expansions.push(
-                    group
-                        .attrs
-                        .iter()
-                        .map(|&j| AttrId::new(sid, j))
-                        .collect(),
-                );
+                let mut parts: Vec<&str> = Vec::with_capacity(group.attrs.len());
+                for &j in &group.attrs {
+                    parts.push(
+                        source
+                            .attribute_name(j)
+                            .ok_or(SchemaError::UnknownAttribute {
+                                attr: AttrId::new(sid, j),
+                            })?,
+                    );
+                }
+                names.push(parts.join(" "));
+                expansions.push(group.attrs.iter().map(|&j| AttrId::new(sid, j)).collect());
             }
             for (j, name) in source.attributes().iter().enumerate() {
                 let attr = AttrId::new(sid, j as u32);
@@ -124,10 +122,7 @@ impl CompoundUniverse {
 
     /// The original attributes a derived attribute stands for.
     pub fn expand_attr(&self, attr: AttrId) -> &[AttrId] {
-        self.expansion
-            .get(&attr)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.expansion.get(&attr).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Expands a GA over compound elements into the original-attribute
@@ -211,11 +206,8 @@ mod tests {
         let u = original();
         let cu = CompoundUniverse::new(&u, &[group(0, &[0, 1])]).unwrap();
         // 1:1 GA in the derived universe: {split.fused, joined.full name}.
-        let ga = GlobalAttribute::new([
-            AttrId::new(SourceId(0), 0),
-            AttrId::new(SourceId(1), 0),
-        ])
-        .unwrap();
+        let ga = GlobalAttribute::new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(1), 0)])
+            .unwrap();
         let expanded = cu.expand_ga(&ga);
         // 2:1 over the original attributes.
         assert_eq!(

@@ -139,7 +139,9 @@ mod tests {
         let req = c.required_sources();
         assert_eq!(
             req,
-            [SourceId(0), SourceId(1), SourceId(2)].into_iter().collect()
+            [SourceId(0), SourceId(1), SourceId(2)]
+                .into_iter()
+                .collect()
         );
     }
 

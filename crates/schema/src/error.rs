@@ -107,7 +107,9 @@ mod tests {
         };
         assert!(e.to_string().contains("a1.0"));
         assert!(e.to_string().contains("a1.2"));
-        let e = SchemaError::UnknownSource { source: SourceId(9) };
+        let e = SchemaError::UnknownSource {
+            source: SourceId(9),
+        };
         assert!(e.to_string().contains("s9"));
     }
 }

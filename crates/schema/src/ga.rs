@@ -36,7 +36,11 @@ impl GlobalAttribute {
     {
         let mut set = BTreeSet::new();
         for attr in attrs {
-            if let Some(prev) = set.iter().copied().find(|a: &AttrId| a.source == attr.source) {
+            if let Some(prev) = set
+                .iter()
+                .copied()
+                .find(|a: &AttrId| a.source == attr.source)
+            {
                 if prev != attr {
                     return Err(SchemaError::InvalidGa {
                         first: prev,

@@ -25,7 +25,7 @@
 //! map keys and inside bitsets without allocation.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod attribute;
 pub mod compound;

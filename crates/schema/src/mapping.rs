@@ -118,12 +118,7 @@ impl SchemaMapping {
             .filter_map(|(&source, pairs)| {
                 let attrs: Vec<(GaIndex, AttrId)> = gas
                     .iter()
-                    .filter_map(|&k| {
-                        pairs
-                            .iter()
-                            .find(|(_, pk)| *pk == k)
-                            .map(|(a, _)| (k, *a))
-                    })
+                    .filter_map(|&k| pairs.iter().find(|(_, pk)| *pk == k).map(|(a, _)| (k, *a)))
                     .collect();
                 if attrs.is_empty() {
                     None

@@ -76,11 +76,7 @@ impl MediatedSchema {
     where
         I: IntoIterator<Item = SourceId>,
     {
-        let covered: BTreeSet<SourceId> = self
-            .gas
-            .iter()
-            .flat_map(|g| g.sources())
-            .collect();
+        let covered: BTreeSet<SourceId> = self.gas.iter().flat_map(|g| g.sources()).collect();
         sources.into_iter().all(|s| covered.contains(&s))
     }
 

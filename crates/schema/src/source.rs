@@ -205,7 +205,10 @@ mod tests {
     fn attr_ids_enumerate_schema() {
         let s = build(SourceBuilder::new("x").attributes(["a", "b"])).unwrap();
         let ids: Vec<_> = s.attr_ids().collect();
-        assert_eq!(ids, vec![AttrId::new(SourceId(0), 0), AttrId::new(SourceId(0), 1)]);
+        assert_eq!(
+            ids,
+            vec![AttrId::new(SourceId(0), 0), AttrId::new(SourceId(0), 1)]
+        );
     }
 
     #[test]
@@ -227,7 +230,11 @@ mod tests {
     #[test]
     fn negative_characteristic_rejected() {
         assert!(matches!(
-            build(SourceBuilder::new("x").attribute("a").characteristic("fee", -1.0)),
+            build(
+                SourceBuilder::new("x")
+                    .attribute("a")
+                    .characteristic("fee", -1.0)
+            ),
             Err(SchemaError::InvalidCharacteristic { .. })
         ));
     }
@@ -235,7 +242,11 @@ mod tests {
     #[test]
     fn nan_characteristic_rejected() {
         assert!(matches!(
-            build(SourceBuilder::new("x").attribute("a").characteristic("fee", f64::NAN)),
+            build(
+                SourceBuilder::new("x")
+                    .attribute("a")
+                    .characteristic("fee", f64::NAN)
+            ),
             Err(SchemaError::InvalidCharacteristic { .. })
         ));
     }

@@ -125,8 +125,12 @@ mod tests {
 
     fn small() -> Universe {
         let mut u = Universe::new();
-        u.add_source(SourceBuilder::new("a").attributes(["x", "y"]).cardinality(10))
-            .unwrap();
+        u.add_source(
+            SourceBuilder::new("a")
+                .attributes(["x", "y"])
+                .cardinality(10),
+        )
+        .unwrap();
         u.add_source(SourceBuilder::new("b").attributes(["z"]).cardinality(5))
             .unwrap();
         u
@@ -181,7 +185,9 @@ mod tests {
         assert!(u.validate_sources([SourceId(0), SourceId(1)]).is_ok());
         assert!(matches!(
             u.validate_sources([SourceId(7)]),
-            Err(SchemaError::UnknownSource { source: SourceId(7) })
+            Err(SchemaError::UnknownSource {
+                source: SourceId(7)
+            })
         ));
     }
 

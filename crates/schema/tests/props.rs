@@ -2,18 +2,17 @@
 
 use proptest::prelude::*;
 
-use mube_schema::{AttrId, GlobalAttribute, MediatedSchema, SchemaMapping, SourceBuilder, SourceId, SourceSelection, Universe};
+use mube_schema::{
+    AttrId, GlobalAttribute, MediatedSchema, SchemaMapping, SourceBuilder, SourceId,
+    SourceSelection, Universe,
+};
 
 /// Strategy: an arbitrary valid GA over up to 12 sources (distinct sources,
 /// arbitrary attribute indices).
 fn arb_ga() -> impl Strategy<Value = GlobalAttribute> {
     prop::collection::btree_map(0u32..12, 0u32..6, 1..8).prop_map(|pairs| {
-        GlobalAttribute::new(
-            pairs
-                .into_iter()
-                .map(|(s, j)| AttrId::new(SourceId(s), j)),
-        )
-        .expect("distinct sources by construction")
+        GlobalAttribute::new(pairs.into_iter().map(|(s, j)| AttrId::new(SourceId(s), j)))
+            .expect("distinct sources by construction")
     })
 }
 
@@ -103,7 +102,6 @@ proptest! {
     }
 }
 
-
 /// A universe with `n` sources of 3 attributes each, plus a mediated schema
 /// built from a random valid partition of (source, attr-0) attributes.
 fn arb_system() -> impl Strategy<Value = (Universe, MediatedSchema)> {
@@ -112,10 +110,8 @@ fn arb_system() -> impl Strategy<Value = (Universe, MediatedSchema)> {
         groups.prop_map(move |assignment| {
             let mut u = Universe::new();
             for i in 0..n {
-                u.add_source(
-                    SourceBuilder::new(format!("s{i}")).attributes(["a", "b", "c"]),
-                )
-                .unwrap();
+                u.add_source(SourceBuilder::new(format!("s{i}")).attributes(["a", "b", "c"]))
+                    .unwrap();
             }
             // Partition sources into up to 3 GAs by `assignment`; each GA
             // takes attribute 0 of its sources. GAs with < 1 member vanish.

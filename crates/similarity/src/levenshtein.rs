@@ -80,6 +80,9 @@ mod tests {
     #[test]
     fn similarity_symmetric() {
         let m = NormalizedLevenshtein;
-        assert_eq!(m.similarity("venue", "event"), m.similarity("event", "venue"));
+        assert_eq!(
+            m.similarity("venue", "event"),
+            m.similarity("event", "venue")
+        );
     }
 }

@@ -16,7 +16,7 @@
 //! reduce to O(1) lookups.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod jaro;
 pub mod levenshtein;

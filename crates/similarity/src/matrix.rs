@@ -52,8 +52,7 @@ impl SimilarityMatrix {
         for j in 1..d {
             let base = j * (j - 1) / 2;
             for i in 0..j {
-                tri[base + i] =
-                    measure.similarity_sig(&signatures[i], &signatures[j]) as f32;
+                tri[base + i] = measure.similarity_sig(&signatures[i], &signatures[j]) as f32;
             }
         }
         let self_sim = signatures
@@ -116,10 +115,7 @@ mod tests {
             for j in 0..ns.len() {
                 let expect = m.similarity(&ns[i], &ns[j]) as f32;
                 let got = matrix.similarity(i, j) as f32;
-                assert!(
-                    (expect - got).abs() < 1e-6,
-                    "({i},{j}): {expect} vs {got}"
-                );
+                assert!((expect - got).abs() < 1e-6, "({i},{j}): {expect} vs {got}");
             }
         }
     }

@@ -265,10 +265,7 @@ impl SimilarityMeasure for NgramCosine {
 
     fn signature(&self, name: &str) -> Signature {
         let counts = ngram_multiset(name, self.n);
-        let mut pairs: Vec<(u64, u32)> = counts
-            .iter()
-            .map(|(g, &c)| (hash_gram(g), c))
-            .collect();
+        let mut pairs: Vec<(u64, u32)> = counts.iter().map(|(g, &c)| (hash_gram(g), c)).collect();
         pairs.sort_unstable();
         let norm = pairs
             .iter()
@@ -363,7 +360,11 @@ mod tests {
         // Dice = 2J/(1+J) >= J for J in [0,1].
         let j = NgramJaccard::default();
         let d = NgramDice::default();
-        for (a, b) in [("author", "author name"), ("keyword", "keywords"), ("x", "y")] {
+        for (a, b) in [
+            ("author", "author name"),
+            ("keyword", "keywords"),
+            ("x", "y"),
+        ] {
             assert!(d.similarity(a, b) >= j.similarity(a, b) - 1e-12);
         }
     }

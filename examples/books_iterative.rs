@@ -35,7 +35,12 @@ fn main() {
     let spec = ProblemSpec::new(20); // paper-default weights, θ = 0.75
     let mut session = Session::new(&mube, spec).with_seed(11);
     let first = session.iterate().expect("iteration 1 solves").clone();
-    report(universe, &generated.ground_truth, &first, "iteration 1 (defaults)");
+    report(
+        universe,
+        &generated.ground_truth,
+        &first,
+        "iteration 1 (defaults)",
+    );
 
     // Feedback A: the user cares about breadth of data — upweight coverage.
     session.set_weights(
@@ -49,7 +54,12 @@ fn main() {
         .unwrap(),
     );
     let second = session.iterate().expect("iteration 2 solves").clone();
-    report(universe, &generated.ground_truth, &second, "iteration 2 (coverage-heavy)");
+    report(
+        universe,
+        &generated.ground_truth,
+        &second,
+        "iteration 2 (coverage-heavy)",
+    );
 
     // Feedback B: pin a favorite source (people have preferred shops) and
     // adopt the largest GA from the previous output as a constraint, so it
@@ -71,7 +81,12 @@ fn main() {
         session.adopt_ga(biggest);
     }
     let third = session.iterate().expect("iteration 3 solves").clone();
-    report(universe, &generated.ground_truth, &third, "iteration 3 (pinned + adopted GA)");
+    report(
+        universe,
+        &generated.ground_truth,
+        &third,
+        "iteration 3 (pinned + adopted GA)",
+    );
 
     assert!(third.selected.contains(&favorite));
     println!("session history: {} iterations", session.history().len());

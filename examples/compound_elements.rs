@@ -25,7 +25,11 @@ fn main() {
     ];
     for (site, attrs) in sites {
         universe
-            .add_source(SourceBuilder::new(site).attributes(attrs).cardinality(1_000))
+            .add_source(
+                SourceBuilder::new(site)
+                    .attributes(attrs)
+                    .cardinality(1_000),
+            )
             .unwrap();
     }
 
@@ -39,17 +43,18 @@ fn main() {
     println!("=== plain 1:1 matching (θ = 0.4) ===");
     print_gas(&universe, &plain.schema);
     let bridged = plain.schema.gas().iter().any(|ga| {
-        let whole = ga.attrs().any(|a| {
-            universe
-                .attr_name(a)
-                .is_some_and(|n| n.contains("address"))
-        });
+        let whole = ga
+            .attrs()
+            .any(|a| universe.attr_name(a).is_some_and(|n| n.contains("address")));
         let split = ga
             .attrs()
             .any(|a| universe.attr_name(a).is_some_and(|n| n == "street"));
         whole && split
     });
-    assert!(!bridged, "no measure should bridge street/city/zip to address");
+    assert!(
+        !bridged,
+        "no measure should bridge street/city/zip to address"
+    );
 
     // --- Step 1: fuse the split attributes into compound elements. ---
     let groups = [

@@ -11,12 +11,37 @@ fn main() {
     // sources themselves.
     let mut universe = Universe::new();
     let sites: [(&str, Vec<&str>, u64, f64); 6] = [
-        ("alpha-books.com", vec!["title", "author", "isbn"], 120_000, 140.0),
-        ("beta-books.com", vec!["title", "author", "keyword"], 90_000, 90.0),
-        ("gamma-reads.net", vec!["title", "author", "price"], 200_000, 60.0),
+        (
+            "alpha-books.com",
+            vec!["title", "author", "isbn"],
+            120_000,
+            140.0,
+        ),
+        (
+            "beta-books.com",
+            vec!["title", "author", "keyword"],
+            90_000,
+            90.0,
+        ),
+        (
+            "gamma-reads.net",
+            vec!["title", "author", "price"],
+            200_000,
+            60.0,
+        ),
         ("delta-pages.org", vec!["keyword", "subject"], 40_000, 120.0),
-        ("epsilon-shop.com", vec!["title", "price", "format"], 150_000, 100.0),
-        ("zeta-aggregator.io", vec!["voltage", "turbine"], 500_000, 30.0),
+        (
+            "epsilon-shop.com",
+            vec!["title", "price", "format"],
+            150_000,
+            100.0,
+        ),
+        (
+            "zeta-aggregator.io",
+            vec!["voltage", "turbine"],
+            500_000,
+            30.0,
+        ),
     ];
     for (site, attrs, tuples, mttf) in sites {
         universe

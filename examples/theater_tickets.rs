@@ -22,10 +22,20 @@ fn main() {
         ("mime.info.com", vec!["search for"]),
         (
             "pbs.org",
-            vec!["program title", "date", "author", "actor", "director", "keyword"],
+            vec![
+                "program title",
+                "date",
+                "author",
+                "actor",
+                "director",
+                "keyword",
+            ],
         ),
         ("pa.msu.edu", vec!["keyword"]),
-        ("wstonline.org", vec!["keyword", "after date", "before date"]),
+        (
+            "wstonline.org",
+            vec!["keyword", "after date", "before date"],
+        ),
         (
             "officiallondontheatre.co.uk",
             vec!["keyword", "after date", "before date"],

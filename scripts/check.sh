@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full CI gauntlet for the mube workspace. Every step must pass; the first
+# failure aborts the run. Referenced from ROADMAP.md (tier-1 verify) and
+# README.md (§Checks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> mube-xtask lint (no-panic / float-eq / crate-attrs)"
+cargo run -q -p mube-xtask -- lint
+
+echo "==> cargo clippy --workspace (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -77,7 +77,10 @@ fn parse_options(args: &mut dyn Iterator<Item = &str>) -> Result<Options, String
             let value = iter
                 .next()
                 .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.entry(name.to_owned()).or_default().push(value.to_owned());
+            flags
+                .entry(name.to_owned())
+                .or_default()
+                .push(value.to_owned());
         } else {
             positional.push(arg.to_owned());
         }
@@ -356,14 +359,9 @@ fn cmd_match(args: &mut dyn Iterator<Item = &str>) -> Result<String, String> {
         theta,
         ..MatchConfig::default()
     };
-    let outcome = mube::cluster::match_sources(
-        &universe,
-        &ids,
-        &Constraints::none(),
-        &config,
-        &adapter,
-    )
-    .ok_or("no matching satisfies the constraints")?;
+    let outcome =
+        mube::cluster::match_sources(&universe, &ids, &Constraints::none(), &config, &adapter)
+            .ok_or("no matching satisfies the constraints")?;
     let mut out = format!(
         "matching quality F1 = {:.4} over {} sources ({} GAs)\n",
         outcome.quality,
@@ -391,7 +389,10 @@ gamma.net | 500  | voltage, turbine    |
         assert_eq!(u.len(), 3);
         assert_eq!(u.expect_source(SourceId(0)).name(), "alpha.com");
         assert_eq!(u.expect_source(SourceId(0)).arity(), 3);
-        assert_eq!(u.expect_source(SourceId(0)).characteristic("mttf"), Some(100.0));
+        assert_eq!(
+            u.expect_source(SourceId(0)).characteristic("mttf"),
+            Some(100.0)
+        );
         assert_eq!(u.expect_source(SourceId(1)).cardinality(), 2000);
         assert_eq!(u.expect_source(SourceId(2)).characteristics().len(), 0);
         // Serialize and re-parse: same universe.
@@ -426,7 +427,10 @@ gamma.net | 500  | voltage, turbine    |
         ];
         let output = run(&args).unwrap();
         assert!(output.contains("Q(S)"), "{output}");
-        assert!(output.contains("alpha.com") && output.contains("beta.org"), "{output}");
+        assert!(
+            output.contains("alpha.com") && output.contains("beta.org"),
+            "{output}"
+        );
         assert!(!output.contains("gamma.net"), "{output}");
     }
 
@@ -444,7 +448,10 @@ gamma.net | 500  | voltage, turbine    |
         ];
         let output = run(&args).unwrap();
         assert!(output.contains("F1 = 1.0000"), "{output}");
-        assert!(output.contains("alpha.com:title | beta.org:title"), "{output}");
+        assert!(
+            output.contains("alpha.com:title | beta.org:title"),
+            "{output}"
+        );
     }
 
     #[test]
@@ -469,7 +476,12 @@ gamma.net | 500  | voltage, turbine    |
 
     #[test]
     fn flag_errors_are_reported() {
-        let args: Vec<String> = vec!["solve".into(), "/nonexistent".into(), "--max-sources".into(), "2".into()];
+        let args: Vec<String> = vec![
+            "solve".into(),
+            "/nonexistent".into(),
+            "--max-sources".into(),
+            "2".into(),
+        ];
         assert!(run(&args).unwrap_err().contains("reading"));
         let args: Vec<String> = vec!["generate".into()];
         assert!(run(&args).unwrap_err().contains("--sources"));

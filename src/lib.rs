@@ -57,7 +57,7 @@
 //! | [`core`] | the engine: objective, solve, iterative sessions |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use mube_baseline as baseline;
 pub use mube_cluster as cluster;
@@ -71,9 +71,11 @@ pub use mube_similarity as similarity;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use mube_cluster::{Linkage, MatchConfig};
     pub use mube_baseline::{DeaBaseline, TopCardinality};
-    pub use mube_core::{Mube, MubeBuilder, MubeError, ProblemSpec, Session, Solution, SolutionDiff};
+    pub use mube_cluster::{Linkage, MatchConfig};
+    pub use mube_core::{
+        Mube, MubeBuilder, MubeError, ProblemSpec, Session, Solution, SolutionDiff,
+    };
     pub use mube_opt::{
         BinaryPso, Exhaustive, Greedy, RandomSearch, SimulatedAnnealing, Solver,
         StochasticLocalSearch, TabuSearch,

@@ -5,9 +5,7 @@
 use mube::datagen::UniverseConfig;
 use mube::prelude::*;
 
-fn engine_for(
-    generated: &mube::datagen::GeneratedUniverse,
-) -> Mube<'_> {
+fn engine_for(generated: &mube::datagen::GeneratedUniverse) -> Mube<'_> {
     MubeBuilder::new(&generated.universe)
         .sketches(generated.sketches.clone())
         .build()
@@ -18,7 +16,9 @@ fn solve_respects_problem_contract() {
     let generated = UniverseConfig::small_test(80, 42).generate();
     let mube = engine_for(&generated);
     let spec = ProblemSpec::new(10);
-    let solution = mube.solve(&spec, &TabuSearch::quick(), 1).expect("solvable");
+    let solution = mube
+        .solve(&spec, &TabuSearch::quick(), 1)
+        .expect("solvable");
 
     // |S| ≤ m.
     assert!(solution.num_sources() <= 10);
@@ -32,10 +32,17 @@ fn solve_respects_problem_contract() {
         let mut dedup = sources.clone();
         dedup.sort();
         dedup.dedup();
-        assert_eq!(sources.len(), dedup.len(), "GA has two attrs from one source");
+        assert_eq!(
+            sources.len(),
+            dedup.len(),
+            "GA has two attrs from one source"
+        );
         // Every GA attribute belongs to a selected source.
         for s in sources {
-            assert!(solution.selected.contains(&s), "GA references unselected {s}");
+            assert!(
+                solution.selected.contains(&s),
+                "GA references unselected {s}"
+            );
         }
     }
     // Reported QEF values are all in range and cover the weighted names.
@@ -54,7 +61,9 @@ fn constraints_all_honored_together() {
 
     // Pick a GA constraint from an unconstrained solution so it is
     // guaranteed satisfiable.
-    let free = mube.solve(&ProblemSpec::new(8), &TabuSearch::quick(), 3).unwrap();
+    let free = mube
+        .solve(&ProblemSpec::new(8), &TabuSearch::quick(), 3)
+        .unwrap();
     let adopted = free
         .schema
         .gas()
@@ -66,11 +75,16 @@ fn constraints_all_honored_together() {
     let spec = ProblemSpec::new(8)
         .with_source_constraint(SourceId(5))
         .with_ga_constraint(adopted.clone());
-    let solution = mube.solve(&spec, &TabuSearch::quick(), 3).expect("feasible");
+    let solution = mube
+        .solve(&spec, &TabuSearch::quick(), 3)
+        .expect("feasible");
 
     assert!(solution.selected.contains(&SourceId(5)));
     for s in adopted.sources() {
-        assert!(solution.selected.contains(&s), "GA-implied source {s} missing");
+        assert!(
+            solution.selected.contains(&s),
+            "GA-implied source {s} missing"
+        );
     }
     assert!(solution.schema.subsumes_gas([&adopted]));
 }
@@ -81,8 +95,12 @@ fn ground_truth_quality_improves_with_budget() {
     let mube = engine_for(&generated);
     let gt = &generated.ground_truth;
 
-    let small = mube.solve(&ProblemSpec::new(5), &TabuSearch::quick(), 2).unwrap();
-    let large = mube.solve(&ProblemSpec::new(30), &TabuSearch::quick(), 2).unwrap();
+    let small = mube
+        .solve(&ProblemSpec::new(5), &TabuSearch::quick(), 2)
+        .unwrap();
+    let large = mube
+        .solve(&ProblemSpec::new(30), &TabuSearch::quick(), 2)
+        .unwrap();
     let score_small = gt.score(&small.schema, small.selected.iter().copied());
     let score_large = gt.score(&large.schema, large.selected.iter().copied());
 
@@ -101,8 +119,14 @@ fn deterministic_across_full_pipeline() {
     let run = || {
         let generated = UniverseConfig::small_test(50, 99).generate();
         let mube = engine_for(&generated);
-        let solution = mube.solve(&ProblemSpec::new(10), &TabuSearch::quick(), 5).unwrap();
-        (solution.selected.clone(), solution.schema.clone(), solution.overall_quality)
+        let solution = mube
+            .solve(&ProblemSpec::new(10), &TabuSearch::quick(), 5)
+            .unwrap();
+        (
+            solution.selected.clone(),
+            solution.schema.clone(),
+            solution.overall_quality,
+        )
     };
     let (s1, m1, q1) = run();
     let (s2, m2, q2) = run();
@@ -129,7 +153,11 @@ fn every_solver_produces_feasible_solutions() {
             .solve(&spec, solver.as_ref(), 1)
             .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
         assert!(solution.num_sources() <= 6, "{}", solver.name());
-        assert!(solution.selected.contains(&SourceId(2)), "{}", solver.name());
+        assert!(
+            solution.selected.contains(&SourceId(2)),
+            "{}",
+            solver.name()
+        );
         assert!(
             (0.0..=1.0).contains(&solution.overall_quality),
             "{}: {}",

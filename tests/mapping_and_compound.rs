@@ -66,11 +66,8 @@ fn compound_universe_runs_through_the_full_engine() {
     let compound = CompoundUniverse::new(&universe, &groups).unwrap();
 
     // Bridge compound <-> address, then solve.
-    let bridge = GlobalAttribute::new([
-        AttrId::new(SourceId(0), 0),
-        AttrId::new(SourceId(1), 0),
-    ])
-    .unwrap();
+    let bridge =
+        GlobalAttribute::new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(1), 0)]).unwrap();
     let mube = MubeBuilder::new(compound.universe()).build();
     let spec = ProblemSpec::new(2)
         .with_weights(Weights::new([("matching", 1.0)]).unwrap())
@@ -79,10 +76,7 @@ fn compound_universe_runs_through_the_full_engine() {
 
     assert!(solution.schema.subsumes_gas([&bridge]));
     // Expansion yields the n:m correspondence (3 split attrs + 1 whole).
-    let address_ga = solution
-        .schema
-        .ga_of(AttrId::new(SourceId(0), 0))
-        .unwrap();
+    let address_ga = solution.schema.ga_of(AttrId::new(SourceId(0), 0)).unwrap();
     let expanded = compound.expand_ga(address_ga);
     assert_eq!(expanded.len(), 4);
     // The "keyword" attributes also matched (identical names).
@@ -97,11 +91,14 @@ fn compound_universe_runs_through_the_full_engine() {
 fn mapping_of_empty_solution_is_empty() {
     let mut universe = Universe::new();
     universe
-        .add_source(SourceBuilder::new("only").attributes(["xyz"]).cardinality(1))
+        .add_source(
+            SourceBuilder::new("only")
+                .attributes(["xyz"])
+                .cardinality(1),
+        )
         .unwrap();
     let mube = MubeBuilder::new(&universe).build();
-    let spec =
-        ProblemSpec::new(1).with_weights(Weights::new([("cardinality", 1.0)]).unwrap());
+    let spec = ProblemSpec::new(1).with_weights(Weights::new([("cardinality", 1.0)]).unwrap());
     let solution = mube.solve_default(&spec, 0).unwrap();
     let mapping = solution.mapping(&universe);
     // One source, nothing matched: schema empty, everything unmapped.

@@ -83,9 +83,7 @@ fn theta_change_propagates_to_matching() {
     // A lower threshold can only produce at least as rich a matching; the
     // schemas differ in general. Check the GA count direction on the same
     // source set to avoid selection noise.
-    let strict_eval = mube
-        .evaluate(session.spec(), &strict.selected)
-        .unwrap();
+    let strict_eval = mube.evaluate(session.spec(), &strict.selected).unwrap();
     assert!(strict_eval.is_finite());
     assert!(lax.schema.total_attrs() + lax.schema.len() > 0);
 }
@@ -101,10 +99,7 @@ fn history_keeps_all_solutions_in_order() {
     assert_eq!(session.history().len(), 3);
     // latest() is the last element.
     let last = session.history().last().unwrap();
-    assert_eq!(
-        session.latest().unwrap().selected,
-        last.selected
-    );
+    assert_eq!(session.latest().unwrap().selected, last.selected);
 }
 
 #[test]

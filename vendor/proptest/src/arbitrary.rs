@@ -1,0 +1,84 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite full-range doubles; avoids NaN/inf so numeric properties
+        // exercise the interesting domain.
+        let magnitude = rng.gen::<f64>() * 1e12;
+        if rng.gen::<bool>() {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A full-domain strategy for `T`, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn primitives_generate() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let _: u8 = any::<u8>().generate(&mut rng);
+        let _: u64 = any::<u64>().generate(&mut rng);
+        let f: f64 = any::<f64>().generate(&mut rng);
+        assert!(f.is_finite());
+        // Both bool values appear.
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(any::<bool>().generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,149 @@
+//! A tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_]`
+//! (ranges and single chars), and quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (`*`/`+` capped at 8 repetitions). This covers the identifier-shaped
+//! patterns the repo's tests use, e.g. `"[a-z]{1,8}"`.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// One atom of the pattern: a set of candidate characters.
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: usize = lo.trim().parse().expect("bad quantifier");
+                        let hi: usize = hi.trim().parse().expect("bad quantifier");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = generate_matching("ab[0-1]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    fn optional_and_plus() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = generate_matching("x?[ab]+", &mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+}

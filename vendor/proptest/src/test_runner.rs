@@ -1,0 +1,145 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. A deterministic xoshiro256++ generator;
+/// every case's seed is derived from the test name and case index, so
+/// failures always reproduce.
+pub type TestRng = StdRng;
+
+/// Runner configuration. Only `cases` is consulted; the other knobs of real
+/// proptest do not exist in this vendored stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the fully-deterministic
+        // stub's suites fast while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was falsified; the message explains how.
+    Fail(String),
+    /// The case did not satisfy a `prop_assume!` precondition.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Outcome of one case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a property body against `config.cases` deterministic cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+/// FNV-1a, used to fold the test name into the per-case seed.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `body` against fresh deterministic cases until `config.cases`
+    /// accepted cases pass.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) on the first falsified case,
+    /// or when more than 64× `cases` rejections accumulate.
+    pub fn run_named<F>(&mut self, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let name_hash = fnv1a(name);
+        let max_rejects = u64::from(self.config.cases) * 64;
+        let mut rejects = 0u64;
+        let mut accepted = 0u32;
+        let mut stream = 0u64;
+        while accepted < self.config.cases {
+            let seed = name_hash ^ (u64::from(accepted) << 32) ^ stream;
+            let mut rng = TestRng::seed_from_u64(seed);
+            match body(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    stream = stream.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    assert!(
+                        rejects <= max_rejects,
+                        "proptest {name}: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("proptest {name}: case {accepted} (seed {seed:#x}) failed:\n{message}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_cases_accepted() {
+        let mut count = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(17)).run_named("t", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        TestRunner::new(ProptestConfig::default())
+            .run_named("t", |_| Err(TestCaseError::fail("boom".into())));
+    }
+
+    #[test]
+    fn rejects_draw_replacement_cases() {
+        let mut calls = 0u32;
+        TestRunner::new(ProptestConfig::with_cases(5)).run_named("t", |_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 5);
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline vendored micro-implementation of the `rand` 0.8 API surface the
+//! mube workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `rand` crate cannot be downloaded. This stub re-implements exactly the
+//! subset the workspace calls — [`Rng::gen_range`], [`Rng::gen`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`],
+//! [`rngs::SmallRng`], and [`seq::SliceRandom`] — on top of a xoshiro256++
+//! generator seeded through SplitMix64. It is deterministic, dependency-free,
+//! and NOT cryptographically secure; it exists so seeded experiments and
+//! property tests run reproducibly offline.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64 —
+    /// the same convention the real crate documents.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator standing in for `rand`'s
+    /// `StdRng`. Statistically strong for simulation/test workloads;
+    /// not cryptographically secure.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // All-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Small-footprint generator; in this vendored stub it shares the
+    /// xoshiro256++ engine with [`StdRng`].
+    pub type SmallRng = StdRng;
+}
+
+/// A type that [`Rng::gen`] can produce from uniform bits.
+pub trait StandardSample: Sized {
+    /// Draws one value from the generator's raw output.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_sample_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty inclusive f64 range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from a range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(0.85..=1.15)`.
+    fn gen_range<T, RG>(&mut self, range: RG) -> T
+    where
+        RG: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// A value of `T` from the standard distribution of this stub
+    /// (`f64` uniform in `[0,1)`, integers from raw bits).
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`choose`, `shuffle`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait over slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the sequence.
+        type Item;
+
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the sequence in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..9u32);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&w));
+            let x = rng.gen_range(5..=5u64);
+            assert_eq!(x, 5);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_slice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<u32> = (0..20).collect();
+        assert!(xs.choose(&mut rng).is_some());
+        let sum_before: u32 = xs.iter().sum();
+        xs.shuffle(&mut rng);
+        assert_eq!(xs.iter().sum::<u32>(), sum_before);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        assert_ne!(
+            StdRng::seed_from_u64(1).next_u64(),
+            StdRng::seed_from_u64(2).next_u64()
+        );
+    }
+}
