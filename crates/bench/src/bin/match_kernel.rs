@@ -1,0 +1,353 @@
+//! Perf trajectory for the `Match(S)` hot path: regenerates
+//! `BENCH_match.json`.
+//!
+//! Times `match_sources` under both round-loop kernels (incremental
+//! Lance–Williams vs. the brute-force oracle), a faithful port of the
+//! seed-commit pre-PR kernel (full alive-pair recompute every round, no
+//! mergeability pre-filter — the acceptance baseline), and a full
+//! `Mube::solve`, on datagen universes at n ∈ {50, 100, 200, 400} sources,
+//! and writes wall times plus work counters (rounds, linkage evaluations,
+//! Lance–Williams updates, cache hits) as JSON. The headline `speedup` is
+//! incremental vs. pre-PR; `speedup_vs_brute` is incremental vs. the
+//! in-tree oracle (which already benefits from the mergeability
+//! pre-filter). See DESIGN.md §8 for how to read the file.
+//!
+//! Usage:
+//!   cargo run --release -p mube-bench --bin match_kernel
+//!   cargo run --release -p mube-bench --bin match_kernel -- --smoke --out target/BENCH_match.smoke.json
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use mube_bench::{engine, paper_spec, universe, Scale};
+use mube_cluster::{match_sources, AttrSimilarity, MatchConfig, MatchKernel, MatchOutcome};
+use mube_core::Mube;
+use mube_opt::TabuSearch;
+use mube_schema::{AttrId, Constraints, MediatedSchema, SourceId, Universe};
+
+/// A cluster as the seed-commit kernel represented it — the minimum state
+/// the pre-PR round loop needs (the bench runs unconstrained, so the
+/// constraint-provenance `keep` flag is omitted; it is always false here).
+struct SeedCluster {
+    attrs: Vec<AttrId>,
+    sources: BTreeSet<SourceId>,
+    ever_merged: bool,
+    merged: bool,
+    merge_cand: bool,
+    alive: bool,
+}
+
+/// Measurement of the pre-PR baseline on one universe size.
+struct PrePrRun {
+    millis: f64,
+    rounds: u32,
+    linkage_evals: u64,
+    gas: Vec<BTreeSet<AttrId>>,
+}
+
+/// Faithful port of the seed-commit `match_sources` round loop — the
+/// baseline this PR's acceptance criterion measures against. Every round it
+/// rebuilds the full alive-pair candidate list with NO mergeability
+/// pre-filter: overlapping-source pairs (including the cross products of
+/// large merged clusters) are linkage-evaluated, sorted, and rejected only
+/// at merge time. It lives here rather than in the library so the library
+/// carries only the two supported kernels.
+fn pre_pr_match(
+    universe: &Universe,
+    sources: &[SourceId],
+    config: &MatchConfig,
+    sim: &dyn AttrSimilarity,
+) -> PrePrRun {
+    let start = Instant::now();
+    let mut clusters: Vec<SeedCluster> = Vec::new();
+    for &sid in sources {
+        for attr in universe.expect_source(sid).attr_ids() {
+            clusters.push(SeedCluster {
+                attrs: vec![attr],
+                sources: std::iter::once(attr.source).collect(),
+                ever_merged: false,
+                merged: false,
+                merge_cand: false,
+                alive: true,
+            });
+        }
+    }
+
+    let mut linkage_evals = 0u64;
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        let mut done = true;
+        for c in clusters.iter_mut().filter(|c| c.alive) {
+            c.merged = false;
+            c.merge_cand = false;
+        }
+
+        let alive: Vec<usize> = (0..clusters.len()).filter(|&i| clusters[i].alive).collect();
+        let mut heap: Vec<(f64, usize, usize)> = Vec::new();
+        for (pos, &i) in alive.iter().enumerate() {
+            for &j in &alive[pos + 1..] {
+                let s =
+                    config
+                        .linkage
+                        .cluster_similarity(&clusters[i].attrs, &clusters[j].attrs, sim);
+                linkage_evals += 1;
+                if s >= config.theta {
+                    heap.push((s, i, j));
+                }
+            }
+        }
+        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+        let mut new_clusters: Vec<SeedCluster> = Vec::new();
+        for (_, i, j) in heap {
+            match (clusters[i].merged, clusters[j].merged) {
+                (false, false) => {
+                    if clusters[i].sources.is_disjoint(&clusters[j].sources) {
+                        let merged = SeedCluster {
+                            attrs: {
+                                let mut a = clusters[i].attrs.clone();
+                                a.extend_from_slice(&clusters[j].attrs);
+                                a.sort_unstable();
+                                a
+                            },
+                            sources: clusters[i]
+                                .sources
+                                .union(&clusters[j].sources)
+                                .copied()
+                                .collect(),
+                            ever_merged: true,
+                            merged: false,
+                            merge_cand: false,
+                            alive: true,
+                        };
+                        clusters[i].merged = true;
+                        clusters[i].alive = false;
+                        clusters[j].merged = true;
+                        clusters[j].alive = false;
+                        new_clusters.push(merged);
+                    }
+                }
+                (true, false) => {
+                    clusters[j].merge_cand = true;
+                    done = false;
+                }
+                (false, true) => {
+                    clusters[i].merge_cand = true;
+                    done = false;
+                }
+                (true, true) => {}
+            }
+        }
+
+        if config.prune {
+            for c in clusters.iter_mut().filter(|c| c.alive) {
+                if !c.ever_merged && !c.merge_cand {
+                    c.alive = false;
+                }
+            }
+        }
+        clusters.extend(new_clusters);
+
+        if done {
+            break;
+        }
+    }
+
+    let mut gas: Vec<BTreeSet<AttrId>> = clusters
+        .iter()
+        .filter(|c| c.alive && c.ever_merged && c.attrs.len() >= config.beta)
+        .map(|c| c.attrs.iter().copied().collect())
+        .collect();
+    gas.sort();
+    PrePrRun {
+        millis: start.elapsed().as_secs_f64() * 1e3,
+        rounds,
+        linkage_evals,
+        gas,
+    }
+}
+
+/// The schema's GA attribute sets in canonical order, for cross-kernel
+/// output comparison.
+fn ga_sets(schema: &MediatedSchema) -> Vec<BTreeSet<AttrId>> {
+    let mut v: Vec<BTreeSet<AttrId>> = schema.gas().iter().map(|g| g.attrs().collect()).collect();
+    v.sort();
+    v
+}
+
+/// One kernel's measurement on one universe size.
+struct KernelRun {
+    millis: f64,
+    outcome: MatchOutcome,
+}
+
+fn best_of(reps: u32, mut run: impl FnMut() -> MatchOutcome) -> KernelRun {
+    let mut best = Duration::MAX;
+    let mut outcome = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = run();
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+        outcome = Some(out);
+    }
+    KernelRun {
+        millis: best.as_secs_f64() * 1e3,
+        outcome: outcome.expect("reps >= 1"),
+    }
+}
+
+fn kernel_json(run: &KernelRun) -> String {
+    let s = &run.outcome.stats;
+    format!(
+        "{{\"millis\": {:.3}, \"rounds\": {}, \"linkage_evals\": {}, \"lw_updates\": {}, \
+         \"heap_pushes\": {}, \"stale_pops\": {}, \"gas\": {}, \"quality\": {:.6}}}",
+        run.millis,
+        run.outcome.rounds,
+        s.linkage_evals,
+        s.lw_updates,
+        s.heap_pushes,
+        s.stale_pops,
+        run.outcome.schema.len(),
+        run.outcome.quality,
+    )
+}
+
+fn bench_size(size: usize, reps: u32, out: &mut String) {
+    eprintln!("== n = {size} sources ==");
+    let generated = universe(size, 7, Scale::Reduced);
+    let mube: Mube<'_> = engine(&generated);
+    let ids: Vec<SourceId> = generated
+        .universe
+        .sources()
+        .iter()
+        .map(|s| s.id())
+        .collect();
+    let constraints = Constraints::none();
+
+    let run_kernel = |kernel: MatchKernel| {
+        let config = MatchConfig {
+            kernel,
+            ..MatchConfig::default()
+        };
+        best_of(reps, || {
+            match_sources(
+                &generated.universe,
+                &ids,
+                &constraints,
+                &config,
+                mube.similarity(),
+            )
+            .expect("unconstrained match is always feasible")
+        })
+    };
+    let incremental = run_kernel(MatchKernel::Incremental);
+    let brute = run_kernel(MatchKernel::BruteForce);
+    assert_eq!(
+        incremental.outcome.schema, brute.outcome.schema,
+        "kernels must produce identical schemas"
+    );
+    // The pre-PR baseline is slow by design — one timed run is plenty.
+    let config = MatchConfig::default();
+    let pre_pr = pre_pr_match(&generated.universe, &ids, &config, mube.similarity());
+    assert_eq!(
+        pre_pr.gas,
+        ga_sets(&incremental.outcome.schema),
+        "pre-PR reference must produce the same GAs"
+    );
+    let speedup = pre_pr.millis / incremental.millis.max(1e-9);
+    let speedup_vs_brute = brute.millis / incremental.millis.max(1e-9);
+    eprintln!(
+        "  match_sources: incremental {:.1} ms, brute {:.1} ms, pre-PR {:.1} ms \
+         ({speedup:.2}x vs pre-PR, {speedup_vs_brute:.2}x vs brute)",
+        incremental.millis, brute.millis, pre_pr.millis
+    );
+
+    // One full solve on the same universe: the kernel's effect end-to-end,
+    // including the objective memo cache.
+    let spec = paper_spec(10);
+    let start = Instant::now();
+    let solution = mube
+        .solve(&spec, &TabuSearch::quick(), 7)
+        .expect("paper spec is feasible on generated universes");
+    let solve_millis = start.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "  solve: {:.1} ms, {} match calls, {} cache hits",
+        solve_millis, solution.stats.match_calls, solution.stats.cache_hits
+    );
+
+    let _ = write!(
+        out,
+        "    {{\"sources\": {}, \"attrs\": {}, \"match\": {{\"incremental\": {}, \
+         \"brute_force\": {}, \"pre_pr\": {{\"millis\": {:.3}, \"rounds\": {}, \
+         \"linkage_evals\": {}}}, \"speedup\": {:.3}, \"speedup_vs_brute\": {:.3}}}, \
+         \"solve\": {{\"millis\": {:.3}, \
+         \"evaluations\": {}, \"match_calls\": {}, \"cache_hits\": {}, \"linkage_evals\": {}, \
+         \"lw_updates\": {}, \"quality\": {:.6}}}}}",
+        size,
+        generated.universe.total_attrs(),
+        kernel_json(&incremental),
+        kernel_json(&brute),
+        pre_pr.millis,
+        pre_pr.rounds,
+        pre_pr.linkage_evals,
+        speedup,
+        speedup_vs_brute,
+        solve_millis,
+        solution.stats.evaluations,
+        solution.stats.match_calls,
+        solution.stats.cache_hits,
+        solution.stats.linkage_evals,
+        solution.stats.lw_updates,
+        solution.overall_quality,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_match.json".to_owned());
+    let (sizes, reps): (&[usize], u32) = if smoke {
+        (&[20, 40], 1)
+    } else {
+        (&[50, 100, 200, 400], 3)
+    };
+
+    let mut body = String::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        bench_size(size, reps, &mut body);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"match_kernel\",\n  \"mode\": \"{}\",\n  \"scale\": \"reduced\",\n  \
+         \"theta\": 0.75,\n  \"units\": {{\"millis\": \"best-of-{} wall clock\"}},\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        reps,
+        body
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    // Cheap schema-rot guard: the artifact must contain every key a reader
+    // of the perf trajectory greps for.
+    for key in [
+        "speedup",
+        "linkage_evals",
+        "lw_updates",
+        "cache_hits",
+        "rounds",
+    ] {
+        assert!(json.contains(key), "BENCH json lost key {key}");
+    }
+    println!("wrote {out_path}");
+}

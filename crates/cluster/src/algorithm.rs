@@ -1,4 +1,10 @@
 //! Algorithm 1: greedy constrained similarity clustering.
+//!
+//! Two interchangeable round-loop kernels implement the same algorithm (see
+//! [`MatchKernel`]): the default incremental kernel maintains cluster-pair
+//! similarities across rounds via Lance–Williams updates, while the
+//! brute-force kernel recomputes every alive pair from scratch each round
+//! and serves as the reference oracle for equivalence tests.
 
 use std::collections::BTreeSet;
 
@@ -7,6 +13,23 @@ use mube_schema::{AttrId, Constraints, GlobalAttribute, MediatedSchema, SourceId
 use crate::linkage::Linkage;
 use crate::quality::schema_quality;
 use crate::similarity::AttrSimilarity;
+
+/// Which round-loop implementation a `Match(S)` call runs.
+///
+/// Both kernels execute Algorithm 1 exactly — same merges, same rounds, same
+/// schema — they differ only in how cluster-pair similarities are obtained
+/// (see DESIGN.md §8 for the complexity comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchKernel {
+    /// Maintain pair similarities incrementally: one full all-pairs pass at
+    /// seed time, then O(alive) Lance–Williams derivations per merge, with
+    /// candidate pairs kept in a lazily-invalidated binary heap.
+    #[default]
+    Incremental,
+    /// Recompute every alive cluster pair from its attribute pairs each
+    /// round (the pre-optimization reference path).
+    BruteForce,
+}
 
 /// Parameters of one `Match(S)` invocation.
 #[derive(Debug, Clone)]
@@ -25,18 +48,54 @@ pub struct MatchConfig {
     /// this off is the `ablation_pruning` configuration: the output is
     /// unchanged, only more clusters are carried through each round.
     pub prune: bool,
+    /// Round-loop kernel; [`MatchKernel::Incremental`] unless a test or
+    /// ablation explicitly asks for the brute-force oracle.
+    pub kernel: MatchKernel,
 }
 
 impl Default for MatchConfig {
     /// θ = 0.75 (the paper's experimental setting), β = 1, single linkage,
-    /// pruning on.
+    /// pruning on, incremental kernel.
     fn default() -> Self {
         Self {
             theta: 0.75,
             beta: 1,
             linkage: Linkage::Single,
             prune: true,
+            kernel: MatchKernel::Incremental,
         }
+    }
+}
+
+/// Work counters of one `Match(S)` call, for the perf benches
+/// (`BENCH_match.json`) and the engine's [`SolveStats`] accounting.
+///
+/// [`SolveStats`]: https://docs.rs/mube-core
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Full cluster-pair linkage evaluations: similarity computed by
+    /// iterating the attribute-pair cross product. The brute-force kernel
+    /// pays one per alive pair per round; the incremental kernel only pays
+    /// them in the seed pass.
+    pub linkage_evals: u64,
+    /// O(1) Lance–Williams derivations of a merged cluster's similarity
+    /// from its parents' rows (incremental kernel only).
+    pub lw_updates: u64,
+    /// Candidate pairs enqueued (heap pushes, or sorted-vec inserts for the
+    /// brute-force kernel).
+    pub heap_pushes: u64,
+    /// Heap entries discarded by lazy invalidation: their generation stamp
+    /// or endpoint liveness showed the pair died before its round began.
+    pub stale_pops: u64,
+}
+
+impl MatchStats {
+    /// Accumulates another call's counters into this one.
+    pub fn absorb(&mut self, other: &MatchStats) {
+        self.linkage_evals += other.linkage_evals;
+        self.lw_updates += other.lw_updates;
+        self.heap_pushes += other.heap_pushes;
+        self.stale_pops += other.stale_pops;
     }
 }
 
@@ -50,22 +109,25 @@ pub struct MatchOutcome {
     /// Number of outer clustering rounds executed (for the pruning
     /// ablation's work accounting).
     pub rounds: u32,
+    /// Work counters (kernel-dependent; excluded from any semantic
+    /// comparison between kernels).
+    pub stats: MatchStats,
 }
 
 /// One cluster during the run.
 #[derive(Debug, Clone)]
-struct Cluster {
-    attrs: Vec<AttrId>,
-    sources: BTreeSet<SourceId>,
+pub(crate) struct Cluster {
+    pub(crate) attrs: Vec<AttrId>,
+    pub(crate) sources: BTreeSet<SourceId>,
     /// User-constraint provenance: never eliminated. Propagates on merge.
-    keep: bool,
+    pub(crate) keep: bool,
     /// Has this cluster (or any ancestor) ever been produced by a merge?
-    ever_merged: bool,
+    pub(crate) ever_merged: bool,
     /// Per-round: consumed by a merge this round.
-    merged: bool,
+    pub(crate) merged: bool,
     /// Per-round: partner was consumed; retry next round.
-    merge_cand: bool,
-    alive: bool,
+    pub(crate) merge_cand: bool,
+    pub(crate) alive: bool,
 }
 
 impl Cluster {
@@ -93,8 +155,27 @@ impl Cluster {
         }
     }
 
-    fn can_merge(&self, other: &Cluster) -> bool {
+    pub(crate) fn can_merge(&self, other: &Cluster) -> bool {
         self.sources.is_disjoint(&other.sources)
+    }
+
+    /// The cluster produced by merging `self` with `other` (Algorithm 1
+    /// line 12): union of attributes and sources, `keep` propagates.
+    pub(crate) fn merge_with(&self, other: &Cluster) -> Cluster {
+        Cluster {
+            attrs: {
+                let mut a = self.attrs.clone();
+                a.extend_from_slice(&other.attrs);
+                a.sort_unstable();
+                a
+            },
+            sources: self.sources.union(&other.sources).copied().collect(),
+            keep: self.keep || other.keep,
+            ever_merged: true,
+            merged: false,
+            merge_cand: false,
+            alive: true,
+        }
     }
 }
 
@@ -136,6 +217,48 @@ pub fn match_sources(
     }
 
     // Lines 5–23: iterate rounds until no merge candidates remain.
+    let mut stats = MatchStats::default();
+    let rounds = match config.kernel {
+        MatchKernel::Incremental => {
+            crate::incremental::rounds(&mut clusters, config, sim, &mut stats)
+        }
+        MatchKernel::BruteForce => brute_force_rounds(&mut clusters, config, sim, &mut stats),
+    };
+
+    // Assemble M: alive clusters that represent GAs. Without pruning,
+    // never-merged non-keep singletons are still floating around and are
+    // dropped here so both configurations produce identical schemas.
+    let gas: Vec<GlobalAttribute> = clusters
+        .iter()
+        .filter(|c| c.alive && (c.ever_merged || c.keep))
+        .filter(|c| c.keep || c.attrs.len() >= config.beta)
+        .map(|c| GlobalAttribute::from_valid_set(c.attrs.iter().copied().collect()))
+        .collect();
+    let schema = MediatedSchema::new(gas);
+
+    // Line 24: M must be valid on the source constraints C.
+    debug_assert!(schema.gas_disjoint());
+    if !schema.spans(constraints.sources().iter().copied()) {
+        return None;
+    }
+    let quality = schema_quality(&schema, sim);
+    Some(MatchOutcome {
+        schema,
+        quality,
+        rounds,
+        stats,
+    })
+}
+
+/// The reference round loop: rebuild the full alive-pair list each round,
+/// sort it, and consume it in decreasing similarity. Kept as the oracle the
+/// incremental kernel is equivalence-tested against.
+fn brute_force_rounds(
+    clusters: &mut Vec<Cluster>,
+    config: &MatchConfig,
+    sim: &dyn AttrSimilarity,
+    stats: &mut MatchStats,
+) -> u32 {
     let mut rounds = 0u32;
     loop {
         rounds += 1;
@@ -146,19 +269,27 @@ pub fn match_sources(
         }
 
         // Line 8: all alive cluster pairs with similarity ≥ θ, best first.
+        // Pairs with overlapping sources can never merge, so their linkage
+        // similarity is never computed (nor can they flag merge candidates:
+        // a pair that cannot merge carries no evidence either way).
         let alive: Vec<usize> = (0..clusters.len()).filter(|&i| clusters[i].alive).collect();
         let mut heap: Vec<(f64, usize, usize)> = Vec::new();
         for (pos, &i) in alive.iter().enumerate() {
             for &j in &alive[pos + 1..] {
+                if !clusters[i].can_merge(&clusters[j]) {
+                    continue;
+                }
                 let s =
                     config
                         .linkage
                         .cluster_similarity(&clusters[i].attrs, &clusters[j].attrs, sim);
+                stats.linkage_evals += 1;
                 if s >= config.theta {
                     heap.push((s, i, j));
                 }
             }
         }
+        stats.heap_pushes += heap.len() as u64;
         // Total order: a NaN-poisoned similarity must not panic the sort
         // (the audit crate reports it; here it just sorts deterministically).
         heap.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -169,33 +300,13 @@ pub fn match_sources(
             let (mi, mj) = (clusters[i].merged, clusters[j].merged);
             match (mi, mj) {
                 (false, false) => {
-                    if clusters[i].can_merge(&clusters[j]) {
-                        let merged = Cluster {
-                            attrs: {
-                                let mut a = clusters[i].attrs.clone();
-                                a.extend_from_slice(&clusters[j].attrs);
-                                a.sort_unstable();
-                                a
-                            },
-                            sources: clusters[i]
-                                .sources
-                                .union(&clusters[j].sources)
-                                .copied()
-                                .collect(),
-                            keep: clusters[i].keep || clusters[j].keep,
-                            ever_merged: true,
-                            merged: false,
-                            merge_cand: false,
-                            alive: true,
-                        };
-                        clusters[i].merged = true;
-                        clusters[i].alive = false;
-                        clusters[j].merged = true;
-                        clusters[j].alive = false;
-                        new_clusters.push(merged);
-                    }
-                    // Invalid merge (overlapping sources): skip, per the
-                    // algorithm — neither side is flagged.
+                    // Overlapping-source pairs were filtered out above.
+                    debug_assert!(clusters[i].can_merge(&clusters[j]));
+                    new_clusters.push(clusters[i].merge_with(&clusters[j]));
+                    clusters[i].merged = true;
+                    clusters[i].alive = false;
+                    clusters[j].merged = true;
+                    clusters[j].alive = false;
                 }
                 (true, false) => {
                     clusters[j].merge_cand = true;
@@ -224,29 +335,7 @@ pub fn match_sources(
             break;
         }
     }
-
-    // Assemble M: alive clusters that represent GAs. Without pruning,
-    // never-merged non-keep singletons are still floating around and are
-    // dropped here so both configurations produce identical schemas.
-    let gas: Vec<GlobalAttribute> = clusters
-        .iter()
-        .filter(|c| c.alive && (c.ever_merged || c.keep))
-        .filter(|c| c.keep || c.attrs.len() >= config.beta)
-        .map(|c| GlobalAttribute::from_valid_set(c.attrs.iter().copied().collect()))
-        .collect();
-    let schema = MediatedSchema::new(gas);
-
-    // Line 24: M must be valid on the source constraints C.
-    debug_assert!(schema.gas_disjoint());
-    if !schema.spans(constraints.sources().iter().copied()) {
-        return None;
-    }
-    let quality = schema_quality(&schema, sim);
-    Some(MatchOutcome {
-        schema,
-        quality,
-        rounds,
-    })
+    rounds
 }
 
 #[cfg(test)]
@@ -539,5 +628,256 @@ mod tests {
         )
         .unwrap();
         assert!(out.rounds >= 1);
+    }
+
+    /// Runs both kernels on the same problem and asserts identical schema,
+    /// quality and round count (work counters are kernel-specific).
+    fn assert_kernels_agree(u: &Universe, constraints: &Constraints, config: &MatchConfig) {
+        let incremental = jaccard_match(
+            u,
+            constraints,
+            &MatchConfig {
+                kernel: MatchKernel::Incremental,
+                ..config.clone()
+            },
+        );
+        let brute = jaccard_match(
+            u,
+            constraints,
+            &MatchConfig {
+                kernel: MatchKernel::BruteForce,
+                ..config.clone()
+            },
+        );
+        match (incremental, brute) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.schema, b.schema, "config={config:?}");
+                assert!(a.quality.total_cmp(&b.quality).is_eq(), "config={config:?}");
+                assert_eq!(a.rounds, b.rounds, "config={config:?}");
+            }
+            (a, b) => panic!(
+                "kernels disagree on feasibility: incremental={:?} brute={:?} config={config:?}",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_figure3_all_linkages() {
+        let u = figure3_universe();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            for theta in [0.1, 0.3, 0.4, 0.5, 0.75, 0.99] {
+                for prune in [true, false] {
+                    assert_kernels_agree(
+                        &u,
+                        &Constraints::none(),
+                        &MatchConfig {
+                            theta,
+                            linkage,
+                            prune,
+                            ..MatchConfig::default()
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_under_ga_constraints() {
+        let u = figure3_universe();
+        let mut constraints = Constraints::none();
+        constraints.require_ga(
+            GlobalAttribute::new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(2), 0)])
+                .unwrap(),
+        );
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            for theta in [0.2, 0.4, 0.6] {
+                for beta in [1, 2, 3] {
+                    assert_kernels_agree(
+                        &u,
+                        &constraints,
+                        &MatchConfig {
+                            theta,
+                            beta,
+                            linkage,
+                            ..MatchConfig::default()
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sources "alpha alphb", "alphb alphc", ... share n-gram overlap with
+    /// their neighbours only: merges cascade over several rounds, exercising
+    /// the Lance–Williams row derivations (including same-round sibling
+    /// pairs) rather than just the seed pass.
+    fn chain_universe() -> Universe {
+        let mut u = Universe::new();
+        let words = ["alpha", "alphb", "alphc", "alphd", "alphe", "alphf"];
+        for (i, pair) in words.windows(2).enumerate() {
+            u.add_source(SourceBuilder::new(format!("s{i}")).attributes([pair.join(" ")]))
+                .unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn kernels_agree_on_multi_round_chains() {
+        let u = chain_universe();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            for theta in [0.2, 0.35, 0.5, 0.8] {
+                for prune in [true, false] {
+                    assert_kernels_agree(
+                        &u,
+                        &Constraints::none(),
+                        &MatchConfig {
+                            theta,
+                            linkage,
+                            prune,
+                            ..MatchConfig::default()
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// [`MeasureAdapter`] plus normalized-name equality classes: attributes
+    /// share a class iff their normalized names are equal, which satisfies
+    /// the [`AttrSimilarity::class_of`] bitwise-identity contract because
+    /// the adapter's similarity is a deterministic function of the two
+    /// names' signatures. Exercises the class-grouped seed path that the
+    /// engine's precomputed matrix enables in production.
+    struct ClassedAdapter<'a> {
+        inner: MeasureAdapter<'a>,
+        class: std::collections::HashMap<AttrId, u32>,
+    }
+
+    impl<'a> ClassedAdapter<'a> {
+        fn new(u: &'a Universe, measure: &'a NgramJaccard) -> Self {
+            let mut slots: std::collections::HashMap<String, u32> = Default::default();
+            let mut class = std::collections::HashMap::new();
+            for source in u.sources() {
+                for (j, name) in source.attributes().iter().enumerate() {
+                    let normalized = mube_schema::attribute::normalize_name(name);
+                    let next = slots.len() as u32;
+                    let slot = *slots.entry(normalized).or_insert(next);
+                    class.insert(AttrId::new(source.id(), j as u32), slot);
+                }
+            }
+            Self {
+                inner: MeasureAdapter::new(u, measure),
+                class,
+            }
+        }
+    }
+
+    impl AttrSimilarity for ClassedAdapter<'_> {
+        fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+            self.inner.similarity(a, b)
+        }
+
+        fn class_of(&self, attr: AttrId) -> Option<u32> {
+            self.class.get(&attr).copied()
+        }
+    }
+
+    #[test]
+    fn class_grouped_seeding_matches_per_pair_seeding() {
+        // Names repeat across sources, as in real web-form schemas — the
+        // class-grouped seed path gets non-trivial groups to collapse.
+        let mut u = Universe::new();
+        let schemas: [[&str; 2]; 6] = [
+            ["title", "author"],
+            ["title", "keyword"],
+            ["author", "keyword"],
+            ["title", "author"],
+            ["keyword", "publisher"],
+            ["publisher", "title"],
+        ];
+        for (i, attrs) in schemas.iter().enumerate() {
+            u.add_source(SourceBuilder::new(format!("s{i}")).attributes(*attrs))
+                .unwrap();
+        }
+        let measure = NgramJaccard::default();
+        let classed = ClassedAdapter::new(&u, &measure);
+        let plain = MeasureAdapter::new(&u, &measure);
+        let ids = all_sources(&u);
+        // A GA constraint seeds a multi-attribute cluster, which must take
+        // the generic per-pair path alongside the classed singletons.
+        let mut constrained = Constraints::none();
+        constrained.require_ga(
+            GlobalAttribute::new([AttrId::new(SourceId(0), 0), AttrId::new(SourceId(1), 0)])
+                .unwrap(),
+        );
+        for constraints in [Constraints::none(), constrained] {
+            for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+                for theta in [0.2, 0.5, 0.75] {
+                    let config = MatchConfig {
+                        theta,
+                        linkage,
+                        ..MatchConfig::default()
+                    };
+                    let with_classes = match_sources(&u, &ids, &constraints, &config, &classed);
+                    let per_pair = match_sources(&u, &ids, &constraints, &config, &plain);
+                    let brute = match_sources(
+                        &u,
+                        &ids,
+                        &constraints,
+                        &MatchConfig {
+                            kernel: MatchKernel::BruteForce,
+                            ..config.clone()
+                        },
+                        &plain,
+                    );
+                    for other in [&per_pair, &brute] {
+                        match (&with_classes, other) {
+                            (None, None) => {}
+                            (Some(a), Some(b)) => {
+                                assert_eq!(a.schema, b.schema, "config={config:?}");
+                                assert!(a.quality.total_cmp(&b.quality).is_eq());
+                                assert_eq!(a.rounds, b.rounds, "config={config:?}");
+                            }
+                            (a, b) => panic!(
+                                "feasibility disagreement: {:?} vs {:?} config={config:?}",
+                                a.is_some(),
+                                b.is_some()
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_kernel_does_less_linkage_work() {
+        let u = chain_universe();
+        let config = MatchConfig {
+            theta: 0.2,
+            ..MatchConfig::default()
+        };
+        let inc = jaccard_match(&u, &Constraints::none(), &config).unwrap();
+        let brute = jaccard_match(
+            &u,
+            &Constraints::none(),
+            &MatchConfig {
+                kernel: MatchKernel::BruteForce,
+                ..config
+            },
+        )
+        .unwrap();
+        assert!(
+            inc.stats.linkage_evals < brute.stats.linkage_evals,
+            "incremental {} vs brute {}",
+            inc.stats.linkage_evals,
+            brute.stats.linkage_evals
+        );
+        assert!(inc.stats.lw_updates > 0);
+        assert_eq!(brute.stats.lw_updates, 0);
     }
 }

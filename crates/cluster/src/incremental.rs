@@ -1,0 +1,512 @@
+//! Incremental round-loop kernel: Lance–Williams pair maintenance.
+//!
+//! The brute-force kernel in [`crate::algorithm`] rebuilds the full alive
+//! cluster-pair list from attribute pairs every round. This kernel pays that
+//! cost exactly once, in a seed pass, and from then on derives a merged
+//! cluster's similarity row from its parents' rows: under single linkage
+//! `sim(i ∪ j, k) = max(sim(i, k), sim(j, k))` (and min / summed mean for
+//! complete / average linkage — see [`Linkage::lance_williams`]).
+//!
+//! Candidate pairs live in a [`BinaryHeap`] ordered by (similarity desc,
+//! lower index asc, higher index asc) — the exact order the brute-force
+//! kernel's stable sort produces — and are invalidated lazily: each entry is
+//! stamped with the round it was enqueued for, and entries whose stamp is
+//! stale or whose endpoints died before their round began (e.g. pruned) are
+//! discarded on pop instead of being dug out of the heap eagerly.
+//!
+//! Equivalence with the oracle rests on a drain property: every pair in the
+//! heap is mergeable (overlapping-source pairs are filtered before enqueue),
+//! so a popped pair with both endpoints unmerged always merges. Hence no
+//! pair among pre-round survivors can still be ≥ θ at round end — each
+//! round's heap only ever needs the rows of that round's new clusters, which
+//! is exactly what the Lance–Williams pass enqueues.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::algorithm::{Cluster, MatchConfig, MatchStats};
+use crate::linkage::Linkage;
+use crate::similarity::AttrSimilarity;
+
+/// splitmix64-finalizer hasher for the packed pair keys. The derive loops
+/// probe the pair store a handful of times per cluster pair, so SipHash
+/// would dominate the kernel; a multiply-xor finalizer gives full avalanche
+/// on the single `u64` key at a fraction of the cost.
+#[derive(Default)]
+struct PairKeyHasher(u64);
+
+impl Hasher for PairKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the store only ever hashes u64 keys via write_u64,
+        // but Hasher requires a general byte path.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = n.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One candidate pair: clusters `lo < hi` with cluster similarity `sim`,
+/// enqueued for round `round` (its generation stamp).
+#[derive(Debug, Clone, Copy)]
+struct PairEntry {
+    sim: f64,
+    lo: u32,
+    hi: u32,
+    round: u32,
+}
+
+impl Ord for PairEntry {
+    /// Max-heap order matching the oracle's stable sort: similarity
+    /// descending (total order — NaN never reaches the heap because the
+    /// `s >= θ` gate rejects it), then lower index ascending, then higher
+    /// index ascending.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .total_cmp(&other.sim)
+            .then_with(|| other.lo.cmp(&self.lo))
+            .then_with(|| other.hi.cmp(&self.hi))
+    }
+}
+
+impl PartialOrd for PairEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for PairEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for PairEntry {}
+
+/// Sparse map from an unordered cluster-index pair to its linkage
+/// accumulator. Absence encodes "below the admission bound" — see
+/// [`Linkage::keep_accumulator`] for the per-linkage rule.
+#[derive(Default)]
+struct PairStore {
+    map: HashMap<u64, f64, BuildHasherDefault<PairKeyHasher>>,
+}
+
+impl PairStore {
+    fn key(a: usize, b: usize) -> u64 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        ((lo as u64) << 32) | hi as u64
+    }
+
+    fn get(&self, a: usize, b: usize) -> Option<f64> {
+        self.map.get(&Self::key(a, b)).copied()
+    }
+
+    fn insert(&mut self, a: usize, b: usize, acc: f64) {
+        self.map.insert(Self::key(a, b), acc);
+    }
+}
+
+/// Runs Algorithm 1's round loop (lines 5–23) with incremental pair
+/// maintenance. Mutates `clusters` exactly as the brute-force kernel would
+/// and returns the number of rounds executed.
+pub(crate) fn rounds(
+    clusters: &mut Vec<Cluster>,
+    config: &MatchConfig,
+    sim: &dyn AttrSimilarity,
+    stats: &mut MatchStats,
+) -> u32 {
+    let linkage = config.linkage;
+    let theta = config.theta;
+    let mut store = PairStore::default();
+    let mut heap: BinaryHeap<PairEntry> = BinaryHeap::new();
+    // Adjacency of the pair store: per cluster, the partners it holds a
+    // stored accumulator with. Drives the sparse derive walk below.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); clusters.len()];
+    // Generation-stamped visit marks for deduplicating the derive walk
+    // (a partner can appear in both parents' adjacency lists).
+    let mut visited: Vec<u32> = vec![0; clusters.len()];
+    let mut visit_gen: u32 = 0;
+
+    seed_pairs(
+        clusters, linkage, theta, sim, &mut store, &mut adj, &mut heap, stats,
+    );
+
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        let mut done = true;
+        // Reset per-round flags on every slot, dead ones included: the
+        // stale-pop check below distinguishes "died in an earlier round"
+        // from "consumed by a merge this round" via these flags.
+        for c in clusters.iter_mut() {
+            c.merged = false;
+            c.merge_cand = false;
+        }
+
+        // Lines 9–19: consume this round's candidate pairs, best first. The
+        // drain is total — every entry stamped for this round is popped.
+        let mut merges: Vec<(usize, usize)> = Vec::new();
+        let mut new_clusters: Vec<Cluster> = Vec::new();
+        while let Some(entry) = heap.pop() {
+            let (i, j) = (entry.lo as usize, entry.hi as usize);
+            debug_assert!(entry.round <= rounds, "heap entry from a future round");
+            if entry.round != rounds
+                || (!clusters[i].alive && !clusters[i].merged)
+                || (!clusters[j].alive && !clusters[j].merged)
+            {
+                stats.stale_pops += 1;
+                continue;
+            }
+            match (clusters[i].merged, clusters[j].merged) {
+                (false, false) => {
+                    // Only mergeable pairs are ever enqueued.
+                    debug_assert!(clusters[i].can_merge(&clusters[j]));
+                    new_clusters.push(clusters[i].merge_with(&clusters[j]));
+                    merges.push((i, j));
+                    clusters[i].merged = true;
+                    clusters[i].alive = false;
+                    clusters[j].merged = true;
+                    clusters[j].alive = false;
+                }
+                (true, false) => {
+                    clusters[j].merge_cand = true;
+                    done = false;
+                }
+                (false, true) => {
+                    clusters[i].merge_cand = true;
+                    done = false;
+                }
+                (true, true) => {}
+            }
+        }
+
+        // Lines 20–22: eliminate hopeless clusters, identically to the
+        // oracle. Pruned rows simply go stale in the store and the heap.
+        if config.prune {
+            for c in clusters.iter_mut().filter(|c| c.alive) {
+                if !c.ever_merged && !c.merge_cand && !c.keep {
+                    c.alive = false;
+                }
+            }
+        }
+
+        // Append the round's merged clusters and derive each one's
+        // similarity row from its parents' stored rows — next round's heap.
+        // Only partners a parent holds a stored accumulator with can yield
+        // an admissible derived row (Single/Complete derive to "absent" from
+        // absent parts; Average derives to 0.0, which is inadmissible for
+        // θ > 0), so the derive walks the parents' adjacency lists instead
+        // of scanning every alive cluster: work proportional to stored
+        // pairs, not clusters². Derived rows exist for mergeable and
+        // unmergeable partners alike (the O(1) combine is cheaper than a
+        // source-set disjointness walk); `can_merge` gates only the rare
+        // ≥ θ heap candidates. A derived accumulator for an unmergeable pair
+        // can undercount (its unmergeable ancestors were skipped at seed
+        // time), but no mergeable pair ever consumes it: a mergeable pair's
+        // ancestor pairs are all mergeable, since ancestor source sets are
+        // subsets of the pair's.
+        //
+        // The θ ≤ 0 corner — where Average's all-absent 0.0 row WOULD clear
+        // the threshold — falls back to a dense scan over alive clusters
+        // and same-round siblings.
+        let base = clusters.len();
+        let dense = theta <= 0.0;
+        let alive_old: Vec<usize> = if dense {
+            (0..base).filter(|&k| clusters[k].alive).collect()
+        } else {
+            Vec::new()
+        };
+        // Which merge slot consumed each pre-round cluster: routes a dead
+        // neighbour's adjacency to the sibling cluster that replaced it.
+        let mut minted_from: Vec<Option<u32>> = vec![None; base];
+        for (m, &(i, j)) in merges.iter().enumerate() {
+            minted_from[i] = Some(m as u32);
+            minted_from[j] = Some(m as u32);
+        }
+        for (m, new_cluster) in new_clusters.into_iter().enumerate() {
+            let n = clusters.len();
+            let (pi, pj) = merges[m];
+            clusters.push(new_cluster);
+            adj.push(Vec::new());
+            visited.push(0);
+            if dense {
+                for &k in &alive_old {
+                    let derived = linkage.lance_williams([store.get(pi, k), store.get(pj, k)]);
+                    stats.lw_updates += 1;
+                    if let Some(acc) = derived {
+                        admit(
+                            k,
+                            n,
+                            acc,
+                            rounds + 1,
+                            clusters,
+                            linkage,
+                            theta,
+                            &mut store,
+                            &mut adj,
+                            &mut heap,
+                            stats,
+                        );
+                    }
+                }
+                // Sibling clusters minted this same round have no rows
+                // against the (now dead) parents; their own parents do. The
+                // accumulators are associative, so combining the four
+                // grandparent parts equals the two-level combination.
+                for (s, &(qi, qj)) in merges.iter().enumerate().take(m) {
+                    let k = base + s;
+                    let derived = linkage.lance_williams([
+                        store.get(pi, qi),
+                        store.get(pi, qj),
+                        store.get(pj, qi),
+                        store.get(pj, qj),
+                    ]);
+                    stats.lw_updates += 1;
+                    if let Some(acc) = derived {
+                        admit(
+                            k,
+                            n,
+                            acc,
+                            rounds + 1,
+                            clusters,
+                            linkage,
+                            theta,
+                            &mut store,
+                            &mut adj,
+                            &mut heap,
+                            stats,
+                        );
+                    }
+                }
+                continue;
+            }
+            visit_gen += 1;
+            for parent in [pi, pj] {
+                let mut idx = 0;
+                while idx < adj[parent].len() {
+                    let k = adj[parent][idx] as usize;
+                    idx += 1;
+                    debug_assert!(k < base, "a dead parent gained no new pairs this round");
+                    if visited[k] == visit_gen {
+                        continue;
+                    }
+                    visited[k] = visit_gen;
+                    if clusters[k].alive {
+                        let derived = linkage.lance_williams([store.get(pi, k), store.get(pj, k)]);
+                        stats.lw_updates += 1;
+                        if let Some(acc) = derived {
+                            admit(
+                                k,
+                                n,
+                                acc,
+                                rounds + 1,
+                                clusters,
+                                linkage,
+                                theta,
+                                &mut store,
+                                &mut adj,
+                                &mut heap,
+                                stats,
+                            );
+                        }
+                    } else if let Some(s) = minted_from[k] {
+                        // The neighbour merged this round: derive against
+                        // the sibling that replaced it, from the four
+                        // grandparent parts (the accumulators are
+                        // associative, so this equals the two-level
+                        // combination). Process each earlier sibling once;
+                        // later siblings derive the pair from their side.
+                        let s = s as usize;
+                        if s < m && visited[base + s] != visit_gen {
+                            visited[base + s] = visit_gen;
+                            let (qi, qj) = merges[s];
+                            let derived = linkage.lance_williams([
+                                store.get(pi, qi),
+                                store.get(pi, qj),
+                                store.get(pj, qi),
+                                store.get(pj, qj),
+                            ]);
+                            stats.lw_updates += 1;
+                            if let Some(acc) = derived {
+                                admit(
+                                    base + s,
+                                    n,
+                                    acc,
+                                    rounds + 1,
+                                    clusters,
+                                    linkage,
+                                    theta,
+                                    &mut store,
+                                    &mut adj,
+                                    &mut heap,
+                                    stats,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if done {
+            break;
+        }
+    }
+    rounds
+}
+
+/// The seed pass: admits every mergeable seed-cluster pair exactly once —
+/// the only all-pairs sweep the incremental kernel ever performs.
+///
+/// When the similarity source exposes equivalence classes (see
+/// [`AttrSimilarity::class_of`]), singleton seed clusters are grouped by
+/// class and one representative pair per *class* pair is evaluated; the
+/// value is reused for every member pair, and class pairs that clear
+/// neither the admission bound nor θ skip their whole member-pair product.
+/// On deduplicating similarity sources (the engine's precomputed matrix)
+/// this collapses the O(attrs²) sweep to O(classes²) evaluations plus work
+/// proportional to the pairs actually admitted. Clusters that are not
+/// classed singletons — constraint-seeded GA clusters, or any cluster under
+/// a class-less similarity source — fall back to the per-pair path, so the
+/// admitted (pair, accumulator) set is identical either way, bitwise, by
+/// the `class_of` contract.
+#[allow(clippy::too_many_arguments)]
+fn seed_pairs(
+    clusters: &[Cluster],
+    linkage: Linkage,
+    theta: f64,
+    sim: &dyn AttrSimilarity,
+    store: &mut PairStore,
+    adj: &mut [Vec<u32>],
+    heap: &mut BinaryHeap<PairEntry>,
+    stats: &mut MatchStats,
+) {
+    let class: Vec<Option<u32>> = clusters
+        .iter()
+        .map(|c| match c.attrs[..] {
+            [attr] => sim.class_of(attr),
+            _ => None,
+        })
+        .collect();
+
+    let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut generic: Vec<usize> = Vec::new();
+    for (i, cl) in class.iter().enumerate() {
+        match cl {
+            Some(c) => groups.entry(*c).or_default().push(i),
+            None => generic.push(i),
+        }
+    }
+
+    // Generic clusters pair with everything; generic–generic pairs are
+    // deduplicated by index order.
+    for &g in &generic {
+        for k in 0..clusters.len() {
+            let admissible = match class[k] {
+                Some(_) => true,
+                None => k < g,
+            };
+            if !admissible || !clusters[g].can_merge(&clusters[k]) {
+                continue;
+            }
+            let acc = linkage.accumulate(&clusters[g].attrs, &clusters[k].attrs, sim);
+            stats.linkage_evals += 1;
+            admit(
+                g.min(k),
+                g.max(k),
+                acc,
+                1,
+                clusters,
+                linkage,
+                theta,
+                store,
+                adj,
+                heap,
+                stats,
+            );
+        }
+    }
+
+    // Class pairs: one representative evaluation each. All member clusters
+    // are singletons, so the finished similarity equals the raw accumulator
+    // under every linkage and the admission test can run on `acc` directly.
+    let groups: Vec<Vec<usize>> = groups.into_values().collect();
+    for (gi, left) in groups.iter().enumerate() {
+        for right in &groups[gi..] {
+            let acc = linkage.accumulate(&clusters[left[0]].attrs, &clusters[right[0]].attrs, sim);
+            stats.linkage_evals += 1;
+            let enumerate = linkage.keep_accumulator(acc, theta) || acc >= theta;
+            if !enumerate {
+                continue;
+            }
+            let same = std::ptr::eq(left, right);
+            for (pos, &a) in left.iter().enumerate() {
+                let partners = if same { &right[pos + 1..] } else { &right[..] };
+                for &b in partners {
+                    if clusters[a].can_merge(&clusters[b]) {
+                        admit(
+                            a.min(b),
+                            a.max(b),
+                            acc,
+                            1,
+                            clusters,
+                            linkage,
+                            theta,
+                            store,
+                            adj,
+                            heap,
+                            stats,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Records a pair's accumulator in the store (when it clears the admission
+/// bound) and enqueues the pair for `round` (when its similarity clears θ
+/// AND the pair can actually merge — the drain loop's merge decision relies
+/// on every heap pair being mergeable). The disjointness walk runs only for
+/// the rare ≥ θ candidates.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    lo: usize,
+    hi: usize,
+    acc: f64,
+    round: u32,
+    clusters: &[Cluster],
+    linkage: Linkage,
+    theta: f64,
+    store: &mut PairStore,
+    adj: &mut [Vec<u32>],
+    heap: &mut BinaryHeap<PairEntry>,
+    stats: &mut MatchStats,
+) {
+    if linkage.keep_accumulator(acc, theta) {
+        store.insert(lo, hi, acc);
+        adj[lo].push(hi as u32);
+        adj[hi].push(lo as u32);
+    }
+    let s = linkage.finish(acc, clusters[lo].attrs.len(), clusters[hi].attrs.len());
+    if s >= theta && clusters[lo].can_merge(&clusters[hi]) {
+        heap.push(PairEntry {
+            sim: s,
+            lo: lo as u32,
+            hi: hi as u32,
+            round,
+        });
+        stats.heap_pushes += 1;
+    }
+}

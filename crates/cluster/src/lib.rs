@@ -39,11 +39,12 @@
 #![deny(missing_docs)]
 
 pub mod algorithm;
+mod incremental;
 pub mod linkage;
 pub mod quality;
 pub mod similarity;
 
-pub use algorithm::{match_sources, MatchConfig, MatchOutcome};
+pub use algorithm::{match_sources, MatchConfig, MatchKernel, MatchOutcome, MatchStats};
 pub use linkage::Linkage;
 pub use quality::{ga_quality, schema_quality};
 pub use similarity::{AttrSimilarity, MeasureAdapter};

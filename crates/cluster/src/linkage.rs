@@ -54,6 +54,15 @@ impl Linkage {
         if a.is_empty() || b.is_empty() {
             return 0.0;
         }
+        self.finish(self.accumulate(a, b, sim), a.len(), b.len())
+    }
+
+    /// The raw accumulator over all attribute pairs of two groups: the
+    /// total-order max (single), total-order min (complete) or running sum
+    /// (average) of pair similarities. [`Linkage::finish`] turns it into the
+    /// cluster similarity; keeping the two apart lets the incremental kernel
+    /// maintain accumulators under merges (see [`Linkage::lance_williams`]).
+    pub(crate) fn accumulate(self, a: &[AttrId], b: &[AttrId], sim: &dyn AttrSimilarity) -> f64 {
         match self {
             Linkage::Single => {
                 let mut best = 0.0f64;
@@ -80,8 +89,75 @@ impl Linkage {
                         total += sim.similarity(x, y);
                     }
                 }
-                total / (a.len() * b.len()) as f64
+                total
             }
+        }
+    }
+
+    /// Cluster similarity from an accumulator: the identity for max/min
+    /// linkages, the mean for average linkage.
+    pub(crate) fn finish(self, acc: f64, a_len: usize, b_len: usize) -> f64 {
+        match self {
+            Linkage::Single | Linkage::Complete => acc,
+            Linkage::Average => acc / (a_len * b_len) as f64,
+        }
+    }
+
+    /// Lance–Williams update: the accumulator of a merged cluster against a
+    /// third cluster, combined from the parents' accumulators (`parts`).
+    ///
+    /// All three accumulators are associative-commutative reductions over
+    /// attribute pairs, so combining parent parts reproduces the from-scratch
+    /// value exactly for single (max) and complete (min) linkage; for average
+    /// linkage the sum is combined in merge-tree order rather than attribute
+    /// order, which is exact whenever pair similarities carry ≤ f32 precision
+    /// (the engine's matrix-backed path) and within an ulp otherwise.
+    ///
+    /// A `None` part means the pair store held no entry for that parent pair:
+    /// its accumulator was below the admission bound (for single/complete, a
+    /// similarity below θ; for average, a zero sum). `None` results propagate
+    /// the same meaning upward.
+    pub(crate) fn lance_williams<I>(self, parts: I) -> Option<f64>
+    where
+        I: IntoIterator<Item = Option<f64>>,
+    {
+        match self {
+            // max over present parts: absent parts are < θ and cannot win.
+            Linkage::Single => parts.into_iter().flatten().reduce(total_max),
+            // min over all parts: one absent part (< θ) drags the merged
+            // cluster's minimum below θ, so the result is absent too.
+            Linkage::Complete => {
+                let mut worst: Option<f64> = None;
+                for part in parts {
+                    let v = part?;
+                    worst = Some(match worst {
+                        None => v,
+                        Some(w) => total_min(w, v),
+                    });
+                }
+                worst
+            }
+            // sum of parts; an absent part is exactly a zero sum.
+            Linkage::Average => {
+                let mut total = 0.0;
+                for part in parts {
+                    total += part.unwrap_or(0.0);
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// Whether an accumulator earns a pair-store entry. Values below the
+    /// bound are represented by absence — [`Linkage::lance_williams`]
+    /// reconstructs their meaning — which keeps the store sparse for the
+    /// θ-thresholded linkages. The comparison is total-order so a
+    /// NaN-poisoned similarity stays representable (and keeps poisoning
+    /// derived values) instead of vanishing silently.
+    pub(crate) fn keep_accumulator(self, acc: f64, theta: f64) -> bool {
+        match self {
+            Linkage::Single | Linkage::Complete => acc.total_cmp(&theta).is_ge(),
+            Linkage::Average => acc.total_cmp(&0.0).is_ne(),
         }
     }
 

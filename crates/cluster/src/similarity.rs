@@ -14,6 +14,20 @@ use mube_similarity::SimilarityMeasure;
 pub trait AttrSimilarity {
     /// Similarity of the named attributes, in `[0, 1]`.
     fn similarity(&self, a: AttrId, b: AttrId) -> f64;
+
+    /// Optional similarity-equivalence class of an attribute.
+    ///
+    /// Contract: whenever `class_of(a) == class_of(b)` (and both are
+    /// `Some`), then for every attribute `x`, `similarity(a, x)` and
+    /// `similarity(b, x)` return the *bitwise-identical* value, and
+    /// `similarity(a, b) == similarity(a, a)`. Kernels may then evaluate one
+    /// representative per class pair and reuse the value for every member
+    /// pair — the incremental kernel's seed pass does exactly this. The
+    /// default (no class information) keeps every pair individually
+    /// evaluated, which is always correct.
+    fn class_of(&self, _attr: AttrId) -> Option<u32> {
+        None
+    }
 }
 
 /// Computes similarities on demand from a universe and a string measure,

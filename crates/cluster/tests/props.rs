@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use mube_cluster::{ga_quality, match_sources, Linkage, MatchConfig, MeasureAdapter};
+use mube_cluster::{
+    ga_quality, match_sources, AttrSimilarity, Linkage, MatchConfig, MatchKernel, MeasureAdapter,
+};
 use mube_schema::{AttrId, Constraints, GlobalAttribute, SourceBuilder, SourceId, Universe};
 use mube_similarity::NgramJaccard;
 
@@ -50,6 +52,69 @@ fn run(
     let adapter = MeasureAdapter::new(universe, &measure);
     let ids: Vec<SourceId> = universe.sources().iter().map(|s| s.id()).collect();
     match_sources(universe, &ids, constraints, config, &adapter)
+}
+
+/// Similarities rounded to f32, mirroring the engine's matrix-backed
+/// production path. With ≤ f32-precision pair values, f64 sums are exact in
+/// any association order, so the incremental kernel's merge-tree-ordered
+/// average-linkage sums are bitwise identical to the brute-force kernel's
+/// attribute-ordered ones (max/min linkages are order-exact regardless).
+struct F32Quantized<'a>(MeasureAdapter<'a>);
+
+impl AttrSimilarity for F32Quantized<'_> {
+    fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+        f64::from(self.0.similarity(a, b) as f32)
+    }
+}
+
+/// Runs both kernels on the same problem; panics on any divergence in
+/// feasibility, schema, quality, or round count.
+fn assert_kernels_equivalent(universe: &Universe, constraints: &Constraints, config: &MatchConfig) {
+    let measure = NgramJaccard::default();
+    let sim = F32Quantized(MeasureAdapter::new(universe, &measure));
+    let ids: Vec<SourceId> = universe.sources().iter().map(|s| s.id()).collect();
+    let incremental = match_sources(
+        universe,
+        &ids,
+        constraints,
+        &MatchConfig {
+            kernel: MatchKernel::Incremental,
+            ..config.clone()
+        },
+        &sim,
+    );
+    let brute = match_sources(
+        universe,
+        &ids,
+        constraints,
+        &MatchConfig {
+            kernel: MatchKernel::BruteForce,
+            ..config.clone()
+        },
+        &sim,
+    );
+    match (incremental, brute) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.schema, b.schema, "config={config:?}");
+            assert!(
+                a.quality.total_cmp(&b.quality).is_eq(),
+                "quality {} != {} config={config:?}",
+                a.quality,
+                b.quality
+            );
+            assert_eq!(a.rounds, b.rounds, "config={config:?}");
+        }
+        (a, b) => panic!(
+            "kernels disagree on feasibility: incremental={:?} brute={:?} config={config:?}",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+fn arb_linkage() -> impl Strategy<Value = Linkage> {
+    prop::sample::select(vec![Linkage::Single, Linkage::Complete, Linkage::Average])
 }
 
 proptest! {
@@ -143,5 +208,42 @@ proptest! {
     fn rounds_reported_positive(universe in arb_universe()) {
         let out = run(&universe, &Constraints::none(), &MatchConfig::default()).unwrap();
         prop_assert!(out.rounds >= 1);
+    }
+
+    #[test]
+    fn incremental_kernel_matches_brute_force(
+        universe in arb_universe(),
+        theta in 0.05f64..1.0,
+        beta in 1usize..4,
+        linkage in arb_linkage(),
+        prune in any::<bool>(),
+    ) {
+        let config = MatchConfig { theta, beta, linkage, prune, ..MatchConfig::default() };
+        assert_kernels_equivalent(&universe, &Constraints::none(), &config);
+    }
+
+    #[test]
+    fn incremental_kernel_matches_brute_force_under_constraints(
+        universe in arb_universe(),
+        theta in 0.05f64..1.0,
+        linkage in arb_linkage(),
+        a in 0u32..8,
+        b in 0u32..8,
+    ) {
+        let n = universe.len() as u32;
+        let (sa, sb) = (a % n, b % n);
+        prop_assume!(sa != sb);
+        // A GA constraint seeds a multi-attribute keep cluster, exercising
+        // the kernels' handling of unmergeable rows and keep-flag pruning.
+        let ga = GlobalAttribute::new([
+            AttrId::new(SourceId(sa), 0),
+            AttrId::new(SourceId(sb), 0),
+        ])
+        .unwrap();
+        let mut constraints = Constraints::none();
+        constraints.require_ga(ga);
+        constraints.require_source(SourceId(sa));
+        let config = MatchConfig { theta, linkage, ..MatchConfig::default() };
+        assert_kernels_equivalent(&universe, &constraints, &config);
     }
 }

@@ -197,12 +197,17 @@ impl<'u> Mube<'u> {
             schema: outcome.schema,
             overall_quality: result.objective,
             qef_values,
-            stats: SolveStats {
-                evaluations: result.evaluations,
-                iterations: result.iterations,
-                match_calls: objective.match_calls(),
-                cache_hits: objective.cache_hits(),
-                elapsed: started.elapsed(),
+            stats: {
+                let match_stats = objective.match_stats();
+                SolveStats {
+                    evaluations: result.evaluations,
+                    iterations: result.iterations,
+                    match_calls: objective.match_calls(),
+                    cache_hits: objective.cache_hits(),
+                    linkage_evals: match_stats.linkage_evals,
+                    lw_updates: match_stats.lw_updates,
+                    elapsed: started.elapsed(),
+                }
             },
         };
         // Debug-mode oracle: every solve must satisfy the paper's §2
@@ -467,6 +472,17 @@ mod tests {
         let spec = ProblemSpec::new(100);
         let solution = mube.solve_default(&spec, 0).unwrap();
         assert!(solution.num_sources() <= u.len());
+    }
+
+    #[test]
+    fn solve_reports_linkage_work() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2);
+        let solution = mube.solve_default(&spec, 5).unwrap();
+        // The default spec weights "matching", so Match(S) ran and its
+        // kernel counters must have propagated into the solve stats.
+        assert!(solution.stats.linkage_evals > 0);
     }
 
     #[test]

@@ -55,6 +55,13 @@ impl AttrSimilarity for MatrixSimilarity {
     fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
         self.matrix.similarity(self.flat(a), self.flat(b))
     }
+
+    /// The distinct normalized name's slot. Every lookup in this matrix
+    /// resolves through the slot, so equal slots satisfy the trait's
+    /// bitwise-identity contract by construction.
+    fn class_of(&self, attr: AttrId) -> Option<u32> {
+        Some(self.matrix.distinct_slot(self.flat(attr)))
+    }
 }
 
 #[cfg(test)]

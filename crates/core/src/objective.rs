@@ -2,8 +2,9 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
-use mube_cluster::{match_sources, MatchConfig, MatchOutcome};
+use mube_cluster::{match_sources, MatchConfig, MatchOutcome, MatchStats};
 use mube_opt::{Subset, SubsetProblem};
 use mube_qef::{CharacteristicQef, Qef, QefContext};
 use mube_schema::{Constraints, SourceId, SourceSelection, Universe};
@@ -33,10 +34,23 @@ pub struct MubeObjective<'a> {
     match_config: &'a MatchConfig,
     max_sources: usize,
     pinned: Vec<usize>,
-    cache: RefCell<HashMap<Subset, f64>>,
+    /// Memo cache, keyed by a precomputed 64-bit fingerprint of the subset
+    /// so each lookup hashes the selection words exactly once. The bucket
+    /// stores the subsets themselves and compares them exactly — a
+    /// fingerprint collision lands in the same bucket but can never alias
+    /// (aliasing would silently poison the search).
+    cache: RefCell<HashMap<u64, Vec<(Subset, f64)>>>,
     caching: Cell<bool>,
     match_calls: Cell<u64>,
     cache_hits: Cell<u64>,
+    match_stats: Cell<MatchStats>,
+}
+
+/// The subset's hash, computed once per [`MubeObjective::evaluate`] call.
+fn fingerprint(subset: &Subset) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    subset.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl<'a> MubeObjective<'a> {
@@ -68,6 +82,7 @@ impl<'a> MubeObjective<'a> {
             caching: Cell::new(true),
             match_calls: Cell::new(0),
             cache_hits: Cell::new(0),
+            match_stats: Cell::new(MatchStats::default()),
         }
     }
 
@@ -101,6 +116,12 @@ impl<'a> MubeObjective<'a> {
     /// Number of memoized evaluations served.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.get()
+    }
+
+    /// Aggregated `Match(S)` work counters over every (uncached) objective
+    /// evaluation so far.
+    pub fn match_stats(&self) -> MatchStats {
+        self.match_stats.get()
     }
 
     /// Evaluates every component QEF for a selection, returning
@@ -138,7 +159,12 @@ impl<'a> MubeObjective<'a> {
                 QefBinding::Matching => {
                     self.match_calls.set(self.match_calls.get() + 1);
                     match self.match_schema(&ids) {
-                        Some(outcome) => outcome.quality,
+                        Some(outcome) => {
+                            let mut agg = self.match_stats.get();
+                            agg.absorb(&outcome.stats);
+                            self.match_stats.set(agg);
+                            outcome.quality
+                        }
                         // Null schema: the source/GA constraints cannot be
                         // satisfied on this S — infeasible candidate.
                         None => return f64::NEG_INFINITY,
@@ -174,14 +200,25 @@ impl SubsetProblem for MubeObjective<'_> {
         if !self.caching.get() {
             return self.compute(subset);
         }
-        // Keyed on the subset itself: exact equality, no collision risk (a
-        // 64-bit fingerprint collision would silently poison the search).
-        if let Some(&v) = self.cache.borrow().get(subset) {
+        // One hash of the subset per evaluation; the miss path re-probes
+        // with the already-computed u64 key (trivially cheap) and clones
+        // the subset only when actually inserting it.
+        let key = fingerprint(subset);
+        let hit = self
+            .cache
+            .borrow()
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(s, _)| s == subset).map(|(_, v)| *v));
+        if let Some(v) = hit {
             self.cache_hits.set(self.cache_hits.get() + 1);
             return v;
         }
         let v = self.compute(subset);
-        self.cache.borrow_mut().insert(subset.clone(), v);
+        self.cache
+            .borrow_mut()
+            .entry(key)
+            .or_default()
+            .push((subset.clone(), v));
         v
     }
 }

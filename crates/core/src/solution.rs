@@ -17,6 +17,13 @@ pub struct SolveStats {
     pub match_calls: u64,
     /// Evaluations served from the memo cache.
     pub cache_hits: u64,
+    /// Full cluster-pair linkage evaluations inside `Match(S)` calls
+    /// (attribute-pair cross products — the clustering kernel's unit of
+    /// work; see `MatchStats` in `mube-cluster`).
+    pub linkage_evals: u64,
+    /// Incremental-kernel Lance–Williams row derivations inside `Match(S)`
+    /// calls (zero when the brute-force kernel is selected).
+    pub lw_updates: u64,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
 }

@@ -13,8 +13,43 @@
 //! * **Packed triangle.** Only the strict upper triangle of the
 //!   distinct-name matrix is stored, as `f32` (the measure's precision is far
 //!   below 1e-7 anyway).
+//!
+//! Above a size cutoff the triangle is filled by scoped threads, each owning
+//! a contiguous band of rows; the result is byte-identical to the serial
+//! fill (same entries, same positions, one writer per entry) — the threads
+//! only change who computes what.
 
-use crate::measure::SimilarityMeasure;
+use crate::measure::{Signature, SimilarityMeasure};
+
+/// Index of the first packed-triangle entry of row `j`: rows `1..j` occupy
+/// the prefix `[0, j*(j-1)/2)` of the triangle.
+fn tri_offset(j: usize) -> usize {
+    j * j.saturating_sub(1) / 2
+}
+
+/// Distinct-name count below which the triangle is filled serially: the fill
+/// is ~`d²/2` signature comparisons, and under this size thread spawn/join
+/// overhead outweighs the work being split.
+const PARALLEL_CUTOFF: usize = 96;
+
+/// Fills `rows` — the packed entries of triangle rows `start..end` — exactly
+/// as the serial loop would: entry `(i, j)`, `i < j`, at local offset
+/// `tri_offset(j) - tri_offset(start) + i`.
+fn fill_rows(
+    rows: &mut [f32],
+    start: usize,
+    end: usize,
+    signatures: &[Signature],
+    measure: &dyn SimilarityMeasure,
+) {
+    let origin = tri_offset(start);
+    for j in start..end {
+        let base = tri_offset(j) - origin;
+        for i in 0..j {
+            rows[base + i] = measure.similarity_sig(&signatures[i], &signatures[j]) as f32;
+        }
+    }
+}
 
 /// All-pairs similarity among `names`, addressable by the original indices.
 #[derive(Debug, Clone)]
@@ -49,11 +84,40 @@ impl SimilarityMatrix {
         let d = distinct.len();
         let signatures: Vec<_> = distinct.iter().map(|n| measure.signature(n)).collect();
         let mut tri = vec![0f32; d * (d.saturating_sub(1)) / 2];
-        for j in 1..d {
-            let base = j * (j - 1) / 2;
-            for i in 0..j {
-                tri[base + i] = measure.similarity_sig(&signatures[i], &signatures[j]) as f32;
-            }
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if d < PARALLEL_CUTOFF || workers < 2 {
+            fill_rows(&mut tri, 1, d, &signatures, measure);
+        } else {
+            // Row-striped parallel fill. Each worker takes a contiguous band
+            // of rows whose packed entries are a contiguous slice of `tri`
+            // (handed out via split_at_mut), so the layout — and every byte
+            // in it — is identical to the serial fill. Band boundaries are
+            // chosen where the packed prefix crosses t/workers of the
+            // triangle: equal *entry* counts, not equal row counts, since
+            // row length grows linearly with the row index.
+            let total = tri.len();
+            let signatures = &signatures;
+            std::thread::scope(|scope| {
+                let mut rest: &mut [f32] = &mut tri;
+                let mut row = 1usize;
+                for t in 1..=workers {
+                    let target = total * t / workers;
+                    let mut end = row;
+                    while end < d && tri_offset(end) < target {
+                        end += 1;
+                    }
+                    let band_len = tri_offset(end) - tri_offset(row);
+                    let (band, tail) = rest.split_at_mut(band_len);
+                    rest = tail;
+                    if !band.is_empty() {
+                        let start = row;
+                        scope.spawn(move || fill_rows(band, start, end, signatures, measure));
+                    }
+                    row = end;
+                }
+            });
         }
         let self_sim = signatures
             .iter()
@@ -80,6 +144,16 @@ impl SimilarityMatrix {
     /// Number of distinct normalized names among the attributes.
     pub fn distinct_names(&self) -> usize {
         self.distinct_count
+    }
+
+    /// The distinct-name slot attribute `i` maps to. Attributes with equal
+    /// slots are similarity-identical: they compare equal (bitwise) against
+    /// every third attribute, because every lookup goes through the slot.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn distinct_slot(&self, i: usize) -> u32 {
+        self.distinct_of[i]
     }
 
     /// Similarity between attributes `i` and `j` (original indices).
@@ -166,5 +240,37 @@ mod tests {
         let m = NgramJaccard::default();
         let matrix = SimilarityMatrix::compute(&names(&["title"]), &m);
         assert_eq!(matrix.similarity(0, 0), 1.0);
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial_reference_bitwise() {
+        let m = NgramJaccard::default();
+        // Enough distinct names to cross PARALLEL_CUTOFF and engage the
+        // threaded fill (on multi-core hosts; single-core falls back and
+        // the comparison is trivially exact).
+        let ns: Vec<String> = (0..150)
+            .map(|i| format!("attr {} field {i}", i % 30))
+            .collect();
+        assert!(ns.len() >= PARALLEL_CUTOFF);
+        let matrix = SimilarityMatrix::compute(&ns, &m);
+        let sigs: Vec<_> = ns.iter().map(|n| m.signature(n)).collect();
+        for j in 0..ns.len() {
+            for i in 0..j {
+                let expect = m.similarity_sig(&sigs[i], &sigs[j]) as f32;
+                let got = matrix.similarity(i, j) as f32;
+                assert_eq!(got.to_bits(), expect.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn tri_offsets_are_row_prefix_sums() {
+        assert_eq!(tri_offset(0), 0);
+        assert_eq!(tri_offset(1), 0);
+        assert_eq!(tri_offset(2), 1);
+        assert_eq!(tri_offset(5), 10);
+        for j in 1..50 {
+            assert_eq!(tri_offset(j + 1) - tri_offset(j), j);
+        }
     }
 }

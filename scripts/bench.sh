@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the persistent Match-kernel perf trajectory.
+#
+#   scripts/bench.sh           full run; rewrites BENCH_match.json (checked in)
+#   scripts/bench.sh --smoke   tiny sizes, one rep; writes target/BENCH_match.smoke.json
+#                              (not checked in) — wired into scripts/check.sh as a
+#                              cheap "the harness still runs end to end" gate.
+#
+# Full runs should happen on a quiet machine; the harness takes best-of-3
+# wall times for the in-tree kernels and a single timed run of the slow
+# pre-PR reference. See DESIGN.md §8 for how to read the output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  cargo run --release -q -p mube-bench --bin match_kernel -- --smoke --out target/BENCH_match.smoke.json
+else
+  cargo run --release -q -p mube-bench --bin match_kernel
+fi

@@ -17,4 +17,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "==> bench harness smoke (match kernels agree, JSON schema intact)"
+scripts/bench.sh --smoke
+
 echo "All checks passed."
