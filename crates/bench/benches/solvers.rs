@@ -27,7 +27,7 @@ fn bench_solvers(c: &mut Criterion) {
             restarts: 3,
             ..StochasticLocalSearch::default()
         }),
-        Box::new(Greedy),
+        Box::new(Greedy::default()),
         Box::new(RandomSearch { samples: 500 }),
     ];
 

@@ -1,0 +1,259 @@
+//! Perf trajectory for the parallel solve stack: regenerates
+//! `BENCH_solve.json`.
+//!
+//! Four arms per universe size, all solving the paper's default problem:
+//!
+//! * `serial` — tabu search with the serial (width-1) evaluator; run twice
+//!   with the same seed and asserted byte-identical (selection, quality,
+//!   evaluation count), the determinism contract everything else rests on.
+//! * `batched` — the same tabu configuration with an auto-width
+//!   [`BatchEvaluator`]; bit-identical to `serial` by construction, so the
+//!   arm asserts that too. On a single-core host the width resolves to 1
+//!   and the arm measures pure overhead (check `host_parallelism`).
+//! * `multistart` — the portfolio members run *sequentially, each against a
+//!   fresh objective* (cold caches): what racing the same solvers without
+//!   the shared evaluation pool costs. This is the honest baseline for the
+//!   portfolio arm even on a single-core host.
+//! * `portfolio` — the same members raced through [`Mube::solve_portfolio`]
+//!   against one shared objective: members amortize each other's `Match(S)`
+//!   work through the sharded memo cache, and later rounds warm-start from
+//!   the shared incumbent.
+//!
+//! `speedup_portfolio` is multistart-vs-portfolio wall clock (shared-cache
+//! savings are real on any core count); `speedup_batched` is
+//! serial-vs-batched and only exceeds ~1.0 on multi-core hosts. See
+//! DESIGN.md §9 for how to read the file.
+//!
+//! Usage:
+//!   cargo run --release -p mube-bench --bin solve_portfolio
+//!   cargo run --release -p mube-bench --bin solve_portfolio -- --smoke --out target/BENCH_solve.smoke.json
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mube_bench::{engine, paper_spec, universe, Scale};
+use mube_core::{Mube, ProblemSpec, Solution};
+use mube_opt::{BatchEvaluator, Greedy, Portfolio, Solver, StochasticLocalSearch, TabuSearch};
+
+/// The racing members every portfolio-side arm uses. `quick` configurations:
+/// the bench sweeps four universe sizes and the point is relative cost, not
+/// absolute solution quality.
+fn members() -> Vec<Arc<dyn Solver>> {
+    vec![
+        Arc::new(TabuSearch::quick()),
+        Arc::new(StochasticLocalSearch {
+            restarts: 4,
+            max_steps: 40,
+            ..StochasticLocalSearch::default()
+        }),
+        Arc::new(Greedy::default()),
+    ]
+}
+
+/// Rounds per member in the portfolio and multistart arms.
+const ROUNDS: u32 = 2;
+
+/// One timed single-solver solve against a fresh objective.
+fn timed_solve(
+    mube: &Mube<'_>,
+    spec: &ProblemSpec,
+    solver: &dyn Solver,
+    seed: u64,
+) -> (f64, Solution) {
+    let start = Instant::now();
+    let solution = mube
+        .solve(spec, solver, seed)
+        .expect("paper spec is feasible");
+    (start.elapsed().as_secs_f64() * 1e3, solution)
+}
+
+fn hit_rate(cache_hits: u64, evaluations: u64) -> f64 {
+    if evaluations == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / evaluations as f64
+    }
+}
+
+fn arm_json(millis: f64, s: &Solution) -> String {
+    format!(
+        "{{\"millis\": {:.3}, \"evaluations\": {}, \"match_calls\": {}, \"cache_hits\": {}, \
+         \"hit_rate\": {:.4}, \"evictions\": {}, \"batch_width\": {}, \"quality\": {:.6}}}",
+        millis,
+        s.stats.evaluations,
+        s.stats.match_calls,
+        s.stats.cache_hits,
+        hit_rate(s.stats.cache_hits, s.stats.evaluations),
+        s.stats.evictions,
+        s.stats.batch_width,
+        s.overall_quality,
+    )
+}
+
+fn bench_size(size: usize, reps: u32, out: &mut String) {
+    eprintln!("== n = {size} sources ==");
+    let generated = universe(size, 7, Scale::Reduced);
+    let mube = engine(&generated);
+    let spec = paper_spec(10);
+    let seed = 7u64;
+
+    // Serial reference (best-of-`reps` wall clock), plus the byte-identical
+    // re-run contract: every repetition must reproduce the first exactly.
+    let (mut serial_ms, serial) = timed_solve(&mube, &spec, &TabuSearch::quick(), seed);
+    for _ in 1..reps.max(2) {
+        let (ms, again) = timed_solve(&mube, &spec, &TabuSearch::quick(), seed);
+        assert_eq!(
+            serial.selected, again.selected,
+            "serial solve not reproducible"
+        );
+        assert_eq!(serial.overall_quality, again.overall_quality);
+        assert_eq!(serial.stats.evaluations, again.stats.evaluations);
+        serial_ms = serial_ms.min(ms);
+    }
+
+    // Batched arm: identical values, possibly better wall clock.
+    let batched_solver = TabuSearch {
+        batch: BatchEvaluator::parallel(),
+        ..TabuSearch::quick()
+    };
+    let (mut batched_ms, batched) = timed_solve(&mube, &spec, &batched_solver, seed);
+    for _ in 1..reps {
+        let (ms, _) = timed_solve(&mube, &spec, &batched_solver, seed);
+        batched_ms = batched_ms.min(ms);
+    }
+    assert_eq!(
+        serial.selected, batched.selected,
+        "batched diverged from serial"
+    );
+    assert_eq!(serial.overall_quality, batched.overall_quality);
+    assert_eq!(serial.stats.evaluations, batched.stats.evaluations);
+
+    // Multistart baseline: every member, every round, cold caches, serially.
+    let multistart_start = Instant::now();
+    let mut multi_quality = f64::NEG_INFINITY;
+    let mut multi_match_calls = 0u64;
+    let mut multi_evals = 0u64;
+    for round in 0..u64::from(ROUNDS) {
+        for (i, member) in members().iter().enumerate() {
+            let (_, s) = timed_solve(
+                &mube,
+                &spec,
+                member.as_ref(),
+                seed ^ (round * 31 + i as u64),
+            );
+            multi_quality = multi_quality.max(s.overall_quality);
+            multi_match_calls += s.stats.match_calls;
+            multi_evals += s.stats.evaluations;
+        }
+    }
+    let multistart_ms = multistart_start.elapsed().as_secs_f64() * 1e3;
+
+    // Portfolio arm: same members and rounds, one shared objective.
+    let portfolio = Portfolio {
+        members: members(),
+        rounds: ROUNDS,
+        cross_seed: true,
+    };
+    let portfolio_start = Instant::now();
+    let (best, member_stats) = mube
+        .solve_portfolio(&spec, &portfolio, seed)
+        .expect("paper spec is feasible");
+    let portfolio_ms = portfolio_start.elapsed().as_secs_f64() * 1e3;
+
+    let speedup_batched = serial_ms / batched_ms.max(1e-9);
+    let speedup_portfolio = multistart_ms / portfolio_ms.max(1e-9);
+    eprintln!(
+        "  serial {serial_ms:.1} ms | batched {batched_ms:.1} ms ({speedup_batched:.2}x) | \
+         multistart {multistart_ms:.1} ms | portfolio {portfolio_ms:.1} ms \
+         ({speedup_portfolio:.2}x, winner {}, hit rate {:.0}%)",
+        best.stats.portfolio_member.unwrap_or("-"),
+        100.0 * hit_rate(best.stats.cache_hits, best.stats.evaluations),
+    );
+
+    let member_body: Vec<String> = member_stats
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\": \"{}\", \"objective\": {:.6}, \"evaluations\": {}, \"won\": {}}}",
+                m.name, m.objective, m.evaluations, m.won
+            )
+        })
+        .collect();
+    let _ = write!(
+        out,
+        "    {{\"sources\": {}, \"attrs\": {}, \
+         \"serial\": {}, \"batched\": {}, \
+         \"multistart\": {{\"millis\": {:.3}, \"evaluations\": {}, \"match_calls\": {}, \
+         \"best_quality\": {:.6}}}, \
+         \"portfolio\": {{\"millis\": {:.3}, \"winner\": \"{}\", \"arm\": {}, \
+         \"members\": [{}]}}, \
+         \"speedup_batched\": {:.3}, \"speedup_portfolio\": {:.3}}}",
+        size,
+        generated.universe.total_attrs(),
+        arm_json(serial_ms, &serial),
+        arm_json(batched_ms, &batched),
+        multistart_ms,
+        multi_evals,
+        multi_match_calls,
+        multi_quality,
+        portfolio_ms,
+        best.stats.portfolio_member.unwrap_or("-"),
+        arm_json(portfolio_ms, &best),
+        member_body.join(", "),
+        speedup_batched,
+        speedup_portfolio,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_solve.json".to_owned());
+    let (sizes, reps): (&[usize], u32) = if smoke {
+        (&[30], 1)
+    } else {
+        (&[50, 100, 200, 400], 3)
+    };
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut body = String::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        bench_size(size, reps, &mut body);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"solve_portfolio\",\n  \"mode\": \"{}\",\n  \"scale\": \"reduced\",\n  \
+         \"host_parallelism\": {},\n  \"rounds\": {},\n  \
+         \"units\": {{\"millis\": \"best-of-reps wall clock (serial/batched); single-run (multistart/portfolio)\"}},\n  \
+         \"note\": \"speedup_batched needs host_parallelism > 1; speedup_portfolio measures the shared Q(S) cache vs cold multistart on any host\",\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        host_parallelism,
+        ROUNDS,
+        body
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    // Cheap schema-rot guard: the artifact must contain every key a reader
+    // of the perf trajectory greps for.
+    for key in [
+        "speedup_batched",
+        "speedup_portfolio",
+        "hit_rate",
+        "winner",
+        "host_parallelism",
+        "evictions",
+    ] {
+        assert!(json.contains(key), "BENCH json lost key {key}");
+    }
+    println!("wrote {out_path}");
+}

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use mube_audit::{AuditReport, SolutionAuditor, SolutionFacts};
-use mube_opt::{Solver, SubsetProblem, TabuSearch};
+use mube_opt::{Portfolio, PortfolioMember, SolveResult, Solver, SubsetProblem, TabuSearch};
 use mube_pcsa::PcsaSketch;
 use mube_qef::{CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext, RedundancyQef};
 use mube_schema::{SourceId, Universe};
@@ -159,7 +159,7 @@ impl<'u> Mube<'u> {
     pub fn objective<'a>(&'a self, spec: &'a ProblemSpec) -> Result<MubeObjective<'a>, MubeError> {
         self.validate_spec(spec)?;
         let bindings = self.resolve_bindings(spec)?;
-        Ok(MubeObjective::new(
+        let objective = MubeObjective::new(
             self.universe,
             &self.ctx,
             &self.sim,
@@ -167,19 +167,23 @@ impl<'u> Mube<'u> {
             &spec.constraints,
             &spec.match_config,
             spec.max_sources.min(self.universe.len().max(1)),
-        ))
+        );
+        if let Some(capacity) = spec.cache_capacity {
+            objective.set_cache_capacity(capacity);
+        }
+        Ok(objective)
     }
 
-    /// Solves one iteration's optimization problem with the given solver.
-    pub fn solve(
+    /// Turns a solver result into a [`Solution`]: reconstructs the winning
+    /// schema, reports per-QEF values, and collects the solve stats
+    /// (including the parallel-evaluation fields carried on the result).
+    fn finish(
         &self,
         spec: &ProblemSpec,
-        solver: &dyn Solver,
-        seed: u64,
+        objective: &MubeObjective<'_>,
+        result: &SolveResult,
+        started: Instant,
     ) -> Result<Solution, MubeError> {
-        let started = Instant::now();
-        let objective = self.objective(spec)?;
-        let result = solver.solve(&objective, seed);
         if !result.is_feasible() {
             return Err(MubeError::NoFeasibleSolution);
         }
@@ -206,6 +210,9 @@ impl<'u> Mube<'u> {
                     cache_hits: objective.cache_hits(),
                     linkage_evals: match_stats.linkage_evals,
                     lw_updates: match_stats.lw_updates,
+                    evictions: objective.evictions(),
+                    portfolio_member: result.winner,
+                    batch_width: result.batch_width,
                     elapsed: started.elapsed(),
                 }
             },
@@ -215,7 +222,41 @@ impl<'u> Mube<'u> {
         // call `Mube::audit` explicitly.
         #[cfg(debug_assertions)]
         self.audit(spec, &solution).assert_clean("Mube::solve");
+        #[cfg(not(debug_assertions))]
+        let _ = spec;
         Ok(solution)
+    }
+
+    /// Solves one iteration's optimization problem with the given solver.
+    pub fn solve(
+        &self,
+        spec: &ProblemSpec,
+        solver: &dyn Solver,
+        seed: u64,
+    ) -> Result<Solution, MubeError> {
+        let started = Instant::now();
+        let objective = self.objective(spec)?;
+        let result = solver.solve(&objective, seed);
+        self.finish(spec, &objective, &result, started)
+    }
+
+    /// Solves by racing a [`Portfolio`] of solvers against one shared
+    /// objective (and therefore one shared `Q(S)` memo cache: members
+    /// amortize each other's `Match(S)` work). Returns the winning solution
+    /// — [`SolveStats::portfolio_member`] names the member that produced it
+    /// and [`SolveStats::evaluations`] counts the whole race's effort —
+    /// plus per-member statistics in configuration order.
+    pub fn solve_portfolio(
+        &self,
+        spec: &ProblemSpec,
+        portfolio: &Portfolio,
+        seed: u64,
+    ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
+        let started = Instant::now();
+        let objective = self.objective(spec)?;
+        let outcome = portfolio.run(&objective, seed);
+        let solution = self.finish(spec, &objective, &outcome.result, started)?;
+        Ok((solution, outcome.members))
     }
 
     /// Statically verifies a solution against the paper's §2 invariants

@@ -1,8 +1,8 @@
 //! The composite objective `Q(S)` as a subset-selection problem.
 
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
 
 use mube_cluster::{match_sources, MatchConfig, MatchOutcome, MatchStats};
 use mube_opt::{Subset, SubsetProblem};
@@ -21,10 +21,45 @@ pub(crate) enum QefBinding<'a> {
     Characteristic(CharacteristicQef),
 }
 
+/// Memo-cache shards. Sixteen is plenty: the batched solvers run at most a
+/// few dozen worker threads, and the shard index comes from high fingerprint
+/// bits, so concurrent evaluations of a sampled neighborhood spread across
+/// shards almost uniformly.
+const SHARDS: usize = 16;
+
+/// Default total memo-cache entry budget. An entry is one
+/// `(Subset, f64)` pair — a few dozen bytes at µBE's universe sizes — so
+/// the default bounds the cache at roughly a hundred megabytes while being
+/// effectively unbounded for single solves (which evaluate tens of
+/// thousands of subsets, not a million).
+const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// One shard: fingerprint-keyed buckets plus the entry count (buckets may
+/// hold several exact subsets on fingerprint collision, so the map's `len`
+/// undercounts).
+#[derive(Default)]
+struct CacheShard {
+    buckets: HashMap<u64, Vec<(Subset, f64)>>,
+    entries: usize,
+}
+
+/// Recovers a lock guard from a poisoned lock: cache and counter state is
+/// always internally consistent (every update completes under one guard),
+/// so a panicking sibling thread must not wedge the evaluation.
+fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
 /// `Q(S)` exposed through [`SubsetProblem`] so any `mube-opt` solver can
 /// drive it. Evaluations are memoized by selection fingerprint — tabu search
 /// revisits neighbourhoods constantly, and `Match(S)` dominates the cost of
 /// an evaluation.
+///
+/// The objective is `Sync` and all interior state is thread-safe: the memo
+/// cache is sharded behind [`RwLock`]s and the counters are atomic, so a
+/// [`mube_opt::BatchEvaluator`] pool or a [`mube_opt::Portfolio`]'s member
+/// threads can evaluate concurrently against *one* objective and share each
+/// other's memoized `Match(S)` work.
 pub struct MubeObjective<'a> {
     universe: &'a Universe,
     ctx: &'a QefContext<'a>,
@@ -39,18 +74,27 @@ pub struct MubeObjective<'a> {
     /// stores the subsets themselves and compares them exactly — a
     /// fingerprint collision lands in the same bucket but can never alias
     /// (aliasing would silently poison the search).
-    cache: RefCell<HashMap<u64, Vec<(Subset, f64)>>>,
-    caching: Cell<bool>,
-    match_calls: Cell<u64>,
-    cache_hits: Cell<u64>,
-    match_stats: Cell<MatchStats>,
+    cache: [RwLock<CacheShard>; SHARDS],
+    /// Total entry budget across all shards; a shard that fills its slice
+    /// of the budget is cleared wholesale (coarse, but eviction is a safety
+    /// valve here, not a working-set policy — see `DEFAULT_CACHE_CAPACITY`).
+    cache_capacity: AtomicUsize,
+    caching: AtomicBool,
+    match_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    evictions: AtomicU64,
+    match_stats: Mutex<MatchStats>,
 }
 
 /// The subset's hash, computed once per [`MubeObjective::evaluate`] call.
 fn fingerprint(subset: &Subset) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    subset.hash(&mut hasher);
-    hasher.finish()
+    subset.fingerprint()
+}
+
+/// Which shard a fingerprint lives in. High bits, so the shard choice is
+/// independent of the `HashMap`'s own low-bit bucketing.
+fn shard_index(key: u64) -> usize {
+    (key >> 60) as usize & (SHARDS - 1)
 }
 
 impl<'a> MubeObjective<'a> {
@@ -78,11 +122,13 @@ impl<'a> MubeObjective<'a> {
             match_config,
             max_sources,
             pinned,
-            cache: RefCell::new(HashMap::new()),
-            caching: Cell::new(true),
-            match_calls: Cell::new(0),
-            cache_hits: Cell::new(0),
-            match_stats: Cell::new(MatchStats::default()),
+            cache: std::array::from_fn(|_| RwLock::new(CacheShard::default())),
+            cache_capacity: AtomicUsize::new(DEFAULT_CACHE_CAPACITY),
+            caching: AtomicBool::new(true),
+            match_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            match_stats: Mutex::new(MatchStats::default()),
         }
     }
 
@@ -90,10 +136,22 @@ impl<'a> MubeObjective<'a> {
     /// `ablation_cache` experiment turns it off to measure how much work
     /// the cache saves the revisit-heavy tabu search.
     pub fn set_cache_enabled(&self, enabled: bool) {
-        self.caching.set(enabled);
+        self.caching.store(enabled, Ordering::Relaxed);
         if !enabled {
-            self.cache.borrow_mut().clear();
+            for shard in &self.cache {
+                let mut guard = unpoison(shard.write());
+                guard.buckets.clear();
+                guard.entries = 0;
+            }
         }
+    }
+
+    /// Bounds the memo cache to roughly `capacity` entries across all
+    /// shards (minimum one entry per shard). A shard that exceeds its slice
+    /// of the budget is cleared wholesale and the dropped entries are added
+    /// to [`MubeObjective::evictions`].
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache_capacity.store(capacity, Ordering::Relaxed);
     }
 
     /// Runs `Match(S)` for a set of source ids (uncached; used by the
@@ -110,18 +168,23 @@ impl<'a> MubeObjective<'a> {
 
     /// Number of `Match(S)` invocations so far (cache misses).
     pub fn match_calls(&self) -> u64 {
-        self.match_calls.get()
+        self.match_calls.load(Ordering::Relaxed)
     }
 
     /// Number of memoized evaluations served.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.get()
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized entries dropped by capacity eviction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Aggregated `Match(S)` work counters over every (uncached) objective
     /// evaluation so far.
     pub fn match_stats(&self) -> MatchStats {
-        self.match_stats.get()
+        *unpoison(self.match_stats.lock())
     }
 
     /// Evaluates every component QEF for a selection, returning
@@ -157,12 +220,10 @@ impl<'a> MubeObjective<'a> {
         for (w, binding) in &self.bindings {
             let value = match binding {
                 QefBinding::Matching => {
-                    self.match_calls.set(self.match_calls.get() + 1);
+                    self.match_calls.fetch_add(1, Ordering::Relaxed);
                     match self.match_schema(&ids) {
                         Some(outcome) => {
-                            let mut agg = self.match_stats.get();
-                            agg.absorb(&outcome.stats);
-                            self.match_stats.set(agg);
+                            unpoison(self.match_stats.lock()).absorb(&outcome.stats);
                             outcome.quality
                         }
                         // Null schema: the source/GA constraints cannot be
@@ -197,28 +258,54 @@ impl SubsetProblem for MubeObjective<'_> {
     }
 
     fn evaluate(&self, subset: &Subset) -> f64 {
-        if !self.caching.get() {
+        if !self.caching.load(Ordering::Relaxed) {
             return self.compute(subset);
         }
-        // One hash of the subset per evaluation; the miss path re-probes
-        // with the already-computed u64 key (trivially cheap) and clones
-        // the subset only when actually inserting it.
+        // One hash of the subset per evaluation; both probes reuse the
+        // already-computed u64 key, and the subset is cloned only when
+        // actually inserted.
         let key = fingerprint(subset);
-        let hit = self
-            .cache
-            .borrow()
-            .get(&key)
-            .and_then(|bucket| bucket.iter().find(|(s, _)| s == subset).map(|(_, v)| *v));
-        if let Some(v) = hit {
-            self.cache_hits.set(self.cache_hits.get() + 1);
-            return v;
+        let shard = &self.cache[shard_index(key)];
+        {
+            let guard = unpoison(shard.read());
+            let hit = guard
+                .buckets
+                .get(&key)
+                .and_then(|bucket| bucket.iter().find(|(s, _)| s == subset).map(|(_, v)| *v));
+            if let Some(v) = hit {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
         }
+        // Compute outside any lock: `Match(S)` is the expensive part and
+        // other threads must keep hitting the shard meanwhile. Concurrent
+        // first evaluations of the *same* subset may each compute it (both
+        // get the same value — evaluation is pure); the write path below
+        // re-probes so the bucket still stores it once.
         let v = self.compute(subset);
-        self.cache
-            .borrow_mut()
+        let mut guard = unpoison(shard.write());
+        if let Some(bucket) = guard.buckets.get(&key) {
+            if bucket.iter().any(|(s, _)| s == subset) {
+                return v;
+            }
+        }
+        let per_shard = self
+            .cache_capacity
+            .load(Ordering::Relaxed)
+            .div_ceil(SHARDS)
+            .max(1);
+        if guard.entries >= per_shard {
+            let dropped = guard.entries;
+            guard.buckets.clear();
+            guard.entries = 0;
+            self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        guard
+            .buckets
             .entry(key)
             .or_default()
             .push((subset.clone(), v));
+        guard.entries += 1;
         v
     }
 }

@@ -24,6 +24,15 @@ pub struct SolveStats {
     /// Incremental-kernel Lance–Williams row derivations inside `Match(S)`
     /// calls (zero when the brute-force kernel is selected).
     pub lw_updates: u64,
+    /// Memoized `Q(S)` entries dropped by cache-capacity eviction (zero
+    /// unless a capacity was set and reached).
+    pub evictions: u64,
+    /// For portfolio solves, the name of the member solver that produced
+    /// the solution; `None` for single-solver runs.
+    pub portfolio_member: Option<&'static str>,
+    /// Parallel evaluation width: the resolved batch-evaluator width of the
+    /// solver (1 = serial), or the member count for a portfolio solve.
+    pub batch_width: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
 }

@@ -1,0 +1,176 @@
+//! Concurrent evaluation of candidate batches.
+//!
+//! The local-search solvers spend essentially all their time in
+//! `SubsetProblem::evaluate` (for µBE, one `Match(S)` run per uncached
+//! call), and every iteration evaluates a whole sampled neighborhood whose
+//! members are independent of each other. [`BatchEvaluator`] exploits
+//! exactly that independence: the solver *proposes* its full candidate
+//! batch first (consuming the RNG in the usual order), then evaluates the
+//! batch here — serially, or striped across a scoped thread pool — and gets
+//! the values back in input order.
+//!
+//! Because evaluation is pure (see [`SubsetProblem`]'s contract), the
+//! returned values are identical whichever width runs them, each candidate
+//! is evaluated exactly once in both modes, and the solver's subsequent
+//! move selection sees exactly the same numbers: batched and serial
+//! searches are bit-identical per seed.
+
+use std::sync::OnceLock;
+
+use crate::problem::SubsetProblem;
+use crate::subset::Subset;
+
+/// Evaluates slices of candidate subsets, optionally on a scoped thread
+/// pool. `Copy` configuration — embed it in solver configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvaluator {
+    /// Worker threads. `0` resolves to the machine's available parallelism
+    /// (overridable with the `MUBE_BATCH_THREADS` environment variable,
+    /// which CI uses to force determinism passes onto one thread); `1`
+    /// evaluates serially on the calling thread.
+    pub threads: usize,
+    /// Batches smaller than this run serially even when `threads > 1`:
+    /// spawn overhead would dominate tiny neighborhoods.
+    pub min_batch: usize,
+}
+
+impl Default for BatchEvaluator {
+    /// Serial evaluation — the conservative default keeps every existing
+    /// solver configuration byte-for-byte reproducible and overhead-free on
+    /// cheap objectives; opt into parallelism with [`BatchEvaluator::parallel`].
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// `MUBE_BATCH_THREADS`, parsed once.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("MUBE_BATCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t > 0)
+    })
+}
+
+impl BatchEvaluator {
+    /// Serial evaluation on the calling thread.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_batch: 8,
+        }
+    }
+
+    /// Auto-width parallel evaluation (one worker per available core).
+    pub fn parallel() -> Self {
+        Self {
+            threads: 0,
+            min_batch: 8,
+        }
+    }
+
+    /// Parallel evaluation with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            min_batch: 8,
+        }
+    }
+
+    /// The resolved worker width this evaluator will use.
+    pub fn width(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        env_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// Evaluates every candidate, returning values in input order.
+    ///
+    /// Contiguous stripes of the batch go to each worker, so candidate `i`'s
+    /// value lands at index `i` no matter how the threads interleave. Each
+    /// candidate is evaluated exactly once — identical evaluation counts to
+    /// the serial path.
+    pub fn evaluate<P: SubsetProblem + ?Sized>(
+        &self,
+        problem: &P,
+        candidates: &[Subset],
+    ) -> Vec<f64> {
+        let width = self.width();
+        if width < 2 || candidates.len() < self.min_batch.max(2) {
+            return candidates.iter().map(|c| problem.evaluate(c)).collect();
+        }
+        let mut values = vec![0.0f64; candidates.len()];
+        let chunk = candidates.len().div_ceil(width);
+        std::thread::scope(|scope| {
+            for (cands, vals) in candidates.chunks(chunk).zip(values.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (c, v) in cands.iter().zip(vals.iter_mut()) {
+                        *v = problem.evaluate(c);
+                    }
+                });
+            }
+        });
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::TopValues;
+    use crate::problem::CountingProblem;
+
+    fn candidates(n: usize, count: usize) -> Vec<Subset> {
+        (0..count)
+            .map(|k| Subset::from_indices(n, [k % n, (k * 7 + 1) % n]))
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_values_agree_in_order() {
+        let p = TopValues::new((0..32).map(|i| i as f64 * 0.5).collect(), 6, vec![]);
+        let batch = candidates(32, 40);
+        let serial = BatchEvaluator::serial().evaluate(&p, &batch);
+        let parallel = BatchEvaluator::with_threads(4).evaluate(&p, &batch);
+        assert_eq!(serial, parallel);
+        // Order check against direct evaluation.
+        for (c, v) in batch.iter().zip(&serial) {
+            assert_eq!(p.evaluate(c), *v);
+        }
+    }
+
+    #[test]
+    fn evaluation_counts_match_serial() {
+        let p = TopValues::new(vec![1.0; 16], 4, vec![]);
+        let batch = candidates(16, 33);
+        let counted = CountingProblem::new(&p);
+        BatchEvaluator::with_threads(3).evaluate(&counted, &batch);
+        assert_eq!(counted.evals(), 33);
+        let counted = CountingProblem::new(&p);
+        BatchEvaluator::serial().evaluate(&counted, &batch);
+        assert_eq!(counted.evals(), 33);
+    }
+
+    #[test]
+    fn small_batches_stay_serial_and_empty_is_fine() {
+        let p = TopValues::new(vec![1.0; 8], 3, vec![]);
+        let ev = BatchEvaluator::with_threads(4);
+        assert_eq!(ev.evaluate(&p, &[]).len(), 0);
+        let batch = candidates(8, 3);
+        assert_eq!(ev.evaluate(&p, &batch).len(), 3);
+    }
+
+    #[test]
+    fn width_resolution() {
+        assert_eq!(BatchEvaluator::serial().width(), 1);
+        assert_eq!(BatchEvaluator::with_threads(7).width(), 7);
+        assert!(BatchEvaluator::parallel().width() >= 1);
+    }
+}

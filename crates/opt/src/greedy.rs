@@ -5,17 +5,23 @@
 //! helps. Fast and deterministic, but blind to interactions — the
 //! optimizer-comparison experiment uses it as the floor.
 
+use crate::batch::BatchEvaluator;
 use crate::problem::SubsetProblem;
 use crate::solver::{run_counted, SolveResult, Solver};
 use crate::subset::Subset;
 
-/// Greedy forward selection. Stateless.
+/// Greedy forward selection. Stateless apart from the evaluation pool.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct Greedy;
+pub struct Greedy {
+    /// Evaluation pool for each round's add-candidates (serial by default;
+    /// any width is bit-identical — ties still go to the lowest item index
+    /// because selection scans the batch values in candidate order).
+    pub batch: BatchEvaluator,
+}
 
 impl Solver for Greedy {
     fn solve(&self, problem: &dyn SubsetProblem, _seed: u64) -> SolveResult {
-        run_counted(problem, 0, |counted, _rng| {
+        let mut result = run_counted(problem, 0, |counted, _rng| {
             let n = counted.universe_size();
             let mut current = Subset::from_indices(n, counted.pinned().iter().copied());
             let mut current_obj = counted.evaluate(&current);
@@ -24,18 +30,26 @@ impl Solver for Greedy {
 
             while current.len() < counted.max_selected() {
                 iters += 1;
+                // Propose every single-item extension, evaluate the whole
+                // round as one batch, then take the first maximum.
+                let candidates: Vec<Subset> = current
+                    .complement_iter()
+                    .map(|i| {
+                        let mut candidate = current.clone();
+                        candidate.insert(i);
+                        candidate
+                    })
+                    .collect();
+                let objs = self.batch.evaluate(counted, &candidates);
                 let mut best_add: Option<(usize, f64)> = None;
-                for i in current.complement_iter() {
-                    let mut candidate = current.clone();
-                    candidate.insert(i);
-                    let obj = counted.evaluate(&candidate);
+                for (k, &obj) in objs.iter().enumerate() {
                     if best_add.is_none_or(|(_, b)| obj > b) {
-                        best_add = Some((i, obj));
+                        best_add = Some((k, obj));
                     }
                 }
                 match best_add {
-                    Some((i, obj)) if obj > current_obj || !current_obj.is_finite() => {
-                        current.insert(i);
+                    Some((k, obj)) if obj > current_obj || !current_obj.is_finite() => {
+                        current = candidates[k].clone();
                         current_obj = obj;
                         trajectory.push(current_obj);
                     }
@@ -43,7 +57,9 @@ impl Solver for Greedy {
                 }
             }
             (current, current_obj, iters, trajectory)
-        })
+        });
+        result.batch_width = self.batch.width();
+        result
     }
 
     fn name(&self) -> &'static str {
@@ -60,7 +76,7 @@ mod tests {
     fn exact_on_modular_objective() {
         let values: Vec<f64> = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         let p = TopValues::new(values, 3, vec![]);
-        let r = Greedy.solve(&p, 0);
+        let r = Greedy::default().solve(&p, 0);
         assert_eq!(r.objective, p.optimum());
         assert!(r.best.contains(5) && r.best.contains(7) && r.best.contains(4));
     }
@@ -68,7 +84,7 @@ mod tests {
     #[test]
     fn keeps_pins_even_when_worthless() {
         let p = TopValues::new(vec![9.0, 0.0, 8.0], 2, vec![1]);
-        let r = Greedy.solve(&p, 0);
+        let r = Greedy::default().solve(&p, 0);
         assert!(r.best.contains(1));
         assert_eq!(r.objective, 9.0);
     }
@@ -77,7 +93,7 @@ mod tests {
     fn stops_when_no_addition_helps() {
         // All values zero: greedy adds nothing beyond pins.
         let p = TopValues::new(vec![0.0; 6], 4, vec![2]);
-        let r = Greedy.solve(&p, 0);
+        let r = Greedy::default().solve(&p, 0);
         assert_eq!(r.best.iter().collect::<Vec<_>>(), vec![2]);
     }
 
@@ -90,7 +106,7 @@ mod tests {
         // The genuinely adversarial case for greedy is ties broken badly;
         // just assert greedy is never *infeasible* and within the optimum.
         let p = PairBonus::new(8, 3);
-        let r = Greedy.solve(&p, 0);
+        let r = Greedy::default().solve(&p, 0);
         assert!(r.objective <= 4.0 + 1e-9);
         assert!(r.best.len() <= 3);
     }
@@ -98,8 +114,24 @@ mod tests {
     #[test]
     fn evaluation_count_is_quadratic_bounded() {
         let p = TopValues::new(vec![1.0; 20], 5, vec![]);
-        let r = Greedy.solve(&p, 0);
+        let r = Greedy::default().solve(&p, 0);
         // 1 initial + at most m rounds × n candidates.
         assert!(r.evaluations <= 1 + 5 * 20);
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical() {
+        let values: Vec<f64> = (0..40).map(|i| f64::from((i * 11) % 17)).collect();
+        let p = TopValues::new(values, 7, vec![3]);
+        let serial = Greedy::default().solve(&p, 0);
+        let batched = Greedy {
+            batch: BatchEvaluator::with_threads(4),
+        }
+        .solve(&p, 0);
+        assert_eq!(serial.best, batched.best);
+        assert_eq!(serial.objective, batched.objective);
+        assert_eq!(serial.trajectory, batched.trajectory);
+        assert_eq!(serial.evaluations, batched.evaluations);
+        assert_eq!(batched.batch_width, 4);
     }
 }

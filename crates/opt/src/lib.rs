@@ -23,10 +23,12 @@
 #![deny(missing_docs)]
 
 pub mod anneal;
+pub mod batch;
 pub mod exhaustive;
 pub mod greedy;
 pub mod lp;
 pub mod moves;
+pub mod portfolio;
 pub mod problem;
 pub mod pso;
 pub mod random;
@@ -36,9 +38,11 @@ pub mod subset;
 pub mod tabu;
 
 pub use anneal::SimulatedAnnealing;
+pub use batch::BatchEvaluator;
 pub use exhaustive::Exhaustive;
 pub use greedy::Greedy;
 pub use lp::{solve as lp_solve, LpConstraint, LpOutcome, LpProblem, Relation};
+pub use portfolio::{Portfolio, PortfolioMember, PortfolioOutcome};
 pub use problem::{CountingProblem, SubsetProblem};
 pub use pso::BinaryPso;
 pub use random::RandomSearch;

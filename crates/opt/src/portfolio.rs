@@ -1,0 +1,428 @@
+//! A racing portfolio of solvers with a shared best-incumbent.
+//!
+//! Different metaheuristics win on different instances (the paper's Section
+//! 6 comparison found tabu best *on average*, not always). A [`Portfolio`]
+//! hedges: it runs N member solvers concurrently on worker threads against
+//! the *same* problem — which, for µBE, also means against the same shared
+//! `Q(S)` memo cache, so members amortize each other's `Match(S)` work —
+//! and keeps a shared incumbent (best subset found by anyone, published via
+//! an atomic objective-bits fast path). Between rounds, members that
+//! support [`Solver::with_warm_start`] are re-seeded from the incumbent, so
+//! good basins found by one member are exploited by the others.
+//!
+//! Determinism: each member's seed stream is derived from the outer seed
+//! and the member index alone, so a single-round portfolio is fully
+//! deterministic (thread scheduling cannot change any member's trajectory —
+//! members never exchange state mid-round). With `rounds > 1` the *winner
+//! selection* is still deterministic, but warm-start contents depend on
+//! which member had published the best incumbent at the end of the previous
+//! round, which is round-barrier-synchronized and therefore deterministic
+//! too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::problem::SubsetProblem;
+use crate::solver::{SolveResult, Solver};
+use crate::subset::Subset;
+
+/// Shared best-solution cell: a lock-free objective-bits fast path guarding
+/// a mutex-held `(Subset, f64)` payload. Readers that only need "is my
+/// objective better than the incumbent's?" never take the lock.
+#[derive(Debug)]
+struct Incumbent {
+    /// `f64::to_bits` of the best objective so far (NEG_INFINITY initially).
+    /// Monotonically improving; updated with a compare-exchange loop keyed
+    /// on `total_cmp` of the decoded values.
+    bits: AtomicU64,
+    best: Mutex<Option<(Subset, f64)>>,
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock (a panicking
+/// member thread must not wedge the portfolio).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Incumbent {
+    fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            best: Mutex::new(None),
+        }
+    }
+
+    /// Current incumbent objective (fast path, no lock).
+    #[cfg(test)]
+    fn objective(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Publishes `(subset, objective)` if it beats the incumbent. The CAS
+    /// loop filters losers without the lock; winners update the payload
+    /// under the lock and re-check there, so the payload always matches the
+    /// best objective ever CAS'd in.
+    fn offer(&self, subset: &Subset, objective: f64) {
+        let mut seen = self.bits.load(Ordering::Acquire);
+        loop {
+            if objective.total_cmp(&f64::from_bits(seen)) != std::cmp::Ordering::Greater {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                seen,
+                objective.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+        let mut best = lock_unpoisoned(&self.best);
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| objective.total_cmp(b) == std::cmp::Ordering::Greater)
+        {
+            *best = Some((subset.clone(), objective));
+        }
+    }
+
+    /// Snapshot of the incumbent's items, if any feasible one was published.
+    fn snapshot(&self) -> Option<Vec<usize>> {
+        lock_unpoisoned(&self.best)
+            .as_ref()
+            .map(|(s, _)| s.iter().collect())
+    }
+}
+
+/// Per-member outcome of a portfolio run, for experiment reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioMember {
+    /// The member's [`Solver::name`].
+    pub name: &'static str,
+    /// Best objective the member itself reached (across its rounds).
+    pub objective: f64,
+    /// Objective evaluations the member spent.
+    pub evaluations: u64,
+    /// Solver iterations the member spent.
+    pub iterations: u64,
+    /// Rounds the member completed.
+    pub rounds: u32,
+    /// Whether this member produced the portfolio's returned solution.
+    pub won: bool,
+}
+
+/// Result of [`Portfolio::run`]: the winning [`SolveResult`] plus
+/// per-member accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioOutcome {
+    /// The winning member's result, with [`SolveResult::winner`] set to the
+    /// member's name, [`SolveResult::evaluations`] summed over *all*
+    /// members (total search effort), and [`SolveResult::batch_width`] set
+    /// to the member count.
+    pub result: SolveResult,
+    /// One entry per member, in configuration order.
+    pub members: Vec<PortfolioMember>,
+}
+
+/// Races member solvers on worker threads with a shared incumbent.
+///
+/// Members are `Arc`'d so warm-started variants can be derived per round
+/// without cloning solver configurations that are not `Clone` at the trait
+/// level.
+#[derive(Clone)]
+pub struct Portfolio {
+    /// The competing solvers, run one-per-thread.
+    pub members: Vec<Arc<dyn Solver>>,
+    /// Rounds per member. Round 0 runs the member as configured; later
+    /// rounds re-derive the member from the shared incumbent via
+    /// [`Solver::with_warm_start`] (members without warm-start support
+    /// re-run cold on a fresh derived seed — still useful for restart-based
+    /// searches).
+    pub rounds: u32,
+    /// Whether rounds after the first warm-start from the shared incumbent.
+    /// Off means rounds are independent reseeded runs.
+    pub cross_seed: bool,
+}
+
+impl std::fmt::Debug for Portfolio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Portfolio")
+            .field(
+                "members",
+                &self.members.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
+            .field("rounds", &self.rounds)
+            .field("cross_seed", &self.cross_seed)
+            .finish()
+    }
+}
+
+/// SplitMix64-style mixing so member/round seed streams are decorrelated
+/// from the outer seed and from each other.
+fn derive_seed(seed: u64, member: usize, round: u32) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(1 + member as u64))
+        .wrapping_add(0x1656_67b1_9e37_79f9_u64.wrapping_mul(1 + u64::from(round)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Portfolio {
+    /// The default µBE portfolio: tabu (the paper's winner), stochastic
+    /// local search, and binary PSO, two rounds with cross-seeding.
+    pub fn standard() -> Self {
+        Self {
+            members: vec![
+                Arc::new(crate::tabu::TabuSearch::default()),
+                Arc::new(crate::sls::StochasticLocalSearch::default()),
+                Arc::new(crate::pso::BinaryPso::default()),
+            ],
+            rounds: 2,
+            cross_seed: true,
+        }
+    }
+
+    /// Runs the race and returns the winner plus per-member stats.
+    ///
+    /// Panics in a member thread are contained: the member simply posts no
+    /// result and the remaining members decide the outcome (an empty or
+    /// fully-panicked portfolio returns an infeasible result).
+    pub fn run(&self, problem: &dyn SubsetProblem, seed: u64) -> PortfolioOutcome {
+        let incumbent = Incumbent::new();
+        // (member index, per-round results) posted by worker threads.
+        let posted: Mutex<Vec<(usize, Vec<SolveResult>)>> = Mutex::new(Vec::new());
+        let rounds = self.rounds.max(1);
+        std::thread::scope(|scope| {
+            for (idx, member) in self.members.iter().enumerate() {
+                let incumbent = &incumbent;
+                let posted = &posted;
+                scope.spawn(move || {
+                    let mut results = Vec::with_capacity(rounds as usize);
+                    for round in 0..rounds {
+                        let warmed: Option<Box<dyn Solver>> = if round > 0 && self.cross_seed {
+                            incumbent
+                                .snapshot()
+                                .and_then(|items| member.with_warm_start(&items))
+                        } else {
+                            None
+                        };
+                        let solver: &dyn Solver = match &warmed {
+                            Some(s) => s.as_ref(),
+                            None => member.as_ref(),
+                        };
+                        let r = solver.solve(problem, derive_seed(seed, idx, round));
+                        incumbent.offer(&r.best, r.objective);
+                        results.push(r);
+                    }
+                    lock_unpoisoned(posted).push((idx, results));
+                });
+            }
+        });
+        let mut posted = lock_unpoisoned(&posted);
+        posted.sort_by_key(|(idx, _)| *idx);
+
+        let total_evals: u64 = posted
+            .iter()
+            .flat_map(|(_, rs)| rs.iter().map(|r| r.evaluations))
+            .sum();
+        // Winner: best objective across every member round; ties go to the
+        // lowest member index, then the earliest round (configuration order
+        // — deterministic regardless of thread finishing order).
+        let mut winner: Option<(usize, usize)> = None;
+        let mut winner_obj = f64::NEG_INFINITY;
+        for (idx, results) in posted.iter() {
+            for (round, r) in results.iter().enumerate() {
+                if winner.is_none()
+                    || r.objective.total_cmp(&winner_obj) == std::cmp::Ordering::Greater
+                {
+                    winner = Some((*idx, round));
+                    winner_obj = r.objective;
+                }
+            }
+        }
+
+        let members: Vec<PortfolioMember> = posted
+            .iter()
+            .map(|(idx, results)| {
+                let best = results
+                    .iter()
+                    .map(|r| r.objective)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                PortfolioMember {
+                    name: self.members[*idx].name(),
+                    objective: best,
+                    evaluations: results.iter().map(|r| r.evaluations).sum(),
+                    iterations: results.iter().map(|r| r.iterations).sum(),
+                    rounds: results.len() as u32,
+                    won: winner.is_some_and(|(w, _)| w == *idx),
+                }
+            })
+            .collect();
+
+        let result = match winner {
+            Some((idx, round)) => {
+                let pos = posted
+                    .iter()
+                    .position(|(i, _)| *i == idx)
+                    .unwrap_or_default();
+                let r = posted[pos].1[round].clone();
+                SolveResult {
+                    evaluations: total_evals,
+                    winner: Some(self.members[idx].name()),
+                    batch_width: self.members.len(),
+                    ..r
+                }
+            }
+            None => SolveResult {
+                best: Subset::empty(problem.universe_size()),
+                objective: f64::NEG_INFINITY,
+                evaluations: total_evals,
+                iterations: 0,
+                trajectory: Vec::new(),
+                winner: None,
+                batch_width: self.members.len(),
+            },
+        };
+        PortfolioOutcome { result, members }
+    }
+}
+
+impl Solver for Portfolio {
+    fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
+        self.run(problem, seed).result
+    }
+
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn with_warm_start(&self, items: &[usize]) -> Option<Box<dyn Solver>> {
+        // Warm-start every member that supports it; others stay cold.
+        let members: Vec<Arc<dyn Solver>> = self
+            .members
+            .iter()
+            .map(|m| match m.with_warm_start(items) {
+                Some(w) => Arc::<dyn Solver>::from(w),
+                None => Arc::clone(m),
+            })
+            .collect();
+        Some(Box::new(Portfolio {
+            members,
+            ..self.clone()
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::testutil::{PairBonus, TopValues};
+    use crate::sls::StochasticLocalSearch;
+    use crate::tabu::TabuSearch;
+
+    #[test]
+    fn finds_optimum_and_reports_members() {
+        let values: Vec<f64> = (0..24).map(|i| f64::from((i * 5) % 11)).collect();
+        let p = TopValues::new(values, 5, vec![]);
+        let outcome = Portfolio::standard().run(&p, 7);
+        assert!((outcome.result.objective - p.optimum()).abs() < 1e-9);
+        assert_eq!(outcome.members.len(), 3);
+        assert_eq!(outcome.members.iter().filter(|m| m.won).count(), 1);
+        let won = outcome.members.iter().find(|m| m.won).expect("one winner");
+        assert_eq!(outcome.result.winner, Some(won.name));
+        assert_eq!(outcome.result.batch_width, 3);
+        // Total effort is the sum of member effort.
+        assert_eq!(
+            outcome.result.evaluations,
+            outcome.members.iter().map(|m| m.evaluations).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = PairBonus::new(20, 6);
+        let portfolio = Portfolio::standard();
+        let a = portfolio.run(&p, 11);
+        let b = portfolio.run(&p, 11);
+        assert_eq!(a.result.best, b.result.best);
+        assert_eq!(a.result.objective, b.result.objective);
+        assert_eq!(a.result.winner, b.result.winner);
+        assert_eq!(a.members, b.members);
+    }
+
+    #[test]
+    fn single_round_matches_best_member_run_standalone() {
+        let p = PairBonus::new(16, 4);
+        let portfolio = Portfolio {
+            members: vec![
+                Arc::new(TabuSearch::default()),
+                Arc::new(StochasticLocalSearch::default()),
+            ],
+            rounds: 1,
+            cross_seed: false,
+        };
+        let outcome = portfolio.run(&p, 3);
+        // Each member, run standalone with the derived seed, must reproduce
+        // its portfolio objective exactly — the race adds no nondeterminism.
+        let tabu = TabuSearch::default().solve(&p, derive_seed(3, 0, 0));
+        let sls = StochasticLocalSearch::default().solve(&p, derive_seed(3, 1, 0));
+        assert_eq!(outcome.members[0].objective, tabu.objective);
+        assert_eq!(outcome.members[1].objective, sls.objective);
+        let best = tabu.objective.max(sls.objective);
+        assert_eq!(outcome.result.objective, best);
+    }
+
+    #[test]
+    fn incumbent_orders_offers_correctly() {
+        let inc = Incumbent::new();
+        assert_eq!(inc.snapshot(), None);
+        let a = Subset::from_indices(4, [0]);
+        let b = Subset::from_indices(4, [1, 2]);
+        inc.offer(&a, 1.0);
+        inc.offer(&b, 3.0);
+        inc.offer(&a, 2.0); // loser: incumbent stays at b
+        assert_eq!(inc.objective(), 3.0);
+        assert_eq!(inc.snapshot(), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_portfolio_is_infeasible_not_a_panic() {
+        let p = TopValues::new(vec![1.0; 4], 2, vec![]);
+        let outcome = Portfolio {
+            members: vec![],
+            rounds: 1,
+            cross_seed: false,
+        }
+        .run(&p, 0);
+        assert!(!outcome.result.is_feasible());
+        assert!(outcome.members.is_empty());
+    }
+
+    #[test]
+    fn cross_seeded_rounds_never_lose_quality() {
+        let p = PairBonus::new(24, 8);
+        let one = Portfolio {
+            rounds: 1,
+            ..Portfolio::standard()
+        }
+        .run(&p, 5);
+        let two = Portfolio {
+            rounds: 2,
+            ..Portfolio::standard()
+        }
+        .run(&p, 5);
+        assert!(two.result.objective >= one.result.objective);
+    }
+
+    #[test]
+    fn warm_started_portfolio_solves() {
+        let p = TopValues::new(vec![5.0, 1.0, 4.0, 3.0, 2.0, 6.0], 3, vec![]);
+        let warmed = Portfolio::standard()
+            .with_warm_start(&[0, 5])
+            .expect("portfolio supports warm starts");
+        let r = warmed.solve(&p, 2);
+        assert!((r.objective - 15.0).abs() < 1e-9, "got {}", r.objective);
+    }
+}

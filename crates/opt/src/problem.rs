@@ -1,6 +1,6 @@
 //! The subset-selection problem abstraction.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::subset::Subset;
 
@@ -15,7 +15,14 @@ use crate::subset::Subset;
 ///   that violate problem-internal constraints the solver cannot see (µBE's
 ///   GA-constraint subsumption); solvers treat those as strictly worse than
 ///   any feasible candidate but may still walk through them.
-pub trait SubsetProblem {
+///
+/// Problems are `Sync`: `evaluate` takes `&self` and the batched solvers
+/// (see [`crate::batch::BatchEvaluator`]) hammer one problem from many
+/// threads, so any evaluation-local state (memo caches, counters) must be
+/// thread-safe. Evaluation must also be *pure* — the same subset always
+/// yields the same value — which is what makes batched and serial
+/// evaluation bit-identical.
+pub trait SubsetProblem: Sync {
     /// Number of items to choose from (`N = |U|`).
     fn universe_size(&self) -> usize;
 
@@ -38,10 +45,12 @@ pub trait SubsetProblem {
 }
 
 /// Wraps a problem and counts objective evaluations, used by experiments to
-/// compare search effort across solvers.
+/// compare search effort across solvers. The counter is atomic so batched
+/// evaluation can count from worker threads; the total is exact (every
+/// `evaluate` call increments it once) regardless of evaluation order.
 pub struct CountingProblem<'a, P: SubsetProblem + ?Sized> {
     inner: &'a P,
-    evals: Cell<u64>,
+    evals: AtomicU64,
 }
 
 impl<'a, P: SubsetProblem + ?Sized> CountingProblem<'a, P> {
@@ -49,13 +58,13 @@ impl<'a, P: SubsetProblem + ?Sized> CountingProblem<'a, P> {
     pub fn new(inner: &'a P) -> Self {
         Self {
             inner,
-            evals: Cell::new(0),
+            evals: AtomicU64::new(0),
         }
     }
 
     /// Number of `evaluate` calls so far.
     pub fn evals(&self) -> u64 {
-        self.evals.get()
+        self.evals.load(Ordering::Relaxed)
     }
 }
 
@@ -73,7 +82,7 @@ impl<P: SubsetProblem + ?Sized> SubsetProblem for CountingProblem<'_, P> {
     }
 
     fn evaluate(&self, subset: &Subset) -> f64 {
-        self.evals.set(self.evals.get() + 1);
+        self.evals.fetch_add(1, Ordering::Relaxed);
         self.inner.evaluate(subset)
     }
 }

@@ -10,11 +10,19 @@
 
 use rand::Rng;
 
+use crate::batch::BatchEvaluator;
 use crate::problem::SubsetProblem;
 use crate::solver::{run_counted, SolveResult, Solver};
 use crate::subset::Subset;
 
 /// Binary PSO configuration.
+///
+/// Updates are *synchronous*: every particle's velocity update reads the
+/// global best from the end of the previous generation, the whole
+/// generation's repaired positions are evaluated as one batch, and only
+/// then are personal/global bests advanced (in particle order). This is the
+/// textbook synchronous PSO and what makes batched evaluation bit-identical
+/// to serial: no particle's update can observe a mid-generation gbest.
 #[derive(Debug, Clone)]
 pub struct BinaryPso {
     /// Number of particles.
@@ -29,6 +37,9 @@ pub struct BinaryPso {
     pub social: f64,
     /// Velocity clamp.
     pub v_max: f64,
+    /// Evaluation pool for each generation's repaired positions (serial by
+    /// default; any width is bit-identical).
+    pub batch: BatchEvaluator,
 }
 
 impl Default for BinaryPso {
@@ -40,6 +51,7 @@ impl Default for BinaryPso {
             cognitive: 1.5,
             social: 1.5,
             v_max: 4.0,
+            batch: BatchEvaluator::default(),
         }
     }
 }
@@ -68,7 +80,7 @@ fn repair(problem: &dyn SubsetProblem, desired: &[bool], velocity: &[f64]) -> Su
 
 impl Solver for BinaryPso {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
-        run_counted(problem, seed, |counted, rng| {
+        let mut result = run_counted(problem, seed, |counted, rng| {
             let n = counted.universe_size();
             let mut velocities: Vec<Vec<f64>> = (0..self.particles)
                 .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
@@ -82,8 +94,8 @@ impl Solver for BinaryPso {
                 })
                 .collect();
             let mut pbest = positions.clone();
-            let mut pbest_obj: Vec<f64> = positions.iter().map(|p| counted.evaluate(p)).collect();
-            let mut gbest_idx = pbest_obj
+            let mut pbest_obj: Vec<f64> = self.batch.evaluate(counted, &positions);
+            let gbest_idx = pbest_obj
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
@@ -96,39 +108,53 @@ impl Solver for BinaryPso {
 
             for _ in 0..self.generations {
                 iters += 1;
-                for (pi, vel) in velocities.iter_mut().enumerate() {
-                    for (i, v) in vel.iter_mut().enumerate() {
-                        let x = f64::from(u8::from(positions[pi].contains(i)));
-                        let p = f64::from(u8::from(pbest[pi].contains(i)));
-                        let g = f64::from(u8::from(gbest.contains(i)));
-                        let r1: f64 = rng.gen();
-                        let r2: f64 = rng.gen();
-                        *v = (self.inertia * *v
-                            + self.cognitive * r1 * (p - x)
-                            + self.social * r2 * (g - x))
-                            .clamp(-self.v_max, self.v_max);
-                    }
-                    let desired: Vec<bool> = vel
-                        .iter()
-                        .map(|&vi| rng.gen::<f64>() < sigmoid(vi))
-                        .collect();
-                    positions[pi] = repair(counted, &desired, vel);
-                    let obj = counted.evaluate(&positions[pi]);
+                // Generation step: update every velocity against the
+                // *previous* generation's gbest and sample the desired
+                // membership (this is where the RNG is consumed, in fixed
+                // particle order) ...
+                let proposals: Vec<Subset> = velocities
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(pi, vel)| {
+                        for (i, v) in vel.iter_mut().enumerate() {
+                            let x = f64::from(u8::from(positions[pi].contains(i)));
+                            let p = f64::from(u8::from(pbest[pi].contains(i)));
+                            let g = f64::from(u8::from(gbest.contains(i)));
+                            let r1: f64 = rng.gen();
+                            let r2: f64 = rng.gen();
+                            *v = (self.inertia * *v
+                                + self.cognitive * r1 * (p - x)
+                                + self.social * r2 * (g - x))
+                                .clamp(-self.v_max, self.v_max);
+                        }
+                        let desired: Vec<bool> = vel
+                            .iter()
+                            .map(|&vi| rng.gen::<f64>() < sigmoid(vi))
+                            .collect();
+                        repair(counted, &desired, vel)
+                    })
+                    .collect();
+                // ... evaluate the whole generation as one batch ...
+                let objs = self.batch.evaluate(counted, &proposals);
+                // ... then advance personal and global bests in particle
+                // order over the returned values.
+                for (pi, &obj) in objs.iter().enumerate() {
                     if obj > pbest_obj[pi] {
                         pbest_obj[pi] = obj;
-                        pbest[pi] = positions[pi].clone();
+                        pbest[pi] = proposals[pi].clone();
                         if obj > gbest_obj {
                             gbest_obj = obj;
-                            gbest_idx = pi;
-                            gbest = positions[pi].clone();
+                            gbest = proposals[pi].clone();
                         }
                     }
                 }
-                let _ = gbest_idx;
+                positions = proposals;
                 trajectory.push(gbest_obj);
             }
             (gbest, gbest_obj, iters, trajectory)
-        })
+        });
+        result.batch_width = self.batch.width();
+        result
     }
 
     fn name(&self) -> &'static str {
@@ -186,5 +212,21 @@ mod tests {
         let p = PairBonus::new(10, 3);
         let s = BinaryPso::default();
         assert_eq!(s.solve(&p, 8).best, s.solve(&p, 8).best);
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical() {
+        let p = PairBonus::new(16, 5);
+        let serial = BinaryPso::default().solve(&p, 23);
+        let batched = BinaryPso {
+            batch: BatchEvaluator::with_threads(4),
+            ..BinaryPso::default()
+        }
+        .solve(&p, 23);
+        assert_eq!(serial.best, batched.best);
+        assert_eq!(serial.objective, batched.objective);
+        assert_eq!(serial.trajectory, batched.trajectory);
+        assert_eq!(serial.evaluations, batched.evaluations);
+        assert_eq!(batched.batch_width, 4);
     }
 }

@@ -1,9 +1,11 @@
 //! Stochastic local search: random-restart best-improvement hill climbing —
 //! another alternative the paper compared against tabu search.
 
+use crate::batch::BatchEvaluator;
 use crate::moves::sample_moves;
 use crate::problem::SubsetProblem;
 use crate::solver::{random_start, run_counted, SolveResult, Solver};
+use crate::subset::Subset;
 
 /// Stochastic local search configuration.
 #[derive(Debug, Clone)]
@@ -14,6 +16,13 @@ pub struct StochasticLocalSearch {
     pub max_steps: u64,
     /// Moves sampled and evaluated per step.
     pub neighborhood_sample: usize,
+    /// Evaluation pool for each step's sampled neighborhood (serial by
+    /// default; any width is bit-identical).
+    pub batch: BatchEvaluator,
+    /// Start the first restart from this subset (item indices) instead of a
+    /// random one — see [`Solver::with_warm_start`]. Pins are added and
+    /// excess items trimmed.
+    pub warm_start: Option<Vec<usize>>,
 }
 
 impl Default for StochasticLocalSearch {
@@ -22,14 +31,30 @@ impl Default for StochasticLocalSearch {
             restarts: 8,
             max_steps: 80,
             neighborhood_sample: 24,
+            batch: BatchEvaluator::default(),
+            warm_start: None,
         }
     }
 }
 
 impl Solver for StochasticLocalSearch {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
-        run_counted(problem, seed, |counted, rng| {
-            let mut best = random_start(counted, rng);
+        let mut result = run_counted(problem, seed, |counted, rng| {
+            let mut best = if let Some(items) = &self.warm_start {
+                let n = counted.universe_size();
+                let mut start = Subset::from_indices(n, counted.pinned().iter().copied());
+                for &i in items {
+                    if start.len() >= counted.max_selected() {
+                        break;
+                    }
+                    if i < n {
+                        start.insert(i);
+                    }
+                }
+                start
+            } else {
+                random_start(counted, rng)
+            };
             let mut best_obj = counted.evaluate(&best);
             let mut trajectory = Vec::new();
             let mut iters = 0u64;
@@ -44,18 +69,21 @@ impl Solver for StochasticLocalSearch {
                 for _ in 0..self.max_steps {
                     iters += 1;
                     let moves = sample_moves(counted, &current, self.neighborhood_sample, rng);
-                    // Best-improvement: evaluate the whole sample, take the
-                    // best strictly improving move; stop at a local optimum.
+                    // Best-improvement: propose the whole sample, evaluate
+                    // it as one batch, take the best strictly improving
+                    // move; stop at a local optimum.
+                    let nexts: Vec<Subset> =
+                        moves.iter().map(|mv| mv.applied_to(&current)).collect();
+                    let objs = self.batch.evaluate(counted, &nexts);
                     let mut improved = false;
-                    let mut best_move: Option<(crate::moves::Move, f64)> = None;
-                    for mv in moves {
-                        let obj = counted.evaluate(&mv.applied_to(&current));
+                    let mut best_move: Option<(usize, f64)> = None;
+                    for (k, &obj) in objs.iter().enumerate() {
                         if obj > current_obj && best_move.as_ref().is_none_or(|(_, b)| obj > *b) {
-                            best_move = Some((mv, obj));
+                            best_move = Some((k, obj));
                         }
                     }
-                    if let Some((mv, obj)) = best_move {
-                        current = mv.applied_to(&current);
+                    if let Some((k, obj)) = best_move {
+                        current = nexts[k].clone();
                         current_obj = obj;
                         improved = true;
                     }
@@ -70,11 +98,22 @@ impl Solver for StochasticLocalSearch {
                 }
             }
             (best, best_obj, iters, trajectory)
-        })
+        });
+        result.batch_width = self.batch.width();
+        result
     }
 
     fn name(&self) -> &'static str {
         "stochastic-local-search"
+    }
+
+    fn with_warm_start(&self, items: &[usize]) -> Option<Box<dyn Solver>> {
+        // The first "restart" climbs from the provided subset instead of a
+        // random one; later restarts still diversify randomly.
+        Some(Box::new(StochasticLocalSearch {
+            warm_start: Some(items.to_vec()),
+            ..self.clone()
+        }))
     }
 }
 
@@ -116,5 +155,33 @@ mod tests {
         let p = PairBonus::new(12, 4);
         let s = StochasticLocalSearch::default();
         assert_eq!(s.solve(&p, 77).best, s.solve(&p, 77).best);
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical() {
+        let p = PairBonus::new(20, 6);
+        let serial = StochasticLocalSearch::default().solve(&p, 41);
+        let batched = StochasticLocalSearch {
+            batch: BatchEvaluator::with_threads(3),
+            ..StochasticLocalSearch::default()
+        }
+        .solve(&p, 41);
+        assert_eq!(serial.best, batched.best);
+        assert_eq!(serial.objective, batched.objective);
+        assert_eq!(serial.trajectory, batched.trajectory);
+        assert_eq!(serial.evaluations, batched.evaluations);
+        assert_eq!(batched.batch_width, 3);
+    }
+
+    #[test]
+    fn warm_start_is_used_and_feasible() {
+        let p = TopValues::new(vec![9.0, 0.0, 8.0, 0.0, 7.0], 3, vec![1]);
+        let warmed = StochasticLocalSearch::default()
+            .with_warm_start(&[0, 2])
+            .expect("sls supports warm starts");
+        let r = warmed.solve(&p, 5);
+        assert!(r.best.contains(1));
+        assert!(r.best.len() <= 3);
+        assert!((r.objective - 17.0).abs() < 1e-9, "got {}", r.objective);
     }
 }

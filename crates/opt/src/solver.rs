@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::batch::BatchEvaluator;
 use crate::problem::{CountingProblem, SubsetProblem};
 use crate::subset::Subset;
 
@@ -22,6 +23,13 @@ pub struct SolveResult {
     /// Best-objective-so-far trace, one entry per iteration, for convergence
     /// plots and robustness comparisons.
     pub trajectory: Vec<f64>,
+    /// For portfolio runs, the [`Solver::name`] of the member that produced
+    /// `best`; `None` for plain solvers.
+    pub winner: Option<&'static str>,
+    /// Parallel evaluation width used: the resolved
+    /// [`BatchEvaluator`](crate::batch::BatchEvaluator) width for batched
+    /// solvers (1 = serial), or the member count for a portfolio run.
+    pub batch_width: usize,
 }
 
 impl SolveResult {
@@ -30,15 +38,28 @@ impl SolveResult {
         self.objective.is_finite()
     }
 
-    /// First iteration (0-based) at which the best-so-far reached
-    /// `fraction` of the final objective — a convergence-speed measure for
-    /// the optimizer comparison. `None` if the trajectory never does (only
-    /// possible for empty trajectories or non-finite objectives).
+    /// First iteration (0-based) at which the best-so-far climbed
+    /// `fraction` of the way from the trajectory's (finite) minimum to the
+    /// final objective — a convergence-speed measure for the optimizer
+    /// comparison. Anchoring at the trajectory minimum rather than at zero
+    /// keeps the measure meaningful for negative objectives (where a naive
+    /// `objective * fraction` raises the target *above* the final value and
+    /// never triggers) and for trajectories that start high. `None` only
+    /// for empty/all-infeasible trajectories or non-finite objectives.
     pub fn iterations_to_reach(&self, fraction: f64) -> Option<u64> {
         if !self.objective.is_finite() {
             return None;
         }
-        let target = self.objective * fraction;
+        let lo = self
+            .trajectory
+            .iter()
+            .copied()
+            .filter(|q| q.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if !lo.is_finite() {
+            return None;
+        }
+        let target = lo + (self.objective - lo) * fraction.clamp(0.0, 1.0);
         self.trajectory
             .iter()
             .position(|&q| q >= target)
@@ -59,7 +80,11 @@ impl SolveResult {
 }
 
 /// A subset-selection solver. All solvers are deterministic given `seed`.
-pub trait Solver {
+///
+/// `Send + Sync` so solvers can be raced against each other from worker
+/// threads (see [`crate::portfolio::Portfolio`]); solver configurations are
+/// plain data, so this costs implementations nothing.
+pub trait Solver: Send + Sync {
     /// Runs the search on `problem` and returns the best solution found.
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult;
 
@@ -99,6 +124,8 @@ where
         evaluations: counted.evals(),
         iterations,
         trajectory,
+        winner: None,
+        batch_width: 1,
     }
 }
 
@@ -115,23 +142,28 @@ pub(crate) fn random_start(problem: &dyn SubsetProblem, rng: &mut StdRng) -> Sub
 
 /// Scores every free item as `evaluate(pins ∪ {i})` and returns the item
 /// ordering (best first) plus the constructed top-`m` starting subset.
-/// Deterministic, costs `n` evaluations. The ordering doubles as the tabu
-/// candidate list (see [`crate::moves::sample_moves_biased`]).
+/// Deterministic, costs `n` evaluations (batched through `batch`). The
+/// ordering doubles as the tabu candidate list (see
+/// [`crate::moves::sample_moves_biased`]).
 pub(crate) fn singleton_greedy_start<P: SubsetProblem + ?Sized>(
     problem: &P,
+    batch: &BatchEvaluator,
 ) -> (Subset, Vec<usize>) {
     let n = problem.universe_size();
     let pins: Vec<usize> = problem.pinned().to_vec();
     let base = Subset::from_indices(n, pins.iter().copied());
     let budget = problem.max_selected().min(n).saturating_sub(base.len());
-    let mut scored: Vec<(f64, usize)> = base
-        .complement_iter()
-        .map(|i| {
+    let free: Vec<usize> = base.complement_iter().collect();
+    let singletons: Vec<Subset> = free
+        .iter()
+        .map(|&i| {
             let mut candidate = base.clone();
             candidate.insert(i);
-            (problem.evaluate(&candidate), i)
+            candidate
         })
         .collect();
+    let values = batch.evaluate(problem, &singletons);
+    let mut scored: Vec<(f64, usize)> = values.into_iter().zip(free).collect();
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let ordering: Vec<usize> = scored.iter().map(|&(_, i)| i).collect();
     let mut start = base;
@@ -159,41 +191,59 @@ mod tests {
         assert!(result.is_feasible());
     }
 
+    fn result_with(objective: f64, trajectory: Vec<f64>) -> SolveResult {
+        SolveResult {
+            best: Subset::empty(4),
+            objective,
+            evaluations: trajectory.len() as u64,
+            iterations: trajectory.len() as u64,
+            trajectory,
+            winner: None,
+            batch_width: 1,
+        }
+    }
+
     #[test]
     fn infeasible_result_detected() {
-        let r = SolveResult {
-            best: Subset::empty(1),
-            objective: f64::NEG_INFINITY,
-            evaluations: 0,
-            iterations: 0,
-            trajectory: vec![],
-        };
+        let r = result_with(f64::NEG_INFINITY, vec![]);
         assert!(!r.is_feasible());
     }
 
     #[test]
     fn convergence_helpers() {
-        let r = SolveResult {
-            best: Subset::from_indices(4, [0]),
-            objective: 10.0,
-            evaluations: 4,
-            iterations: 4,
-            trajectory: vec![2.0, 5.0, 10.0, 10.0],
-        };
-        assert_eq!(r.iterations_to_reach(0.5), Some(1));
+        let r = result_with(10.0, vec![2.0, 5.0, 10.0, 10.0]);
+        // Targets interpolate min→final: 0.5 → 6.0, 1.0 → 10.0, 0.1 → 2.8.
+        assert_eq!(r.iterations_to_reach(0.5), Some(2));
         assert_eq!(r.iterations_to_reach(1.0), Some(2));
-        assert_eq!(r.iterations_to_reach(0.1), Some(0));
+        assert_eq!(r.iterations_to_reach(0.1), Some(1));
+        assert_eq!(r.iterations_to_reach(0.0), Some(0));
         let auc = r.convergence_auc().unwrap();
         assert!((auc - 0.675).abs() < 1e-12, "got {auc}");
-        let empty = SolveResult {
-            best: Subset::empty(1),
-            objective: f64::NEG_INFINITY,
-            evaluations: 0,
-            iterations: 0,
-            trajectory: vec![],
-        };
+        let empty = result_with(f64::NEG_INFINITY, vec![]);
         assert_eq!(empty.iterations_to_reach(0.5), None);
         assert_eq!(empty.convergence_auc(), None);
+    }
+
+    #[test]
+    fn iterations_to_reach_handles_negative_objectives() {
+        // Regression: the old `objective * fraction` target sat *above* a
+        // negative final objective, so converging trajectories reported
+        // `None`. Min-anchored interpolation: target = -8 + 0.9·6 = -2.6.
+        let r = result_with(-2.0, vec![-8.0, -5.0, -2.0]);
+        assert_eq!(r.iterations_to_reach(0.9), Some(2));
+        assert_eq!(r.iterations_to_reach(0.5), Some(1));
+        assert_eq!(r.iterations_to_reach(1.0), Some(2));
+        // Infeasible prefixes are ignored when anchoring.
+        let r = result_with(3.0, vec![f64::NEG_INFINITY, 1.0, 3.0]);
+        assert_eq!(r.iterations_to_reach(1.0), Some(2));
+        assert_eq!(r.iterations_to_reach(0.0), Some(1));
+        // Flat trajectory: the final value is reached immediately.
+        let r = result_with(4.0, vec![4.0, 4.0]);
+        assert_eq!(r.iterations_to_reach(0.7), Some(0));
+        // All-infeasible trajectory with a finite final objective cannot
+        // anchor — explicitly `None`, not a panic.
+        let r = result_with(1.0, vec![f64::NEG_INFINITY]);
+        assert_eq!(r.iterations_to_reach(0.5), None);
     }
 
     #[test]

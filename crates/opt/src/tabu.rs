@@ -12,6 +12,7 @@
 //! handled as *permanently tabu regions*: moves that would drop a pinned
 //! item are never generated (see [`crate::moves`]).
 
+use crate::batch::BatchEvaluator;
 use crate::moves::{sample_moves_biased, Move};
 use crate::problem::SubsetProblem;
 use crate::solver::{random_start, run_counted, singleton_greedy_start, SolveResult, Solver};
@@ -57,6 +58,11 @@ pub struct TabuSearch {
     /// "perturbing the weights caused at most 1 GA to change" presumes
     /// exactly this warm-start behaviour).
     pub warm_start: Option<Vec<usize>>,
+    /// How to evaluate each iteration's sampled neighborhood: the whole
+    /// candidate batch is proposed first, then evaluated through this pool.
+    /// Serial by default; any width produces bit-identical results because
+    /// the move selection runs over the same values in the same order.
+    pub batch: BatchEvaluator,
 }
 
 impl Default for TabuSearch {
@@ -70,6 +76,7 @@ impl Default for TabuSearch {
             greedy_start: true,
             scale_sample_to_universe: true,
             warm_start: None,
+            batch: BatchEvaluator::default(),
         }
     }
 }
@@ -86,6 +93,7 @@ impl TabuSearch {
             greedy_start: true,
             scale_sample_to_universe: false,
             warm_start: None,
+            batch: BatchEvaluator::default(),
         }
     }
 
@@ -112,7 +120,7 @@ impl TabuSearch {
 
 impl Solver for TabuSearch {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
-        run_counted(problem, seed, |counted, rng| {
+        let mut result = run_counted(problem, seed, |counted, rng| {
             let n = counted.universe_size();
             let (max_iters, stall_limit) =
                 self.budget(n, counted.max_selected(), counted.pinned().len());
@@ -133,7 +141,7 @@ impl Solver for TabuSearch {
                 }
                 (start, None)
             } else if self.greedy_start {
-                let (start, ordering) = singleton_greedy_start(counted);
+                let (start, ordering) = singleton_greedy_start(counted, &self.batch);
                 (start, Some(ordering))
             } else {
                 (random_start(counted, rng), None)
@@ -156,22 +164,27 @@ impl Solver for TabuSearch {
                     trajectory.push(best_obj);
                     break;
                 }
-                // Pick the best non-tabu move; a tabu move passes only via
-                // aspiration (it would improve on the global best).
-                let mut chosen: Option<(Move, Subset, f64)> = None;
-                for mv in moves {
+                // Propose the whole neighborhood first, evaluate it as one
+                // batch, then pick the best non-tabu move; a tabu move
+                // passes only via aspiration (it would improve on the
+                // global best). The selection loop sees the same values in
+                // the same order as a move-by-move evaluation would, so any
+                // batch width picks the same move.
+                let nexts: Vec<Subset> = moves.iter().map(|mv| mv.applied_to(&current)).collect();
+                let objs = self.batch.evaluate(counted, &nexts);
+                let mut chosen: Option<(Move, usize, f64)> = None;
+                for (k, (&mv, &obj)) in moves.iter().zip(&objs).enumerate() {
                     let (a, b) = mv.touched();
                     let tabu = tabu_until[a] > iter || b.is_some_and(|b| tabu_until[b] > iter);
-                    let next = mv.applied_to(&current);
-                    let obj = counted.evaluate(&next);
                     let aspired = obj > best_obj;
                     if tabu && !aspired {
                         continue;
                     }
                     if chosen.as_ref().is_none_or(|(_, _, cur)| obj > *cur) {
-                        chosen = Some((mv, next, obj));
+                        chosen = Some((mv, k, obj));
                     }
                 }
+                let chosen = chosen.map(|(mv, k, obj)| (mv, nexts[k].clone(), obj));
                 if let Some((mv, next, obj)) = chosen {
                     let (a, b) = mv.touched();
                     tabu_until[a] = iter + 1 + self.tenure;
@@ -198,7 +211,9 @@ impl Solver for TabuSearch {
                 }
             }
             (best, best_obj, iters, trajectory)
-        })
+        });
+        result.batch_width = self.batch.width();
+        result
     }
 
     fn name(&self) -> &'static str {
@@ -302,6 +317,22 @@ mod tests {
             fixed.solve(&pinned, 3).iterations,
             fixed.solve(&free, 3).iterations
         );
+    }
+
+    #[test]
+    fn batched_evaluation_is_bit_identical() {
+        let p = PairBonus::new(24, 6);
+        let serial = TabuSearch::default().solve(&p, 13);
+        let batched = TabuSearch {
+            batch: BatchEvaluator::with_threads(4),
+            ..TabuSearch::default()
+        }
+        .solve(&p, 13);
+        assert_eq!(serial.best, batched.best);
+        assert_eq!(serial.objective, batched.objective);
+        assert_eq!(serial.trajectory, batched.trajectory);
+        assert_eq!(serial.evaluations, batched.evaluations);
+        assert_eq!(batched.batch_width, 4);
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! problems, must return structurally feasible solutions and never beat the
 //! exact optimum.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use mube_opt::{
-    lp_solve, BinaryPso, Exhaustive, Greedy, LpConstraint, LpOutcome, LpProblem, RandomSearch,
-    Relation, SimulatedAnnealing, Solver, StochasticLocalSearch, Subset, SubsetProblem, TabuSearch,
+    lp_solve, BatchEvaluator, BinaryPso, Exhaustive, Greedy, LpConstraint, LpOutcome, LpProblem,
+    Portfolio, RandomSearch, Relation, SimulatedAnnealing, Solver, StochasticLocalSearch, Subset,
+    SubsetProblem, TabuSearch,
 };
 
 /// A random modular-plus-pairwise objective:
@@ -96,7 +99,7 @@ fn all_solvers() -> Vec<Box<dyn Solver>> {
             max_steps: 30,
             ..StochasticLocalSearch::default()
         }),
-        Box::new(Greedy),
+        Box::new(Greedy::default()),
         Box::new(RandomSearch { samples: 200 }),
     ]
 }
@@ -149,6 +152,80 @@ proptest! {
             prop_assert_eq!(a.best, b.best, "{} nondeterministic", solver.name());
             prop_assert_eq!(a.evaluations, b.evaluations);
         }
+    }
+
+    #[test]
+    fn batched_solvers_are_bit_identical_to_serial(
+        problem in arb_problem(),
+        seed in 0u64..50,
+        threads in 2usize..5,
+    ) {
+        // min_batch: 2 forces the parallel path even on these tiny
+        // neighborhoods — the point is to exercise the threaded stripes.
+        let batch = BatchEvaluator { threads, min_batch: 2 };
+        let pairs: Vec<(Box<dyn Solver>, Box<dyn Solver>)> = vec![
+            (
+                Box::new(TabuSearch::quick()),
+                Box::new(TabuSearch { batch, ..TabuSearch::quick() }),
+            ),
+            (
+                Box::new(StochasticLocalSearch { restarts: 3, max_steps: 30, ..Default::default() }),
+                Box::new(StochasticLocalSearch { restarts: 3, max_steps: 30, batch, ..Default::default() }),
+            ),
+            (
+                Box::new(Greedy::default()),
+                Box::new(Greedy { batch }),
+            ),
+            (
+                Box::new(BinaryPso { particles: 10, generations: 30, ..Default::default() }),
+                Box::new(BinaryPso { particles: 10, generations: 30, batch, ..Default::default() }),
+            ),
+        ];
+        for (serial, batched) in pairs {
+            let a = serial.solve(&problem, seed);
+            let b = batched.solve(&problem, seed);
+            prop_assert_eq!(a.best, b.best, "{} diverged under batching", serial.name());
+            prop_assert_eq!(a.objective, b.objective);
+            prop_assert_eq!(a.trajectory, b.trajectory);
+            prop_assert_eq!(a.evaluations, b.evaluations);
+            prop_assert_eq!(b.batch_width, threads);
+        }
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_sound_and_never_worse_than_members(
+        problem in arb_problem(),
+        seed in 0u64..50,
+    ) {
+        let portfolio = Portfolio {
+            members: vec![
+                Arc::new(TabuSearch::quick()),
+                Arc::new(StochasticLocalSearch { restarts: 3, max_steps: 30, ..Default::default() }),
+                Arc::new(Greedy::default()),
+            ],
+            rounds: 2,
+            cross_seed: true,
+        };
+        let exact = Exhaustive::default().solve(&problem, 0);
+        let a = portfolio.run(&problem, seed);
+        let b = portfolio.run(&problem, seed);
+        // Deterministic despite racing threads.
+        prop_assert_eq!(&a.result.best, &b.result.best);
+        prop_assert_eq!(a.result.objective, b.result.objective);
+        prop_assert_eq!(&a.result.trajectory, &b.result.trajectory);
+        prop_assert_eq!(a.result.winner, b.result.winner);
+        prop_assert_eq!(&a.members, &b.members);
+        // Sound: feasible, consistent with re-evaluation, bounded by exact.
+        prop_assert!(problem.is_structurally_feasible(&a.result.best));
+        prop_assert!((problem.evaluate(&a.result.best) - a.result.objective).abs() < 1e-9);
+        prop_assert!(a.result.objective <= exact.objective + 1e-9);
+        // The returned result is the best any member achieved.
+        for m in &a.members {
+            prop_assert!(a.result.objective >= m.objective);
+        }
+        // Greedy is a member, so the portfolio at least matches greedy.
+        let greedy = Greedy::default().solve(&problem, 0);
+        prop_assert!(a.result.objective >= greedy.objective - 1e-9);
     }
 }
 

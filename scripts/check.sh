@@ -17,7 +17,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
-echo "==> bench harness smoke (match kernels agree, JSON schema intact)"
+echo "==> width-1 determinism pass (batched paths forced serial)"
+MUBE_BATCH_THREADS=1 cargo test -q -p mube-opt --test props
+
+echo "==> bench harness smoke (match + solve harnesses run, JSON schemas intact)"
 scripts/bench.sh --smoke
 
 echo "All checks passed."

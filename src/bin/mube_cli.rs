@@ -268,7 +268,7 @@ fn cmd_solve(args: &mut dyn Iterator<Item = &str>) -> Result<String, String> {
         "sa" => Box::new(SimulatedAnnealing::default()),
         "pso" => Box::new(BinaryPso::default()),
         "sls" => Box::new(StochasticLocalSearch::default()),
-        "greedy" => Box::new(Greedy),
+        "greedy" => Box::new(Greedy::default()),
         "random" => Box::new(RandomSearch::default()),
         other => return Err(format!("unknown solver {other:?}")),
     };

@@ -77,8 +77,9 @@ pub mod prelude {
         Mube, MubeBuilder, MubeError, ProblemSpec, Session, Solution, SolutionDiff,
     };
     pub use mube_opt::{
-        BinaryPso, Exhaustive, Greedy, RandomSearch, SimulatedAnnealing, Solver,
-        StochasticLocalSearch, TabuSearch,
+        BatchEvaluator, BinaryPso, Exhaustive, Greedy, Portfolio, PortfolioMember,
+        PortfolioOutcome, RandomSearch, SimulatedAnnealing, Solver, StochasticLocalSearch,
+        TabuSearch,
     };
     pub use mube_pcsa::{PcsaSketch, TupleHasher};
     pub use mube_qef::{Aggregation, CharacteristicQef, FnQef, Qef, QefContext, Weights};

@@ -1,0 +1,178 @@
+//! Concurrency integration tests: the shared `Q(S)` objective hammered from
+//! many threads, batched solves racing the serial reference, and portfolio
+//! solves audited against the paper-§2 invariant oracle.
+
+use std::sync::Arc;
+
+use mube::datagen::UniverseConfig;
+use mube::opt::SubsetProblem;
+use mube::prelude::*;
+
+fn engine_for(generated: &mube::datagen::GeneratedUniverse) -> Mube<'_> {
+    MubeBuilder::new(&generated.universe)
+        .sketches(generated.sketches.clone())
+        .build()
+}
+
+/// Eight threads evaluate overlapping subset streams against one objective:
+/// every value must equal the serial reference (the cache can never serve a
+/// wrong value, whatever the interleaving), and the miss/hit accounting
+/// must stay consistent.
+#[test]
+fn shared_objective_cache_survives_thread_hammer() {
+    let generated = UniverseConfig::small_test(30, 5).generate();
+    let mube = engine_for(&generated);
+    let spec = ProblemSpec::new(6);
+    let objective = mube.objective(&spec).expect("valid spec");
+    let n = generated.universe.len();
+
+    // A pool of subsets with heavy overlap between threads.
+    let subsets: Vec<mube::opt::Subset> = (0..64)
+        .map(|k| {
+            mube::opt::Subset::from_indices(
+                n,
+                [k % n, (k * 3 + 1) % n, (k * 7 + 2) % n, (k / 2) % n],
+            )
+        })
+        .collect();
+    let reference: Vec<f64> = subsets.iter().map(|s| objective.evaluate(s)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let objective = &objective;
+            let subsets = &subsets;
+            let reference = &reference;
+            scope.spawn(move || {
+                // Each thread walks the pool from a different offset, twice.
+                for pass in 0..2 {
+                    for i in 0..subsets.len() {
+                        let j = (i + t * 8 + pass) % subsets.len();
+                        let v = objective.evaluate(&subsets[j]);
+                        assert_eq!(
+                            v, reference[j],
+                            "thread {t} got a divergent value for subset {j}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Everything after the reference pass was a cache hit (no eviction at
+    // this scale), so misses stay bounded by the distinct-subset count.
+    assert!(objective.match_calls() <= subsets.len() as u64);
+    assert!(objective.cache_hits() >= 8 * 2 * subsets.len() as u64);
+    assert_eq!(objective.evictions(), 0);
+}
+
+/// A tightly capacity-bounded cache still returns correct values — eviction
+/// only costs recomputation — and reports its evictions.
+#[test]
+fn bounded_cache_evicts_but_stays_correct() {
+    let generated = UniverseConfig::small_test(24, 9).generate();
+    let mube = engine_for(&generated);
+    let unbounded = ProblemSpec::new(6);
+    let bounded = ProblemSpec::new(6).with_cache_capacity(16);
+
+    let a = mube
+        .solve(&unbounded, &TabuSearch::quick(), 3)
+        .expect("solvable");
+    let b = mube
+        .solve(&bounded, &TabuSearch::quick(), 3)
+        .expect("solvable");
+    // Same search, same answer — the cache is transparent.
+    assert_eq!(a.selected, b.selected);
+    assert_eq!(a.overall_quality, b.overall_quality);
+    assert_eq!(a.stats.evaluations, b.stats.evaluations);
+    // The tiny budget must actually have evicted (tabu evaluates far more
+    // than 16 distinct subsets here) and paid with extra Match(S) calls.
+    assert_eq!(a.stats.evictions, 0);
+    assert!(b.stats.evictions > 0, "16-entry cap never evicted");
+    assert!(b.stats.match_calls >= a.stats.match_calls);
+}
+
+/// Batched engine solves are bit-identical to serial ones, end to end.
+#[test]
+fn batched_engine_solve_matches_serial() {
+    let generated = UniverseConfig::small_test(40, 21).generate();
+    let mube = engine_for(&generated);
+    let spec = ProblemSpec::new(8);
+    let serial = mube
+        .solve(&spec, &TabuSearch::quick(), 11)
+        .expect("solvable");
+    let batched_solver = TabuSearch {
+        batch: BatchEvaluator::with_threads(4),
+        ..TabuSearch::quick()
+    };
+    let batched = mube.solve(&spec, &batched_solver, 11).expect("solvable");
+    assert_eq!(serial.selected, batched.selected);
+    assert_eq!(serial.overall_quality, batched.overall_quality);
+    assert_eq!(serial.schema, batched.schema);
+    assert_eq!(serial.stats.evaluations, batched.stats.evaluations);
+    assert_eq!(serial.stats.batch_width, 1);
+    assert_eq!(batched.stats.batch_width, 4);
+    assert_eq!(serial.stats.portfolio_member, None);
+}
+
+/// The portfolio winner must pass the full invariant audit, carry coherent
+/// member accounting, and be reproducible run to run.
+#[test]
+fn portfolio_solve_passes_audit_and_is_deterministic() {
+    let generated = UniverseConfig::small_test(30, 13).generate();
+    let mube = engine_for(&generated);
+    let spec = ProblemSpec::new(6);
+    let portfolio = Portfolio {
+        members: vec![
+            Arc::new(TabuSearch::quick()),
+            Arc::new(StochasticLocalSearch {
+                restarts: 4,
+                max_steps: 40,
+                ..Default::default()
+            }),
+            Arc::new(Greedy::default()),
+        ],
+        rounds: 2,
+        cross_seed: true,
+    };
+
+    let (solution, members) = mube
+        .solve_portfolio(&spec, &portfolio, 17)
+        .expect("solvable");
+    let report = mube.audit(&spec, &solution);
+    assert!(
+        report.is_clean(),
+        "portfolio winner failed audit:\n{report}"
+    );
+
+    assert_eq!(members.len(), 3);
+    assert_eq!(members.iter().filter(|m| m.won).count(), 1);
+    let winner = members.iter().find(|m| m.won).expect("one winner");
+    assert_eq!(solution.stats.portfolio_member, Some(winner.name));
+    assert_eq!(solution.stats.batch_width, 3);
+    // Total effort is the sum over members, and every member at least ran.
+    assert_eq!(
+        solution.stats.evaluations,
+        members.iter().map(|m| m.evaluations).sum::<u64>()
+    );
+    for m in &members {
+        assert_eq!(m.rounds, 2);
+        assert!(m.evaluations > 0, "{} never evaluated", m.name);
+        assert!(solution.overall_quality >= m.objective);
+    }
+
+    let (again, members_again) = mube
+        .solve_portfolio(&spec, &portfolio, 17)
+        .expect("solvable");
+    assert_eq!(solution.selected, again.selected);
+    assert_eq!(solution.overall_quality, again.overall_quality);
+    assert_eq!(
+        solution.stats.portfolio_member,
+        again.stats.portfolio_member
+    );
+    assert_eq!(members, members_again);
+
+    // Greedy is a member and ignores its seed, so the portfolio is
+    // guaranteed to at least match a standalone greedy solve.
+    let greedy = mube.solve(&spec, &Greedy::default(), 17).expect("solvable");
+    assert!(solution.overall_quality >= greedy.overall_quality - 1e-9);
+}
