@@ -32,7 +32,11 @@ pub enum MatchKernel {
 }
 
 /// Parameters of one `Match(S)` invocation.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` (not `Eq` — θ is a float) lets the session core classify
+/// whether a feedback edit invalidates cached `Match(S)` outcomes by
+/// comparing consecutive configurations field-for-field.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatchConfig {
     /// Matching threshold θ: minimum cluster-pair similarity to merge, and
     /// the guaranteed lower bound on the quality of every generated GA.

@@ -10,9 +10,10 @@ use mube_qef::{CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext, 
 use mube_schema::{SourceId, Universe};
 use mube_similarity::{NgramJaccard, SimilarityMeasure};
 
+use crate::arena::EvalArena;
 use crate::error::MubeError;
 use crate::matrix_sim::MatrixSimilarity;
-use crate::objective::{MubeObjective, QefBinding};
+use crate::objective::{ArenaRef, MubeObjective, QefBinding};
 use crate::problem::ProblemSpec;
 use crate::solution::{Solution, SolveStats};
 
@@ -154,9 +155,39 @@ impl<'u> Mube<'u> {
         Ok(())
     }
 
-    /// Builds the optimizer-facing objective for a spec. Exposed for
+    /// Builds the optimizer-facing objective for a spec, memoizing into a
+    /// fresh private arena that dies with the objective. Exposed for
     /// benches and tests that want to drive solvers directly.
     pub fn objective<'a>(&'a self, spec: &'a ProblemSpec) -> Result<MubeObjective<'a>, MubeError> {
+        self.objective_with(spec, ArenaRef::Owned(Box::default()))
+    }
+
+    /// Builds the optimizer-facing objective for a spec on a caller-owned
+    /// [`EvalArena`], first pointing the arena at the spec (classifying the
+    /// delta against the previous spec and invalidating accordingly — see
+    /// [`EvalArena::prepare`]). Entries memoized during the solve persist
+    /// in the arena for the next call.
+    ///
+    /// The arena must only ever be used with *this* engine: entries are
+    /// keyed by subset alone, so feeding them to a different universe,
+    /// similarity matrix, or sketch set would alias unrelated evaluations
+    /// (a universe-*size* change is detected and clears the arena; an
+    /// equal-sized different universe is not detectable).
+    pub fn objective_in<'a>(
+        &'a self,
+        spec: &'a ProblemSpec,
+        arena: &'a EvalArena,
+    ) -> Result<MubeObjective<'a>, MubeError> {
+        self.validate_spec(spec)?;
+        arena.prepare(spec, self.universe.len());
+        self.objective_with(spec, ArenaRef::Shared(arena))
+    }
+
+    fn objective_with<'a>(
+        &'a self,
+        spec: &'a ProblemSpec,
+        arena: ArenaRef<'a>,
+    ) -> Result<MubeObjective<'a>, MubeError> {
         self.validate_spec(spec)?;
         let bindings = self.resolve_bindings(spec)?;
         let objective = MubeObjective::new(
@@ -167,6 +198,7 @@ impl<'u> Mube<'u> {
             &spec.constraints,
             &spec.match_config,
             spec.max_sources.min(self.universe.len().max(1)),
+            arena,
         );
         if let Some(capacity) = spec.cache_capacity {
             objective.set_cache_capacity(capacity);
@@ -211,8 +243,15 @@ impl<'u> Mube<'u> {
                     linkage_evals: match_stats.linkage_evals,
                     lw_updates: match_stats.lw_updates,
                     evictions: objective.evictions(),
+                    reused: objective.reused(),
+                    recombined: objective.recombined(),
+                    invalidated: objective.invalidated(),
+                    spec_delta: objective.spec_delta(),
                     portfolio_member: result.winner,
                     batch_width: result.batch_width,
+                    // Cold unless the caller (Session) primed a warm-start
+                    // solver; it overwrites this field after the solve.
+                    warm_start: false,
                     elapsed: started.elapsed(),
                 }
             },
@@ -240,6 +279,27 @@ impl<'u> Mube<'u> {
         self.finish(spec, &objective, &result, started)
     }
 
+    /// Like [`Mube::solve`], but memoizes into a caller-owned
+    /// [`EvalArena`] that outlives the solve — the delta-aware session
+    /// path. Component vectors cached by earlier solves on the same arena
+    /// are reused according to the spec delta (see [`EvalArena`]): a
+    /// weights-only edit re-solves without a single `Match(S)` call.
+    ///
+    /// Arena values are bit-identical to cold evaluations, so for any
+    /// fixed seed this returns exactly the solution [`Mube::solve`] would.
+    pub fn solve_in(
+        &self,
+        spec: &ProblemSpec,
+        solver: &dyn Solver,
+        seed: u64,
+        arena: &EvalArena,
+    ) -> Result<Solution, MubeError> {
+        let started = Instant::now();
+        let objective = self.objective_in(spec, arena)?;
+        let result = solver.solve(&objective, seed);
+        self.finish(spec, &objective, &result, started)
+    }
+
     /// Solves by racing a [`Portfolio`] of solvers against one shared
     /// objective (and therefore one shared `Q(S)` memo cache: members
     /// amortize each other's `Match(S)` work). Returns the winning solution
@@ -254,6 +314,24 @@ impl<'u> Mube<'u> {
     ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
         let started = Instant::now();
         let objective = self.objective(spec)?;
+        let outcome = portfolio.run(&objective, seed);
+        let solution = self.finish(spec, &objective, &outcome.result, started)?;
+        Ok((solution, outcome.members))
+    }
+
+    /// Like [`Mube::solve_portfolio`], but memoizing into a caller-owned
+    /// [`EvalArena`]: the racing members share the session's persistent
+    /// component-vector store, so they amortize not only each other's
+    /// `Match(S)` work but every *previous iteration's* as well.
+    pub fn solve_portfolio_in(
+        &self,
+        spec: &ProblemSpec,
+        portfolio: &Portfolio,
+        seed: u64,
+        arena: &EvalArena,
+    ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
+        let started = Instant::now();
+        let objective = self.objective_in(spec, arena)?;
         let outcome = portfolio.run(&objective, seed);
         let solution = self.finish(spec, &objective, &outcome.result, started)?;
         Ok((solution, outcome.members))

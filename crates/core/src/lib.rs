@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod diff;
 pub mod engine;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod problem;
 pub mod session;
 pub mod solution;
 
+pub use arena::{EvalArena, SpecDelta};
 pub use diff::SolutionDiff;
 pub use engine::{Mube, MubeBuilder};
 pub use error::MubeError;

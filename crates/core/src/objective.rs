@@ -1,14 +1,23 @@
 //! The composite objective `Q(S)` as a subset-selection problem.
+//!
+//! Since the delta-aware session core landed, the objective no longer
+//! memoizes the scalar `Q(S)`: it memoizes the *component vector*
+//! `[F_1(S) .. F_K(S)]` (an [`EvalArena`] entry) and applies the weight
+//! combination at read time, in exactly the accumulation order the direct
+//! computation uses — so cached and fresh values are bit-identical, and a
+//! weights-only feedback edit recombines every surviving entry with zero
+//! `Match(S)` calls.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError, RwLock};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use mube_cluster::{match_sources, MatchConfig, MatchOutcome, MatchStats};
 use mube_opt::{Subset, SubsetProblem};
 use mube_qef::{CharacteristicQef, Qef, QefContext};
 use mube_schema::{Constraints, SourceId, SourceSelection, Universe};
 
+use crate::arena::{schema_key, ComponentEval, EvalArena, MatchPart, SpecDelta};
 use crate::matrix_sim::MatrixSimilarity;
 
 /// A weight bound to the function it scales.
@@ -21,33 +30,42 @@ pub(crate) enum QefBinding<'a> {
     Characteristic(CharacteristicQef),
 }
 
-/// Memo-cache shards. Sixteen is plenty: the batched solvers run at most a
-/// few dozen worker threads, and the shard index comes from high fingerprint
-/// bits, so concurrent evaluations of a sampled neighborhood spread across
-/// shards almost uniformly.
-const SHARDS: usize = 16;
-
-/// Default total memo-cache entry budget. An entry is one
-/// `(Subset, f64)` pair — a few dozen bytes at µBE's universe sizes — so
-/// the default bounds the cache at roughly a hundred megabytes while being
-/// effectively unbounded for single solves (which evaluate tens of
-/// thousands of subsets, not a million).
-const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
-
-/// One shard: fingerprint-keyed buckets plus the entry count (buckets may
-/// hold several exact subsets on fingerprint collision, so the map's `len`
-/// undercounts).
-#[derive(Default)]
-struct CacheShard {
-    buckets: HashMap<u64, Vec<(Subset, f64)>>,
-    entries: usize,
-}
-
-/// Recovers a lock guard from a poisoned lock: cache and counter state is
-/// always internally consistent (every update completes under one guard),
-/// so a panicking sibling thread must not wedge the evaluation.
+/// Recovers a lock guard from a poisoned lock: counter state is always
+/// internally consistent (every update completes under one guard), so a
+/// panicking sibling thread must not wedge the evaluation.
 fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
     r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The evaluation arena an objective memoizes into: its own private arena
+/// (one-shot solves) or a borrowed session arena that outlives the solve.
+pub(crate) enum ArenaRef<'a> {
+    /// A fresh arena owned by this objective — dropped with it.
+    Owned(Box<EvalArena>),
+    /// A session-owned arena shared across iterations (and across a
+    /// portfolio's member solvers within one iteration).
+    Shared(&'a EvalArena),
+}
+
+impl Deref for ArenaRef<'_> {
+    type Target = EvalArena;
+
+    fn deref(&self) -> &EvalArena {
+        match self {
+            ArenaRef::Owned(arena) => arena,
+            ArenaRef::Shared(arena) => arena,
+        }
+    }
+}
+
+/// What an arena probe produced for a subset.
+enum Probe {
+    /// A complete evaluation: the combined `Q(S)` under current weights.
+    Full(f64),
+    /// A cross-iteration survivor whose match part was stripped by a
+    /// `MatchInvalidating` edit: the non-matching components, cloned out so
+    /// `Match(S)` alone can be recomputed outside the shard lock.
+    Stale(Vec<f64>),
 }
 
 /// `Q(S)` exposed through [`SubsetProblem`] so any `mube-opt` solver can
@@ -56,10 +74,21 @@ fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
 /// an evaluation.
 ///
 /// The objective is `Sync` and all interior state is thread-safe: the memo
-/// cache is sharded behind [`RwLock`]s and the counters are atomic, so a
+/// arena is sharded behind `RwLock`s and the counters are atomic, so a
 /// [`mube_opt::BatchEvaluator`] pool or a [`mube_opt::Portfolio`]'s member
 /// threads can evaluate concurrently against *one* objective and share each
 /// other's memoized `Match(S)` work.
+///
+/// # Cached-entry validity across feedback edits
+///
+/// Arena entries are constraint-independent by construction: before
+/// trusting (or creating) any entry, [`MubeObjective::evaluate`] checks the
+/// *current* required sources against the subset and short-circuits to
+/// infeasible on a miss — the exact condition under which `Match(S)` would
+/// return the null schema for a required-source violation. Cached entries
+/// therefore describe only what the subset's QEFs and `Match(S)` compute
+/// on the subset itself, which is why a `FeasibilityOnly` spec edit (new
+/// required source, new budget `m`) invalidates nothing.
 pub struct MubeObjective<'a> {
     universe: &'a Universe,
     ctx: &'a QefContext<'a>,
@@ -69,35 +98,26 @@ pub struct MubeObjective<'a> {
     match_config: &'a MatchConfig,
     max_sources: usize,
     pinned: Vec<usize>,
-    /// Memo cache, keyed by a precomputed 64-bit fingerprint of the subset
-    /// so each lookup hashes the selection words exactly once. The bucket
-    /// stores the subsets themselves and compares them exactly — a
-    /// fingerprint collision lands in the same bucket but can never alias
-    /// (aliasing would silently poison the search).
-    cache: [RwLock<CacheShard>; SHARDS],
-    /// Total entry budget across all shards; a shard that fills its slice
-    /// of the budget is cleared wholesale (coarse, but eviction is a safety
-    /// valve here, not a working-set policy — see `DEFAULT_CACHE_CAPACITY`).
-    cache_capacity: AtomicUsize,
+    /// Whether any binding is [`QefBinding::Matching`] — decides whether a
+    /// cached entry's match part participates in combination at all.
+    has_matching: bool,
+    arena: ArenaRef<'a>,
     caching: AtomicBool,
+    /// The delta class the arena computed when it was pointed at this
+    /// objective's spec (`None` for one-shot solves on a fresh arena).
+    spec_delta: Option<SpecDelta>,
+    /// Entries the arena invalidated when preparing for this spec.
+    invalidated: u64,
     match_calls: AtomicU64,
     cache_hits: AtomicU64,
+    reused: AtomicU64,
+    recombined: AtomicU64,
     evictions: AtomicU64,
     match_stats: Mutex<MatchStats>,
 }
 
-/// The subset's hash, computed once per [`MubeObjective::evaluate`] call.
-fn fingerprint(subset: &Subset) -> u64 {
-    subset.fingerprint()
-}
-
-/// Which shard a fingerprint lives in. High bits, so the shard choice is
-/// independent of the `HashMap`'s own low-bit bucketing.
-fn shard_index(key: u64) -> usize {
-    (key >> 60) as usize & (SHARDS - 1)
-}
-
 impl<'a> MubeObjective<'a> {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor; only `Mube::objective_with` calls it
     pub(crate) fn new(
         universe: &'a Universe,
         ctx: &'a QefContext<'a>,
@@ -106,6 +126,7 @@ impl<'a> MubeObjective<'a> {
         constraints: &'a Constraints,
         match_config: &'a MatchConfig,
         max_sources: usize,
+        arena: ArenaRef<'a>,
     ) -> Self {
         let mut pinned: Vec<usize> = constraints
             .required_sources()
@@ -113,6 +134,11 @@ impl<'a> MubeObjective<'a> {
             .map(SourceId::index)
             .collect();
         pinned.sort_unstable();
+        let has_matching = bindings
+            .iter()
+            .any(|(_, b)| matches!(b, QefBinding::Matching));
+        let spec_delta = arena.last_delta();
+        let invalidated = arena.last_invalidated();
         Self {
             universe,
             ctx,
@@ -122,11 +148,15 @@ impl<'a> MubeObjective<'a> {
             match_config,
             max_sources,
             pinned,
-            cache: std::array::from_fn(|_| RwLock::new(CacheShard::default())),
-            cache_capacity: AtomicUsize::new(DEFAULT_CACHE_CAPACITY),
+            has_matching,
+            arena,
             caching: AtomicBool::new(true),
+            spec_delta,
+            invalidated,
             match_calls: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            recombined: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             match_stats: Mutex::new(MatchStats::default()),
         }
@@ -134,24 +164,21 @@ impl<'a> MubeObjective<'a> {
 
     /// Enables or disables evaluation memoization. On by default; the
     /// `ablation_cache` experiment turns it off to measure how much work
-    /// the cache saves the revisit-heavy tabu search.
+    /// the memo arena saves the revisit-heavy tabu search. Disabling drops
+    /// every entry in the backing arena.
     pub fn set_cache_enabled(&self, enabled: bool) {
         self.caching.store(enabled, Ordering::Relaxed);
         if !enabled {
-            for shard in &self.cache {
-                let mut guard = unpoison(shard.write());
-                guard.buckets.clear();
-                guard.entries = 0;
-            }
+            self.arena.clear();
         }
     }
 
-    /// Bounds the memo cache to roughly `capacity` entries across all
+    /// Bounds the memo arena to roughly `capacity` entries across all
     /// shards (minimum one entry per shard). A shard that exceeds its slice
     /// of the budget is cleared wholesale and the dropped entries are added
     /// to [`MubeObjective::evictions`].
     pub fn set_cache_capacity(&self, capacity: usize) {
-        self.cache_capacity.store(capacity, Ordering::Relaxed);
+        self.arena.set_capacity(capacity);
     }
 
     /// Runs `Match(S)` for a set of source ids (uncached; used by the
@@ -171,9 +198,33 @@ impl<'a> MubeObjective<'a> {
         self.match_calls.load(Ordering::Relaxed)
     }
 
-    /// Number of memoized evaluations served.
+    /// Number of memoized evaluations served whole from the arena.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations served by entries that survived from an *earlier*
+    /// iteration of a session (component reuse across user feedback).
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// The subset of [`MubeObjective::reused`] that was recombined under
+    /// weights different from the ones the entry was computed with — the
+    /// weights-only fast path.
+    pub fn recombined(&self) -> u64 {
+        self.recombined.load(Ordering::Relaxed)
+    }
+
+    /// Arena entries invalidated by the spec edit that led to this solve.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    /// How the spec that built this objective differs from the previous
+    /// spec evaluated on the same arena (`None` on a fresh arena).
+    pub fn spec_delta(&self) -> Option<SpecDelta> {
+        self.spec_delta
     }
 
     /// Number of memoized entries dropped by capacity eviction.
@@ -213,22 +264,60 @@ impl<'a> MubeObjective<'a> {
             .collect()
     }
 
-    fn compute(&self, subset: &Subset) -> f64 {
+    /// Whether every currently required source is in the subset. When this
+    /// fails with a matching QEF bound, `Match(S)` would return the null
+    /// schema — so the evaluation can short-circuit to infeasible without
+    /// running (or caching) anything.
+    fn pins_satisfied(&self, subset: &Subset) -> bool {
+        self.pinned.iter().all(|&i| subset.contains(i))
+    }
+
+    /// Combines a cached component vector (plus the matching quality, if a
+    /// matching QEF is bound) under the current weights.
+    ///
+    /// Iterates the bindings in the same order as [`Self::compute_eval`]
+    /// and accumulates `q += w * value` identically, so a recombined value
+    /// is bit-for-bit the value a cold computation would produce.
+    fn combine(&self, match_quality: f64, components: &[f64]) -> f64 {
+        let mut q = 0.0;
+        for (i, (w, binding)) in self.bindings.iter().enumerate() {
+            let value = match binding {
+                QefBinding::Matching => match_quality,
+                _ => components.get(i).copied().unwrap_or(0.0),
+            };
+            q += w * value;
+        }
+        q
+    }
+
+    /// Full evaluation: computes every component in binding order, returning
+    /// the combined `Q(S)` plus the memoizable component vector.
+    ///
+    /// The scalar accumulation is the reference order that [`Self::combine`]
+    /// replicates. A null schema aborts the loop — infeasible subsets carry
+    /// no reusable components.
+    fn compute_eval(&self, subset: &Subset) -> (f64, ComponentEval) {
         let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
         let selection = SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
+        let mut components = vec![0.0f64; self.bindings.len()];
+        let mut match_part = None;
         let mut q = 0.0;
-        for (w, binding) in &self.bindings {
+        for (i, (w, binding)) in self.bindings.iter().enumerate() {
             let value = match binding {
                 QefBinding::Matching => {
                     self.match_calls.fetch_add(1, Ordering::Relaxed);
                     match self.match_schema(&ids) {
                         Some(outcome) => {
                             unpoison(self.match_stats.lock()).absorb(&outcome.stats);
+                            match_part = Some(MatchPart::Feasible {
+                                quality: outcome.quality,
+                                schema_key: schema_key(&outcome.schema),
+                            });
                             outcome.quality
                         }
                         // Null schema: the source/GA constraints cannot be
                         // satisfied on this S — infeasible candidate.
-                        None => return f64::NEG_INFINITY,
+                        None => return (f64::NEG_INFINITY, ComponentEval::infeasible()),
                     }
                 }
                 QefBinding::Registered(qef) => qef.evaluate(&selection, self.ctx),
@@ -238,9 +327,27 @@ impl<'a> MubeObjective<'a> {
                 (0.0..=1.0 + 1e-9).contains(&value),
                 "QEF out of range: {value}"
             );
+            if !matches!(binding, QefBinding::Matching) {
+                components[i] = value;
+            }
             q += w * value;
         }
-        q
+        (
+            q,
+            ComponentEval {
+                match_part,
+                components,
+            },
+        )
+    }
+
+    /// Records a cross-iteration reuse (recombined when the entry predates
+    /// the current weights).
+    fn count_survivor(&self, reweighted: bool) {
+        self.reused.fetch_add(1, Ordering::Relaxed);
+        if reweighted {
+            self.recombined.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -259,53 +366,94 @@ impl SubsetProblem for MubeObjective<'_> {
 
     fn evaluate(&self, subset: &Subset) -> f64 {
         if !self.caching.load(Ordering::Relaxed) {
-            return self.compute(subset);
+            return self.compute_eval(subset).0;
+        }
+        // Required-source pre-check *before* any arena traffic: a subset
+        // missing a currently pinned source is infeasible under the current
+        // spec, but that is a property of the spec, not of the subset — it
+        // must neither consult nor pollute the (constraint-independent)
+        // arena. This is what keeps cached entries valid across
+        // `FeasibilityOnly` edits. The solvers structurally pin required
+        // sources, so this path fires only on warm-start repairs and
+        // hand-fed subsets.
+        if self.has_matching && !self.pins_satisfied(subset) {
+            return f64::NEG_INFINITY;
         }
         // One hash of the subset per evaluation; both probes reuse the
         // already-computed u64 key, and the subset is cloned only when
         // actually inserted.
-        let key = fingerprint(subset);
-        let shard = &self.cache[shard_index(key)];
-        {
-            let guard = unpoison(shard.read());
-            let hit = guard
-                .buckets
-                .get(&key)
-                .and_then(|bucket| bucket.iter().find(|(s, _)| s == subset).map(|(_, v)| *v));
-            if let Some(v) = hit {
+        let key = subset.fingerprint();
+        let epoch = self.arena.epoch();
+        let weights_version = self.arena.weights_version();
+        let probed = self.arena.probe(key, subset, |entry| {
+            let survivor = entry.epoch < epoch;
+            let reweighted = entry.weights_version < weights_version;
+            let probe = if !self.has_matching {
+                Probe::Full(self.combine(0.0, &entry.eval.components))
+            } else {
+                match entry.eval.match_part {
+                    Some(MatchPart::Feasible { quality, .. }) => {
+                        Probe::Full(self.combine(quality, &entry.eval.components))
+                    }
+                    Some(MatchPart::Infeasible) => Probe::Full(f64::NEG_INFINITY),
+                    // Stripped by a MatchInvalidating edit: clone the
+                    // components out so Match(S) can rerun lock-free.
+                    None => Probe::Stale(entry.eval.components.clone()),
+                }
+            };
+            (probe, survivor, reweighted)
+        });
+        match probed {
+            Some((Probe::Full(v), survivor, reweighted)) => {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if survivor {
+                    self.count_survivor(reweighted);
+                }
                 return v;
             }
+            Some((Probe::Stale(components), survivor, reweighted)) => {
+                // Partial reuse: every non-matching component survives the
+                // match-invalidating edit; only Match(S) reruns.
+                let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
+                self.match_calls.fetch_add(1, Ordering::Relaxed);
+                let v = match self.match_schema(&ids) {
+                    Some(outcome) => {
+                        unpoison(self.match_stats.lock()).absorb(&outcome.stats);
+                        self.arena.restore_match_part(
+                            key,
+                            subset,
+                            MatchPart::Feasible {
+                                quality: outcome.quality,
+                                schema_key: schema_key(&outcome.schema),
+                            },
+                        );
+                        self.combine(outcome.quality, &components)
+                    }
+                    None => {
+                        // Feasible under the old matching parameters,
+                        // infeasible under the new ones.
+                        self.arena
+                            .restore_match_part(key, subset, MatchPart::Infeasible);
+                        f64::NEG_INFINITY
+                    }
+                };
+                if survivor {
+                    self.count_survivor(reweighted);
+                }
+                return v;
+            }
+            None => {}
         }
         // Compute outside any lock: `Match(S)` is the expensive part and
         // other threads must keep hitting the shard meanwhile. Concurrent
         // first evaluations of the *same* subset may each compute it (both
-        // get the same value — evaluation is pure); the write path below
+        // get the same vector — evaluation is pure); the arena's insert
         // re-probes so the bucket still stores it once.
-        let v = self.compute(subset);
-        let mut guard = unpoison(shard.write());
-        if let Some(bucket) = guard.buckets.get(&key) {
-            if bucket.iter().any(|(s, _)| s == subset) {
-                return v;
-            }
+        let (v, eval) = self.compute_eval(subset);
+        let dropped = self.arena.insert(key, subset, eval);
+        if dropped > 0 {
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
         }
-        let per_shard = self
-            .cache_capacity
-            .load(Ordering::Relaxed)
-            .div_ceil(SHARDS)
-            .max(1);
-        if guard.entries >= per_shard {
-            let dropped = guard.entries;
-            guard.buckets.clear();
-            guard.entries = 0;
-            self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
-        }
-        guard
-            .buckets
-            .entry(key)
-            .or_default()
-            .push((subset.clone(), v));
-        guard.entries += 1;
         v
     }
 }

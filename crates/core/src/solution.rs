@@ -6,6 +6,8 @@ use std::time::Duration;
 
 use mube_schema::{MediatedSchema, SchemaMapping, SourceId, Universe};
 
+use crate::arena::SpecDelta;
+
 /// Search-effort statistics for one solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SolveStats {
@@ -27,6 +29,24 @@ pub struct SolveStats {
     /// Memoized `Q(S)` entries dropped by cache-capacity eviction (zero
     /// unless a capacity was set and reached).
     pub evictions: u64,
+    /// Evaluations served by arena entries that survived from an *earlier*
+    /// session iteration (zero for one-shot solves on a fresh arena).
+    pub reused: u64,
+    /// The subset of [`SolveStats::reused`] recombined under weights that
+    /// differ from the ones the entry was computed with — the weights-only
+    /// fast path (component vectors re-weighted, zero `Match(S)` calls).
+    pub recombined: u64,
+    /// Arena entries invalidated by the spec edit that led to this solve
+    /// (nonzero only after a `MatchInvalidating` edit in a session).
+    pub invalidated: u64,
+    /// How this solve's spec differed from the previous spec evaluated on
+    /// the same arena (`None` for one-shot solves on a fresh arena).
+    pub spec_delta: Option<SpecDelta>,
+    /// Whether the solve started from a warm-start solver primed with the
+    /// previous iteration's solution. `false` when the solve was cold —
+    /// including the case where a session requested warm restarts but the
+    /// configured solver does not support them.
+    pub warm_start: bool,
     /// For portfolio solves, the name of the member solver that produced
     /// the solution; `None` for single-solver runs.
     pub portfolio_member: Option<&'static str>,

@@ -1,0 +1,77 @@
+//! Property tests for the delta-aware session core: recombining cached
+//! component vectors under new weights must be indistinguishable — to the
+//! bit — from evaluating cold.
+
+use proptest::prelude::*;
+
+use mube_core::{EvalArena, MubeBuilder, ProblemSpec, SpecDelta};
+use mube_datagen::UniverseConfig;
+use mube_opt::{Subset, SubsetProblem};
+use mube_qef::Weights;
+
+/// Deterministic subsets from bitmasks (any size, including empty — the
+/// objective must treat them identically whether cached or not).
+fn subsets_from_masks(n: usize, masks: &[u32]) -> Vec<Subset> {
+    masks
+        .iter()
+        .map(|mask| Subset::from_indices(n, (0..n).filter(|i| mask & (1 << (i % 32)) != 0)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn weights_only_recombination_bit_equals_cold_eval(
+        size in 8usize..20,
+        universe_seed in 0u64..1_000,
+        factors_a in prop::collection::vec(0.5f64..1.5, 5),
+        factors_b in prop::collection::vec(0.5f64..1.5, 5),
+        masks in prop::collection::vec(any::<u32>(), 1..10),
+    ) {
+        let generated = UniverseConfig::small_test(size, universe_seed).generate();
+        let mube = MubeBuilder::new(&generated.universe)
+            .sketches(generated.sketches.clone())
+            .build();
+        let n = generated.universe.len();
+        let subsets = subsets_from_masks(n, &masks);
+
+        let defaults = Weights::paper_defaults();
+        let spec_a = ProblemSpec::new(n).with_weights(defaults.perturbed(&factors_a).unwrap());
+        let spec_b = ProblemSpec::new(n).with_weights(defaults.perturbed(&factors_b).unwrap());
+
+        // Warm the arena under weights A.
+        let arena = EvalArena::new();
+        {
+            let obj_a = mube.objective_in(&spec_a, &arena).unwrap();
+            for s in &subsets {
+                obj_a.evaluate(s);
+            }
+        }
+
+        // Re-point the arena at weights B: a weights-only delta (unless the
+        // perturbations coincide). Every evaluation must recombine from
+        // cache — zero Match(S) calls — and bit-equal a cold evaluation of
+        // the same spec.
+        let obj_b = mube.objective_in(&spec_b, &arena).unwrap();
+        let delta = obj_b.spec_delta();
+        prop_assert!(
+            delta == Some(SpecDelta::WeightsOnly) || delta == Some(SpecDelta::Unchanged),
+            "unexpected delta {delta:?}"
+        );
+        let cold = mube.objective(&spec_b).unwrap();
+        for s in &subsets {
+            let recombined = obj_b.evaluate(s);
+            let reference = cold.evaluate(s);
+            prop_assert_eq!(
+                recombined.to_bits(),
+                reference.to_bits(),
+                "recombined {} != cold {} on {:?}",
+                recombined,
+                reference,
+                s
+            );
+        }
+        prop_assert_eq!(obj_b.match_calls(), 0);
+    }
+}

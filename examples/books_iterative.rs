@@ -104,6 +104,21 @@ fn report(universe: &Universe, gt: &GroundTruth, solution: &Solution, label: &st
         solution.stats.match_calls,
         solution.stats.cache_hits,
     );
+    // The session's persistent arena at work: entries surviving from prior
+    // iterations, how many were recombined under new weights without a
+    // Match(S) call, and how many the spec delta invalidated.
+    println!(
+        "  arena: {:?} delta; {} reused, {} recombined, {} invalidated{}",
+        solution.stats.spec_delta,
+        solution.stats.reused,
+        solution.stats.recombined,
+        solution.stats.invalidated,
+        if solution.stats.warm_start {
+            "; warm start"
+        } else {
+            ""
+        },
+    );
     for (name, (w, v)) in &solution.qef_values {
         println!("  {name:<12} weight {w:.2}  value {v:.4}");
     }

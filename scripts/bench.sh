@@ -1,24 +1,29 @@
 #!/usr/bin/env bash
-# Regenerates the persistent perf trajectories (Match kernel + solve stack).
+# Regenerates the persistent perf trajectories (Match kernel + solve stack +
+# iterative session).
 #
-#   scripts/bench.sh           full run; rewrites BENCH_match.json and
-#                              BENCH_solve.json (both checked in)
+#   scripts/bench.sh           full run; rewrites BENCH_match.json,
+#                              BENCH_solve.json and BENCH_session.json (all
+#                              checked in)
 #   scripts/bench.sh --smoke   tiny sizes, one rep; writes target/*.smoke.json
 #                              (not checked in) — wired into scripts/check.sh as a
 #                              cheap "the harness still runs end to end" gate.
 #
-# Full runs should happen on a quiet machine; both harnesses take best-of-3
-# wall times for the in-tree arms. The solve harness also asserts the
-# determinism contract (serial re-run byte-identical, batched == serial).
-# See DESIGN.md §8 (Match kernel) and §9 (solve stack) for how to read the
-# output.
+# Full runs should happen on a quiet machine; the harnesses take best-of-N
+# wall times for the in-tree arms. The solve harness asserts the determinism
+# contract (serial re-run byte-identical, batched == serial); the session
+# harness asserts that arena-backed and cold sessions produce bit-identical
+# histories. See DESIGN.md §8 (Match kernel), §9 (solve stack) and §10
+# (session arena) for how to read the output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
   cargo run --release -q -p mube-bench --bin match_kernel -- --smoke --out target/BENCH_match.smoke.json
   cargo run --release -q -p mube-bench --bin solve_portfolio -- --smoke --out target/BENCH_solve.smoke.json
+  cargo run --release -q -p mube-bench --bin session_iterate -- --smoke --out target/BENCH_session.smoke.json
 else
   cargo run --release -q -p mube-bench --bin match_kernel
   cargo run --release -q -p mube-bench --bin solve_portfolio
+  cargo run --release -q -p mube-bench --bin session_iterate
 fi

@@ -20,7 +20,7 @@ cargo test -q --workspace
 echo "==> width-1 determinism pass (batched paths forced serial)"
 MUBE_BATCH_THREADS=1 cargo test -q -p mube-opt --test props
 
-echo "==> bench harness smoke (match + solve harnesses run, JSON schemas intact)"
+echo "==> bench harness smoke (match + solve + session harnesses run, JSON schemas intact)"
 scripts/bench.sh --smoke
 
 echo "All checks passed."

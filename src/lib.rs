@@ -74,7 +74,8 @@ pub mod prelude {
     pub use mube_baseline::{DeaBaseline, TopCardinality};
     pub use mube_cluster::{Linkage, MatchConfig};
     pub use mube_core::{
-        Mube, MubeBuilder, MubeError, ProblemSpec, Session, Solution, SolutionDiff,
+        EvalArena, Mube, MubeBuilder, MubeError, ProblemSpec, Session, Solution, SolutionDiff,
+        SpecDelta,
     };
     pub use mube_opt::{
         BatchEvaluator, BinaryPso, Exhaustive, Greedy, Portfolio, PortfolioMember,

@@ -76,9 +76,9 @@ fn theta_change_propagates_to_matching() {
     let mube = MubeBuilder::new(&generated.universe).build();
     let mut session = Session::new(&mube, ProblemSpec::new(8)).with_seed(2);
 
-    session.set_theta(0.95);
+    session.set_theta(0.95).unwrap();
     let strict = session.iterate().unwrap().clone();
-    session.set_theta(0.5);
+    session.set_theta(0.5).unwrap();
     let lax = session.iterate().unwrap().clone();
     // A lower threshold can only produce at least as rich a matching; the
     // schemas differ in general. Check the GA count direction on the same

@@ -48,7 +48,9 @@ impl fmt::Display for BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(text: &str) -> Self {
-        BenchmarkId { text: text.to_owned() }
+        BenchmarkId {
+            text: text.to_owned(),
+        }
     }
 }
 
@@ -208,7 +210,8 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let owned = name.to_owned();
-        self.benchmark_group(owned).bench_function(BenchmarkId::from(name), f);
+        self.benchmark_group(owned)
+            .bench_function(BenchmarkId::from(name), f);
         self
     }
 }

@@ -27,20 +27,29 @@ impl SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { start: n, end: n + 1 }
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty collection size range");
-        SizeRange { start: r.start, end: r.end }
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { start: *r.start(), end: r.end() + 1 }
+        SizeRange {
+            start: *r.start(),
+            end: r.end() + 1,
+        }
     }
 }
 
@@ -62,7 +71,10 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 
 /// A strategy for `Vec`s of `size` elements drawn from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`btree_set`].
@@ -99,7 +111,10 @@ where
     S: Strategy,
     S::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`btree_map`].
@@ -138,7 +153,11 @@ where
     K::Value: Ord,
     V: Strategy,
 {
-    BTreeMapStrategy { key, value, size: size.into() }
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
 }
 
 #[cfg(test)]
