@@ -1,0 +1,62 @@
+//! Review repro: FeasibilityOnly reuse vs the Match spans-check on C.
+
+use mube_core::{EvalArena, MubeBuilder, ProblemSpec};
+use mube_opt::{Subset, SubsetProblem};
+use mube_schema::{SourceBuilder, SourceId, Universe};
+
+fn universe() -> Universe {
+    let mut u = Universe::new();
+    // Two similar sources plus one totally dissimilar outlier (source 2):
+    // its attributes never merge with anything, so the produced schema
+    // does not span it.
+    for (name, attrs) in [
+        ("en1", vec!["first name", "city"]),
+        ("en2", vec!["first names", "town"]),
+        ("zz", vec!["qqqqqq", "wwwwww"]),
+    ] {
+        u.add_source(
+            SourceBuilder::new(name)
+                .attributes(attrs)
+                .cardinality(100)
+                .characteristic("mttf", 80.0),
+        )
+        .unwrap();
+    }
+    u
+}
+
+#[test]
+fn feasibility_only_reuse_diverges_from_cold_on_spans() {
+    let u = universe();
+    let mube = MubeBuilder::new(&u).build();
+    let n = u.len();
+    // Subset containing all three sources, incl. the outlier.
+    let s = Subset::from_indices(n, [0, 1, 2]);
+
+    let spec_a = ProblemSpec::new(n).with_theta(0.5);
+    let arena = EvalArena::new();
+    {
+        let obj = mube.objective_in(&spec_a, &arena).unwrap();
+        let v = obj.evaluate(&s);
+        println!("spec A (no constraints): Q(S) = {v}");
+        assert!(v.is_finite(), "precondition: S feasible under spec A");
+    }
+
+    // FeasibilityOnly edit: require the outlier source.
+    let spec_b = spec_a.clone().with_source_constraint(SourceId(2));
+    let warm = {
+        let obj = mube.objective_in(&spec_b, &arena).unwrap();
+        println!("delta = {:?}", obj.spec_delta());
+        obj.evaluate(&s)
+    };
+    let cold = {
+        let obj = mube.objective(&spec_b).unwrap();
+        obj.evaluate(&s)
+    };
+    println!("warm (arena) = {warm}, cold = {cold}");
+    assert_eq!(
+        warm.to_bits(),
+        cold.to_bits(),
+        "arena reuse diverges from cold evaluation after require_source"
+    );
+}
