@@ -98,7 +98,7 @@ fn pre_pr_match(
                 }
             }
         }
-        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        heap.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         let mut new_clusters: Vec<SeedCluster> = Vec::new();
         for (_, i, j) in heap {

@@ -197,6 +197,31 @@ pub fn match_sources(
     config: &MatchConfig,
     sim: &dyn AttrSimilarity,
 ) -> Option<MatchOutcome> {
+    let outcome = match_sources_deferring_spans(universe, sources, constraints, config, sim)?;
+    // Line 24: M must be valid on the source constraints C.
+    if !outcome.schema.spans(constraints.sources().iter().copied()) {
+        return None;
+    }
+    Some(outcome)
+}
+
+/// [`match_sources`] with the final spans-validity check (Line 24) left to
+/// the caller: the clustered schema is returned even when it fails to span a
+/// source in `C`, so `None` means only that a required source (including GA
+/// constraint sources) is missing from `S` itself.
+///
+/// The µBE evaluation arena uses this to memoize constraint-independent
+/// entries: the schema (and its quality) produced by clustering does not
+/// depend on *which* sources are required — only the validity verdict does —
+/// so the arena caches the outcome once and re-applies the spans check at
+/// read time against whatever source constraints are current.
+pub fn match_sources_deferring_spans(
+    universe: &Universe,
+    sources: &[SourceId],
+    constraints: &Constraints,
+    config: &MatchConfig,
+    sim: &dyn AttrSimilarity,
+) -> Option<MatchOutcome> {
     let in_s: BTreeSet<SourceId> = sources.iter().copied().collect();
     // GA constraints referencing sources outside S can never be satisfied.
     for required in constraints.required_sources() {
@@ -240,11 +265,7 @@ pub fn match_sources(
         .collect();
     let schema = MediatedSchema::new(gas);
 
-    // Line 24: M must be valid on the source constraints C.
     debug_assert!(schema.gas_disjoint());
-    if !schema.spans(constraints.sources().iter().copied()) {
-        return None;
-    }
     let quality = schema_quality(&schema, sim);
     Some(MatchOutcome {
         schema,
@@ -343,6 +364,9 @@ fn brute_force_rounds(
 }
 
 #[cfg(test)]
+// Test-local hash tables: assertions never depend on iteration order,
+// and the workspace ban guards production walk order only.
+#[allow(clippy::disallowed_types)]
 mod tests {
     use super::*;
     use crate::similarity::MeasureAdapter;

@@ -22,7 +22,9 @@
 //! is exactly what the Lance–Williams pass enqueues.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+// HashMap is imported only for the get/insert PairStore below — see its allow.
+#[allow(clippy::disallowed_types)]
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::algorithm::{Cluster, MatchConfig, MatchStats};
@@ -97,6 +99,9 @@ impl Eq for PairEntry {}
 /// Sparse map from an unordered cluster-index pair to its linkage
 /// accumulator. Absence encodes "below the admission bound" — see
 /// [`Linkage::keep_accumulator`] for the per-linkage rule.
+// Keyed lookups and inserts only — nothing walks the map, so hash order
+// cannot leak, and the packed-pair hasher keeps the hot path cheap.
+#[allow(clippy::disallowed_types)]
 #[derive(Default)]
 struct PairStore {
     map: HashMap<u64, f64, BuildHasherDefault<PairKeyHasher>>,
@@ -400,7 +405,7 @@ fn seed_pairs(
         })
         .collect();
 
-    let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     let mut generic: Vec<usize> = Vec::new();
     for (i, cl) in class.iter().enumerate() {
         match cl {
@@ -441,6 +446,9 @@ fn seed_pairs(
     // Class pairs: one representative evaluation each. All member clusters
     // are singletons, so the finished similarity equals the raw accumulator
     // under every linkage and the admission test can run on `acc` directly.
+    // The `BTreeMap` drain is sorted by class id, so `admit` sees the pairs
+    // in the same order every run — the heap's tie-breaking (and therefore
+    // the merge trace) must not depend on per-process hash seeding.
     let groups: Vec<Vec<usize>> = groups.into_values().collect();
     for (gi, left) in groups.iter().enumerate() {
         for right in &groups[gi..] {

@@ -44,7 +44,10 @@ pub mod linkage;
 pub mod quality;
 pub mod similarity;
 
-pub use algorithm::{match_sources, MatchConfig, MatchKernel, MatchOutcome, MatchStats};
+pub use algorithm::{
+    match_sources, match_sources_deferring_spans, MatchConfig, MatchKernel, MatchOutcome,
+    MatchStats,
+};
 pub use linkage::Linkage;
 pub use quality::{ga_quality, schema_quality};
 pub use similarity::{AttrSimilarity, MeasureAdapter};

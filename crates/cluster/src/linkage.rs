@@ -172,6 +172,9 @@ impl Linkage {
 }
 
 #[cfg(test)]
+// Test-local hash tables: assertions never depend on iteration order,
+// and the workspace ban guards production walk order only.
+#[allow(clippy::disallowed_types)]
 mod tests {
     use super::*;
     use mube_schema::SourceId;

@@ -1,5 +1,7 @@
 //! Attribute-level similarity access for the clustering algorithm.
 
+// Imported for the get-only signature cache in `MeasureAdapter` below.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 use mube_schema::attribute::normalize_name;
@@ -32,11 +34,15 @@ pub trait AttrSimilarity {
 
 /// Computes similarities on demand from a universe and a string measure,
 /// caching per-attribute normalized names and token signatures.
+// The signature cache is read through keyed `get` only (never iterated),
+// so hash order cannot reach any result.
+#[allow(clippy::disallowed_types)]
 pub struct MeasureAdapter<'a> {
     measure: &'a dyn SimilarityMeasure,
     signatures: HashMap<AttrId, mube_similarity::measure::Signature>,
 }
 
+#[allow(clippy::disallowed_types)]
 impl<'a> MeasureAdapter<'a> {
     /// Prepares signatures for every attribute of `universe`.
     pub fn new(universe: &Universe, measure: &'a dyn SimilarityMeasure) -> Self {
@@ -57,7 +63,9 @@ impl<'a> MeasureAdapter<'a> {
 impl AttrSimilarity for MeasureAdapter<'_> {
     fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
         match (self.signatures.get(&a), self.signatures.get(&b)) {
-            (Some(sa), Some(sb)) => self.measure.similarity_sig(sa, sb),
+            // A kind mismatch is impossible (both signatures come from
+            // `self.measure`); treat it as "no evidence" regardless.
+            (Some(sa), Some(sb)) => self.measure.similarity_sig(sa, sb).unwrap_or(0.0),
             // An attribute outside the prepared universe carries no
             // similarity evidence.
             _ => 0.0,

@@ -47,7 +47,7 @@
 //!
 //! [`Session`]: crate::Session
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError, RwLock};
 
@@ -77,7 +77,8 @@ fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
 }
 
 /// Which shard a fingerprint lives in. High bits, so the shard choice is
-/// independent of the `HashMap`'s own low-bit bucketing.
+/// independent of (and uncorrelated with) the ordered low-bit structure of
+/// the keys within a shard's map.
 fn shard_index(key: u64) -> usize {
     (key >> 60) as usize & (SHARDS - 1)
 }
@@ -142,19 +143,32 @@ fn layout_changed(prev: &ProblemSpec, next: &ProblemSpec) -> bool {
 }
 
 /// The match-dependent half of a cached evaluation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum MatchPart {
-    /// `Match(S)` produced a schema: its `F1` quality plus a structural
+    /// Clustering produced a schema: its `F1` quality plus a structural
     /// key of the mediated schema (for change detection without storing
     /// the schema itself).
+    ///
+    /// Whether the schema satisfies the *current* source constraints is
+    /// deliberately not recorded: the spans check is re-applied at read
+    /// time against [`spanned`](MatchPart::Feasible::spanned), which is
+    /// what keeps these entries valid across `FeasibilityOnly` edits in
+    /// both directions (constraint added *and* constraint dropped).
     Feasible {
         /// The matching-quality QEF value `F1(S)`.
         quality: f64,
         /// [`schema_key`] of the produced mediated schema.
         schema_key: u64,
+        /// Sorted indices of the sources the schema spans (contributes at
+        /// least one attribute to a GA). The read-time feasibility check is
+        /// `required ⊆ spanned`.
+        spanned: Vec<u32>,
     },
-    /// `Match(S)` returned the null schema: the GA constraints cannot be
-    /// subsumed on this subset under the current matching parameters.
+    /// Clustering could not produce any schema on this subset: a required
+    /// source (or GA-constraint source) is missing from the subset itself.
+    /// The objective pre-checks membership before touching the arena, so
+    /// entries like this only arise with memoization disabled — they are
+    /// never actually cached.
     Infeasible,
 }
 
@@ -201,10 +215,13 @@ pub(crate) struct ArenaEntry {
 
 /// One shard: fingerprint-keyed buckets plus the entry count (buckets may
 /// hold several exact subsets on fingerprint collision, so the map's `len`
-/// undercounts).
+/// undercounts). The buckets are a `BTreeMap` so every whole-shard walk
+/// (`strip_match_parts`) visits entries in fingerprint order — hash-map
+/// iteration order would vary per process and break the bit-identity
+/// guarantee the moment a walk's side effects become order-sensitive.
 #[derive(Default)]
 struct ArenaShard {
-    buckets: HashMap<u64, Vec<ArenaEntry>>,
+    buckets: BTreeMap<u64, Vec<ArenaEntry>>,
     entries: usize,
 }
 
@@ -306,34 +323,46 @@ impl EvalArena {
     /// clears the arena — there is no meaningful delta to report), the
     /// [`SpecDelta`] otherwise.
     pub fn prepare(&self, spec: &ProblemSpec, universe_len: usize) -> Option<SpecDelta> {
-        let mut snapshot = unpoison(self.snapshot.lock());
-        let delta = match snapshot.as_ref() {
-            Some((prev, len)) if *len == universe_len => {
-                let delta = SpecDelta::classify(prev, spec);
-                let invalidated = match delta {
-                    SpecDelta::MatchInvalidating if layout_changed(prev, spec) => self.clear(),
-                    SpecDelta::MatchInvalidating => self.strip_match_parts(),
-                    _ => 0,
-                };
-                self.last_invalidated.store(invalidated, Ordering::Relaxed);
-                if prev.weights != spec.weights {
-                    self.weights_version.fetch_add(1, Ordering::Relaxed);
+        enum Invalidate {
+            Nothing,
+            Clear,
+            StripMatchParts,
+        }
+        // Classify against the previous spec and swap the snapshot inside
+        // its own lock scope: `clear`/`strip_match_parts` take shard write
+        // locks, and the arena never holds two of its locks at once (the
+        // `lock-discipline` lint enforces this shape statically).
+        let (delta, action, weights_moved) = {
+            let mut snap = unpoison(self.snapshot.lock());
+            let out = match snap.as_ref() {
+                Some((prev, len)) if *len == universe_len => {
+                    let delta = SpecDelta::classify(prev, spec);
+                    let action = match delta {
+                        SpecDelta::MatchInvalidating if layout_changed(prev, spec) => {
+                            Invalidate::Clear
+                        }
+                        SpecDelta::MatchInvalidating => Invalidate::StripMatchParts,
+                        _ => Invalidate::Nothing,
+                    };
+                    (Some(delta), action, prev.weights != spec.weights)
                 }
-                Some(delta)
-            }
-            Some(_) => {
                 // Different universe: nothing cached can be trusted.
-                let invalidated = self.clear();
-                self.last_invalidated.store(invalidated, Ordering::Relaxed);
-                None
-            }
-            None => {
-                self.last_invalidated.store(0, Ordering::Relaxed);
-                None
-            }
+                Some(_) => (None, Invalidate::Clear, false),
+                None => (None, Invalidate::Nothing, false),
+            };
+            *snap = Some((spec.clone(), universe_len));
+            out
         };
+        let invalidated = match action {
+            Invalidate::Clear => self.clear(),
+            Invalidate::StripMatchParts => self.strip_match_parts(),
+            Invalidate::Nothing => 0,
+        };
+        self.last_invalidated.store(invalidated, Ordering::Relaxed);
+        if weights_moved {
+            self.weights_version.fetch_add(1, Ordering::Relaxed);
+        }
         self.epoch.fetch_add(1, Ordering::Relaxed);
-        *snapshot = Some((spec.clone(), universe_len));
         *unpoison(self.last_delta.lock()) = delta;
         delta
     }
@@ -484,6 +513,7 @@ mod tests {
             match_part: Some(MatchPart::Feasible {
                 quality: q,
                 schema_key: 1,
+                spanned: vec![1, 4],
             }),
             components: vec![0.0, 0.5],
         }
@@ -618,7 +648,7 @@ mod tests {
         // null-schema entry is gone.
         assert_eq!(arena.len(), 1);
         let stripped = arena
-            .probe(a.fingerprint(), &a, |e| e.eval.match_part)
+            .probe(a.fingerprint(), &a, |e| e.eval.match_part.clone())
             .expect("feasible entry survives");
         assert_eq!(stripped, None);
         assert!(arena.probe(b.fingerprint(), &b, |_| ()).is_none());
@@ -684,14 +714,18 @@ mod tests {
             MatchPart::Feasible {
                 quality: 0.4,
                 schema_key: 9,
+                spanned: vec![1, 4],
             },
         );
-        let part = arena.probe(key, &s, |e| e.eval.match_part).flatten();
+        let part = arena
+            .probe(key, &s, |e| e.eval.match_part.clone())
+            .flatten();
         assert_eq!(
             part,
             Some(MatchPart::Feasible {
                 quality: 0.4,
-                schema_key: 9
+                schema_key: 9,
+                spanned: vec![1, 4],
             })
         );
         // A second restore is a no-op: the slot is taken.
@@ -701,14 +735,18 @@ mod tests {
             MatchPart::Feasible {
                 quality: 0.5,
                 schema_key: 10,
+                spanned: vec![4],
             },
         );
-        let part = arena.probe(key, &s, |e| e.eval.match_part).flatten();
+        let part = arena
+            .probe(key, &s, |e| e.eval.match_part.clone())
+            .flatten();
         assert_eq!(
             part,
             Some(MatchPart::Feasible {
                 quality: 0.4,
-                schema_key: 9
+                schema_key: 9,
+                spanned: vec![1, 4],
             })
         );
     }

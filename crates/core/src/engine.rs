@@ -266,6 +266,16 @@ impl<'u> Mube<'u> {
         Ok(solution)
     }
 
+    /// Wall-clock sample for [`SolveStats::elapsed`] telemetry. The timing
+    /// never feeds back into any result, which is why this is the one
+    /// permitted `Instant::now` in the determinism-scoped crates (paired
+    /// with the `no-ambient-entropy` allowlist entry and clippy.toml's
+    /// `disallowed-methods` mirror).
+    #[allow(clippy::disallowed_methods)]
+    fn clock_now() -> Instant {
+        Instant::now()
+    }
+
     /// Solves one iteration's optimization problem with the given solver.
     pub fn solve(
         &self,
@@ -273,7 +283,7 @@ impl<'u> Mube<'u> {
         solver: &dyn Solver,
         seed: u64,
     ) -> Result<Solution, MubeError> {
-        let started = Instant::now();
+        let started = Self::clock_now();
         let objective = self.objective(spec)?;
         let result = solver.solve(&objective, seed);
         self.finish(spec, &objective, &result, started)
@@ -294,7 +304,7 @@ impl<'u> Mube<'u> {
         seed: u64,
         arena: &EvalArena,
     ) -> Result<Solution, MubeError> {
-        let started = Instant::now();
+        let started = Self::clock_now();
         let objective = self.objective_in(spec, arena)?;
         let result = solver.solve(&objective, seed);
         self.finish(spec, &objective, &result, started)
@@ -312,7 +322,7 @@ impl<'u> Mube<'u> {
         portfolio: &Portfolio,
         seed: u64,
     ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
-        let started = Instant::now();
+        let started = Self::clock_now();
         let objective = self.objective(spec)?;
         let outcome = portfolio.run(&objective, seed);
         let solution = self.finish(spec, &objective, &outcome.result, started)?;
@@ -330,7 +340,7 @@ impl<'u> Mube<'u> {
         seed: u64,
         arena: &EvalArena,
     ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
-        let started = Instant::now();
+        let started = Self::clock_now();
         let objective = self.objective_in(spec, arena)?;
         let outcome = portfolio.run(&objective, seed);
         let solution = self.finish(spec, &objective, &outcome.result, started)?;

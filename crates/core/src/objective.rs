@@ -12,10 +12,12 @@ use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
-use mube_cluster::{match_sources, MatchConfig, MatchOutcome, MatchStats};
+use mube_cluster::{
+    match_sources, match_sources_deferring_spans, MatchConfig, MatchOutcome, MatchStats,
+};
 use mube_opt::{Subset, SubsetProblem};
 use mube_qef::{CharacteristicQef, Qef, QefContext};
-use mube_schema::{Constraints, SourceId, SourceSelection, Universe};
+use mube_schema::{Constraints, MediatedSchema, SourceId, SourceSelection, Universe};
 
 use crate::arena::{schema_key, ComponentEval, EvalArena, MatchPart, SpecDelta};
 use crate::matrix_sim::MatrixSimilarity;
@@ -35,6 +37,13 @@ pub(crate) enum QefBinding<'a> {
 /// panicking sibling thread must not wedge the evaluation.
 fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
     r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sorted indices of the sources a schema spans — the constraint-free basis
+/// the arena memoizes so the `C ⊆ spanned` validity check can run at read
+/// time under whatever source constraints are then current.
+fn spanned_of(schema: &MediatedSchema) -> Vec<u32> {
+    schema.covered_sources().into_iter().map(|s| s.0).collect()
 }
 
 /// The evaluation arena an objective memoizes into: its own private arena
@@ -81,14 +90,22 @@ enum Probe {
 ///
 /// # Cached-entry validity across feedback edits
 ///
-/// Arena entries are constraint-independent by construction: before
-/// trusting (or creating) any entry, [`MubeObjective::evaluate`] checks the
-/// *current* required sources against the subset and short-circuits to
-/// infeasible on a miss — the exact condition under which `Match(S)` would
-/// return the null schema for a required-source violation. Cached entries
-/// therefore describe only what the subset's QEFs and `Match(S)` compute
-/// on the subset itself, which is why a `FeasibilityOnly` spec edit (new
-/// required source, new budget `m`) invalidates nothing.
+/// Arena entries are constraint-independent by construction, in two layers:
+///
+/// * **Membership.** Before any arena traffic, [`MubeObjective::evaluate`]
+///   checks the *current* required sources against the subset and
+///   short-circuits to infeasible on a miss — the condition under which
+///   `Match(S)` would refuse to run at all.
+/// * **Spanning.** `Match(S)` additionally demands that the produced schema
+///   *span* every constrained source (Algorithm 1, line 24) — a property of
+///   the clustering result, not of the subset. Entries therefore memoize
+///   the spans-deferred outcome ([`match_sources_deferring_spans`]) plus
+///   the set of sources the schema covers, and every read re-applies the
+///   `C ⊆ spanned` check against the current constraints.
+///
+/// Together these make a `FeasibilityOnly` spec edit (required source
+/// added *or* dropped, new budget `m`) invalidate nothing while staying
+/// bit-identical to a cold evaluation under the edited spec.
 pub struct MubeObjective<'a> {
     universe: &'a Universe,
     ctx: &'a QefContext<'a>,
@@ -98,6 +115,10 @@ pub struct MubeObjective<'a> {
     match_config: &'a MatchConfig,
     max_sources: usize,
     pinned: Vec<usize>,
+    /// Sorted indices of the explicitly constrained sources `C` — the set
+    /// the mediated schema must span. A subset of [`Self::pinned`] (which
+    /// also folds in GA-constraint sources).
+    span_pins: Vec<u32>,
     /// Whether any binding is [`QefBinding::Matching`] — decides whether a
     /// cached entry's match part participates in combination at all.
     has_matching: bool,
@@ -134,6 +155,8 @@ impl<'a> MubeObjective<'a> {
             .map(SourceId::index)
             .collect();
         pinned.sort_unstable();
+        // Already sorted: `Constraints::sources` is an ordered set.
+        let span_pins: Vec<u32> = constraints.sources().iter().map(|s| s.0).collect();
         let has_matching = bindings
             .iter()
             .any(|(_, b)| matches!(b, QefBinding::Matching));
@@ -148,6 +171,7 @@ impl<'a> MubeObjective<'a> {
             match_config,
             max_sources,
             pinned,
+            span_pins,
             has_matching,
             arena,
             caching: AtomicBool::new(true),
@@ -272,6 +296,29 @@ impl<'a> MubeObjective<'a> {
         self.pinned.iter().all(|&i| subset.contains(i))
     }
 
+    /// Whether a schema spanning exactly the sources in `spanned` (sorted
+    /// indices) satisfies the *current* source constraints — the read-time
+    /// half of `Match(S)`'s line-24 validity check.
+    fn spans_satisfied(&self, spanned: &[u32]) -> bool {
+        self.span_pins
+            .iter()
+            .all(|p| spanned.binary_search(p).is_ok())
+    }
+
+    /// [`Self::match_schema`] with the spans-validity check deferred — the
+    /// memoizing paths use this so the cached outcome stays valid across
+    /// `FeasibilityOnly` constraint edits, re-applying
+    /// [`Self::spans_satisfied`] at read time.
+    fn match_schema_deferred(&self, ids: &[SourceId]) -> Option<MatchOutcome> {
+        match_sources_deferring_spans(
+            self.universe,
+            ids,
+            self.constraints,
+            self.match_config,
+            self.sim,
+        )
+    }
+
     /// Combines a cached component vector (plus the matching quality, if a
     /// matching QEF is bound) under the current weights.
     ///
@@ -294,29 +341,38 @@ impl<'a> MubeObjective<'a> {
     /// the combined `Q(S)` plus the memoizable component vector.
     ///
     /// The scalar accumulation is the reference order that [`Self::combine`]
-    /// replicates. A null schema aborts the loop — infeasible subsets carry
-    /// no reusable components.
+    /// replicates. The matching step runs spans-deferred: a schema that
+    /// fails to span a constrained source makes the *evaluation* infeasible
+    /// (`-∞`, exactly as the checked `Match(S)` would), but the outcome —
+    /// schema key, quality, spanned set — and the remaining components are
+    /// still computed and cached, because none of them depend on which
+    /// sources are constrained. Only a subset missing a required source
+    /// outright aborts with no reusable components.
     fn compute_eval(&self, subset: &Subset) -> (f64, ComponentEval) {
         let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
         let selection = SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
         let mut components = vec![0.0f64; self.bindings.len()];
         let mut match_part = None;
+        let mut spans_ok = true;
         let mut q = 0.0;
         for (i, (w, binding)) in self.bindings.iter().enumerate() {
             let value = match binding {
                 QefBinding::Matching => {
                     self.match_calls.fetch_add(1, Ordering::Relaxed);
-                    match self.match_schema(&ids) {
+                    match self.match_schema_deferred(&ids) {
                         Some(outcome) => {
                             unpoison(self.match_stats.lock()).absorb(&outcome.stats);
+                            let spanned = spanned_of(&outcome.schema);
+                            spans_ok = self.spans_satisfied(&spanned);
                             match_part = Some(MatchPart::Feasible {
                                 quality: outcome.quality,
                                 schema_key: schema_key(&outcome.schema),
+                                spanned,
                             });
                             outcome.quality
                         }
-                        // Null schema: the source/GA constraints cannot be
-                        // satisfied on this S — infeasible candidate.
+                        // A required source is missing from S itself — no
+                        // schema to cluster, no reusable components.
                         None => return (f64::NEG_INFINITY, ComponentEval::infeasible()),
                     }
                 }
@@ -332,8 +388,9 @@ impl<'a> MubeObjective<'a> {
             }
             q += w * value;
         }
+        let v = if spans_ok { q } else { f64::NEG_INFINITY };
         (
-            q,
+            v,
             ComponentEval {
                 match_part,
                 components,
@@ -391,9 +448,18 @@ impl SubsetProblem for MubeObjective<'_> {
             let probe = if !self.has_matching {
                 Probe::Full(self.combine(0.0, &entry.eval.components))
             } else {
-                match entry.eval.match_part {
-                    Some(MatchPart::Feasible { quality, .. }) => {
-                        Probe::Full(self.combine(quality, &entry.eval.components))
+                match &entry.eval.match_part {
+                    Some(MatchPart::Feasible {
+                        quality, spanned, ..
+                    }) => {
+                        if self.spans_satisfied(spanned) {
+                            Probe::Full(self.combine(*quality, &entry.eval.components))
+                        } else {
+                            // The memoized schema does not span a currently
+                            // constrained source — the verdict a cold
+                            // `Match(S)` would reach under this spec.
+                            Probe::Full(f64::NEG_INFINITY)
+                        }
                     }
                     Some(MatchPart::Infeasible) => Probe::Full(f64::NEG_INFINITY),
                     // Stripped by a MatchInvalidating edit: clone the
@@ -416,22 +482,31 @@ impl SubsetProblem for MubeObjective<'_> {
                 // match-invalidating edit; only Match(S) reruns.
                 let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
                 self.match_calls.fetch_add(1, Ordering::Relaxed);
-                let v = match self.match_schema(&ids) {
+                let v = match self.match_schema_deferred(&ids) {
                     Some(outcome) => {
                         unpoison(self.match_stats.lock()).absorb(&outcome.stats);
+                        let spanned = spanned_of(&outcome.schema);
+                        let quality = outcome.quality;
+                        let feasible = self.spans_satisfied(&spanned);
                         self.arena.restore_match_part(
                             key,
                             subset,
                             MatchPart::Feasible {
-                                quality: outcome.quality,
+                                quality,
                                 schema_key: schema_key(&outcome.schema),
+                                spanned,
                             },
                         );
-                        self.combine(outcome.quality, &components)
+                        if feasible {
+                            self.combine(quality, &components)
+                        } else {
+                            f64::NEG_INFINITY
+                        }
                     }
                     None => {
-                        // Feasible under the old matching parameters,
-                        // infeasible under the new ones.
+                        // Unreachable while memoizing (the pins pre-check
+                        // guarantees membership), but kept total: record
+                        // the null schema rather than panic.
                         self.arena
                             .restore_match_part(key, subset, MatchPart::Infeasible);
                         f64::NEG_INFINITY

@@ -7,6 +7,9 @@
 //! interfaces expose it; the first alias is the canonical, most common one.
 
 /// Identifier of a concept: an index into [`CONCEPTS`].
+// Derived PartialOrd delegates to the derived total Ord; the clippy ban
+// targets hand-written partial float comparisons.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConceptId(pub u8);
 

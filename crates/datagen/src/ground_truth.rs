@@ -1,6 +1,6 @@
 //! Ground-truth concept labels and the Table 1 scoring.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use mube_schema::{AttrId, MediatedSchema, SourceId};
 
@@ -10,7 +10,7 @@ use crate::concepts::{ConceptId, NUM_CONCEPTS};
 /// from the map are off-domain noise.
 #[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
-    concept_of: HashMap<AttrId, ConceptId>,
+    concept_of: BTreeMap<AttrId, ConceptId>,
 }
 
 /// Table 1 metrics for one solution.
@@ -64,7 +64,7 @@ impl GroundTruth {
         I: IntoIterator<Item = SourceId>,
     {
         let selected: BTreeSet<SourceId> = sources.into_iter().collect();
-        let mut sources_per_concept: HashMap<ConceptId, BTreeSet<SourceId>> = HashMap::new();
+        let mut sources_per_concept: BTreeMap<ConceptId, BTreeSet<SourceId>> = BTreeMap::new();
         for (attr, concept) in &self.concept_of {
             if selected.contains(&attr.source) {
                 sources_per_concept
@@ -144,14 +144,14 @@ impl GroundTruth {
         let selected: BTreeSet<SourceId> = selected_sources.into_iter().collect();
         let present = self.concepts_present(selected.iter().copied());
         // Available attrs per concept among selected sources.
-        let mut available: HashMap<ConceptId, usize> = HashMap::new();
+        let mut available: BTreeMap<ConceptId, usize> = BTreeMap::new();
         for (attr, concept) in &self.concept_of {
             if selected.contains(&attr.source) {
                 *available.entry(*concept).or_insert(0) += 1;
             }
         }
         // Covered attrs per concept via pure GAs.
-        let mut covered: HashMap<ConceptId, usize> = HashMap::new();
+        let mut covered: BTreeMap<ConceptId, usize> = BTreeMap::new();
         for ga in schema.gas() {
             let concepts: BTreeSet<Option<ConceptId>> =
                 ga.attrs().map(|a| self.concept_of(a)).collect();

@@ -126,6 +126,9 @@ pub fn build_source_sketch<R: Rng>(
 }
 
 #[cfg(test)]
+// Test-local hash tables: assertions never depend on iteration order,
+// and the workspace ban guards production walk order only.
+#[allow(clippy::disallowed_types)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

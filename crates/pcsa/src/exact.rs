@@ -2,6 +2,9 @@
 //! compare PCSA against ("worst case error of 7% compared to exact
 //! counting", Section 7.3).
 
+// The exact counter is insert/len/extend only — counts are order-free, so
+// the deliberately naive hash set is safe and keeps the baseline honest.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashSet;
 
 /// An exact distinct counter over 64-bit tuple identifiers.
@@ -10,10 +13,12 @@ use std::collections::HashSet;
 /// is intentionally the naive hash-set implementation — it exists to measure
 /// the sketch, not to be fast.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[allow(clippy::disallowed_types)]
 pub struct ExactDistinct {
     seen: HashSet<u64>,
 }
 
+#[allow(clippy::disallowed_types)]
 impl ExactDistinct {
     /// An empty counter.
     pub fn new() -> Self {

@@ -13,6 +13,9 @@ use crate::source::SourceId;
 ///
 /// Ordering is lexicographic on `(source, index)`, which gives GAs and
 /// mediated schemas a canonical order for deterministic output.
+// Derived PartialOrd delegates to the derived total Ord; the clippy ban
+// targets hand-written partial float comparisons.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrId {
     /// The source this attribute belongs to.

@@ -20,6 +20,9 @@ use crate::source::SourceId;
 /// GAs are deliberately unnamed: the paper's automatic mediation discovers the
 /// grouping but does not impose names on the generated mediated-schema
 /// attributes.
+// Derived PartialOrd delegates to the derived total Ord; the clippy ban
+// targets hand-written partial float comparisons.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GlobalAttribute {
     attrs: BTreeSet<AttrId>,

@@ -10,6 +10,9 @@ use crate::error::SchemaError;
 ///
 /// Ids are dense indices assigned by the universe in insertion order, which
 /// lets selections be represented as bitsets.
+// Derived PartialOrd delegates to the derived total Ord; the clippy ban
+// targets hand-written partial float comparisons.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SourceId(pub u32);
 

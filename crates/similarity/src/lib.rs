@@ -28,6 +28,6 @@ pub mod token;
 pub use jaro::{Jaro, JaroWinkler};
 pub use levenshtein::NormalizedLevenshtein;
 pub use matrix::SimilarityMatrix;
-pub use measure::{NgramCosine, NgramDice, NgramJaccard, SimilarityMeasure};
+pub use measure::{MeasureError, NgramCosine, NgramDice, NgramJaccard, SimilarityMeasure};
 pub use ngram::{ngram_multiset, ngram_set};
 pub use token::{MongeElkan, TokenJaccard};

@@ -46,7 +46,12 @@ fn fill_rows(
     for j in start..end {
         let base = tri_offset(j) - origin;
         for i in 0..j {
-            rows[base + i] = measure.similarity_sig(&signatures[i], &signatures[j]) as f32;
+            // A kind mismatch is impossible here: every signature comes
+            // from this same `measure`. Degrade to "no evidence" anyway
+            // rather than poisoning the parallel fill.
+            rows[base + i] = measure
+                .similarity_sig(&signatures[i], &signatures[j])
+                .unwrap_or(0.0) as f32;
         }
     }
 }
@@ -69,8 +74,11 @@ pub struct SimilarityMatrix {
 impl SimilarityMatrix {
     /// Computes the matrix for `names` (already normalized) under `measure`.
     pub fn compute(names: &[String], measure: &dyn SimilarityMeasure) -> Self {
-        // Deduplicate names, preserving first-seen order.
+        // Deduplicate names, preserving first-seen order. The dedup table is
+        // entry/get only and never iterated, so hash order cannot leak into
+        // the slot assignment (that follows first-seen push order).
         let mut distinct: Vec<&str> = Vec::new();
+        #[allow(clippy::disallowed_types)]
         let mut slot_of_name: std::collections::HashMap<&str, u32> =
             std::collections::HashMap::with_capacity(names.len());
         let mut distinct_of = Vec::with_capacity(names.len());
@@ -121,7 +129,7 @@ impl SimilarityMatrix {
         }
         let self_sim = signatures
             .iter()
-            .map(|sig| measure.similarity_sig(sig, sig) as f32)
+            .map(|sig| measure.similarity_sig(sig, sig).unwrap_or(0.0) as f32)
             .collect();
         Self {
             distinct_of,
@@ -256,7 +264,7 @@ mod tests {
         let sigs: Vec<_> = ns.iter().map(|n| m.signature(n)).collect();
         for j in 0..ns.len() {
             for i in 0..j {
-                let expect = m.similarity_sig(&sigs[i], &sigs[j]) as f32;
+                let expect = m.similarity_sig(&sigs[i], &sigs[j]).unwrap() as f32;
                 let got = matrix.similarity(i, j) as f32;
                 assert_eq!(got.to_bits(), expect.to_bits(), "({i},{j})");
             }

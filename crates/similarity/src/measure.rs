@@ -22,6 +22,31 @@ pub enum Signature {
     GramCounts(Vec<(u64, u32)>, f64),
 }
 
+/// Error from a [`SimilarityMeasure`] signature operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureError {
+    /// [`SimilarityMeasure::similarity_sig`] was fed a [`Signature`] kind
+    /// this measure did not produce — an API-contract breach between a
+    /// measure and a foreign signature (e.g. handing an n-gram hash set to
+    /// the cosine measure, which needs counts).
+    SignatureKindMismatch {
+        /// Name of the measure that rejected the signatures.
+        measure: &'static str,
+    },
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::SignatureKindMismatch { measure } => {
+                write!(f, "signature kind does not match measure {measure}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// FNV-1a over a gram's bytes, used to hash grams into signature entries.
 fn hash_gram(gram: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -60,11 +85,15 @@ pub trait SimilarityMeasure: Send + Sync {
     }
 
     /// Similarity of two precomputed signatures. Must agree with
-    /// [`SimilarityMeasure::similarity`] on the originating names.
-    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+    /// [`SimilarityMeasure::similarity`] on the originating names. Returns
+    /// [`MeasureError::SignatureKindMismatch`] when handed a signature
+    /// kind this measure did not produce.
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> Result<f64, MeasureError> {
         match (a, b) {
-            (Signature::Text(a), Signature::Text(b)) => self.similarity(a, b),
-            _ => panic!("signature kind does not match measure {}", self.name()),
+            (Signature::Text(a), Signature::Text(b)) => Ok(self.similarity(a, b)),
+            _ => Err(MeasureError::SignatureKindMismatch {
+                measure: self.name(),
+            }),
         }
     }
 }
@@ -155,18 +184,20 @@ impl SimilarityMeasure for NgramJaccard {
         gram_set_signature(name, self.n)
     }
 
-    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> Result<f64, MeasureError> {
         match (a, b) {
             (Signature::GramSet(a), Signature::GramSet(b)) => {
                 let inter = hash_intersection(a, b);
                 let union = a.len() + b.len() - inter;
                 if union == 0 {
-                    0.0
+                    Ok(0.0)
                 } else {
-                    inter as f64 / union as f64
+                    Ok(inter as f64 / union as f64)
                 }
             }
-            _ => panic!("signature kind does not match ngram-jaccard"),
+            _ => Err(MeasureError::SignatureKindMismatch {
+                measure: self.name(),
+            }),
         }
     }
 }
@@ -212,16 +243,18 @@ impl SimilarityMeasure for NgramDice {
         gram_set_signature(name, self.n)
     }
 
-    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> Result<f64, MeasureError> {
         match (a, b) {
             (Signature::GramSet(a), Signature::GramSet(b)) => {
                 let total = a.len() + b.len();
                 if total == 0 {
-                    return 0.0;
+                    return Ok(0.0);
                 }
-                2.0 * hash_intersection(a, b) as f64 / total as f64
+                Ok(2.0 * hash_intersection(a, b) as f64 / total as f64)
             }
-            _ => panic!("signature kind does not match ngram-dice"),
+            _ => Err(MeasureError::SignatureKindMismatch {
+                measure: self.name(),
+            }),
         }
     }
 }
@@ -275,11 +308,11 @@ impl SimilarityMeasure for NgramCosine {
         Signature::GramCounts(pairs, norm)
     }
 
-    fn similarity_sig(&self, a: &Signature, b: &Signature) -> f64 {
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> Result<f64, MeasureError> {
         match (a, b) {
             (Signature::GramCounts(a, na), Signature::GramCounts(b, nb)) => {
                 if a.is_empty() || b.is_empty() {
-                    return 0.0;
+                    return Ok(0.0);
                 }
                 let (mut i, mut j) = (0, 0);
                 let mut dot = 0.0;
@@ -294,9 +327,11 @@ impl SimilarityMeasure for NgramCosine {
                         }
                     }
                 }
-                (dot / (na * nb)).clamp(0.0, 1.0)
+                Ok((dot / (na * nb)).clamp(0.0, 1.0))
             }
-            _ => panic!("signature kind does not match ngram-cosine"),
+            _ => Err(MeasureError::SignatureKindMismatch {
+                measure: self.name(),
+            }),
         }
     }
 }
@@ -410,7 +445,7 @@ mod tests {
             for b in names {
                 for m in [&jac as &dyn SimilarityMeasure, &dice, &cos] {
                     let direct = m.similarity(a, b);
-                    let via_sig = m.similarity_sig(&m.signature(a), &m.signature(b));
+                    let via_sig = m.similarity_sig(&m.signature(a), &m.signature(b)).unwrap();
                     assert!(
                         (direct - via_sig).abs() < 1e-12,
                         "{}: {a:?} vs {b:?}: {direct} != {via_sig}",
@@ -422,10 +457,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match")]
-    fn mismatched_signature_kind_panics() {
+    fn mismatched_signature_kind_is_an_error() {
         let jac = NgramJaccard::default();
-        jac.similarity_sig(&Signature::Text("a".into()), &Signature::Text("b".into()));
+        let err = jac
+            .similarity_sig(&Signature::Text("a".into()), &Signature::Text("b".into()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MeasureError::SignatureKindMismatch {
+                measure: "ngram-jaccard"
+            }
+        );
+        assert!(err.to_string().contains("does not match"));
+
+        let cos = NgramCosine::default();
+        let set_sig = NgramJaccard::default().signature("author");
+        assert!(cos.similarity_sig(&set_sig, &set_sig).is_err());
     }
 
     #[test]
@@ -435,7 +482,7 @@ mod tests {
         let sig_a = m.signature("author");
         let sig_b = m.signature("actor");
         assert_eq!(
-            m.similarity_sig(&sig_a, &sig_b),
+            m.similarity_sig(&sig_a, &sig_b).unwrap(),
             m.similarity("author", "actor")
         );
     }

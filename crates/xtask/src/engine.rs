@@ -1,0 +1,386 @@
+//! Workspace walking, allowlist bookkeeping, and the JSON lint report.
+//!
+//! The engine owns everything that touches the filesystem: discovering
+//! crate directories, feeding each library source file through
+//! [`crate::rules::lint_source`], checking crate-root attributes,
+//! reconciling hits against the exact-count allowlist (`lint-allow.txt`),
+//! rewriting that allowlist in place under `--update-allowlist`, and
+//! emitting the machine-readable report at `target/lint-report.json`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Violation, RULES};
+
+/// Maximum number of allowlist entries before the lint refuses to run:
+/// past this point the allowlist is hiding debt, not tracking it.
+const MAX_ALLOWLIST_ENTRIES: usize = 40;
+
+/// Name of the allowlist file at the workspace root.
+const ALLOWLIST_FILE: &str = "lint-allow.txt";
+
+/// Workspace-relative path of the JSON report.
+const REPORT_FILE: &str = "target/lint-report.json";
+
+/// Runs the full lint pass over the workspace. With `update_allowlist`,
+/// first rewrites `lint-allow.txt` counts in place (comments preserved,
+/// zero-count entries dropped) so stale budgets never fail the run; new
+/// violations with no entry still do. `Ok(true)` means clean.
+pub fn run_lint(update_allowlist: bool) -> Result<bool, String> {
+    let root = workspace_root()?;
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for crate_dir in crate_dirs(&root)? {
+        lint_crate(&root, &crate_dir, &mut violations, &mut files_scanned)?;
+    }
+
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in &violations {
+        *counts
+            .entry((v.file.clone(), v.rule.to_owned()))
+            .or_insert(0) += 1;
+    }
+
+    if update_allowlist {
+        rewrite_allowlist(&root, &counts)?;
+    }
+    let allow = load_allowlist(&root)?;
+    let clean = report(&root, &violations, &allow);
+    write_report(&root, &violations, &allow, files_scanned, clean)?;
+    println!("lint report: {REPORT_FILE}");
+    Ok(clean)
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> Result<PathBuf, String> {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".to_owned())
+}
+
+/// Every crate directory to lint: the root package plus `crates/*`.
+fn crate_dirs(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut dirs = vec![root.to_path_buf()];
+    let crates = root.join("crates");
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading crates/: {e}"))?;
+        let path = entry.path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Lints one crate: crate-root attributes plus every library source file.
+fn lint_crate(
+    root: &Path,
+    crate_dir: &Path,
+    out: &mut Vec<Violation>,
+    files_scanned: &mut usize,
+) -> Result<(), String> {
+    let src = crate_dir.join("src");
+    if !src.is_dir() {
+        return Ok(());
+    }
+    check_crate_root(root, &src, out)?;
+
+    let mut files = Vec::new();
+    collect_rs_files(&src, &mut files)?;
+    for file in files {
+        // Binary targets (experiment drivers) are exempt from the code
+        // rules: a CLI that dies loudly on bad input is fine.
+        if file.strip_prefix(&src).is_ok_and(|p| p.starts_with("bin")) {
+            continue;
+        }
+        let text =
+            fs::read_to_string(&file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        out.extend(lint_source(&rel(root, &file), &text));
+        *files_scanned += 1;
+    }
+    Ok(())
+}
+
+/// Requires `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` on the
+/// crate root (`src/lib.rs`, falling back to `src/main.rs`).
+fn check_crate_root(root: &Path, src: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
+    let crate_root = if src.join("lib.rs").is_file() {
+        src.join("lib.rs")
+    } else if src.join("main.rs").is_file() {
+        src.join("main.rs")
+    } else {
+        return Ok(());
+    };
+    let text = fs::read_to_string(&crate_root)
+        .map_err(|e| format!("reading {}: {e}", crate_root.display()))?;
+    for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+        if !text.lines().any(|l| l.trim() == attr) {
+            out.push(Violation {
+                file: rel(root, &crate_root),
+                line: 1,
+                rule: "crate-attrs",
+                excerpt: format!("missing `{attr}` on crate root"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Recursively gathers `.rs` files under `dir`, sorted for reproducible
+/// report ordering.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated display path.
+fn rel(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parses `lint-allow.txt`: one `<path> <rule> <count>` entry per line,
+/// `#` comments. Exact-count budget per (file, rule).
+fn load_allowlist(root: &Path) -> Result<BTreeMap<(String, String), usize>, String> {
+    let path = root.join(ALLOWLIST_FILE);
+    let mut allow = BTreeMap::new();
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(allow),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [file, rule, count] = parts.as_slice() else {
+            return Err(format!(
+                "{ALLOWLIST_FILE}:{}: expected `<path> <rule> <count>`, got `{line}`",
+                idx + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{ALLOWLIST_FILE}:{}: bad count `{count}`", idx + 1))?;
+        if allow
+            .insert(((*file).to_owned(), (*rule).to_owned()), count)
+            .is_some()
+        {
+            return Err(format!(
+                "{ALLOWLIST_FILE}:{}: duplicate entry for {file} {rule}",
+                idx + 1
+            ));
+        }
+    }
+    if allow.len() > MAX_ALLOWLIST_ENTRIES {
+        return Err(format!(
+            "{ALLOWLIST_FILE} has {} entries; the cap is {MAX_ALLOWLIST_ENTRIES} — \
+             fix violations instead of allowlisting them",
+            allow.len()
+        ));
+    }
+    Ok(allow)
+}
+
+/// Rewrites `lint-allow.txt` in place against the actual hit `counts`:
+/// entry counts are refreshed, entries whose hits dropped to zero are
+/// deleted, and every comment/blank line is preserved verbatim. New
+/// violations are *not* auto-added — each needs a manually written,
+/// justified entry.
+fn rewrite_allowlist(
+    root: &Path,
+    counts: &BTreeMap<(String, String), usize>,
+) -> Result<(), String> {
+    let path = root.join(ALLOWLIST_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    let mut out = String::with_capacity(text.len());
+    let mut updated = 0usize;
+    let mut dropped = 0usize;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [file, rule, old] = parts.as_slice() else {
+            // Malformed entries are kept verbatim; the subsequent load
+            // reports them with a line number.
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        };
+        let actual = counts
+            .get(&((*file).to_owned(), (*rule).to_owned()))
+            .copied()
+            .unwrap_or(0);
+        if actual == 0 {
+            dropped += 1;
+            continue;
+        }
+        if old.parse::<usize>() != Ok(actual) {
+            updated += 1;
+        }
+        out.push_str(&format!("{file} {rule} {actual}\n"));
+    }
+    if out != text {
+        fs::write(&path, &out).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    println!("allowlist update: {updated} count(s) refreshed, {dropped} stale entr(y/ies) removed");
+    Ok(())
+}
+
+/// Reconciles violations with the allowlist and prints the verdict.
+/// Returns true when clean.
+fn report(
+    root: &Path,
+    violations: &[Violation],
+    allow: &BTreeMap<(String, String), usize>,
+) -> bool {
+    let by_key = group(violations);
+    let mut failed = false;
+    for (key, hits) in &by_key {
+        let budget = allow.get(key).copied().unwrap_or(0);
+        if hits.len() > budget {
+            failed = true;
+            let (file, rule) = key;
+            eprintln!(
+                "lint [{rule}] {file}: {} hit(s), {budget} allowlisted",
+                hits.len()
+            );
+            for v in hits {
+                eprintln!("  {}:{}: {}", v.file, v.line, v.excerpt);
+            }
+        }
+    }
+    // Stale entries: budgets the code no longer uses up must be tightened
+    // or removed, otherwise regressions hide under old grants.
+    for (key, &budget) in allow {
+        let actual = by_key.get(key).map_or(0, Vec::len);
+        if actual < budget {
+            failed = true;
+            let (file, rule) = key;
+            eprintln!(
+                "lint [allowlist] stale entry `{file} {rule} {budget}`: \
+                 only {actual} hit(s) remain — lower or delete it in {} \
+                 (or run `cargo run -p mube-xtask -- lint --update-allowlist`)",
+                root.join(ALLOWLIST_FILE).display()
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("mube-xtask lint: FAILED");
+    } else {
+        println!("mube-xtask lint: OK ({} allowlisted sites)", allow.len());
+    }
+    !failed
+}
+
+fn group(violations: &[Violation]) -> BTreeMap<(String, String), Vec<&Violation>> {
+    let mut by_key: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        by_key
+            .entry((v.file.clone(), v.rule.to_owned()))
+            .or_default()
+            .push(v);
+    }
+    by_key
+}
+
+/// Writes `target/lint-report.json`: schema `mube-lint-report/v1`, one
+/// record per violation with an `allowlisted` flag (true when its
+/// (file, rule) group fits its exact budget).
+fn write_report(
+    root: &Path,
+    violations: &[Violation],
+    allow: &BTreeMap<(String, String), usize>,
+    files_scanned: usize,
+    clean: bool,
+) -> Result<(), String> {
+    let by_key = group(violations);
+    let mut records = Vec::with_capacity(violations.len());
+    for (key, hits) in &by_key {
+        let budget = allow.get(key).copied().unwrap_or(0);
+        let covered = hits.len() == budget;
+        for v in hits {
+            records.push(format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+                 \"snippet\": \"{}\", \"allowlisted\": {}}}",
+                json_escape(&v.file),
+                v.line,
+                json_escape(v.rule),
+                json_escape(&v.excerpt),
+                covered
+            ));
+        }
+    }
+    let rules = RULES
+        .iter()
+        .map(|r| format!("\"{r}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"schema\": \"mube-lint-report/v1\",\n  \"generated_by\": \"mube-xtask\",\n  \
+         \"rules\": [{rules}],\n  \"files_scanned\": {files_scanned},\n  \
+         \"allowlisted_sites\": {},\n  \"clean\": {clean},\n  \"violations\": [\n{}\n  ]\n}}\n",
+        allow.len(),
+        records.join(",\n")
+    );
+    // With no violations the array collapses to `[]` cleanly.
+    let json = json.replace("[\n\n  ]", "[]");
+    let dir = root.join("target");
+    fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = root.join(REPORT_FILE);
+    fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,735 @@
+//! A self-contained Rust lexer for the lint passes.
+//!
+//! The original `mube-xtask` lint scanned lines with a hand-rolled
+//! string/comment stripper (`scrub()`), which was blind to raw strings
+//! (`r#"…"#`), char literals containing a quote (`'"'`), lifetimes, and
+//! nested block comments — each a way to silently hide or fake a rule hit.
+//! This lexer replaces it with a real token stream: comments vanish, string
+//! and char literals become single opaque tokens, and every token carries
+//! its 1-based source line so violations point at the right place.
+//!
+//! The lexer is deliberately dependency-free and forgiving: it never
+//! panics on malformed input (an unterminated literal simply swallows the
+//! rest of the file), because lint robustness matters more than precise
+//! error recovery here.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Char or byte literal: `'x'`, `'\n'`, `'"'`, `b'0'`.
+    CharLit,
+    /// String or byte-string literal: `"…"`, `b"…"`.
+    StrLit,
+    /// Raw (byte-)string literal: `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStrLit,
+    /// Numeric literal, integer or float, with any suffix: `1`, `0xff`,
+    /// `1.0f64`, `1e-9`.
+    NumLit,
+    /// Punctuation. Compound operators the rules care about are lexed as
+    /// one token: `==`, `!=`, `<=`, `>=`, `=>`, `->`, `::`, `..`, `..=`,
+    /// `&&`, `||`. Everything else is a single character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+
+    /// True when this is a numeric literal denoting a float: it has a
+    /// fractional part, an exponent, or an `f32`/`f64` suffix.
+    pub fn is_float(&self) -> bool {
+        if self.kind != TokKind::NumLit {
+            return false;
+        }
+        let t: String = self.text.chars().filter(|&c| c != '_').collect();
+        if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+            return false;
+        }
+        if t.ends_with("f32") || t.ends_with("f64") {
+            return true;
+        }
+        // Strip integer suffixes so `3usize` does not read as exponent `e`.
+        let body = [
+            "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+        ]
+        .iter()
+        .find_map(|s| t.strip_suffix(s))
+        .unwrap_or(&t);
+        body.contains('.') || body.contains('e') || body.contains('E')
+    }
+}
+
+/// Two-character compound operators lexed as single tokens.
+const COMPOUND2: &[&str] = &["==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||"];
+
+fn ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into a flat token stream. Comments and whitespace produce no
+/// tokens; newlines inside literals and comments still advance the line
+/// counter.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                b'r' | b'b' => self.prefixed_or_ident(),
+                _ if ident_start(c) => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..self.i].to_owned(),
+            line,
+        });
+    }
+
+    /// `//` to end of line (the newline itself is left for the main loop).
+    fn line_comment(&mut self) {
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+    }
+
+    /// `/* … */` with arbitrary nesting — the old scanner closed at the
+    /// first `*/` and mis-lexed everything after a nested comment.
+    fn block_comment(&mut self) {
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            match (self.b[self.i], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// `"…"` with escapes; multi-line strings advance the line counter but
+    /// the token is attributed to its opening quote.
+    fn string(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::StrLit, start, line);
+    }
+
+    /// Raw string starting at `self.i` (already past any `r`/`b` prefix
+    /// bookkeeping done by the caller): `hashes` guard hashes, with the
+    /// opening quote at `quote`. Ends at `"` followed by `hashes` hashes.
+    fn raw_string(&mut self, start: usize, hashes: usize, quote: usize) {
+        let line = self.line;
+        self.i = quote + 1;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let guard = &self.b[self.i + 1..];
+                if guard.len() >= hashes && guard[..hashes].iter().all(|&h| h == b'#') {
+                    self.i += 1 + hashes;
+                    self.push(TokKind::RawStrLit, start, line);
+                    return;
+                }
+            }
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        self.push(TokKind::RawStrLit, start, line);
+    }
+
+    /// A `'` is a char literal or a lifetime; `'"'` and `'\''` are chars,
+    /// `'a` followed by a non-quote is a lifetime.
+    fn quote(&mut self) {
+        match self.peek(1) {
+            Some(b'\\') => self.char_lit(),
+            Some(c) if ident_start(c) => {
+                let mut j = self.i + 1;
+                while self.b.get(j).copied().is_some_and(ident_continue) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.char_lit();
+                } else {
+                    let (start, line) = (self.i, self.line);
+                    self.i = j;
+                    self.push(TokKind::Lifetime, start, line);
+                }
+            }
+            _ => self.char_lit(),
+        }
+    }
+
+    /// Char/byte literal body: scans to the closing `'`, honoring `\'`.
+    fn char_lit(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    // Unterminated char (or a stray quote); stop at the
+                    // line boundary rather than swallowing the file.
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::CharLit, start, line);
+    }
+
+    /// `r`/`b` may prefix a raw string, byte string, byte char, or raw
+    /// identifier; otherwise it starts a plain identifier.
+    fn prefixed_or_ident(&mut self) {
+        let c = self.b[self.i];
+        if c == b'r' {
+            let mut j = self.i + 1;
+            let mut hashes = 0usize;
+            while self.b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'"') {
+                self.raw_string(self.i, hashes, j);
+                return;
+            }
+            if hashes == 1 && self.b.get(self.i + 2).copied().is_some_and(ident_start) {
+                // Raw identifier `r#type`.
+                let (start, line) = (self.i, self.line);
+                self.i += 2;
+                while self.i < self.b.len() && ident_continue(self.b[self.i]) {
+                    self.i += 1;
+                }
+                self.push(TokKind::Ident, start, line);
+                return;
+            }
+            self.ident();
+        } else {
+            match self.peek(1) {
+                Some(b'"') => {
+                    let (start, line) = (self.i, self.line);
+                    self.i += 1; // past `b`; string() consumes the quote
+                    self.string_from(start, line);
+                }
+                Some(b'\'') => {
+                    let (start, line) = (self.i, self.line);
+                    self.i += 1;
+                    self.char_lit_from(start, line);
+                }
+                Some(b'r') => {
+                    let mut j = self.i + 2;
+                    let mut hashes = 0usize;
+                    while self.b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if self.b.get(j) == Some(&b'"') {
+                        self.raw_string(self.i, hashes, j);
+                    } else {
+                        self.ident();
+                    }
+                }
+                _ => self.ident(),
+            }
+        }
+    }
+
+    /// String body starting at the quote currently under the cursor, but
+    /// attributed to `start` (used for `b"…"`).
+    fn string_from(&mut self, start: usize, line: u32) {
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::StrLit, start, line);
+    }
+
+    /// Char body starting at the quote under the cursor, attributed to
+    /// `start` (used for `b'…'`).
+    fn char_lit_from(&mut self, start: usize, line: u32) {
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => break,
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::CharLit, start, line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.i < self.b.len() && ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    /// Numeric literal: integer/float body, optional exponent, optional
+    /// suffix. `1.max(2)` and `0..n` leave the `.` to the punct lexer.
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.i += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.i += 1;
+            }
+            self.push(TokKind::NumLit, start, line);
+            return;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.i += 1;
+        }
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(n) if n.is_ascii_digit() => {
+                    self.i += 1;
+                    while self
+                        .peek(0)
+                        .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                    {
+                        self.i += 1;
+                    }
+                }
+                // `1..n` (range) or `1.max(2)` (method call): stop.
+                Some(b'.') => {}
+                Some(n) if ident_start(n) => {}
+                // Trailing float `2.`.
+                _ => self.i += 1,
+            }
+        }
+        if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exp = match sign {
+                Some(s) if s.is_ascii_digit() => true,
+                Some(b'+') | Some(b'-') => digit.is_some_and(|d| d.is_ascii_digit()),
+                _ => false,
+            };
+            if exp {
+                self.i += 2;
+                while self
+                    .peek(0)
+                    .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+                {
+                    self.i += 1;
+                }
+            }
+        }
+        // Suffix (`f64`, `u32`, …).
+        while self.peek(0).is_some_and(ident_continue) {
+            self.i += 1;
+        }
+        self.push(TokKind::NumLit, start, line);
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.i, self.line);
+        if self.b[self.i..].starts_with(b"..=") {
+            self.i += 3;
+            self.push(TokKind::Punct, start, line);
+            return;
+        }
+        for op in COMPOUND2 {
+            if self.b[self.i..].starts_with(op.as_bytes()) {
+                self.i += 2;
+                self.push(TokKind::Punct, start, line);
+                return;
+            }
+        }
+        // Single char; non-ASCII advances by the full UTF-8 char.
+        match self.src[self.i..].chars().next() {
+            Some(ch) => self.i += ch.len_utf8(),
+            None => self.i = self.b.len(),
+        }
+        self.push(TokKind::Punct, start, line);
+    }
+}
+
+/// Removes every `#[cfg(test)]`-gated item (attributes included) from the
+/// token stream, so the rules see only shipping code. Unlike the old
+/// scanner — which ignored everything after the *first* `#[cfg(test)]`
+/// line — code following a test module is still linted.
+pub fn strip_test_regions(toks: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let mut j = skip_attr(toks, i);
+            // Further attributes stacked on the same item.
+            while j < toks.len() && toks[j].is_punct("#") {
+                j = skip_attr(toks, j);
+            }
+            i = skip_item(toks, j);
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `toks[i..]` opens an outer attribute whose `cfg(...)` argument
+/// mentions the bare `test` flag (covers `#[cfg(test)]` and
+/// `#[cfg(all(test, …))]`).
+fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
+    if !(toks.get(i).is_some_and(|t| t.is_punct("#"))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("["))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct("(")))
+    {
+        return false;
+    }
+    let mut depth = 0usize;
+    for t in &toks[i + 3..] {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("test") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Index just past the `]` closing the attribute that starts at `i` (`#`).
+fn skip_attr(toks: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if !toks.get(j).is_some_and(|t| t.is_punct("[")) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        if toks[j].is_punct("[") {
+            depth += 1;
+        } else if toks[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index just past the item starting at `i`: either the `;` ending a
+/// declaration or the `}` closing the item's body.
+fn skip_item(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct("{") {
+            depth += 1;
+        } else if toks[j].is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if toks[j].is_punct(";") && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        // The old scrub() toggled string state at the inner quotes of a
+        // raw string, exposing its contents as code — a false positive.
+        let toks = kinds(r##"let s = r#"say "hi".unwrap()"#; x.f();"##);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::RawStrLit));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "f"));
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        let toks = kinds(r###"r##"a "# b"## + tail"###);
+        assert_eq!(toks[0].0, TokKind::RawStrLit);
+        assert_eq!(toks[0].1, r###"r##"a "# b"##"###);
+        assert!(toks.iter().any(|(_, t)| t == "tail"));
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        // The old scrub() treated the `"` inside `'"'` as a string opener
+        // and blanked the rest of the line — a false negative.
+        let toks = kinds("let q = '\"'; x.unwrap();");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && t == "'\"'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = kinds(r"let q = '\''; y();");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && t == r"'\''"));
+        assert!(toks.iter().any(|(_, t)| t == "y"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn nested_block_comments_stay_comments() {
+        // The old scrub() closed at the first `*/`, mis-lexing the rest of
+        // a nested comment as code — a false positive.
+        let toks = kinds("/* a /* b.unwrap() */ still comment */ real();");
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert!(!toks.iter().any(|(_, t)| t == "still"));
+        assert!(toks.iter().any(|(_, t)| t == "real"));
+    }
+
+    #[test]
+    fn floats_and_ints_classified() {
+        let f = |s: &str| {
+            lex(s)
+                .into_iter()
+                .find(|t| t.kind == TokKind::NumLit)
+                .is_some_and(|t| t.is_float())
+        };
+        assert!(f("1.0"));
+        assert!(f("0.25f64"));
+        assert!(f("2."));
+        assert!(f("1e-9"));
+        assert!(f("1E3"));
+        assert!(f("1f32"));
+        assert!(!f("1"));
+        assert!(!f("3usize"));
+        assert!(!f("0xff"));
+        assert!(!f("1_000"));
+    }
+
+    #[test]
+    fn ranges_and_method_calls_split_correctly() {
+        let toks = kinds("for i in 0..=n { 1.max(2); a[1..3]; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "..="));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+        assert!(toks.iter().any(|(_, t)| t == "max"));
+        // `1` before `.max` stays an integer literal.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::NumLit && t == "1"));
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let toks = kinds("a == b != c <= d >= e => f -> g :: h && i || j");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            puncts,
+            ["==", "!=", "<=", ">=", "=>", "->", "::", "&&", "||"]
+        );
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStrLit && t == "br#\"raw\"#"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "r#type"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "a\n/* x\n y */\n\"s\nt\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1); // a
+        assert_eq!(toks[1].line, 4); // the string opens on line 4
+        assert_eq!(toks[2].line, 6); // b
+    }
+
+    #[test]
+    fn strip_test_regions_removes_only_test_items() {
+        let src = "fn a() { x.g(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { y.h(); } }\n\
+                   fn b() { z.k(); }";
+        let kept = strip_test_regions(&lex(src));
+        let names: Vec<_> = kept.iter().map(|t| t.text.as_str()).collect();
+        assert!(names.contains(&"a"));
+        assert!(names.contains(&"b"), "code after a test module is linted");
+        assert!(!names.contains(&"tests"));
+        assert!(!names.contains(&"h"));
+    }
+
+    #[test]
+    fn strip_test_regions_handles_cfg_all_and_stacked_attrs() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\n#[allow(dead_code)]\n\
+                   fn t() { q(); }\nfn live() {}";
+        let kept = strip_test_regions(&lex(src));
+        let names: Vec<_> = kept.iter().map(|t| t.text.as_str()).collect();
+        assert!(!names.contains(&"q"));
+        assert!(names.contains(&"live"));
+    }
+
+    #[test]
+    fn strip_test_regions_keeps_non_test_cfg() {
+        let src = "#[cfg(feature = \"extra\")]\nfn f() { a(); }";
+        let kept = strip_test_regions(&lex(src));
+        assert!(kept.iter().any(|t| t.text == "a"));
+    }
+}

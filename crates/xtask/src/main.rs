@@ -1,497 +1,39 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-//! `mube-xtask` — workspace automation for the µBE repro.
+//! CLI entry point for `mube-xtask`; all the analysis lives in the
+//! library (`mube_xtask`) so the corpus tests can drive it directly.
 //!
-//! The only subcommand today is `lint`, a plain-Rust source-level static
-//! analysis pass over every workspace crate (no external parser — line-based
-//! scanning with comment/string stripping). It enforces three rule families
-//! on **non-test library code** (everything in `src/` outside `src/bin/`,
-//! up to the first `#[cfg(test)]` line of each file):
-//!
-//! * `no-panic` — bans `.unwrap()`, `.expect(...)` and `panic!` so library
-//!   paths surface [`mube_core::MubeError`]-style values instead of aborting;
-//! * `float-eq` — flags `==`/`!=` against a float literal, which silently
-//!   misbehaves on similarity/objective values (use a tolerance or
-//!   `f64::total_cmp`);
-//! * `crate-attrs` — requires `#![forbid(unsafe_code)]` and
-//!   `#![deny(missing_docs)]` on every crate root.
-//!
-//! Justified residual sites live in the checked-in allowlist
-//! (`lint-allow.txt` at the workspace root, capped at 40 entries). Entries
-//! are exact-count: the lint fails both when a file *exceeds* its budget and
-//! when it *undershoots* it, so stale entries are flushed as code improves.
-//!
-//! Run with `cargo run -p mube-xtask -- lint`; `scripts/check.sh` wires it
-//! into CI alongside rustfmt, clippy and the test suite.
+//! ```text
+//! cargo run -p mube-xtask -- lint                      # full lint pass
+//! cargo run -p mube-xtask -- lint --update-allowlist   # refresh budgets
+//! ```
 
-use std::collections::BTreeMap;
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Maximum number of allowlist entries before the lint refuses to run:
-/// past this point the allowlist is hiding debt, not tracking it.
-const MAX_ALLOWLIST_ENTRIES: usize = 40;
-
-/// Name of the allowlist file at the workspace root.
-const ALLOWLIST_FILE: &str = "lint-allow.txt";
-
-/// One rule hit at a specific source line.
-struct Violation {
-    /// Workspace-relative path, `/`-separated.
-    file: String,
-    /// 1-based line number.
-    line: usize,
-    /// Rule identifier (`no-panic`, `float-eq`, `crate-attrs`).
-    rule: &'static str,
-    /// The offending line (trimmed) or a description for file-level rules.
-    excerpt: String,
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => match run_lint() {
-            Ok(true) => ExitCode::SUCCESS,
-            Ok(false) => ExitCode::FAILURE,
-            Err(e) => {
-                eprintln!("mube-xtask: {e}");
-                ExitCode::FAILURE
+        Some("lint") => {
+            let rest = &args[1..];
+            if rest.iter().any(|a| a != "--update-allowlist") {
+                return usage();
             }
-        },
-        _ => {
-            eprintln!("usage: cargo run -p mube-xtask -- lint");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-/// Runs the full lint pass. `Ok(true)` means clean.
-fn run_lint() -> Result<bool, String> {
-    let root = workspace_root()?;
-    let allow = load_allowlist(&root)?;
-    let mut violations = Vec::new();
-
-    for crate_dir in crate_dirs(&root)? {
-        lint_crate(&root, &crate_dir, &mut violations)?;
-    }
-
-    report(&root, violations, allow)
-}
-
-/// The workspace root, two levels above this crate's manifest.
-fn workspace_root() -> Result<PathBuf, String> {
-    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
-        .ok_or_else(|| "cannot locate workspace root".to_owned())
-}
-
-/// Every crate directory to lint: the root package plus `crates/*`.
-fn crate_dirs(root: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut dirs = vec![root.to_path_buf()];
-    let crates = root.join("crates");
-    let entries =
-        fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("reading crates/: {e}"))?;
-        let path = entry.path();
-        if path.is_dir() && path.join("Cargo.toml").is_file() {
-            dirs.push(path);
-        }
-    }
-    dirs.sort();
-    Ok(dirs)
-}
-
-/// Lints one crate: crate-root attributes plus every library source file.
-fn lint_crate(root: &Path, crate_dir: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
-    let src = crate_dir.join("src");
-    if !src.is_dir() {
-        return Ok(());
-    }
-    check_crate_root(root, &src, out)?;
-
-    let mut files = Vec::new();
-    collect_rs_files(&src, &mut files)?;
-    for file in files {
-        // Binary targets (experiment drivers) are exempt from the code
-        // rules: a CLI that dies loudly on bad input is fine.
-        if file.strip_prefix(&src).is_ok_and(|p| p.starts_with("bin")) {
-            continue;
-        }
-        lint_file(root, &file, out)?;
-    }
-    Ok(())
-}
-
-/// Requires `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` on the
-/// crate root (`src/lib.rs`, falling back to `src/main.rs`).
-fn check_crate_root(root: &Path, src: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
-    let crate_root = if src.join("lib.rs").is_file() {
-        src.join("lib.rs")
-    } else if src.join("main.rs").is_file() {
-        src.join("main.rs")
-    } else {
-        return Ok(());
-    };
-    let text = fs::read_to_string(&crate_root)
-        .map_err(|e| format!("reading {}: {e}", crate_root.display()))?;
-    for attr in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
-        if !text.lines().any(|l| l.trim() == attr) {
-            out.push(Violation {
-                file: rel(root, &crate_root),
-                line: 1,
-                rule: "crate-attrs",
-                excerpt: format!("missing `{attr}` on crate root"),
-            });
-        }
-    }
-    Ok(())
-}
-
-/// Recursively gathers `.rs` files under `dir`.
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
-    let mut paths: Vec<PathBuf> = Vec::new();
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
-        paths.push(entry.path());
-    }
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Scans one file's non-test region for `no-panic` and `float-eq` hits.
-fn lint_file(root: &Path, file: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
-    let text = fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
-    let needles = panic_needles();
-    let mut in_block_comment = false;
-    for (idx, raw) in text.lines().enumerate() {
-        // Test modules sit at the tail of each file by repo convention;
-        // everything from the first `#[cfg(test)]` on is out of scope.
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = scrub(raw, &mut in_block_comment);
-        for (needle, rule) in &needles {
-            if code.contains(needle.as_str()) {
-                out.push(Violation {
-                    file: rel(root, file),
-                    line: idx + 1,
-                    rule,
-                    excerpt: raw.trim().to_owned(),
-                });
+            let update = rest.iter().any(|a| a == "--update-allowlist");
+            match mube_xtask::run_lint(update) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("mube-xtask: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
-        if has_float_eq(&code) {
-            out.push(Violation {
-                file: rel(root, file),
-                line: idx + 1,
-                rule: "float-eq",
-                excerpt: raw.trim().to_owned(),
-            });
-        }
-    }
-    Ok(())
-}
-
-/// The banned-call needles. Assembled at runtime so this scanner's own
-/// source never matches them.
-fn panic_needles() -> Vec<(String, &'static str)> {
-    vec![
-        (format!(".{}()", "unwrap"), "no-panic"),
-        (format!(".{}(", "expect"), "no-panic"),
-        (format!("{}!", "panic"), "no-panic"),
-    ]
-}
-
-/// Blanks string-literal contents and strips `//` line comments and
-/// `/* ... */` block comments so the scanners only see code.
-fn scrub(line: &str, in_block_comment: &mut bool) -> String {
-    let mut cleaned = String::with_capacity(line.len());
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        if *in_block_comment {
-            if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                *in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            cleaned.push(' ');
-            continue;
-        }
-        if in_str {
-            if b == b'\\' {
-                i += 1; // skip the escaped byte as well
-                cleaned.push(' ');
-            } else if b == b'"' {
-                in_str = false;
-                cleaned.push('"');
-            } else {
-                cleaned.push(' ');
-            }
-        } else if b == b'"' {
-            in_str = true;
-            cleaned.push('"');
-        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
-            break;
-        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
-            *in_block_comment = true;
-            cleaned.push(' ');
-            i += 1;
-        } else {
-            // Non-ASCII bytes land here untouched; the needles are ASCII so
-            // byte-wise pushes keep the scan positions aligned.
-            cleaned.push(b as char);
-        }
-        i += 1;
-    }
-    cleaned
-}
-
-/// True when the line compares a float literal with `==` or `!=`.
-fn has_float_eq(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    for i in 0..bytes.len().saturating_sub(1) {
-        if bytes[i + 1] != b'=' {
-            continue;
-        }
-        let op = bytes[i];
-        if op != b'=' && op != b'!' {
-            continue;
-        }
-        // Reject `<=`, `>=`, `===`-like runs and pattern `..=`.
-        if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!' | b'.') {
-            continue;
-        }
-        if bytes.get(i + 2) == Some(&b'=') {
-            continue;
-        }
-        let lhs = token_before(code, i);
-        let rhs = token_after(code, i + 2);
-        if is_float_literal(lhs) || is_float_literal(rhs) {
-            return true;
-        }
-    }
-    false
-}
-
-/// The token ending just before byte `end` (skipping spaces).
-fn token_before(code: &str, end: usize) -> &str {
-    let bytes = code.as_bytes();
-    let mut j = end;
-    while j > 0 && bytes[j - 1] == b' ' {
-        j -= 1;
-    }
-    let stop = j;
-    while j > 0 && is_token_byte(bytes[j - 1]) {
-        j -= 1;
-    }
-    &code[j..stop]
-}
-
-/// The token starting at or after byte `start` (skipping spaces).
-fn token_after(code: &str, start: usize) -> &str {
-    let bytes = code.as_bytes();
-    let mut j = start;
-    while j < bytes.len() && bytes[j] == b' ' {
-        j += 1;
-    }
-    let begin = j;
-    while j < bytes.len() && is_token_byte(bytes[j]) {
-        j += 1;
-    }
-    &code[begin..j]
-}
-
-fn is_token_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'.' || b == b'_'
-}
-
-/// A decimal float literal: has a `.` between digits and parses as `f64`.
-fn is_float_literal(tok: &str) -> bool {
-    let tok = tok.trim_end_matches("f64").trim_end_matches("f32");
-    tok.contains('.')
-        && tok.bytes().next().is_some_and(|b| b.is_ascii_digit())
-        && tok.parse::<f64>().is_ok()
-}
-
-/// Workspace-relative `/`-separated display path.
-fn rel(root: &Path, file: &Path) -> String {
-    file.strip_prefix(root)
-        .unwrap_or(file)
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
-}
-
-/// Parses `lint-allow.txt`: one `<path> <rule> <count>` entry per line,
-/// `#` comments. Exact-count budget per (file, rule).
-fn load_allowlist(root: &Path) -> Result<BTreeMap<(String, String), usize>, String> {
-    let path = root.join(ALLOWLIST_FILE);
-    let mut allow = BTreeMap::new();
-    let text = match fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(allow),
-        Err(e) => return Err(format!("reading {}: {e}", path.display())),
-    };
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        let [file, rule, count] = parts.as_slice() else {
-            return Err(format!(
-                "{ALLOWLIST_FILE}:{}: expected `<path> <rule> <count>`, got `{line}`",
-                idx + 1
-            ));
-        };
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("{ALLOWLIST_FILE}:{}: bad count `{count}`", idx + 1))?;
-        if allow
-            .insert(((*file).to_owned(), (*rule).to_owned()), count)
-            .is_some()
-        {
-            return Err(format!(
-                "{ALLOWLIST_FILE}:{}: duplicate entry for {file} {rule}",
-                idx + 1
-            ));
-        }
-    }
-    if allow.len() > MAX_ALLOWLIST_ENTRIES {
-        return Err(format!(
-            "{ALLOWLIST_FILE} has {} entries; the cap is {MAX_ALLOWLIST_ENTRIES} — \
-             fix violations instead of allowlisting them",
-            allow.len()
-        ));
-    }
-    Ok(allow)
-}
-
-/// Reconciles violations with the allowlist and prints the verdict.
-fn report(
-    root: &Path,
-    violations: Vec<Violation>,
-    allow: BTreeMap<(String, String), usize>,
-) -> Result<bool, String> {
-    let mut by_key: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
-    for v in violations {
-        by_key
-            .entry((v.file.clone(), v.rule.to_owned()))
-            .or_default()
-            .push(v);
-    }
-
-    let mut failed = false;
-    for (key, hits) in &by_key {
-        let budget = allow.get(key).copied().unwrap_or(0);
-        if hits.len() > budget {
-            failed = true;
-            let (file, rule) = key;
-            eprintln!(
-                "lint [{rule}] {file}: {} hit(s), {budget} allowlisted",
-                hits.len()
-            );
-            for v in hits {
-                eprintln!("  {}:{}: {}", v.file, v.line, v.excerpt);
-            }
-        }
-    }
-    // Stale entries: budgets the code no longer uses up must be tightened
-    // or removed, otherwise regressions hide under old grants.
-    for (key, &budget) in &allow {
-        let actual = by_key.get(key).map_or(0, Vec::len);
-        if actual < budget {
-            failed = true;
-            let (file, rule) = key;
-            eprintln!(
-                "lint [allowlist] stale entry `{file} {rule} {budget}`: \
-                 only {actual} hit(s) remain — lower or delete it in {}",
-                root.join(ALLOWLIST_FILE).display()
-            );
-        }
-    }
-
-    if failed {
-        eprintln!("mube-xtask lint: FAILED");
-        Ok(false)
-    } else {
-        println!("mube-xtask lint: OK ({} allowlisted sites)", allow.len());
-        Ok(true)
+        _ => usage(),
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scrub_strips_comments_and_strings() {
-        let mut blk = false;
-        assert_eq!(scrub("let x = 1; // tail", &mut blk), "let x = 1; ");
-        assert!(!blk);
-        let cleaned = scrub("let s = \"a == 1.0\"; let y = 2;", &mut blk);
-        assert!(!cleaned.contains("1.0"));
-        assert!(cleaned.contains("let y = 2;"));
-    }
-
-    #[test]
-    fn scrub_tracks_block_comments_across_lines() {
-        let mut blk = false;
-        let first = scrub("code(); /* start", &mut blk);
-        assert!(blk);
-        assert!(first.contains("code();"));
-        assert!(!first.contains("start"));
-        let second = scrub("hidden() */ after();", &mut blk);
-        assert!(!blk);
-        assert!(!second.contains("hidden"));
-        assert!(second.contains("after();"));
-    }
-
-    #[test]
-    fn float_eq_detection() {
-        assert!(has_float_eq("if x == 1.0 {"));
-        assert!(has_float_eq("if 0.5 != y {"));
-        assert!(has_float_eq("x == 1.0f64"));
-        assert!(!has_float_eq("if x == 1 {"));
-        assert!(!has_float_eq("if x <= 1.0 {"));
-        assert!(!has_float_eq("for i in 0..=n {"));
-        assert!(!has_float_eq("if a == b {"));
-    }
-
-    #[test]
-    fn needles_match_expected_shapes() {
-        let needles = panic_needles();
-        let sample = format!("value.{}()", "unwrap");
-        assert!(needles.iter().any(|(n, _)| sample.contains(n.as_str())));
-        let ok = "value.unwrap_or(0)";
-        assert!(!needles.iter().any(|(n, _)| ok.contains(n.as_str())));
-    }
-
-    #[test]
-    fn float_literal_shapes() {
-        assert!(is_float_literal("1.0"));
-        assert!(is_float_literal("0.25f64"));
-        assert!(!is_float_literal("x.len"));
-        assert!(!is_float_literal("1"));
-        assert!(!is_float_literal(""));
-    }
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p mube-xtask -- lint [--update-allowlist]");
+    ExitCode::FAILURE
 }

@@ -1,0 +1,14 @@
+//! Known-bad fixture: ambient inputs that make a run irreproducible.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> bool {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let seed = std::env::var("MUBE_SEED");
+    seed.is_ok() && wall.elapsed().is_ok() && t0.elapsed().as_nanos() > 0
+}
+
+fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,19 @@
+//! Known-good fixture: every seed and clock reading arrives as an explicit
+//! parameter; idents that merely resemble the banned names stay legal.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+fn roll(seed: u64) -> u64 {
+    splitmix(seed)
+}
+
+struct Environment {
+    now: u64,
+}
+
+fn observe(env_snapshot: &Environment) -> u64 {
+    env_snapshot.now
+}

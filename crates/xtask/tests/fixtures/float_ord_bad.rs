@@ -1,0 +1,19 @@
+//! Known-bad fixture: partial float comparisons and floats in `Ord` key
+//! positions.
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+fn rank(scores: &mut Vec<(f64, usize)>) {
+    scores.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn heap() -> BinaryHeap<(f64, u32)> {
+    BinaryHeap::new()
+}
+
+fn keyed() -> BTreeMap<f64, u32> {
+    BTreeMap::new()
+}
+
+fn members() -> BTreeSet<f64> {
+    BTreeSet::new()
+}

@@ -1,0 +1,23 @@
+//! Known-good fixture: total float order everywhere, floats only in value
+//! positions of ordered containers, and `partial_cmp` *definitions* (no
+//! leading dot) stay legal.
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+fn rank(scores: &mut Vec<(f64, usize)>) {
+    scores.sort_by(|a, b| a.0.total_cmp(&b.0));
+}
+
+fn keyed() -> BTreeMap<u64, f64> {
+    BTreeMap::new()
+}
+
+struct Scored {
+    value: f64,
+}
+
+impl Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.value.total_cmp(&other.value))
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture: ordering-sensitive walks over hash collections.
+//! Every iteration below observes `RandomState` order and must be flagged
+//! when the file sits in a determinism-scoped crate.
+use std::collections::{HashMap, HashSet};
+
+fn tally(groups: &mut HashMap<u32, Vec<usize>>, seen: &HashSet<u64>) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (_, members) in groups.iter() {
+        out.extend_from_slice(members);
+    }
+    groups.retain(|_, v| !v.is_empty());
+    for h in seen {
+        let _ = h;
+    }
+    out
+}
+
+fn sums(map: HashMap<String, u64>) -> u64 {
+    map.into_values().sum()
+}

@@ -1,0 +1,19 @@
+//! Known-good fixture: hash collections used for pure lookups only, with
+//! every walk routed through an ordered container.
+use std::collections::{BTreeMap, HashMap};
+
+fn lookup(index: &HashMap<String, usize>, key: &str) -> Option<usize> {
+    index.get(key).copied()
+}
+
+fn ordered(groups: &BTreeMap<u32, Vec<usize>>) -> usize {
+    groups.values().map(Vec::len).sum()
+}
+
+fn update(counts: &mut HashMap<u64, u64>, k: u64) {
+    *counts.entry(k).or_insert(0) += 1;
+}
+
+fn contains(seen: &HashMap<u64, ()>, h: u64) -> bool {
+    seen.contains_key(&h)
+}

@@ -1,0 +1,25 @@
+//! Known-bad fixture for a *registered* lock module: a second acquisition
+//! while a guard is live, a nested same-statement acquisition, and a live
+//! guard referenced inside a closure body.
+struct Shards {
+    a: std::sync::Mutex<Vec<u64>>,
+    b: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Shards {
+    fn double(&self) -> usize {
+        let first = self.a.lock();
+        let second = self.b.lock();
+        first.len() + second.len()
+    }
+
+    fn nested(&self) -> usize {
+        let merged = self.a.lock().len().max(self.b.lock().len());
+        merged
+    }
+
+    fn leak(&self) -> usize {
+        let guard = self.a.lock();
+        (0..4).map(|i| guard.len() + i).sum::<usize>()
+    }
+}

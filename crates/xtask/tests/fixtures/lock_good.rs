@@ -1,0 +1,36 @@
+//! Known-good fixture for a *registered* lock module: guards are dropped
+//! (explicitly or by scope) before the next acquisition, and closures only
+//! run once no guard is live.
+struct Shards {
+    a: std::sync::Mutex<Vec<u64>>,
+    b: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Shards {
+    fn sequential(&self) -> usize {
+        let first = self.a.lock();
+        let n = first.len();
+        drop(first);
+        let second = self.b.lock();
+        n + second.len()
+    }
+
+    fn scoped(&self) -> usize {
+        let n = {
+            let g = self.a.lock();
+            g.len()
+        };
+        let m = {
+            let g = self.b.lock();
+            g.len()
+        };
+        n + m
+    }
+
+    fn closure_after_drop(&self) -> usize {
+        let g = self.a.lock();
+        let len = g.len();
+        drop(g);
+        (0..len).map(|i| i * 2).sum::<usize>()
+    }
+}

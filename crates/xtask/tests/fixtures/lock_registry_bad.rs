@@ -1,0 +1,15 @@
+//! Known-bad fixture: lock state declared outside the registered shard
+//! stores. Every `Mutex`/`RwLock` mention is a hit in unregistered files.
+use std::sync::Mutex;
+
+struct Store {
+    inner: Mutex<Vec<u64>>,
+}
+
+impl Store {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+}

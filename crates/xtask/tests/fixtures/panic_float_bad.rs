@@ -1,0 +1,20 @@
+//! Known-bad fixture: panicking library code and exact float comparisons.
+fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn need(x: Option<u32>) -> u32 {
+    x.expect("value required")
+}
+
+fn refuse() -> ! {
+    panic!("unreachable by construction")
+}
+
+fn is_half(v: f64) -> bool {
+    v == 0.5
+}
+
+fn not_kilo(v: f64) -> bool {
+    1.0e3 != v
+}

@@ -1,0 +1,18 @@
+//! Known-good fixture: fallible paths return defaults or errors, float
+//! comparisons use an epsilon, and banned names inside string literals are
+//! inert.
+fn take(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn describe() -> &'static str {
+    "calling .unwrap() or panic!() here would be a bug"
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}
+
+fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}

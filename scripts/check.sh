@@ -8,8 +8,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> mube-xtask lint (no-panic / float-eq / crate-attrs)"
+echo "==> mube-xtask lint (no-panic / float-eq / crate-attrs / no-hash-iter /"
+echo "    no-ambient-entropy / float-ord / lock-discipline; report at target/lint-report.json)"
 cargo run -q -p mube-xtask -- lint
+
+echo "==> lint allowlist round-trip (lint-allow.txt counts match the tree)"
+cp lint-allow.txt target/lint-allow.pre
+cargo run -q -p mube-xtask -- lint --update-allowlist >/dev/null
+diff -u target/lint-allow.pre lint-allow.txt
 
 echo "==> cargo clippy --workspace (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
