@@ -13,6 +13,7 @@ use mube_schema::{AttrId, Constraints, GlobalAttribute, MediatedSchema, SourceId
 use crate::linkage::Linkage;
 use crate::quality::schema_quality;
 use crate::similarity::AttrSimilarity;
+use crate::source_mask::SourceMask;
 
 /// Which round-loop implementation a `Match(S)` call runs.
 ///
@@ -122,7 +123,10 @@ pub struct MatchOutcome {
 #[derive(Debug, Clone)]
 pub(crate) struct Cluster {
     pub(crate) attrs: Vec<AttrId>,
-    pub(crate) sources: BTreeSet<SourceId>,
+    /// Word-packed source membership: `can_merge` is the hottest predicate
+    /// in both kernels' pair enumeration, so disjointness must be an AND
+    /// over packed words, not a set walk.
+    pub(crate) sources: SourceMask,
     /// User-constraint provenance: never eliminated. Propagates on merge.
     pub(crate) keep: bool,
     /// Has this cluster (or any ancestor) ever been produced by a merge?
@@ -138,7 +142,7 @@ impl Cluster {
     fn singleton(attr: AttrId) -> Self {
         Self {
             attrs: vec![attr],
-            sources: std::iter::once(attr.source).collect(),
+            sources: SourceMask::singleton(attr.source),
             keep: false,
             ever_merged: false,
             merged: false,
@@ -150,7 +154,7 @@ impl Cluster {
     fn from_ga(ga: &GlobalAttribute) -> Self {
         Self {
             attrs: ga.attrs().collect(),
-            sources: ga.sources().collect(),
+            sources: SourceMask::from_ids(ga.sources()),
             keep: true,
             ever_merged: false,
             merged: false,
@@ -173,7 +177,7 @@ impl Cluster {
                 a.sort_unstable();
                 a
             },
-            sources: self.sources.union(&other.sources).copied().collect(),
+            sources: self.sources.union(&other.sources),
             keep: self.keep || other.keep,
             ever_merged: true,
             merged: false,

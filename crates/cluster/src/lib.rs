@@ -43,6 +43,7 @@ mod incremental;
 pub mod linkage;
 pub mod quality;
 pub mod similarity;
+mod source_mask;
 
 pub use algorithm::{
     match_sources, match_sources_deferring_spans, MatchConfig, MatchKernel, MatchOutcome,

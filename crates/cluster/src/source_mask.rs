@@ -1,0 +1,141 @@
+//! Word-packed source-membership sets for clusters.
+//!
+//! A cluster only ever asks two questions of its source set: "is it disjoint
+//! from that cluster's?" (the merge validity gate, hit for every candidate
+//! pair the kernels consider) and "what is the union?" (the merge itself).
+//! Source ids are dense universe indices, so both are word-level AND/OR
+//! passes over a packed bitmap — no tree walk, no per-element compare.
+
+use mube_schema::SourceId;
+
+/// A set of [`SourceId`]s packed 64 per `u64` word.
+///
+/// The word vector is only as long as needed for the highest member, so
+/// masks of differently-sized clusters interoperate: missing high words are
+/// treated as zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct SourceMask {
+    words: Vec<u64>,
+}
+
+/// The (word, bit) position of a source id.
+fn word_bit(source: SourceId) -> (usize, u64) {
+    let i = source.index();
+    (i / 64, 1u64 << (i % 64))
+}
+
+impl SourceMask {
+    /// The mask containing exactly `source`.
+    pub(crate) fn singleton(source: SourceId) -> Self {
+        let mut mask = Self::default();
+        mask.insert(source);
+        mask
+    }
+
+    /// The mask of all ids yielded by `ids`.
+    pub(crate) fn from_ids<I: IntoIterator<Item = SourceId>>(ids: I) -> Self {
+        let mut mask = Self::default();
+        for id in ids {
+            mask.insert(id);
+        }
+        mask
+    }
+
+    /// Adds `source` to the mask, growing the word vector if needed.
+    pub(crate) fn insert(&mut self, source: SourceId) {
+        let (w, bit) = word_bit(source);
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= bit;
+    }
+
+    /// Whether `source` is a member. The kernels only need disjointness and
+    /// union; membership is for assertions.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, source: SourceId) -> bool {
+        let (w, bit) = word_bit(source);
+        self.words.get(w).is_some_and(|&word| word & bit != 0)
+    }
+
+    /// Whether the two masks share no source: AND across the common prefix
+    /// (words beyond either length are zero and intersect nothing).
+    pub(crate) fn is_disjoint(&self, other: &SourceMask) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// The union of the two masks.
+    pub(crate) fn union(&self, other: &SourceMask) -> SourceMask {
+        let (long, short) = if self.words.len() >= other.words.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut words = long.words.clone();
+        for (w, s) in words.iter_mut().zip(&short.words) {
+            *w |= s;
+        }
+        SourceMask { words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(list: &[u32]) -> SourceMask {
+        SourceMask::from_ids(list.iter().map(|&i| SourceId(i)))
+    }
+
+    #[test]
+    fn singleton_contains_only_its_source() {
+        let m = SourceMask::singleton(SourceId(5));
+        assert!(m.contains(SourceId(5)));
+        assert!(!m.contains(SourceId(4)));
+        assert!(!m.contains(SourceId(500)));
+    }
+
+    #[test]
+    fn disjointness_across_word_boundaries() {
+        // Straddle the 63/64/65 boundary where the word index changes.
+        for hi in [63u32, 64, 65, 127, 128] {
+            let a = ids(&[0, hi]);
+            let b = ids(&[hi]);
+            let c = ids(&[hi + 1]);
+            assert!(!a.is_disjoint(&b), "hi={hi}");
+            assert!(!b.is_disjoint(&a), "hi={hi}");
+            assert!(a.is_disjoint(&c), "hi={hi}");
+            assert!(c.is_disjoint(&a), "hi={hi}");
+        }
+    }
+
+    #[test]
+    fn unequal_word_lengths_interoperate() {
+        let small = ids(&[1]);
+        let large = ids(&[1, 200]);
+        assert!(!small.is_disjoint(&large));
+        let other = ids(&[2]);
+        assert!(other.is_disjoint(&large));
+    }
+
+    #[test]
+    fn union_collects_both_sides() {
+        for (a, b) in [(&[0u32, 63][..], &[64u32, 129][..]), (&[130][..], &[2][..])] {
+            let u = ids(a).union(&ids(b));
+            for &i in a.iter().chain(b) {
+                assert!(u.contains(SourceId(i)), "{i} missing from union");
+            }
+            assert!(!u.contains(SourceId(7)));
+            // Union is symmetric regardless of which side is longer.
+            assert_eq!(u, ids(b).union(&ids(a)));
+        }
+    }
+
+    #[test]
+    fn empty_mask_is_disjoint_from_everything() {
+        let empty = SourceMask::default();
+        assert!(empty.is_disjoint(&ids(&[0, 64])));
+        assert!(ids(&[0]).is_disjoint(&empty));
+        assert_eq!(empty.union(&ids(&[3])), ids(&[3]));
+    }
+}

@@ -350,7 +350,9 @@ impl<'a> MubeObjective<'a> {
     /// outright aborts with no reusable components.
     fn compute_eval(&self, subset: &Subset) -> (f64, ComponentEval) {
         let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
-        let selection = SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
+        // Subset and SourceSelection share the packed-word layout over the
+        // same universe: convert by word copy, not by re-inserting members.
+        let selection = SourceSelection::from_words(self.universe.len(), subset.words());
         let mut components = vec![0.0f64; self.bindings.len()];
         let mut match_part = None;
         let mut spans_ok = true;

@@ -127,6 +127,13 @@ impl Subset {
         (0..self.universe_size).filter(move |&i| !self.contains(i))
     }
 
+    /// The packed words backing the subset (64 items per word, low indices
+    /// in low bits). Lets the engine convert to `SourceSelection` by word
+    /// copy instead of iterating members.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// A 64-bit FNV fingerprint for memoization keys.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

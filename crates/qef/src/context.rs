@@ -20,6 +20,10 @@ pub struct QefContext<'a> {
     sketches: Vec<Option<PcsaSketch>>,
     /// Estimated `|∪_{t∈U} t|`, the Coverage denominator.
     universe_union: f64,
+    /// The sources that have a signature, as a bitset: the word-level
+    /// subset/intersection tests below short-circuit the two extreme union
+    /// estimates without touching a sketch.
+    cooperating: SourceSelection,
     /// Per characteristic: (min, max) over sources declaring it.
     char_ranges: BTreeMap<String, (f64, f64)>,
 }
@@ -38,6 +42,14 @@ impl<'a> QefContext<'a> {
             "one sketch slot per source required"
         );
         let universe_union = PcsaSketch::estimate_union(sketches.iter().flatten());
+        let cooperating = SourceSelection::from_ids(
+            universe.len(),
+            sketches
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(i, _)| SourceId(i as u32)),
+        );
         let mut char_ranges: BTreeMap<String, (f64, f64)> = BTreeMap::new();
         for source in universe.sources() {
             for (name, &value) in source.characteristics() {
@@ -54,6 +66,7 @@ impl<'a> QefContext<'a> {
             universe,
             sketches,
             universe_union,
+            cooperating,
             char_ranges,
         }
     }
@@ -81,7 +94,20 @@ impl<'a> QefContext<'a> {
 
     /// Estimated distinct-tuple count of the union of the selected sources
     /// (0.0 for an empty selection or if no selected source cooperates).
+    ///
+    /// Two word-level short-circuits cover the extremes bit-identically:
+    /// a selection intersecting no cooperating source merges nothing (0.0,
+    /// exactly what the empty merge returns), and a selection containing
+    /// *every* cooperating source merges exactly the sequence that produced
+    /// [`Self::universe_union`] — same sketches, same index order, same
+    /// float — so the cached value is returned as-is.
     pub fn union_estimate(&self, selection: &SourceSelection) -> f64 {
+        if selection.intersect_count(&self.cooperating) == 0 {
+            return 0.0;
+        }
+        if self.cooperating.is_subset_of(selection) {
+            return self.universe_union;
+        }
         PcsaSketch::estimate_union(
             selection
                 .iter()
@@ -174,6 +200,24 @@ mod tests {
         let only_a = SourceSelection::from_ids(2, [SourceId(0)]);
         assert_eq!(ctx.union_estimate(&both), ctx.union_estimate(&only_a));
         assert!(ctx.sketch(SourceId(1)).is_none());
+    }
+
+    #[test]
+    fn union_fast_paths_match_slow_merge() {
+        let (u, mut sketches) = universe_with_sketches();
+        sketches[1] = None;
+        let ctx = QefContext::new(&u, sketches);
+        // {0} contains every cooperating source -> the superset fast path
+        // must return universe_union bit-for-bit.
+        let only_a = SourceSelection::from_ids(2, [SourceId(0)]);
+        assert_eq!(
+            ctx.union_estimate(&only_a).to_bits(),
+            ctx.universe_union().to_bits()
+        );
+        // {1} intersects no cooperating source -> exactly the empty merge.
+        let only_b = SourceSelection::from_ids(2, [SourceId(1)]);
+        let empty_merge = PcsaSketch::estimate_union(std::iter::empty::<&PcsaSketch>());
+        assert_eq!(ctx.union_estimate(&only_b).to_bits(), empty_merge.to_bits());
     }
 
     #[test]

@@ -48,6 +48,36 @@ impl SourceSelection {
         sel
     }
 
+    /// Builds a selection directly from packed words (64 sources per word,
+    /// low ids in low bits) — the representation optimizer subsets already
+    /// hold — skipping the per-id insert loop entirely.
+    ///
+    /// # Panics
+    /// Panics if the word count does not match the universe or a bit beyond
+    /// `universe_size` is set.
+    pub fn from_words(universe_size: usize, words: &[u64]) -> Self {
+        assert_eq!(
+            words.len(),
+            universe_size.div_ceil(64),
+            "word count mismatch"
+        );
+        let tail_bits = universe_size % 64;
+        if tail_bits != 0 {
+            if let Some(&last) = words.last() {
+                assert_eq!(last >> tail_bits, 0, "source id out of range");
+            }
+        }
+        Self {
+            words: words.to_vec(),
+            universe_size,
+        }
+    }
+
+    /// The packed words backing the selection (64 sources per word).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// The size of the universe this selection ranges over.
     pub fn universe_size(&self) -> usize {
         self.universe_size
@@ -118,6 +148,22 @@ impl SourceSelection {
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & b == *b)
+    }
+
+    /// Whether every selected source is also in `other`.
+    pub fn is_subset_of(&self, other: &SourceSelection) -> bool {
+        other.is_superset_of(self)
+    }
+
+    /// `|self ∩ other|` — word-level AND plus popcount, no iteration over
+    /// members.
+    pub fn intersect_count(&self, other: &SourceSelection) -> usize {
+        debug_assert_eq!(self.universe_size, other.universe_size);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// In-place union with `other`.
@@ -206,6 +252,42 @@ mod tests {
         let mut c = b.clone();
         c.union_with(&a);
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn from_words_round_trips() {
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let ids: Vec<SourceId> = (0..n as u32).step_by(3).map(SourceId).collect();
+            let by_ids = SourceSelection::from_ids(n, ids.iter().copied());
+            let by_words = SourceSelection::from_words(n, by_ids.words());
+            assert_eq!(by_ids, by_words, "n={n}");
+            assert_eq!(by_ids.fingerprint(), by_words.fingerprint(), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_words_rejects_out_of_range_bits() {
+        SourceSelection::from_words(65, &[0, 0b10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count mismatch")]
+    fn from_words_rejects_wrong_word_count() {
+        SourceSelection::from_words(65, &[0]);
+    }
+
+    #[test]
+    fn subset_and_intersect_count() {
+        let a = SourceSelection::from_ids(100, [SourceId(1), SourceId(2), SourceId(70)]);
+        let b = SourceSelection::from_ids(100, [SourceId(2), SourceId(70)]);
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert_eq!(a.intersect_count(&b), 2);
+        assert_eq!(b.intersect_count(&a), 2);
+        let c = SourceSelection::from_ids(100, [SourceId(3)]);
+        assert_eq!(a.intersect_count(&c), 0);
+        assert!(SourceSelection::empty(100).is_subset_of(&c));
     }
 
     #[test]

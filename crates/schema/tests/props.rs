@@ -91,6 +91,39 @@ proptest! {
     }
 
     #[test]
+    fn selection_kernels_match_scalar_loops_at_word_boundaries(
+        a in prop::collection::btree_set(0u32..65, 0..40),
+        b in prop::collection::btree_set(0u32..65, 0..40),
+        size_pick in 0usize..3,
+    ) {
+        // Universe sizes straddling the 64-bit word boundary, where the
+        // tail-word masking of the packed kernels is easiest to get wrong.
+        let n = [63usize, 64, 65][size_pick];
+        let a: std::collections::BTreeSet<u32> =
+            a.into_iter().filter(|&i| (i as usize) < n).collect();
+        let b: std::collections::BTreeSet<u32> =
+            b.into_iter().filter(|&i| (i as usize) < n).collect();
+        let sa = SourceSelection::from_ids(n, a.iter().map(|&i| SourceId(i)));
+        let sb = SourceSelection::from_ids(n, b.iter().map(|&i| SourceId(i)));
+        // intersect_count == scalar intersection size.
+        prop_assert_eq!(sa.intersect_count(&sb), a.intersection(&b).count());
+        // is_subset_of == scalar subset test.
+        prop_assert_eq!(sa.is_subset_of(&sb), a.is_subset(&b));
+        prop_assert_eq!(sb.is_subset_of(&sa), b.is_subset(&a));
+        // union_with == scalar union, member for member.
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        let union_ids: Vec<u32> = u.iter().map(|s| s.0).collect();
+        let expect: Vec<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(union_ids, expect);
+        // from_words over the packed storage reproduces the selection and
+        // its fingerprint exactly.
+        let rebuilt = SourceSelection::from_words(n, sa.words());
+        prop_assert_eq!(&rebuilt, &sa);
+        prop_assert_eq!(rebuilt.fingerprint(), sa.fingerprint());
+    }
+
+    #[test]
     fn ga_changes_is_a_metric_like_symmetric_difference(
         xs in prop::collection::vec(arb_ga(), 0..5),
         ys in prop::collection::vec(arb_ga(), 0..5),

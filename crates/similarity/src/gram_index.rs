@@ -1,0 +1,381 @@
+//! Packed-bitmap gram index: the all-pairs fast path for n-gram measures.
+//!
+//! [`crate::SimilarityMatrix`] evaluates every distinct-name pair of a
+//! universe. The signature path does that by merging two sorted `u64`
+//! hash lists per pair — already far better than re-tokenizing strings, but
+//! still a data-dependent branchy loop. This module goes one layer lower:
+//! it interns every gram of the whole name universe into a *dense id*
+//! (frequency-ranked, so common grams get the smallest ids), stores each
+//! name as a sorted gram-id span in one contiguous arena, and additionally
+//! packs each name whose ids all fit a fixed bitmap budget into a
+//! fixed-width block of `u64` words. For packed pairs — in practice, all of
+//! them on web-form vocabularies — intersection size becomes
+//! `AND + count_ones` over the blocks: branch-free, cache-linear, exact.
+//!
+//! Exactness: gram interning is a bijection between distinct gram hashes
+//! and ids, and a packed name's bitmap holds *exactly* its gram ids, so
+//! popcount of the AND equals the sorted-merge intersection size. Pairs
+//! with an unpacked endpoint fall back to merging the two id spans. Either
+//! way the same `(intersection, union)` integers feed the same `f64`
+//! division the string path performs, so scores are bit-identical to
+//! [`crate::NgramJaccard`]/[`crate::NgramDice`] — locked by unit tests here
+//! and property tests in `tests/props.rs`.
+
+use crate::ngram::{normalized_gram_hashes, GramScratch};
+
+/// Which set-based n-gram coefficient a [`GramIndex`] should score with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GramKind {
+    /// `|A ∩ B| / |A ∪ B|` (the paper's measure).
+    Jaccard,
+    /// `2·|A ∩ B| / (|A| + |B|)`.
+    Dice,
+}
+
+/// A measure's declaration that it is a set-based n-gram coefficient, and
+/// therefore eligible for the [`GramIndex`] packed fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GramSpec {
+    /// Gram size.
+    pub n: usize,
+    /// Coefficient to compute from `(intersection, set sizes)`.
+    pub kind: GramKind,
+}
+
+/// Bitmap budget: at most this many `u64` words per name. Names whose gram
+/// ids all fall below `64 · MAX_BITMAP_WORDS` are packed; the budget caps
+/// the per-pair cost at a cache-friendly constant even on vocabularies too
+/// large to bitmap densely.
+pub const MAX_BITMAP_WORDS: usize = 16;
+
+/// Gram-interned representation of a fixed list of names.
+///
+/// Build once per universe with [`GramIndex::build`], then score any pair
+/// by index with [`GramIndex::jaccard`] / [`GramIndex::dice`].
+#[derive(Debug, Clone)]
+pub struct GramIndex {
+    /// Per name: start offset of its id span in `gram_ids`. One extra
+    /// terminal entry, so span `i` is `offsets[i]..offsets[i + 1]`.
+    offsets: Vec<u32>,
+    /// Sorted dense gram ids of every name, concatenated.
+    gram_ids: Vec<u32>,
+    /// `u64` words per bitmap block (0 when no name has any gram).
+    width: usize,
+    /// One `width`-word block per name; meaningful only where `packed`.
+    bitmaps: Vec<u64>,
+    /// Whether every gram id of the name fits the bitmap budget.
+    packed: Vec<bool>,
+    /// Number of distinct grams across all names.
+    vocab: usize,
+}
+
+impl GramIndex {
+    /// Interns the n-grams of `names` and packs per-name bitmaps.
+    ///
+    /// Ids are assigned by descending name-frequency (ties broken by gram
+    /// hash), so the grams shared by many names — the ones that actually
+    /// intersect — sit in the lowest bitmap words and the packed fraction
+    /// stays high even when the long tail of rare grams overflows the
+    /// budget.
+    pub fn build<S: AsRef<str>>(names: &[S], n: usize) -> Self {
+        use std::collections::BTreeMap;
+
+        // Pass 1: hash every name's gram set (one shared scratch) and count,
+        // per distinct gram, how many names contain it.
+        let mut scratch = GramScratch::default();
+        let mut per_name: Vec<Vec<u64>> = Vec::with_capacity(names.len());
+        let mut freq: BTreeMap<u64, u32> = BTreeMap::new();
+        for name in names {
+            let mut hashes = Vec::new();
+            normalized_gram_hashes(name.as_ref(), n, &mut scratch, &mut hashes);
+            for &h in &hashes {
+                *freq.entry(h).or_insert(0) += 1;
+            }
+            per_name.push(hashes);
+        }
+
+        // Pass 2: rank grams (frequency desc, hash asc — deterministic) and
+        // assign dense ids in rank order.
+        let mut ranked: Vec<(u32, u64)> = freq.iter().map(|(&h, &c)| (c, h)).collect();
+        ranked.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let id_of: BTreeMap<u64, u32> = ranked
+            .iter()
+            .enumerate()
+            .map(|(id, &(_, h))| (h, id as u32))
+            .collect();
+        let vocab = ranked.len();
+        let width = vocab.div_ceil(64).min(MAX_BITMAP_WORDS);
+        let budget_bits = (width * 64) as u32;
+
+        // Pass 3: id spans (re-sorted — rank order differs from hash order)
+        // and bitmaps for the names that fit the budget.
+        let mut offsets = Vec::with_capacity(names.len() + 1);
+        let mut gram_ids: Vec<u32> = Vec::new();
+        let mut bitmaps = vec![0u64; width * names.len()];
+        let mut packed = Vec::with_capacity(names.len());
+        offsets.push(0u32);
+        for (i, hashes) in per_name.iter().enumerate() {
+            let start = gram_ids.len();
+            gram_ids.extend(hashes.iter().filter_map(|h| id_of.get(h).copied()));
+            let span = &mut gram_ids[start..];
+            span.sort_unstable();
+            let fits = span.last().is_none_or(|&hi| hi < budget_bits);
+            if fits {
+                let block = &mut bitmaps[i * width..(i + 1) * width];
+                for &id in span.iter() {
+                    block[(id / 64) as usize] |= 1u64 << (id % 64);
+                }
+            }
+            packed.push(fits);
+            offsets.push(gram_ids.len() as u32);
+        }
+        Self {
+            offsets,
+            gram_ids,
+            width,
+            bitmaps,
+            packed,
+            vocab,
+        }
+    }
+
+    /// Number of indexed names.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Whether the index covers no names.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Number of distinct grams across all indexed names.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// `u64` words per bitmap block.
+    pub fn bitmap_words(&self) -> usize {
+        self.width
+    }
+
+    /// Number of distinct grams of name `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn gram_count(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Whether name `i` is represented exactly by its bitmap block.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn is_packed(&self, i: usize) -> bool {
+        self.packed[i]
+    }
+
+    /// Fraction of names whose bitmaps are exact (1.0 on an empty index).
+    pub fn packed_fraction(&self) -> f64 {
+        if self.packed.is_empty() {
+            return 1.0;
+        }
+        let n = self.packed.iter().filter(|&&p| p).count();
+        n as f64 / self.packed.len() as f64
+    }
+
+    /// Sorted gram-id span of name `i`.
+    fn span(&self, i: usize) -> &[u32] {
+        &self.gram_ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Intersection size of the gram sets of names `i` and `j`: popcount
+    /// over ANDed bitmap words when both are packed, sorted-merge of the id
+    /// spans otherwise.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn intersection(&self, i: usize, j: usize) -> usize {
+        if self.packed[i] && self.packed[j] {
+            let a = &self.bitmaps[i * self.width..(i + 1) * self.width];
+            let b = &self.bitmaps[j * self.width..(j + 1) * self.width];
+            return a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum();
+        }
+        let (a, b) = (self.span(i), self.span(j));
+        let (mut ai, mut bi, mut inter) = (0, 0, 0);
+        while ai < a.len() && bi < b.len() {
+            match a[ai].cmp(&b[bi]) {
+                std::cmp::Ordering::Less => ai += 1,
+                std::cmp::Ordering::Greater => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    ai += 1;
+                    bi += 1;
+                }
+            }
+        }
+        inter
+    }
+
+    /// Jaccard coefficient of names `i` and `j` — bit-identical to
+    /// [`crate::NgramJaccard`] on the originating strings (0.0 when both
+    /// gram sets are empty).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn jaccard(&self, i: usize, j: usize) -> f64 {
+        let inter = self.intersection(i, j);
+        let union = self.gram_count(i) + self.gram_count(j) - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Dice coefficient of names `i` and `j` — bit-identical to
+    /// [`crate::NgramDice`] on the originating strings.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn dice(&self, i: usize, j: usize) -> f64 {
+        let total = self.gram_count(i) + self.gram_count(j);
+        if total == 0 {
+            return 0.0;
+        }
+        2.0 * self.intersection(i, j) as f64 / total as f64
+    }
+
+    /// Scores a pair under the given coefficient.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn score(&self, kind: GramKind, i: usize, j: usize) -> f64 {
+        match kind {
+            GramKind::Jaccard => self.jaccard(i, j),
+            GramKind::Dice => self.dice(i, j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{NgramDice, NgramJaccard, SimilarityMeasure};
+
+    fn sample_names() -> Vec<&'static str> {
+        vec![
+            "author",
+            "author name",
+            "keyword",
+            "key word",
+            "isbn",
+            "",
+            "x",
+            "éé",
+            "title",
+            "keyword",
+        ]
+    }
+
+    #[test]
+    fn jaccard_bit_identical_to_string_path() {
+        let names = sample_names();
+        let idx = GramIndex::build(&names, 3);
+        let m = NgramJaccard::default();
+        for i in 0..names.len() {
+            for j in 0..names.len() {
+                let expect = m.similarity(names[i], names[j]);
+                let got = idx.jaccard(i, j);
+                assert_eq!(got.to_bits(), expect.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dice_bit_identical_to_string_path() {
+        let names = sample_names();
+        let idx = GramIndex::build(&names, 3);
+        let m = NgramDice::default();
+        for i in 0..names.len() {
+            for j in 0..names.len() {
+                let expect = m.similarity(names[i], names[j]);
+                let got = idx.dice(i, j);
+                assert_eq!(got.to_bits(), expect.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn small_vocab_is_fully_packed() {
+        let idx = GramIndex::build(&sample_names(), 3);
+        assert!(idx.vocab_size() < 64 * MAX_BITMAP_WORDS);
+        assert_eq!(idx.packed_fraction(), 1.0);
+        for i in 0..idx.len() {
+            assert!(idx.is_packed(i));
+        }
+    }
+
+    /// Synthesizes a vocabulary larger than the bitmap budget so some names
+    /// overflow it, and checks the merge fallback agrees with the string
+    /// path anyway.
+    #[test]
+    fn overflow_falls_back_to_merge_and_stays_exact() {
+        // Each name is a distinct 12-char string: 1100 names × ~14 grams
+        // gives a vocabulary far beyond 1024 distinct grams.
+        let names: Vec<String> = (0..1100).map(|i| format!("nm{i:010}")).collect();
+        let idx = GramIndex::build(&names, 3);
+        assert!(
+            idx.vocab_size() > 64 * MAX_BITMAP_WORDS,
+            "vocab {} must overflow the budget",
+            idx.vocab_size()
+        );
+        assert!(idx.packed_fraction() < 1.0, "some names must be unpacked");
+        let m = NgramJaccard::default();
+        // Spot-check pairs that mix packed and unpacked endpoints.
+        for (i, j) in [(0, 1), (0, 1099), (1050, 1099), (7, 7)] {
+            let expect = m.similarity(&names[i], &names[j]);
+            assert_eq!(idx.jaccard(i, j).to_bits(), expect.to_bits(), "({i},{j})");
+        }
+    }
+
+    #[test]
+    fn frequency_ranking_puts_shared_grams_first() {
+        // "commonword" appears in every name; its grams must take the
+        // smallest ids, ahead of each name's unique suffix grams.
+        let names: Vec<String> = (0..40).map(|i| format!("commonword {i:03}")).collect();
+        let idx = GramIndex::build(&names, 3);
+        // Every name's span starts in the low-id region shared by all.
+        let first_ids: Vec<u32> = (0..idx.len()).map(|i| idx.span(i)[0]).collect();
+        assert!(first_ids.iter().all(|&id| id == first_ids[0]));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GramIndex::build::<&str>(&[], 3);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.vocab_size(), 0);
+        assert_eq!(idx.packed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn self_similarity_is_one_or_zero() {
+        let idx = GramIndex::build(&["author", ""], 3);
+        assert_eq!(idx.jaccard(0, 0), 1.0);
+        assert_eq!(idx.jaccard(1, 1), 0.0);
+        assert_eq!(idx.dice(0, 0), 1.0);
+        assert_eq!(idx.dice(1, 1), 0.0);
+    }
+
+    #[test]
+    fn score_dispatches_by_kind() {
+        let idx = GramIndex::build(&["keyword", "keywords"], 3);
+        assert_eq!(idx.score(GramKind::Jaccard, 0, 1), idx.jaccard(0, 1));
+        assert_eq!(idx.score(GramKind::Dice, 0, 1), idx.dice(0, 1));
+    }
+}

@@ -1,6 +1,6 @@
 //! Jaro and Jaro-Winkler string similarity.
 
-use crate::measure::SimilarityMeasure;
+use crate::measure::{MeasureError, Signature, SimilarityMeasure};
 
 /// Classic Jaro similarity.
 #[derive(Debug, Clone, Copy, Default)]
@@ -30,9 +30,12 @@ impl Default for JaroWinkler {
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    if a.is_empty() && b.is_empty() {
-        return 0.0;
-    }
+    jaro_chars(&a, &b)
+}
+
+/// [`jaro`] on pre-decoded character slices — the all-pairs path, where
+/// [`Signature::Chars`] hoists the decode out of the pair loop.
+pub fn jaro_chars(a: &[char], b: &[char]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
@@ -73,6 +76,20 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
 }
 
+impl JaroWinkler {
+    /// Winkler's prefix boost on character slices.
+    fn winkler_chars(&self, a: &[char], b: &[char]) -> f64 {
+        let j = jaro_chars(a, b);
+        let prefix = a
+            .iter()
+            .zip(b.iter())
+            .take(self.max_prefix)
+            .take_while(|(x, y)| x == y)
+            .count() as f64;
+        (j + prefix * self.prefix_scale * (1.0 - j)).clamp(0.0, 1.0)
+    }
+}
+
 impl SimilarityMeasure for Jaro {
     fn similarity(&self, a: &str, b: &str) -> f64 {
         jaro(a, b)
@@ -81,22 +98,43 @@ impl SimilarityMeasure for Jaro {
     fn name(&self) -> &'static str {
         "jaro"
     }
+
+    fn signature(&self, name: &str) -> Signature {
+        Signature::Chars(name.chars().collect())
+    }
+
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> Result<f64, MeasureError> {
+        match (a, b) {
+            (Signature::Chars(a), Signature::Chars(b)) => Ok(jaro_chars(a, b)),
+            _ => Err(MeasureError::SignatureKindMismatch {
+                measure: self.name(),
+            }),
+        }
+    }
 }
 
 impl SimilarityMeasure for JaroWinkler {
     fn similarity(&self, a: &str, b: &str) -> f64 {
-        let j = jaro(a, b);
-        let prefix = a
-            .chars()
-            .zip(b.chars())
-            .take(self.max_prefix)
-            .take_while(|(x, y)| x == y)
-            .count() as f64;
-        (j + prefix * self.prefix_scale * (1.0 - j)).clamp(0.0, 1.0)
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        self.winkler_chars(&a, &b)
     }
 
     fn name(&self) -> &'static str {
         "jaro-winkler"
+    }
+
+    fn signature(&self, name: &str) -> Signature {
+        Signature::Chars(name.chars().collect())
+    }
+
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> Result<f64, MeasureError> {
+        match (a, b) {
+            (Signature::Chars(a), Signature::Chars(b)) => Ok(self.winkler_chars(a, b)),
+            _ => Err(MeasureError::SignatureKindMismatch {
+                measure: self.name(),
+            }),
+        }
     }
 }
 

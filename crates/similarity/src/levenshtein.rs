@@ -1,6 +1,6 @@
 //! Normalized Levenshtein edit-distance similarity.
 
-use crate::measure::SimilarityMeasure;
+use crate::measure::{MeasureError, Signature, SimilarityMeasure};
 
 /// Similarity `1 - lev(a, b) / max(|a|, |b|)`.
 ///
@@ -13,6 +13,12 @@ pub struct NormalizedLevenshtein;
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+/// [`levenshtein`] on pre-decoded character slices — the all-pairs path,
+/// where [`Signature::Chars`] hoists the decode out of the pair loop.
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -32,17 +38,37 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
+/// The normalized similarity on character slices.
+fn normalized_chars(a: &[char], b: &[char]) -> f64 {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 0.0;
+    }
+    1.0 - levenshtein_chars(a, b) as f64 / max_len as f64
+}
+
 impl SimilarityMeasure for NormalizedLevenshtein {
     fn similarity(&self, a: &str, b: &str) -> f64 {
-        let max_len = a.chars().count().max(b.chars().count());
-        if max_len == 0 {
-            return 0.0;
-        }
-        1.0 - levenshtein(a, b) as f64 / max_len as f64
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        normalized_chars(&a, &b)
     }
 
     fn name(&self) -> &'static str {
         "levenshtein"
+    }
+
+    fn signature(&self, name: &str) -> Signature {
+        Signature::Chars(name.chars().collect())
+    }
+
+    fn similarity_sig(&self, a: &Signature, b: &Signature) -> Result<f64, MeasureError> {
+        match (a, b) {
+            (Signature::Chars(a), Signature::Chars(b)) => Ok(normalized_chars(a, b)),
+            _ => Err(MeasureError::SignatureKindMismatch {
+                measure: self.name(),
+            }),
+        }
     }
 }
 

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod gram_index;
 pub mod jaro;
 pub mod levenshtein;
 pub mod matrix;
@@ -25,9 +26,10 @@ pub mod measure;
 pub mod ngram;
 pub mod token;
 
+pub use gram_index::{GramIndex, GramKind, GramSpec, MAX_BITMAP_WORDS};
 pub use jaro::{Jaro, JaroWinkler};
 pub use levenshtein::NormalizedLevenshtein;
 pub use matrix::SimilarityMatrix;
 pub use measure::{MeasureError, NgramCosine, NgramDice, NgramJaccard, SimilarityMeasure};
-pub use ngram::{ngram_multiset, ngram_set};
+pub use ngram::{ngram_multiset, ngram_set, normalized_gram_hashes, GramScratch};
 pub use token::{MongeElkan, TokenJaccard};

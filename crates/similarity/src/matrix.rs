@@ -19,7 +19,8 @@
 //! fill (same entries, same positions, one writer per entry) — the threads
 //! only change who computes what.
 
-use crate::measure::{Signature, SimilarityMeasure};
+use crate::gram_index::GramIndex;
+use crate::measure::SimilarityMeasure;
 
 /// Index of the first packed-triangle entry of row `j`: rows `1..j` occupy
 /// the prefix `[0, j*(j-1)/2)` of the triangle.
@@ -34,26 +35,57 @@ const PARALLEL_CUTOFF: usize = 96;
 
 /// Fills `rows` — the packed entries of triangle rows `start..end` — exactly
 /// as the serial loop would: entry `(i, j)`, `i < j`, at local offset
-/// `tri_offset(j) - tri_offset(start) + i`.
-fn fill_rows(
-    rows: &mut [f32],
-    start: usize,
-    end: usize,
-    signatures: &[Signature],
-    measure: &dyn SimilarityMeasure,
-) {
+/// `tri_offset(j) - tri_offset(start) + i`. `score` is the pair kernel:
+/// either a signature comparison or a packed gram-index lookup.
+fn fill_rows<F: Fn(usize, usize) -> f32>(rows: &mut [f32], start: usize, end: usize, score: &F) {
     let origin = tri_offset(start);
     for j in start..end {
         let base = tri_offset(j) - origin;
         for i in 0..j {
-            // A kind mismatch is impossible here: every signature comes
-            // from this same `measure`. Degrade to "no evidence" anyway
-            // rather than poisoning the parallel fill.
-            rows[base + i] = measure
-                .similarity_sig(&signatures[i], &signatures[j])
-                .unwrap_or(0.0) as f32;
+            rows[base + i] = score(i, j);
         }
     }
+}
+
+/// Fills the packed strict upper triangle over `d` distinct names with
+/// `score`, serially below [`PARALLEL_CUTOFF`] and row-striped across scoped
+/// threads above it. The parallel fill is byte-identical to the serial one:
+/// each worker owns a contiguous band of rows whose packed entries are a
+/// contiguous slice of the triangle (handed out via `split_at_mut`), so the
+/// threads only change who computes what. Band boundaries are chosen where
+/// the packed prefix crosses `t/workers` of the triangle: equal *entry*
+/// counts, not equal row counts, since row length grows with the row index.
+fn fill_triangle<F: Fn(usize, usize) -> f32 + Sync>(d: usize, score: F) -> Vec<f32> {
+    let mut tri = vec![0f32; d * (d.saturating_sub(1)) / 2];
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if d < PARALLEL_CUTOFF || workers < 2 {
+        fill_rows(&mut tri, 1, d, &score);
+    } else {
+        let total = tri.len();
+        let score = &score;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f32] = &mut tri;
+            let mut row = 1usize;
+            for t in 1..=workers {
+                let target = total * t / workers;
+                let mut end = row;
+                while end < d && tri_offset(end) < target {
+                    end += 1;
+                }
+                let band_len = tri_offset(end) - tri_offset(row);
+                let (band, tail) = rest.split_at_mut(band_len);
+                rest = tail;
+                if !band.is_empty() {
+                    let start = row;
+                    scope.spawn(move || fill_rows(band, start, end, score));
+                }
+                row = end;
+            }
+        });
+    }
+    tri
 }
 
 /// All-pairs similarity among `names`, addressable by the original indices.
@@ -90,47 +122,35 @@ impl SimilarityMatrix {
             distinct_of.push(slot);
         }
         let d = distinct.len();
-        let signatures: Vec<_> = distinct.iter().map(|n| measure.signature(n)).collect();
-        let mut tri = vec![0f32; d * (d.saturating_sub(1)) / 2];
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        if d < PARALLEL_CUTOFF || workers < 2 {
-            fill_rows(&mut tri, 1, d, &signatures, measure);
+        // Gram-set measures declare a `GramSpec`: intern the distinct names'
+        // grams once into a `GramIndex` and fill the triangle with packed
+        // bitmap/merge kernels — bit-identical to the signature path by the
+        // measure's `gram_spec` contract. Everything else goes through
+        // per-name signatures, still hoisting preprocessing out of the
+        // O(d²) pair loop.
+        let (tri, self_sim) = if let Some(spec) = measure.gram_spec() {
+            let index = GramIndex::build(&distinct, spec.n);
+            let tri = fill_triangle(d, |i, j| index.score(spec.kind, i, j) as f32);
+            let self_sim = (0..d)
+                .map(|i| index.score(spec.kind, i, i) as f32)
+                .collect();
+            (tri, self_sim)
         } else {
-            // Row-striped parallel fill. Each worker takes a contiguous band
-            // of rows whose packed entries are a contiguous slice of `tri`
-            // (handed out via split_at_mut), so the layout — and every byte
-            // in it — is identical to the serial fill. Band boundaries are
-            // chosen where the packed prefix crosses t/workers of the
-            // triangle: equal *entry* counts, not equal row counts, since
-            // row length grows linearly with the row index.
-            let total = tri.len();
-            let signatures = &signatures;
-            std::thread::scope(|scope| {
-                let mut rest: &mut [f32] = &mut tri;
-                let mut row = 1usize;
-                for t in 1..=workers {
-                    let target = total * t / workers;
-                    let mut end = row;
-                    while end < d && tri_offset(end) < target {
-                        end += 1;
-                    }
-                    let band_len = tri_offset(end) - tri_offset(row);
-                    let (band, tail) = rest.split_at_mut(band_len);
-                    rest = tail;
-                    if !band.is_empty() {
-                        let start = row;
-                        scope.spawn(move || fill_rows(band, start, end, signatures, measure));
-                    }
-                    row = end;
-                }
+            let signatures: Vec<_> = distinct.iter().map(|n| measure.signature(n)).collect();
+            // A kind mismatch is impossible here: every signature comes from
+            // this same `measure`. Degrade to "no evidence" anyway rather
+            // than poisoning the fill.
+            let tri = fill_triangle(d, |i, j| {
+                measure
+                    .similarity_sig(&signatures[i], &signatures[j])
+                    .unwrap_or(0.0) as f32
             });
-        }
-        let self_sim = signatures
-            .iter()
-            .map(|sig| measure.similarity_sig(sig, sig).unwrap_or(0.0) as f32)
-            .collect();
+            let self_sim = signatures
+                .iter()
+                .map(|sig| measure.similarity_sig(sig, sig).unwrap_or(0.0) as f32)
+                .collect();
+            (tri, self_sim)
+        };
         Self {
             distinct_of,
             distinct_count: d,
@@ -265,6 +285,22 @@ mod tests {
         for j in 0..ns.len() {
             for i in 0..j {
                 let expect = m.similarity_sig(&sigs[i], &sigs[j]).unwrap() as f32;
+                let got = matrix.similarity(i, j) as f32;
+                assert_eq!(got.to_bits(), expect.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn chars_signature_fallback_matches_direct() {
+        // Levenshtein has no gram spec -> exercises the signature fallback
+        // path with the hoisted `Signature::Chars` decode.
+        let m = crate::levenshtein::NormalizedLevenshtein;
+        let ns = names(&["author", "actor", "", "venue", "avenue", "éé"]);
+        let matrix = SimilarityMatrix::compute(&ns, &m);
+        for i in 0..ns.len() {
+            for j in 0..ns.len() {
+                let expect = m.similarity(&ns[i], &ns[j]) as f32;
                 let got = matrix.similarity(i, j) as f32;
                 assert_eq!(got.to_bits(), expect.to_bits(), "({i},{j})");
             }

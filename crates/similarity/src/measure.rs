@@ -2,19 +2,22 @@
 
 use std::collections::BTreeMap;
 
-use crate::ngram::{ngram_multiset, ngram_set};
+use crate::gram_index::GramSpec;
+use crate::ngram::{ngram_multiset, ngram_set, normalized_gram_hashes, GramScratch};
 
 /// A precomputed per-name token signature, used by
 /// [`SimilarityMatrix`](crate::SimilarityMatrix) to avoid re-tokenizing names
 /// on every pair during all-pairs computation.
 ///
 /// n-gram measures hash each gram to a `u64` once; pairwise scoring then
-/// reduces to merging sorted integer lists. Character-level measures fall
-/// back to keeping the text.
+/// reduces to merging sorted integer lists. Character-level measures keep
+/// the decoded character sequence so the pair loop never re-walks UTF-8.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Signature {
     /// The normalized name itself (no useful precomputation).
     Text(String),
+    /// The name's decoded characters (for character-level measures).
+    Chars(Vec<char>),
     /// Sorted, deduplicated gram hashes (for Jaccard/Dice).
     GramSet(Vec<u64>),
     /// Sorted gram hashes with counts plus the vector's Euclidean norm
@@ -48,20 +51,22 @@ impl std::fmt::Display for MeasureError {
 impl std::error::Error for MeasureError {}
 
 /// FNV-1a over a gram's bytes, used to hash grams into signature entries.
+/// Same constants as the window-hashing fast path, so both agree.
 fn hash_gram(gram: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h: u64 = crate::ngram::FNV_OFFSET;
     for byte in gram.as_bytes() {
         h ^= u64::from(*byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_mul(crate::ngram::FNV_PRIME);
     }
     h
 }
 
-/// Builds a sorted gram-hash set signature.
+/// Builds a sorted gram-hash set signature by hashing character windows in
+/// place — no per-gram `String`, no multiset.
 pub(crate) fn gram_set_signature(name: &str, n: usize) -> Signature {
-    let mut hashes: Vec<u64> = ngram_set(name, n).iter().map(|g| hash_gram(g)).collect();
-    hashes.sort_unstable();
-    hashes.dedup();
+    let mut scratch = GramScratch::default();
+    let mut hashes = Vec::new();
+    normalized_gram_hashes(name, n, &mut scratch, &mut hashes);
     Signature::GramSet(hashes)
 }
 
@@ -95,6 +100,16 @@ pub trait SimilarityMeasure: Send + Sync {
                 measure: self.name(),
             }),
         }
+    }
+
+    /// Declares this measure a set-based n-gram coefficient, unlocking the
+    /// [`GramIndex`](crate::GramIndex) packed-bitmap all-pairs path. The
+    /// contract is strict: for an index built over the same normalized
+    /// names with the declared `n`, `GramIndex::score(kind, i, j)` must be
+    /// *bit-identical* to `similarity(names[i], names[j])`. The default
+    /// (`None`) keeps the signature path, which is always correct.
+    fn gram_spec(&self) -> Option<GramSpec> {
+        None
     }
 }
 
@@ -200,6 +215,13 @@ impl SimilarityMeasure for NgramJaccard {
             }),
         }
     }
+
+    fn gram_spec(&self) -> Option<GramSpec> {
+        Some(GramSpec {
+            n: self.n,
+            kind: crate::gram_index::GramKind::Jaccard,
+        })
+    }
 }
 
 /// Dice (Sørensen) coefficient over n-gram sets:
@@ -256,6 +278,13 @@ impl SimilarityMeasure for NgramDice {
                 measure: self.name(),
             }),
         }
+    }
+
+    fn gram_spec(&self) -> Option<GramSpec> {
+        Some(GramSpec {
+            n: self.n,
+            kind: crate::gram_index::GramKind::Dice,
+        })
     }
 }
 

@@ -4,6 +4,14 @@
 //! the paper's choice). Extraction pads the normalized name with `n - 1`
 //! boundary markers on each side, the standard construction that lets short
 //! names (shorter than `n`) still produce grams and weights word boundaries.
+//!
+//! Two extraction tiers exist. The `String`-producing functions
+//! ([`ngram_set`], [`ngram_multiset`]) are the reference path and feed the
+//! count-weighted cosine measure. The set-based measures (Jaccard/Dice)
+//! never need counts or gram text, so their hot path goes through
+//! [`normalized_gram_hashes`], which hashes each padded character window
+//! directly — no per-gram `String`, no multiset — into a caller-owned
+//! buffer, reusing one padded-character scratch across calls.
 
 use std::collections::BTreeMap;
 
@@ -12,6 +20,61 @@ use std::collections::BTreeMap;
 /// never collide with interior grams.
 pub const PAD: char = '#';
 
+/// FNV-1a offset basis; shared by every gram-hashing path so hashed-gram
+/// signatures stay interchangeable.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a prime, paired with [`FNV_OFFSET`].
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fills `padded` with `name`'s chars wrapped in `n - 1` [`PAD`] markers on
+/// each side. The buffer is cleared first, so it can be reused across names.
+fn pad_into(name: &str, n: usize, padded: &mut Vec<char>) {
+    padded.clear();
+    padded.extend(std::iter::repeat_n(PAD, n - 1));
+    padded.extend(name.chars());
+    padded.extend(std::iter::repeat_n(PAD, n - 1));
+}
+
+/// FNV-1a over the UTF-8 encoding of a character window — byte-identical to
+/// hashing the window materialized as a `String`, without materializing it.
+pub(crate) fn hash_gram_chars(window: &[char]) -> u64 {
+    let mut h: u64 = FNV_OFFSET;
+    let mut buf = [0u8; 4];
+    for &c in window {
+        for &b in c.encode_utf8(&mut buf).as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Reusable padded-character scratch for [`normalized_gram_hashes`], so a
+/// loop over many names pays for one buffer, not one per name.
+#[derive(Debug, Default)]
+pub struct GramScratch {
+    padded: Vec<char>,
+}
+
+/// Writes the sorted, deduplicated n-gram hash set of `name` into `out`
+/// (cleared first), hashing each padded window in place.
+///
+/// `name` should already be normalized. The hashes are FNV-1a over each
+/// gram's UTF-8 bytes — identical to hashing the strings [`ngram_set`]
+/// produces, so signatures built either way agree. Produces nothing for an
+/// empty name or `n == 0`.
+pub fn normalized_gram_hashes(name: &str, n: usize, scratch: &mut GramScratch, out: &mut Vec<u64>) {
+    out.clear();
+    if n == 0 || name.is_empty() {
+        return;
+    }
+    pad_into(name, n, &mut scratch.padded);
+    out.extend(scratch.padded.windows(n).map(hash_gram_chars));
+    out.sort_unstable();
+    out.dedup();
+}
+
 /// Extracts the set of character n-grams of `name`, padded with `n - 1`
 /// copies of [`PAD`] at both ends.
 ///
@@ -19,24 +82,29 @@ pub const PAD: char = '#';
 /// `mube_schema::attribute::normalize_name`); this function does not
 /// normalize. Returns an empty set for an empty name or `n == 0`.
 pub fn ngram_set(name: &str, n: usize) -> Vec<String> {
-    let mut grams: Vec<String> = ngram_multiset(name, n).into_keys().collect();
+    let mut grams: Vec<String> = Vec::new();
+    if n == 0 || name.is_empty() {
+        return grams;
+    }
+    let mut padded = Vec::with_capacity(name.chars().count() + 2 * (n - 1));
+    pad_into(name, n, &mut padded);
+    grams.extend(padded.windows(n).map(|w| w.iter().collect::<String>()));
     grams.sort_unstable();
+    grams.dedup();
     grams
 }
 
 /// Extracts the multiset of character n-grams with occurrence counts.
 ///
 /// The multiset form feeds the cosine measure, which weights repeated grams;
-/// Jaccard and Dice use the supporting set.
+/// Jaccard and Dice use [`normalized_gram_hashes`] and never build it.
 pub fn ngram_multiset(name: &str, n: usize) -> BTreeMap<String, u32> {
     let mut counts = BTreeMap::new();
     if n == 0 || name.is_empty() {
         return counts;
     }
-    let mut padded: Vec<char> = Vec::with_capacity(name.chars().count() + 2 * (n - 1));
-    padded.extend(std::iter::repeat_n(PAD, n - 1));
-    padded.extend(name.chars());
-    padded.extend(std::iter::repeat_n(PAD, n - 1));
+    let mut padded = Vec::with_capacity(name.chars().count() + 2 * (n - 1));
+    pad_into(name, n, &mut padded);
     for window in padded.windows(n) {
         let gram: String = window.iter().collect();
         *counts.entry(gram).or_insert(0) += 1;
@@ -92,5 +160,47 @@ mod tests {
     fn multibyte_chars_are_single_units() {
         let grams = ngram_set("éé", 3);
         assert!(grams.iter().any(|g| g == "#éé"));
+    }
+
+    /// FNV-1a over a gram's bytes — the reference the char-window hashing
+    /// must match byte-for-byte.
+    fn hash_gram_str(gram: &str) -> u64 {
+        let mut h: u64 = FNV_OFFSET;
+        for byte in gram.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    #[test]
+    fn window_hashes_equal_string_hashes() {
+        let mut scratch = GramScratch::default();
+        let mut hashes = Vec::new();
+        for name in ["author", "key word", "éé", "x", "", "名前 前"] {
+            for n in [1usize, 2, 3, 4] {
+                normalized_gram_hashes(name, n, &mut scratch, &mut hashes);
+                let mut expect: Vec<u64> = ngram_set(name, n)
+                    .iter()
+                    .map(|g| hash_gram_str(g))
+                    .collect();
+                expect.sort_unstable();
+                expect.dedup();
+                assert_eq!(hashes, expect, "{name:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_hashes_reuse_scratch_across_calls() {
+        let mut scratch = GramScratch::default();
+        let mut out = Vec::new();
+        normalized_gram_hashes("longer name first", 3, &mut scratch, &mut out);
+        let long = out.len();
+        normalized_gram_hashes("ab", 3, &mut scratch, &mut out);
+        // Out is replaced, not appended to, and shorter input yields fewer.
+        assert!(out.len() < long);
+        normalized_gram_hashes("", 3, &mut scratch, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -4,13 +4,39 @@
 use proptest::prelude::*;
 
 use mube_similarity::{
-    Jaro, JaroWinkler, NgramCosine, NgramDice, NgramJaccard, NormalizedLevenshtein,
-    SimilarityMatrix, SimilarityMeasure,
+    GramIndex, GramKind, Jaro, JaroWinkler, NgramCosine, NgramDice, NgramJaccard,
+    NormalizedLevenshtein, SimilarityMatrix, SimilarityMeasure,
 };
 
 fn arb_name() -> impl Strategy<Value = String> {
     // Normalized-name shaped strings: lowercase words with single spaces.
     prop::collection::vec("[a-z]{1,8}", 1..4).prop_map(|words| words.join(" "))
+}
+
+/// Name pool stressing the gram kernels: unicode (multi-byte chars), names
+/// shorter than the gram size, empty names, and heavy duplicates — drawn by
+/// selection because the proptest stub cannot generate unicode classes.
+fn tricky_name() -> impl Strategy<Value = String> {
+    let pool: Vec<String> = [
+        "",
+        "x",
+        "ab",
+        "éé",
+        "名前",
+        "名前 前",
+        "straße",
+        "author",
+        "author name",
+        "keyword",
+        "key word",
+        "keyword",
+        "title",
+        "isbn",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    prop::sample::select(pool)
 }
 
 fn measures() -> Vec<Box<dyn SimilarityMeasure>> {
@@ -66,6 +92,46 @@ proptest! {
                 let direct = m.similarity(&names[i], &names[j]) as f32;
                 let got = matrix.similarity(i, j) as f32;
                 prop_assert!((direct - got).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_index_bit_identical_to_string_path(
+        names in prop::collection::vec(tricky_name(), 1..16),
+        n in 1usize..4,
+    ) {
+        let index = GramIndex::build(&names, n);
+        let jaccard = NgramJaccard::new(n);
+        let dice = NgramDice::new(n);
+        for i in 0..names.len() {
+            for j in 0..names.len() {
+                let jk = index.score(GramKind::Jaccard, i, j);
+                let dk = index.score(GramKind::Dice, i, j);
+                let js = jaccard.similarity(&names[i], &names[j]);
+                let ds = dice.similarity(&names[i], &names[j]);
+                prop_assert_eq!(jk.to_bits(), js.to_bits(),
+                    "jaccard ({:?},{:?}) n={}", &names[i], &names[j], n);
+                prop_assert_eq!(dk.to_bits(), ds.to_bits(),
+                    "dice ({:?},{:?}) n={}", &names[i], &names[j], n);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matrix_bit_identical_on_tricky_names(
+        names in prop::collection::vec(tricky_name(), 1..16),
+    ) {
+        // The matrix routes NgramJaccard through the GramIndex fast path;
+        // it must match the measure's string path bitwise, not just within
+        // a tolerance.
+        let m = NgramJaccard::default();
+        let matrix = SimilarityMatrix::compute(&names, &m);
+        for i in 0..names.len() {
+            for j in 0..names.len() {
+                let direct = m.similarity(&names[i], &names[j]) as f32;
+                let got = matrix.similarity(i, j) as f32;
+                prop_assert_eq!(got.to_bits(), direct.to_bits());
             }
         }
     }

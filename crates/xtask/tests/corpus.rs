@@ -72,6 +72,27 @@ fn hash_iter_only_guards_determinism_scoped_crates() {
     .is_empty());
 }
 
+#[test]
+fn gram_index_module_is_determinism_scoped() {
+    // The packed-bitmap gram kernels feed Q(S) through the similarity
+    // matrix, so their module must sit inside the determinism scope: a
+    // hash-order walk there would leak into gram-id assignment and change
+    // scores run to run. Assert the path is linted (bad fixture fires) and
+    // that it actually exists in the workspace.
+    let rel = "crates/similarity/src/gram_index.rs";
+    assert_eq!(
+        hits(rel, HASH_ITER_BAD, "no-hash-iter"),
+        vec![8, 11, 12, 19]
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    assert!(
+        path.is_file(),
+        "gram_index.rs moved without updating the lint scope test"
+    );
+}
+
 // ---- no-ambient-entropy -------------------------------------------------
 
 const ENTROPY_BAD: &str = include_str!("fixtures/entropy_bad.rs");

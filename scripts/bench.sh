@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates the persistent perf trajectories (Match kernel + solve stack +
-# iterative session).
+# iterative session + packed similarity kernels).
 #
 #   scripts/bench.sh           full run; rewrites BENCH_match.json,
-#                              BENCH_solve.json and BENCH_session.json (all
-#                              checked in)
+#                              BENCH_solve.json, BENCH_session.json and
+#                              BENCH_kernels.json (all checked in)
 #   scripts/bench.sh --smoke   tiny sizes, one rep; writes target/*.smoke.json
 #                              (not checked in) — wired into scripts/check.sh as a
 #                              cheap "the harness still runs end to end" gate.
@@ -13,8 +13,10 @@
 # wall times for the in-tree arms. The solve harness asserts the determinism
 # contract (serial re-run byte-identical, batched == serial); the session
 # harness asserts that arena-backed and cold sessions produce bit-identical
-# histories. See DESIGN.md §8 (Match kernel), §9 (solve stack) and §10
-# (session arena) for how to read the output.
+# histories; the kernels harness asserts packed/scalar bit-identity in every
+# mode and the acceptance thresholds (≥3x pairwise Jaccard, ≥2x matrix fill)
+# in full mode. See DESIGN.md §8 (Match kernel), §9 (solve stack), §10
+# (session arena) and §12 (packed kernels) for how to read the output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,8 +24,10 @@ if [[ "${1:-}" == "--smoke" ]]; then
   cargo run --release -q -p mube-bench --bin match_kernel -- --smoke --out target/BENCH_match.smoke.json
   cargo run --release -q -p mube-bench --bin solve_portfolio -- --smoke --out target/BENCH_solve.smoke.json
   cargo run --release -q -p mube-bench --bin session_iterate -- --smoke --out target/BENCH_session.smoke.json
+  cargo run --release -q -p mube-bench --bin sim_kernels -- --smoke --out target/BENCH_kernels.smoke.json
 else
   cargo run --release -q -p mube-bench --bin match_kernel
   cargo run --release -q -p mube-bench --bin solve_portfolio
   cargo run --release -q -p mube-bench --bin session_iterate
+  cargo run --release -q -p mube-bench --bin sim_kernels
 fi

@@ -26,7 +26,11 @@ cargo test -q --workspace
 echo "==> width-1 determinism pass (batched paths forced serial)"
 MUBE_BATCH_THREADS=1 cargo test -q -p mube-opt --test props
 
-echo "==> bench harness smoke (match + solve + session harnesses run, JSON schemas intact)"
+echo "==> bench harness smoke (match + solve + session + kernels harnesses run,"
+echo "    JSON schemas intact, packed/scalar bit-identity asserted)"
 scripts/bench.sh --smoke
+
+echo "==> committed kernel trajectory carries the full-run threshold verdict"
+grep -q '"meets_thresholds": true' BENCH_kernels.json
 
 echo "All checks passed."
