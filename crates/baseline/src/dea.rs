@@ -149,6 +149,9 @@ impl DeaBaseline {
                 });
                 let efficiency = match outcome {
                     LpOutcome::Optimal { objective, .. } => objective.clamp(0.0, 1.0),
+                    // A stalled simplex still yields the best feasible ratio
+                    // reached — usable as a (possibly low) efficiency score.
+                    LpOutcome::IterationLimit { best_bound } => best_bound.clamp(0.0, 1.0),
                     // Degenerate (e.g. all-zero inputs): score 0.
                     LpOutcome::Infeasible | LpOutcome::Unbounded => 0.0,
                 };

@@ -236,6 +236,9 @@ impl<'u> Mube<'u> {
             stats: {
                 let match_stats = objective.match_stats();
                 SolveStats {
+                    gap: result.gap,
+                    nodes_expanded: result.nodes_expanded,
+                    nodes_pruned: result.nodes_pruned,
                     evaluations: result.evaluations,
                     iterations: result.iterations,
                     match_calls: objective.match_calls(),
@@ -376,6 +379,23 @@ impl<'u> Mube<'u> {
     /// Convenience: solve with the paper's default solver (tabu search).
     pub fn solve_default(&self, spec: &ProblemSpec, seed: u64) -> Result<Solution, MubeError> {
         self.solve(spec, &TabuSearch::default(), seed)
+    }
+
+    /// Solves *exactly* with best-first branch-and-bound over admissible
+    /// QEF bounds (monotone, modular, and characteristic relaxations plus
+    /// an LP tightening at shallow nodes — see
+    /// [`mube_opt::BranchAndBound`]). The returned solution carries
+    /// `stats.gap == Some(0.0)`: a certificate that no subset under the
+    /// spec scores higher.
+    ///
+    /// Worst-case exponential in the universe size — intended for small
+    /// universes and for auditing heuristic solutions. For an *anytime*
+    /// exact solve (node budget, certified residual gap) or a warm start
+    /// from a heuristic incumbent, configure a
+    /// [`mube_opt::BranchAndBound`] directly and pass it to
+    /// [`Mube::solve`] or race it inside a [`Portfolio`].
+    pub fn solve_exact(&self, spec: &ProblemSpec, seed: u64) -> Result<Solution, MubeError> {
+        self.solve(spec, &mube_opt::BranchAndBound::default(), seed)
     }
 
     /// Evaluates `Q(S)` for an explicit source set without searching —

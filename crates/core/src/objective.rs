@@ -15,7 +15,7 @@ use std::sync::{Mutex, PoisonError};
 use mube_cluster::{
     match_sources, match_sources_deferring_spans, MatchConfig, MatchOutcome, MatchStats,
 };
-use mube_opt::{Subset, SubsetProblem};
+use mube_opt::{LpConstraint, LpProblem, Relation, Subset, SubsetProblem};
 use mube_qef::{CharacteristicQef, Qef, QefContext};
 use mube_schema::{Constraints, MediatedSchema, SourceId, SourceSelection, Universe};
 
@@ -65,6 +65,26 @@ impl Deref for ArenaRef<'_> {
             ArenaRef::Shared(arena) => arena,
         }
     }
+}
+
+/// Additive slack on every upper bound the objective reports, covering
+/// float summation-order differences between a bound computation and
+/// [`MubeObjective::evaluate`]'s accumulation (each is a sum of `O(1)`
+/// terms, so the true discrepancy is orders of magnitude below this).
+/// Without it, a bound a few ulps under the true completion optimum could
+/// prune the optimum away and break branch-and-bound exactness.
+const BOUND_SLACK: f64 = 1e-9;
+
+/// Per-binding admissible caps over the feasible completions of one
+/// branch-and-bound node, plus the modular decompositions the LP
+/// relaxation reuses.
+struct BindingCaps {
+    /// `caps[k] ≥ F_k(T)` for every feasible completion `T` — already the
+    /// tightest available of the monotone / modular top-`k` /
+    /// characteristic / trivial `1.0` caps for binding `k`.
+    caps: Vec<f64>,
+    /// `(binding index, per-source gains)` for each exactly-modular QEF.
+    modular: Vec<(usize, Vec<f64>)>,
 }
 
 /// What an arena probe produced for a subset.
@@ -400,6 +420,85 @@ impl<'a> MubeObjective<'a> {
         )
     }
 
+    /// Computes admissible per-binding caps for the completions of a
+    /// partial assignment, or `None` when no feasible completion exists
+    /// (a required source is decided out under a matching binding, or the
+    /// decided-in set already exceeds the cardinality budget).
+    ///
+    /// Sources of tightness, per binding:
+    ///
+    /// * **Matching** — capped at the trivial `1.0`: `Match(S)` quality is
+    ///   not monotone in `S`, so no relaxation applies.
+    /// * **Registered QEFs** — a [`Qef::monotone`] function evaluated on
+    ///   the *possible* set (decided-in plus free) dominates every
+    ///   completion; a [`Qef::modular`] decomposition additionally packs
+    ///   the top-`budget` positive free gains on top of the decided-in
+    ///   gains, which respects `|S| ≤ m` where the monotone cap cannot.
+    ///   The cap is the min of whichever apply (trivial `1.0` otherwise).
+    /// * **Characteristics** — [`CharacteristicQef::upper_bound`], the max
+    ///   normalized value over the possible set, dominates all four
+    ///   aggregations.
+    ///
+    /// The monotone evaluations run against the [`EvalArena`]: if the
+    /// possible set already has a memoized component vector (common near
+    /// the root, where the possible set is the full universe — an early
+    /// full-universe evaluation seeds it), its components are reused and
+    /// the bound costs no QEF work. Bound probes never *insert* into the
+    /// arena: entries must be complete, bit-identical full evaluations,
+    /// and a bound path computes neither `Match(S)` nor non-monotone
+    /// components.
+    fn binding_caps(&self, decided_in: &Subset, decided_out: &Subset) -> Option<BindingCaps> {
+        if self.has_matching && self.pinned.iter().any(|&i| decided_out.contains(i)) {
+            return None;
+        }
+        if decided_in.len() > self.max_sources {
+            return None;
+        }
+        let budget = self.max_sources - decided_in.len();
+        let possible = decided_out.complement();
+        let possible_sel = SourceSelection::from_words(self.universe.len(), possible.words());
+        let cached: Option<Vec<f64>> = self
+            .arena
+            .probe(possible.fingerprint(), &possible, |entry| {
+                (entry.eval.components.len() == self.bindings.len())
+                    .then(|| entry.eval.components.clone())
+            })
+            .flatten();
+        let mut caps = vec![0.0; self.bindings.len()];
+        let mut modular: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (k, (_, binding)) in self.bindings.iter().enumerate() {
+            caps[k] = match binding {
+                QefBinding::Matching => 1.0,
+                QefBinding::Registered(qef) => {
+                    let mut cap = if qef.monotone() {
+                        match &cached {
+                            Some(components) => components[k],
+                            None => qef.evaluate(&possible_sel, self.ctx),
+                        }
+                    } else {
+                        1.0
+                    };
+                    if let Some(gains) = qef.modular(self.ctx) {
+                        let in_sum: f64 = decided_in.iter().map(|i| gains[i]).sum();
+                        let mut free_gains: Vec<f64> = possible
+                            .iter()
+                            .filter(|&i| !decided_in.contains(i))
+                            .map(|i| gains[i])
+                            .filter(|g| *g > 0.0)
+                            .collect();
+                        free_gains.sort_unstable_by(|a, b| b.total_cmp(a));
+                        let top: f64 = free_gains.iter().take(budget).sum();
+                        cap = cap.min(in_sum + top);
+                        modular.push((k, gains));
+                    }
+                    cap
+                }
+                QefBinding::Characteristic(qef) => qef.upper_bound(&possible_sel, self.ctx),
+            };
+        }
+        Some(BindingCaps { caps, modular })
+    }
+
     /// Records a cross-iteration reuse (recombined when the entry predates
     /// the current weights).
     fn count_survivor(&self, reweighted: bool) {
@@ -421,6 +520,107 @@ impl SubsetProblem for MubeObjective<'_> {
 
     fn pinned(&self) -> &[usize] {
         &self.pinned
+    }
+
+    /// Admissible upper bound on `Q(T)` over every feasible completion
+    /// `T ⊇ decided_in` disjoint from `decided_out` with `|T| ≤ m`: the
+    /// weight-combined per-binding caps of [`Self::binding_caps`], plus
+    /// [`BOUND_SLACK`] so float summation order can never let the bound
+    /// dip below the true completion optimum.
+    fn component_bound(&self, decided_in: &Subset, decided_out: &Subset) -> Option<f64> {
+        let Some(BindingCaps { caps, .. }) = self.binding_caps(decided_in, decided_out) else {
+            // No feasible completion: a required source is decided out, or
+            // the decided-in set already violates the cardinality budget.
+            return Some(f64::NEG_INFINITY);
+        };
+        let mut q = 0.0;
+        for ((w, _), cap) in self.bindings.iter().zip(&caps) {
+            q += w * cap;
+        }
+        Some(q + BOUND_SLACK)
+    }
+
+    /// Fractional tightening over the modular bindings. Variables are
+    /// `[y_1..y_J, x_1..x_F]`: one `y_j ∈ [0, 1]` per modular QEF (its
+    /// achieved value) and one `x_i ∈ [0, 1]` per free source, with
+    /// `y_j ≤ Σ_{i∈decided_in} g_ji + Σ_free g_ji·x_i` and
+    /// `Σ x_i ≤ m − |decided_in|`. Every integral completion is a feasible
+    /// point, so `constant + optimum` is admissible; the constant carries
+    /// the non-modular bindings' component caps (and the slack). Returns
+    /// `None` when no binding is modular or no free choice remains — the
+    /// component bound is already as tight as this LP would be.
+    fn lp_relaxation(&self, decided_in: &Subset, decided_out: &Subset) -> Option<(LpProblem, f64)> {
+        let BindingCaps { caps, modular } = self.binding_caps(decided_in, decided_out)?;
+        if modular.is_empty() {
+            return None;
+        }
+        let budget = self.max_sources.saturating_sub(decided_in.len());
+        let free: Vec<usize> = (0..self.universe.len())
+            .filter(|&i| !decided_in.contains(i) && !decided_out.contains(i))
+            .collect();
+        if free.is_empty() || budget == 0 {
+            return None;
+        }
+        let nm = modular.len();
+        let nvars = nm + free.len();
+        let mut objective = vec![0.0; nvars];
+        let mut is_modular = vec![false; self.bindings.len()];
+        for (j, (k, _)) in modular.iter().enumerate() {
+            is_modular[*k] = true;
+            objective[j] = self.bindings[*k].0;
+        }
+        let mut constant = BOUND_SLACK;
+        for (k, (w, _)) in self.bindings.iter().enumerate() {
+            if !is_modular[k] {
+                constant += w * caps[k];
+            }
+        }
+        let mut constraints = Vec::with_capacity(2 * nm + free.len() + 1);
+        for (j, (_, gains)) in modular.iter().enumerate() {
+            let mut coeffs = vec![0.0; nvars];
+            coeffs[j] = 1.0;
+            for (fi, &i) in free.iter().enumerate() {
+                coeffs[nm + fi] = -gains[i];
+            }
+            let in_sum: f64 = decided_in.iter().map(|i| gains[i]).sum();
+            constraints.push(LpConstraint {
+                coeffs,
+                rel: Relation::Le,
+                rhs: in_sum,
+            });
+            let mut unit = vec![0.0; nvars];
+            unit[j] = 1.0;
+            constraints.push(LpConstraint {
+                coeffs: unit,
+                rel: Relation::Le,
+                rhs: 1.0,
+            });
+        }
+        for fi in 0..free.len() {
+            let mut unit = vec![0.0; nvars];
+            unit[nm + fi] = 1.0;
+            constraints.push(LpConstraint {
+                coeffs: unit,
+                rel: Relation::Le,
+                rhs: 1.0,
+            });
+        }
+        let mut all = vec![0.0; nvars];
+        for slot in all.iter_mut().take(nvars).skip(nm) {
+            *slot = 1.0;
+        }
+        constraints.push(LpConstraint {
+            coeffs: all,
+            rel: Relation::Le,
+            rhs: budget as f64,
+        });
+        Some((
+            LpProblem {
+                objective,
+                constraints,
+            },
+            constant,
+        ))
     }
 
     fn evaluate(&self, subset: &Subset) -> f64 {

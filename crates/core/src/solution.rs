@@ -9,8 +9,20 @@ use mube_schema::{MediatedSchema, SchemaMapping, SourceId, Universe};
 use crate::arena::SpecDelta;
 
 /// Search-effort statistics for one solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SolveStats {
+    /// Certified optimality gap, when the solver proves one: the true
+    /// optimum lies in `[Q, Q + gap]` for the reported quality `Q`.
+    /// `Some(0.0)` is a proof of optimality (exact branch-and-bound ran to
+    /// completion); positive values are anytime bounds under a node
+    /// budget; `None` means the solver makes no optimality claim
+    /// (heuristics, portfolios won by a heuristic member).
+    pub gap: Option<f64>,
+    /// Branch-and-bound nodes expanded (zero for non-exact solvers).
+    pub nodes_expanded: u64,
+    /// Branch-and-bound nodes pruned by bound, dominance, or the final
+    /// incumbent-covers-everything closure (zero for non-exact solvers).
+    pub nodes_pruned: u64,
     /// Objective evaluations (including memoized hits).
     pub evaluations: u64,
     /// Solver iterations.

@@ -24,6 +24,7 @@
 
 pub mod anneal;
 pub mod batch;
+pub mod bnb;
 pub mod exhaustive;
 pub mod greedy;
 pub mod lp;
@@ -39,9 +40,13 @@ pub mod tabu;
 
 pub use anneal::SimulatedAnnealing;
 pub use batch::BatchEvaluator;
+pub use bnb::BranchAndBound;
 pub use exhaustive::Exhaustive;
 pub use greedy::Greedy;
-pub use lp::{solve as lp_solve, LpConstraint, LpOutcome, LpProblem, Relation};
+pub use lp::{
+    solve as lp_solve, solve_with_pivot_cap as lp_solve_with_pivot_cap, LpConstraint, LpOutcome,
+    LpProblem, Relation,
+};
 pub use portfolio::{Portfolio, PortfolioMember, PortfolioOutcome};
 pub use problem::{CountingProblem, SubsetProblem};
 pub use pso::BinaryPso;

@@ -54,10 +54,33 @@ pub enum LpOutcome {
     Infeasible,
     /// The objective is unbounded above.
     Unbounded,
+    /// The pivot cap was exhausted before optimality was proven.
+    ///
+    /// `best_bound` is the objective value of the best feasible basic
+    /// solution reached — a *lower* bound on the LP optimum under
+    /// maximization, or `f64::NEG_INFINITY` when the cap ran out before
+    /// phase 1 could even establish feasibility. It is never an upper
+    /// bound on the optimum, so callers using the LP as a relaxation of
+    /// an integer program must not prune or certify with it.
+    IterationLimit {
+        /// Objective of the last feasible basic solution, or `-∞`.
+        best_bound: f64,
+    },
 }
 
 const EPS: f64 = 1e-9;
 const MAX_PIVOTS: usize = 100_000;
+
+/// Outcome of one simplex run on a tableau (internal).
+enum Step {
+    /// No positive reduced cost remains; the value is optimal.
+    Optimal(f64),
+    /// Some entering column has no bounding row.
+    Unbounded,
+    /// The pivot cap ran out; the value is that of the current (feasible)
+    /// basic solution, not an optimum.
+    Stalled(f64),
+}
 
 /// Dense simplex tableau over columns
 /// `[structural | slack/surplus | artificial | rhs]`.
@@ -140,12 +163,17 @@ impl Tableau {
     }
 
     /// Runs the simplex on the given objective (maximization, coefficients
-    /// over ALL tableau columns). Returns `None` on unboundedness.
+    /// over ALL tableau columns), pivoting at most `max_pivots` times.
     ///
     /// The reduced-cost row is built once from the current basis and then
     /// updated incrementally with every pivot, so one iteration costs
     /// O(rows × cols) rather than O(rows × cols²).
-    fn optimize(&mut self, obj: &[f64], allow_cols: impl Fn(usize) -> bool) -> Option<f64> {
+    fn optimize(
+        &mut self,
+        obj: &[f64],
+        allow_cols: impl Fn(usize) -> bool,
+        max_pivots: usize,
+    ) -> Step {
         let m = self.rows.len();
         let rhs_col = self.n_total;
         // cost[j] = c_j - Σ_i c_{basis i} · a_ij ; cost[rhs] = -z.
@@ -159,7 +187,7 @@ impl Tableau {
                 }
             }
         }
-        for _ in 0..MAX_PIVOTS {
+        for _ in 0..max_pivots {
             // Entering column: largest positive reduced cost (Dantzig),
             // smallest index among near-ties (Bland-flavoured tie-break).
             let mut entering: Option<usize> = None;
@@ -171,26 +199,10 @@ impl Tableau {
                 }
             }
             let Some(e) = entering else {
-                return Some(-cost[rhs_col]);
+                return Step::Optimal(-cost[rhs_col]);
             };
-            // Ratio test (Bland tie-break on basis index).
-            let mut leaving: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for i in 0..m {
-                let a = self.rows[i][e];
-                if a > EPS {
-                    let ratio = self.rows[i][rhs_col] / a;
-                    if ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leaving.is_some_and(|l| self.basis[i] < self.basis[l]))
-                    {
-                        best_ratio = ratio;
-                        leaving = Some(i);
-                    }
-                }
-            }
-            let Some(l) = leaving else {
-                return None; // unbounded in direction e
+            let Some(l) = choose_leaving(&self.rows, &self.basis, e, rhs_col) else {
+                return Step::Unbounded; // no row bounds direction e
             };
             self.pivot(l, e);
             // Update the cost row exactly like a tableau row.
@@ -201,8 +213,10 @@ impl Tableau {
                 }
             }
         }
-        // Pivot cap exceeded: numerically stuck; report current value.
-        Some(-cost[rhs_col])
+        // Pivot cap exceeded: numerically stuck. The current basic solution
+        // is feasible but not proven optimal — report it as a stall, never
+        // as an optimum.
+        Step::Stalled(-cost[rhs_col])
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
@@ -239,8 +253,57 @@ impl Tableau {
     }
 }
 
-/// Solves an LP with the two-phase primal simplex.
+/// The leaving row for entering column `e`, over candidate rows with
+/// `rows[i][e] > EPS`.
+///
+/// Two passes: the first finds the true minimum ratio `rhs / a`; the second
+/// applies the Bland-flavoured anti-cycling tie-break — smallest basis
+/// index — but only among rows whose ratio is within `EPS` of that minimum.
+/// Tracking the minimum separately matters: the previous rule let the
+/// tie-break branch re-anchor `best_ratio` on a ratio up to `EPS` *above*
+/// the current best, so a chain of near-ties drifted the accepted ratio
+/// arbitrarily far upward and could pick a leaving row that drives the RHS
+/// negative.
+///
+/// Returns `None` when no row bounds the entering column (the LP is
+/// unbounded in direction `e`).
+fn choose_leaving(rows: &[Vec<f64>], basis: &[usize], e: usize, rhs_col: usize) -> Option<usize> {
+    let mut min_ratio = f64::INFINITY;
+    for row in rows {
+        let a = row[e];
+        if a > EPS {
+            let ratio = row[rhs_col] / a;
+            if ratio < min_ratio {
+                min_ratio = ratio;
+            }
+        }
+    }
+    if min_ratio.is_infinite() {
+        return None;
+    }
+    let mut leaving: Option<usize> = None;
+    for (i, row) in rows.iter().enumerate() {
+        let a = row[e];
+        if a > EPS
+            && row[rhs_col] / a <= min_ratio + EPS
+            && leaving.is_none_or(|l| basis[i] < basis[l])
+        {
+            leaving = Some(i);
+        }
+    }
+    leaving
+}
+
+/// Solves an LP with the two-phase primal simplex and the default pivot cap.
 pub fn solve(problem: &LpProblem) -> LpOutcome {
+    solve_with_pivot_cap(problem, MAX_PIVOTS)
+}
+
+/// Solves an LP with the two-phase primal simplex, pivoting at most
+/// `pivot_cap` times per phase. When the cap runs out the result is
+/// [`LpOutcome::IterationLimit`], never a fabricated `Optimal` — see that
+/// variant for what its `best_bound` does and does not certify.
+pub fn solve_with_pivot_cap(problem: &LpProblem, pivot_cap: usize) -> LpOutcome {
     let n = problem.objective.len();
     for con in &problem.constraints {
         assert_eq!(
@@ -255,14 +318,27 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     if tableau.artificial_start < tableau.n_total {
         let mut phase1 = vec![0.0; tableau.n_total + 1];
         phase1[tableau.artificial_start..tableau.n_total].fill(-1.0);
-        // Phase 1 maximizes -(Σ artificials) ≤ 0, so it is bounded by
-        // construction; treat the impossible None defensively rather than
-        // panicking.
-        let Some(value) = tableau.optimize(&phase1, |_| true) else {
-            return LpOutcome::Unbounded;
-        };
-        if value < -1e-6 {
-            return LpOutcome::Infeasible;
+        match tableau.optimize(&phase1, |_| true, pivot_cap) {
+            Step::Optimal(value) => {
+                if value < -1e-6 {
+                    return LpOutcome::Infeasible;
+                }
+            }
+            // Phase 1 maximizes -(Σ artificials) ≤ 0, so it is bounded by
+            // construction; treat the impossible case defensively rather
+            // than panicking.
+            Step::Unbounded => return LpOutcome::Unbounded,
+            Step::Stalled(value) => {
+                if value < -1e-6 {
+                    // Feasibility itself is unproven: no basic solution and
+                    // no bound of any kind to report.
+                    return LpOutcome::IterationLimit {
+                        best_bound: f64::NEG_INFINITY,
+                    };
+                }
+                // Stalled at ~0: the artificials are already (numerically)
+                // zero, so a feasible basis was reached; phase 2 can run.
+            }
         }
         // Drive any artificial still in the basis (at value ~0) out if
         // possible; rows where it cannot leave are redundant and harmless
@@ -283,12 +359,13 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     let mut phase2 = vec![0.0; tableau.n_total + 1];
     phase2[..n].copy_from_slice(&problem.objective);
     let artificial_start = tableau.artificial_start;
-    match tableau.optimize(&phase2, |j| j < artificial_start) {
-        Some(objective) => LpOutcome::Optimal {
+    match tableau.optimize(&phase2, |j| j < artificial_start, pivot_cap) {
+        Step::Optimal(objective) => LpOutcome::Optimal {
             x: tableau.extract_solution(),
             objective,
         },
-        None => LpOutcome::Unbounded,
+        Step::Unbounded => LpOutcome::Unbounded,
+        Step::Stalled(best_bound) => LpOutcome::IterationLimit { best_bound },
     }
 }
 
@@ -431,6 +508,100 @@ mod tests {
                 assert!((objective - 2.0).abs() < 1e-6)
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_near_ties_do_not_drift_ratio() {
+        // Regression: a chain of ratios each within EPS of its neighbour but
+        // not of the minimum, with basis indices in descending order so the
+        // old tie-break branch fires on every row. The old rule re-anchored
+        // `best_ratio` at each step and walked to the last row (ratio
+        // 1.8e-9 above the minimum, beyond EPS); the fixed rule must pick
+        // among rows within EPS of the true minimum only.
+        let rows = vec![
+            vec![1.0, 1.0],
+            vec![1.0, 1.0 + 0.9e-9],
+            vec![1.0, 1.0 + 1.8e-9],
+        ];
+        let basis = vec![5, 4, 3];
+        let chosen = choose_leaving(&rows, &basis, 0, 1).expect("column is bounded");
+        let min_ratio = 1.0;
+        let chosen_ratio = rows[chosen][1] / rows[chosen][0];
+        assert!(
+            chosen_ratio <= min_ratio + EPS,
+            "accepted ratio drifted {} above the minimum",
+            chosen_ratio - min_ratio
+        );
+        // Within the EPS band {row 0, row 1}, row 1 has the smaller basis.
+        assert_eq!(chosen, 1);
+    }
+
+    #[test]
+    fn long_near_tie_chains_stay_within_eps_of_minimum() {
+        // Five rows stepping 0.9·EPS apart: the old rule accumulated
+        // 3.6e-9 of drift; the new rule never leaves the EPS band.
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![1.0, 2.0 + 0.9e-9 * i as f64]).collect();
+        let basis: Vec<usize> = (0..5).rev().map(|b| b + 10).collect();
+        let chosen = choose_leaving(&rows, &basis, 0, 1).expect("column is bounded");
+        let chosen_ratio = rows[chosen][1] / rows[chosen][0];
+        assert!(chosen_ratio <= 2.0 + EPS, "ratio {chosen_ratio} drifted");
+        assert_eq!(chosen, 1, "smallest basis index within the EPS band");
+    }
+
+    #[test]
+    fn choose_leaving_unbounded_column() {
+        let rows = vec![vec![-1.0, 3.0], vec![0.0, 2.0]];
+        assert_eq!(choose_leaving(&rows, &[0, 1], 0, 1), None);
+    }
+
+    #[test]
+    fn pivot_cap_yields_iteration_limit_not_optimal() {
+        // Regression: with the cap exhausted mid-run the solver used to
+        // report the stalled basic solution as Optimal. The textbook LP has
+        // optimum 12; a cap of 0 pivots leaves the initial all-slack basis
+        // (z = 0) in place, which must surface as IterationLimit.
+        let p = LpProblem {
+            objective: vec![3.0, 2.0],
+            constraints: vec![le(vec![1.0, 1.0], 4.0), le(vec![1.0, 3.0], 6.0)],
+        };
+        match solve_with_pivot_cap(&p, 0) {
+            LpOutcome::IterationLimit { best_bound } => {
+                assert!(
+                    best_bound < 12.0 - 1e-6,
+                    "stalled value {best_bound} is a lower bound, not the optimum"
+                );
+                assert!(best_bound.abs() < 1e-9, "initial basis has z = 0");
+            }
+            other => panic!("expected IterationLimit, got {other:?}"),
+        }
+        // The same problem under the default cap still solves to optimality.
+        match solve(&p) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 12.0).abs() < 1e-6)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pivot_cap_in_phase_one_reports_unknown_feasibility() {
+        // Ge constraints need phase-1 pivots; with none allowed the
+        // artificials stay basic and feasibility is unproven, so the
+        // reported bound must be -∞ (nothing certified).
+        let p = LpProblem {
+            objective: vec![-1.0],
+            constraints: vec![LpConstraint {
+                coeffs: vec![1.0],
+                rel: Relation::Ge,
+                rhs: 2.0,
+            }],
+        };
+        match solve_with_pivot_cap(&p, 0) {
+            LpOutcome::IterationLimit { best_bound } => {
+                assert_eq!(best_bound, f64::NEG_INFINITY);
+            }
+            other => panic!("expected IterationLimit, got {other:?}"),
         }
     }
 

@@ -283,6 +283,9 @@ impl Portfolio {
                 trajectory: Vec::new(),
                 winner: None,
                 batch_width: self.members.len(),
+                gap: None,
+                nodes_expanded: 0,
+                nodes_pruned: 0,
             },
         };
         PortfolioOutcome { result, members }

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::lp::LpProblem;
 use crate::subset::Subset;
 
 /// A maximization problem over subsets of `0..universe_size()`.
@@ -41,6 +42,34 @@ pub trait SubsetProblem: Sync {
     /// in assertions and tests.
     fn is_structurally_feasible(&self, subset: &Subset) -> bool {
         subset.len() <= self.max_selected() && self.pinned().iter().all(|&i| subset.contains(i))
+    }
+
+    /// An admissible upper bound on `evaluate(T)` over every structurally
+    /// feasible completion `T` of the partial assignment — i.e. every `T`
+    /// with `decided_in ⊆ T`, `T ∩ decided_out = ∅` and
+    /// `|T| ≤ max_selected()`. Returns `None` when the problem offers no
+    /// bound (branch-and-bound then cannot prune below such nodes);
+    /// `f64::NEG_INFINITY` asserts no feasible completion exists.
+    ///
+    /// Admissibility is the implementor's contract: a value below the true
+    /// completion optimum makes [`crate::bnb::BranchAndBound`] prune the
+    /// optimum away and voids its exactness guarantee.
+    fn component_bound(&self, _decided_in: &Subset, _decided_out: &Subset) -> Option<f64> {
+        None
+    }
+
+    /// An LP relaxation of the completion problem at
+    /// (`decided_in`, `decided_out`): `(lp, constant)` such that
+    /// `constant + optimum(lp)` upper-bounds `evaluate(T)` over the same
+    /// completions as [`SubsetProblem::component_bound`]. Branch-and-bound
+    /// solves it at shallow nodes and takes the minimum with the component
+    /// bound; `None` when no useful relaxation exists.
+    fn lp_relaxation(
+        &self,
+        _decided_in: &Subset,
+        _decided_out: &Subset,
+    ) -> Option<(LpProblem, f64)> {
+        None
     }
 }
 
@@ -85,6 +114,16 @@ impl<P: SubsetProblem + ?Sized> SubsetProblem for CountingProblem<'_, P> {
         self.evals.fetch_add(1, Ordering::Relaxed);
         self.inner.evaluate(subset)
     }
+
+    // Bound queries are not objective evaluations; forward them uncounted so
+    // experiment effort comparisons stay about `evaluate` calls.
+    fn component_bound(&self, decided_in: &Subset, decided_out: &Subset) -> Option<f64> {
+        self.inner.component_bound(decided_in, decided_out)
+    }
+
+    fn lp_relaxation(&self, decided_in: &Subset, decided_out: &Subset) -> Option<(LpProblem, f64)> {
+        self.inner.lp_relaxation(decided_in, decided_out)
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +131,7 @@ pub(crate) mod testutil {
     //! Shared toy problems for solver tests.
 
     use super::*;
+    use crate::lp::{LpConstraint, Relation};
 
     /// Maximize the sum of item values, a modular objective whose optimum is
     /// the top-`m` items (plus pins). Every solver should nail this.
@@ -138,6 +178,57 @@ pub(crate) mod testutil {
 
         fn evaluate(&self, subset: &Subset) -> f64 {
             subset.iter().map(|i| self.values[i]).sum()
+        }
+
+        fn component_bound(&self, decided_in: &Subset, decided_out: &Subset) -> Option<f64> {
+            if self.pins.iter().any(|&p| decided_out.contains(p)) {
+                return Some(f64::NEG_INFINITY);
+            }
+            let base: f64 = decided_in.iter().map(|i| self.values[i]).sum();
+            let mut free: Vec<f64> = (0..self.values.len())
+                .filter(|&i| !decided_in.contains(i) && !decided_out.contains(i))
+                .map(|i| self.values[i])
+                .filter(|v| *v > 0.0)
+                .collect();
+            free.sort_by(|a, b| b.total_cmp(a));
+            let budget = self.m.saturating_sub(decided_in.len());
+            Some(base + free.iter().take(budget).sum::<f64>())
+        }
+
+        fn lp_relaxation(
+            &self,
+            decided_in: &Subset,
+            decided_out: &Subset,
+        ) -> Option<(LpProblem, f64)> {
+            // Fractional knapsack over the free items: exercises the bnb LP
+            // path; for a modular objective its optimum matches the
+            // component bound exactly.
+            let base: f64 = decided_in.iter().map(|i| self.values[i]).sum();
+            let free: Vec<usize> = (0..self.values.len())
+                .filter(|&i| !decided_in.contains(i) && !decided_out.contains(i))
+                .collect();
+            let budget = self.m.saturating_sub(decided_in.len());
+            let n = free.len();
+            let mut constraints = vec![LpConstraint {
+                coeffs: vec![1.0; n],
+                rel: Relation::Le,
+                rhs: budget as f64,
+            }];
+            for i in 0..n {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                constraints.push(LpConstraint {
+                    coeffs,
+                    rel: Relation::Le,
+                    rhs: 1.0,
+                });
+            }
+            let objective = free.iter().map(|&i| self.values[i]).collect();
+            let lp = LpProblem {
+                objective,
+                constraints,
+            };
+            Some((lp, base))
         }
     }
 
@@ -186,6 +277,15 @@ pub(crate) mod testutil {
                 }
             }
             score
+        }
+
+        fn component_bound(&self, decided_in: &Subset, decided_out: &Subset) -> Option<f64> {
+            // The objective is monotone nondecreasing in the selection, so
+            // evaluating the largest completion candidate (everything not
+            // decided out) is admissible even though it ignores the
+            // cardinality budget.
+            let _ = decided_in;
+            Some(self.evaluate(&decided_out.complement()))
         }
     }
 }

@@ -30,6 +30,17 @@ pub struct SolveResult {
     /// [`BatchEvaluator`](crate::batch::BatchEvaluator) width for batched
     /// solvers (1 = serial), or the member count for a portfolio run.
     pub batch_width: usize,
+    /// Certified optimality gap, exact solvers only: the true optimum lies
+    /// in `[objective, objective + gap]`. `Some(0.0)` is a proof of
+    /// optimality; `Some(g > 0)` is an anytime result under a node budget;
+    /// `None` means the solver makes no optimality claim (all
+    /// heuristics).
+    pub gap: Option<f64>,
+    /// Branch-and-bound nodes expanded (0 for non-tree solvers).
+    pub nodes_expanded: u64,
+    /// Branch-and-bound nodes pruned by bound or dominance (0 for
+    /// non-tree solvers).
+    pub nodes_pruned: u64,
 }
 
 impl SolveResult {
@@ -126,6 +137,9 @@ where
         trajectory,
         winner: None,
         batch_width: 1,
+        gap: None,
+        nodes_expanded: 0,
+        nodes_pruned: 0,
     }
 }
 
@@ -200,6 +214,9 @@ mod tests {
             trajectory,
             winner: None,
             batch_width: 1,
+            gap: None,
+            nodes_expanded: 0,
+            nodes_pruned: 0,
         }
     }
 

@@ -81,7 +81,13 @@ impl Subset {
     }
 
     /// Removes item `i`; returns whether it was present.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i` is out of range (same contract as
+    /// [`Subset::insert`]); in release builds an out-of-range index is a
+    /// no-op returning `false`.
     pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.universe_size, "index out of range");
         if i >= self.universe_size {
             return false;
         }
@@ -92,7 +98,13 @@ impl Subset {
     }
 
     /// Membership test.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i` is out of range (same contract as
+    /// [`Subset::insert`]); in release builds an out-of-range index reports
+    /// `false`.
     pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.universe_size, "index out of range");
         i < self.universe_size && self.words[i / 64] & (1 << (i % 64)) != 0
     }
 
@@ -125,6 +137,22 @@ impl Subset {
     /// Indices *not* selected, in increasing order.
     pub fn complement_iter(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.universe_size).filter(move |&i| !self.contains(i))
+    }
+
+    /// The complement as a new subset, by word-level negation (the tail
+    /// word is masked so no phantom items beyond the universe appear).
+    pub fn complement(&self) -> Self {
+        let mut words: Vec<u64> = self.words.iter().map(|&w| !w).collect();
+        let tail_bits = self.universe_size % 64;
+        if tail_bits != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+        Self {
+            words,
+            universe_size: self.universe_size,
+        }
     }
 
     /// The packed words backing the subset (64 items per word, low indices
@@ -204,6 +232,22 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "index out of range")]
+    fn remove_out_of_range_panics_in_debug() {
+        let mut s = Subset::empty(10);
+        s.remove(10);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "index out of range")]
+    fn contains_out_of_range_panics_in_debug() {
+        let s = Subset::empty(10);
+        s.contains(10);
+    }
+
+    #[test]
     fn complement_iterates_unselected() {
         let s = Subset::from_indices(5, [0, 2, 4]);
         assert_eq!(s.complement_iter().collect::<Vec<_>>(), vec![1, 3]);
@@ -221,6 +265,21 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&b| b), "unreached items: {seen:?}");
+    }
+
+    #[test]
+    fn complement_masks_tail_word() {
+        let s = Subset::from_indices(70, [0, 69]);
+        let c = s.complement();
+        assert_eq!(c.len(), 68);
+        assert!(!c.contains(0) && !c.contains(69));
+        assert!(c.contains(1) && c.contains(68));
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            s.complement_iter().collect::<Vec<_>>()
+        );
+        // Complementing twice round-trips.
+        assert_eq!(c.complement(), s);
     }
 
     #[test]

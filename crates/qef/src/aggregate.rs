@@ -94,6 +94,42 @@ impl Aggregation {
             Aggregation::Max => selection.iter().map(normalized).fold(0.0, f64::max),
         }
     }
+
+    /// Admissible upper bound on [`Aggregation::evaluate`] over every
+    /// non-empty sub-selection of `possible` — the max normalized value of
+    /// any possible member.
+    ///
+    /// Every aggregation is dominated by it: `wsum` and `mean` are convex
+    /// combinations of normalized values, `min ≤ max`, and `max` attains
+    /// it. Degenerate cases mirror `evaluate`'s conventions: an empty
+    /// `possible` set or an undeclared characteristic can only ever score
+    /// `0.0`; a constant characteristic (`max == min`) scores `1.0` for
+    /// any non-empty selection, so the bound is `1.0`.
+    pub fn upper_bound(
+        characteristic: &str,
+        possible: &SourceSelection,
+        ctx: &QefContext<'_>,
+    ) -> f64 {
+        if possible.is_empty() {
+            return 0.0;
+        }
+        let Some((lo, hi)) = ctx.characteristic_range(characteristic) else {
+            return 0.0;
+        };
+        if hi <= lo {
+            return 1.0;
+        }
+        let universe: &Universe = ctx.universe();
+        possible
+            .iter()
+            .map(|id| {
+                universe
+                    .expect_source(id)
+                    .characteristic(characteristic)
+                    .map_or(0.0, |q| ((q - lo) / (hi - lo)).clamp(0.0, 1.0))
+            })
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +272,61 @@ mod tests {
             &ctx,
         );
         assert!((v - 0.5).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn upper_bound_dominates_every_aggregation_and_subset() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        let possible = sel(&u, &[0, 1, 2]);
+        let cap = Aggregation::upper_bound("mttf", &possible, &ctx);
+        assert!((cap - 1.0).abs() < 1e-12, "max norm over all three is 1.0");
+        for ids in [&[0u32][..], &[0, 1], &[1, 2], &[0, 1, 2]] {
+            for agg in [
+                Aggregation::WeightedSum,
+                Aggregation::Mean,
+                Aggregation::Min,
+                Aggregation::Max,
+            ] {
+                let v = agg.evaluate("mttf", &sel(&u, ids), &ctx);
+                assert!(
+                    v <= cap + 1e-12,
+                    "{} on {ids:?} = {v} > cap {cap}",
+                    agg.name()
+                );
+            }
+        }
+        // Restricting the possible set tightens the cap: sources {0, 2}
+        // max out at the 0.5-normalized source.
+        let tighter = Aggregation::upper_bound("mttf", &sel(&u, &[0, 2]), &ctx);
+        assert!((tighter - 0.5).abs() < 1e-12, "got {tighter}");
+    }
+
+    #[test]
+    fn upper_bound_degenerate_conventions_mirror_evaluate() {
+        let u = universe();
+        let ctx = QefContext::without_sketches(&u);
+        assert_eq!(Aggregation::upper_bound("mttf", &sel(&u, &[]), &ctx), 0.0);
+        assert_eq!(
+            Aggregation::upper_bound("fee", &sel(&u, &[0, 1]), &ctx),
+            0.0
+        );
+        let mut constant = Universe::new();
+        for name in ["a", "b"] {
+            constant
+                .add_source(
+                    SourceBuilder::new(name)
+                        .attributes(["x"])
+                        .cardinality(10)
+                        .characteristic("fee", 5.0),
+                )
+                .unwrap();
+        }
+        let cctx = QefContext::without_sketches(&constant);
+        assert_eq!(
+            Aggregation::upper_bound("fee", &sel(&constant, &[0]), &cctx),
+            1.0
+        );
     }
 
     #[test]

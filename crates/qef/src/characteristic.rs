@@ -38,6 +38,12 @@ impl CharacteristicQef {
     pub fn characteristic(&self) -> &str {
         &self.characteristic
     }
+
+    /// Admissible upper bound on this QEF over every sub-selection of
+    /// `possible` (see [`Aggregation::upper_bound`]).
+    pub fn upper_bound(&self, possible: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+        Aggregation::upper_bound(&self.characteristic, possible, ctx)
+    }
 }
 
 impl Qef for CharacteristicQef {

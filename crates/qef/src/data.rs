@@ -22,6 +22,30 @@ impl Qef for CardinalityQef {
         }
         ctx.selected_cardinality(selection) as f64 / total as f64
     }
+
+    /// Adding a source can only add tuples to `Σ_{s∈S} |s|`.
+    fn monotone(&self) -> bool {
+        true
+    }
+
+    /// `Card` is exactly modular: each source contributes `|s| / Σ_U |t|`
+    /// independently of the rest of the selection. (The gains sum to the
+    /// same value `evaluate` computes up to float associativity — bound
+    /// consumers must budget summation-order slack, not bit-identity.)
+    fn modular(&self, ctx: &QefContext<'_>) -> Option<Vec<f64>> {
+        let universe = ctx.universe();
+        let total = universe.total_cardinality();
+        if total == 0 {
+            return Some(vec![0.0; universe.len()]);
+        }
+        Some(
+            universe
+                .sources()
+                .iter()
+                .map(|s| s.cardinality() as f64 / total as f64)
+                .collect(),
+        )
+    }
 }
 
 /// `Coverage(S) = |∪_{s∈S} s| / |∪_{t∈U} t|` — how much of the distinct data
@@ -41,6 +65,15 @@ impl Qef for CoverageQef {
             return 0.0;
         }
         (ctx.union_estimate(selection) / denom).clamp(0.0, 1.0)
+    }
+
+    /// The union estimate OR-merges per-source PCSA bitmaps: a superset
+    /// selection ORs in at least the same bits, so every bucket's
+    /// first-zero index — and hence the estimate — is non-decreasing.
+    /// Division by the fixed universe denominator and the `[0, 1]` clamp
+    /// both preserve monotonicity.
+    fn monotone(&self) -> bool {
+        true
     }
 }
 
@@ -195,6 +228,41 @@ mod tests {
         assert_eq!(RedundancyQef.evaluate(&sel(&[0, 1]), &ctx), 0.0);
         // Cardinality needs no cooperation.
         assert!(CardinalityQef.evaluate(&sel(&[0]), &ctx) > 0.0);
+    }
+
+    #[test]
+    fn cardinality_modular_gains_recover_evaluate() {
+        let (u, sketches) = setup();
+        let ctx = QefContext::new(&u, sketches);
+        let gains = CardinalityQef.modular(&ctx).expect("Card is modular");
+        assert_eq!(gains.len(), 3);
+        for ids in [&[][..], &[0], &[1, 2], &[0, 1, 2]] {
+            let s = sel(ids);
+            let from_gains: f64 = ids.iter().map(|&i| gains[i as usize]).sum();
+            let direct = CardinalityQef.evaluate(&s, &ctx);
+            assert!((from_gains - direct).abs() < 1e-12, "{ids:?}");
+        }
+    }
+
+    #[test]
+    fn monotonicity_declarations_hold_on_chains() {
+        let (u, sketches) = setup();
+        let ctx = QefContext::new(&u, sketches);
+        assert!(CardinalityQef.monotone());
+        assert!(CoverageQef.monotone());
+        assert!(!RedundancyQef.monotone());
+        assert!(RedundancyQef.modular(&ctx).is_none());
+        // Growing chain ∅ ⊂ {0} ⊂ {0,1} ⊂ {0,1,2}: monotone QEFs must not
+        // decrease.
+        let chain = [&[][..], &[0], &[0, 1], &[0, 1, 2]];
+        for qef in [&CardinalityQef as &dyn Qef, &CoverageQef] {
+            let mut prev = 0.0;
+            for ids in chain {
+                let v = qef.evaluate(&sel(ids), &ctx);
+                assert!(v + 1e-12 >= prev, "{} dropped on {ids:?}", qef.name());
+                prev = v;
+            }
+        }
     }
 
     #[test]

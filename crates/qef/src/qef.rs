@@ -18,6 +18,27 @@ pub trait Qef: Send + Sync {
 
     /// Evaluates the QEF on a selection.
     fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64;
+
+    /// Whether the QEF is *monotone non-decreasing* under selection growth:
+    /// `S ⊆ T ⟹ F(S) ≤ F(T)`. A monotone QEF evaluated on the set of all
+    /// still-possible sources is an admissible upper bound over every
+    /// completion — the hook exact solvers use to prune. Declaring a
+    /// non-monotone QEF monotone breaks exactness; the safe default is
+    /// `false` (bounded only by the trivial cap `1.0`).
+    fn monotone(&self) -> bool {
+        false
+    }
+
+    /// Per-source *modular gains*, if the QEF is exactly modular:
+    /// `F(S) = Σ_{i∈S} g_i` for every selection `S`, where `g_i` is the
+    /// returned slot for source `i` (one slot per universe source). A
+    /// modular decomposition yields tighter bounds than monotonicity alone
+    /// (top-`k` gain packing respects the cardinality budget) and feeds the
+    /// LP relaxation. Returning `Some` for a QEF that is not exactly
+    /// modular breaks exactness; the default is `None`.
+    fn modular(&self, _ctx: &QefContext<'_>) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 #[cfg(test)]

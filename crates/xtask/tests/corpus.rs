@@ -93,6 +93,30 @@ fn gram_index_module_is_determinism_scoped() {
     );
 }
 
+#[test]
+fn bnb_module_is_determinism_scoped() {
+    // The exact branch-and-bound solver orders its frontier by f64 bounds
+    // and certifies optimality gaps from them: a partial-order comparison
+    // or hash-order tie-break there would change which optimum (of equal
+    // value) is returned run to run, and a wall-clock deadline would make
+    // the certified gap irreproducible. Assert its path is linted under
+    // the determinism families (bad fixtures fire) and that the file
+    // exists so a rename cannot silently drop it out of scope.
+    let rel = "crates/opt/src/bnb.rs";
+    assert_eq!(hits(rel, FLOAT_ORD_BAD, "float-ord"), vec![6, 9, 13, 17]);
+    assert_eq!(
+        hits(rel, HASH_ITER_BAD, "no-hash-iter"),
+        vec![8, 11, 12, 19]
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    assert!(
+        path.is_file(),
+        "bnb.rs moved without updating the lint scope test"
+    );
+}
+
 // ---- no-ambient-entropy -------------------------------------------------
 
 const ENTROPY_BAD: &str = include_str!("fixtures/entropy_bad.rs");

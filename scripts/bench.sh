@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Regenerates the persistent perf trajectories (Match kernel + solve stack +
-# iterative session + packed similarity kernels).
+# iterative session + packed similarity kernels + exact-solver gap closure).
 #
 #   scripts/bench.sh           full run; rewrites BENCH_match.json,
-#                              BENCH_solve.json, BENCH_session.json and
-#                              BENCH_kernels.json (all checked in)
+#                              BENCH_solve.json, BENCH_session.json,
+#                              BENCH_kernels.json and BENCH_bound.json
+#                              (all checked in)
 #   scripts/bench.sh --smoke   tiny sizes, one rep; writes target/*.smoke.json
 #                              (not checked in) — wired into scripts/check.sh as a
 #                              cheap "the harness still runs end to end" gate.
@@ -16,7 +17,10 @@
 # histories; the kernels harness asserts packed/scalar bit-identity in every
 # mode and the acceptance thresholds (≥3x pairwise Jaccard, ≥2x matrix fill)
 # in full mode. See DESIGN.md §8 (Match kernel), §9 (solve stack), §10
-# (session arena) and §12 (packed kernels) for how to read the output.
+# (session arena), §12 (packed kernels) and §13 (exact branch-and-bound) for
+# how to read the output. The bound harness asserts its own contracts in-bin:
+# certified gaps non-negative and non-increasing along the budget ladder, and
+# the unlimited run bit-identical to the exhaustive enumerator at n=12.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,9 +29,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
   cargo run --release -q -p mube-bench --bin solve_portfolio -- --smoke --out target/BENCH_solve.smoke.json
   cargo run --release -q -p mube-bench --bin session_iterate -- --smoke --out target/BENCH_session.smoke.json
   cargo run --release -q -p mube-bench --bin sim_kernels -- --smoke --out target/BENCH_kernels.smoke.json
+  cargo run --release -q -p mube-bench --bin bound_gap -- --smoke --out target/BENCH_bound.smoke.json
 else
   cargo run --release -q -p mube-bench --bin match_kernel
   cargo run --release -q -p mube-bench --bin solve_portfolio
   cargo run --release -q -p mube-bench --bin session_iterate
   cargo run --release -q -p mube-bench --bin sim_kernels
+  cargo run --release -q -p mube-bench --bin bound_gap
 fi

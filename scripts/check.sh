@@ -26,11 +26,20 @@ cargo test -q --workspace
 echo "==> width-1 determinism pass (batched paths forced serial)"
 MUBE_BATCH_THREADS=1 cargo test -q -p mube-opt --test props
 
-echo "==> bench harness smoke (match + solve + session + kernels harnesses run,"
-echo "    JSON schemas intact, packed/scalar bit-identity asserted)"
+echo "==> bench harness smoke (match + solve + session + kernels + bound harnesses"
+echo "    run, JSON schemas intact, packed/scalar bit-identity asserted)"
 scripts/bench.sh --smoke
+
+echo "==> exact-solver smoke contracts (bnb == exhaustive at smoke scale, no"
+echo "    negative certified gap anywhere in the artifact)"
+grep -q '"matches_exhaustive": true' target/BENCH_bound.smoke.json
+! grep -q '"gap": -' target/BENCH_bound.smoke.json
 
 echo "==> committed kernel trajectory carries the full-run threshold verdict"
 grep -q '"meets_thresholds": true' BENCH_kernels.json
+
+echo "==> committed bound trajectory certifies exactness and closes its gaps"
+grep -q '"matches_exhaustive": true' BENCH_bound.json
+! grep -q '"gap": -' BENCH_bound.json
 
 echo "All checks passed."
