@@ -449,35 +449,120 @@ fn seed_pairs(
     // The `BTreeMap` drain is sorted by class id, so `admit` sees the pairs
     // in the same order every run — the heap's tie-breaking (and therefore
     // the merge trace) must not depend on per-process hash seeding.
-    let groups: Vec<Vec<usize>> = groups.into_values().collect();
-    for (gi, left) in groups.iter().enumerate() {
-        for right in &groups[gi..] {
-            let acc = linkage.accumulate(&clusters[left[0]].attrs, &clusters[right[0]].attrs, sim);
-            stats.linkage_evals += 1;
-            let enumerate = linkage.keep_accumulator(acc, theta) || acc >= theta;
-            if !enumerate {
-                continue;
-            }
-            let same = std::ptr::eq(left, right);
-            for (pos, &a) in left.iter().enumerate() {
-                let partners = if same { &right[pos + 1..] } else { &right[..] };
-                for &b in partners {
-                    if clusters[a].can_merge(&clusters[b]) {
-                        admit(
-                            a.min(b),
-                            a.max(b),
-                            acc,
-                            1,
-                            clusters,
-                            linkage,
-                            theta,
-                            store,
-                            adj,
-                            heap,
-                            stats,
-                        );
+    let groups: Vec<(u32, Vec<usize>)> = groups.into_iter().collect();
+    let pos_of_class: BTreeMap<u32, usize> = groups
+        .iter()
+        .enumerate()
+        .map(|(p, &(c, _))| (c, p))
+        .collect();
+    for (gi, (ci, left)) in groups.iter().enumerate() {
+        // Sparse seed pass: when the similarity source exposes each class's
+        // non-zero neighbors, only those class pairs can matter — an absent
+        // pair scores exactly 0.0, which for θ > 0 clears neither the
+        // admission bound (Single/Complete keep acc ≥ θ; Average keeps
+        // acc ≠ 0.0) nor the θ heap gate — so the quadratic group-pair
+        // sweep collapses to the stored pair set, bitwise-identically.
+        // θ ≤ 0 keeps the dense sweep: there a 0.0 pair IS heap-eligible.
+        // Neighbor lists and `groups` are both sorted ascending by class
+        // id, so pairs reach `admit` in the dense sweep's order.
+        let neighbors = if theta > 0.0 {
+            sim.neighbors_of_class(*ci)
+        } else {
+            None
+        };
+        match neighbors {
+            Some(nbrs) => {
+                // The self pair is not in the neighbor list (it excludes
+                // the class itself) but is always evaluated: identical
+                // names score 1.0 regardless of sparsity.
+                class_pair_seed(
+                    left, left, true, clusters, linkage, theta, sim, store, adj, heap, stats,
+                );
+                for d in nbrs {
+                    // Classes with no seed cluster in this Match call (the
+                    // candidate subset need not span the whole universe)
+                    // have no group; d ≤ ci pairs were handled from d's side.
+                    if let Some(&p) = pos_of_class.get(d) {
+                        if p > gi {
+                            class_pair_seed(
+                                left,
+                                &groups[p].1,
+                                false,
+                                clusters,
+                                linkage,
+                                theta,
+                                sim,
+                                store,
+                                adj,
+                                heap,
+                                stats,
+                            );
+                        }
                     }
                 }
+            }
+            None => {
+                for (gj, (_, right)) in groups.iter().enumerate().skip(gi) {
+                    class_pair_seed(
+                        left,
+                        right,
+                        gi == gj,
+                        clusters,
+                        linkage,
+                        theta,
+                        sim,
+                        store,
+                        adj,
+                        heap,
+                        stats,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates one class pair's representative accumulator and, when it can
+/// clear admission or θ, admits every mergeable member pair with the shared
+/// value. `same` marks the diagonal (left == right), where member pairs are
+/// deduplicated by position.
+#[allow(clippy::too_many_arguments)]
+fn class_pair_seed(
+    left: &[usize],
+    right: &[usize],
+    same: bool,
+    clusters: &[Cluster],
+    linkage: Linkage,
+    theta: f64,
+    sim: &dyn AttrSimilarity,
+    store: &mut PairStore,
+    adj: &mut [Vec<u32>],
+    heap: &mut BinaryHeap<PairEntry>,
+    stats: &mut MatchStats,
+) {
+    let acc = linkage.accumulate(&clusters[left[0]].attrs, &clusters[right[0]].attrs, sim);
+    stats.linkage_evals += 1;
+    let enumerate = linkage.keep_accumulator(acc, theta) || acc >= theta;
+    if !enumerate {
+        return;
+    }
+    for (pos, &a) in left.iter().enumerate() {
+        let partners = if same { &right[pos + 1..] } else { right };
+        for &b in partners {
+            if clusters[a].can_merge(&clusters[b]) {
+                admit(
+                    a.min(b),
+                    a.max(b),
+                    acc,
+                    1,
+                    clusters,
+                    linkage,
+                    theta,
+                    store,
+                    adj,
+                    heap,
+                    stats,
+                );
             }
         }
     }

@@ -30,6 +30,23 @@ pub trait AttrSimilarity {
     fn class_of(&self, _attr: AttrId) -> Option<u32> {
         None
     }
+
+    /// Optional sparse neighbor structure over the equivalence classes of
+    /// [`AttrSimilarity::class_of`].
+    ///
+    /// Contract: when this returns `Some`, it must do so for *every* class
+    /// the source assigns, and the slice must hold exactly the classes `d ≠
+    /// class` whose members have non-zero similarity to members of `class` —
+    /// sorted ascending, symmetric (`d` lists `class` iff `class` lists
+    /// `d`). Any class pair absent from each other's lists must satisfy
+    /// `similarity(a, b) == 0.0` exactly, for all members `a`, `b`. Kernels
+    /// may then skip absent class pairs entirely wherever a 0.0 similarity
+    /// cannot matter (the incremental seed pass does this for θ > 0). The
+    /// default (`None`) keeps every class pair evaluated, which is always
+    /// correct.
+    fn neighbors_of_class(&self, _class: u32) -> Option<&[u32]> {
+        None
+    }
 }
 
 /// Computes similarities on demand from a universe and a string measure,

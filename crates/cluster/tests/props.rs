@@ -6,8 +6,11 @@ use proptest::prelude::*;
 use mube_cluster::{
     ga_quality, match_sources, AttrSimilarity, Linkage, MatchConfig, MatchKernel, MeasureAdapter,
 };
-use mube_schema::{AttrId, Constraints, GlobalAttribute, SourceBuilder, SourceId, Universe};
-use mube_similarity::NgramJaccard;
+use mube_schema::{
+    attribute::normalize_name, AttrId, Constraints, GlobalAttribute, SourceBuilder, SourceId,
+    Universe,
+};
+use mube_similarity::{NgramJaccard, SparseConfig, SparseSimilarity};
 
 const VOCAB: &[&str] = &[
     "title",
@@ -115,6 +118,50 @@ fn assert_kernels_equivalent(universe: &Universe, constraints: &Constraints, con
 
 fn arb_linkage() -> impl Strategy<Value = Linkage> {
     prop::sample::select(vec![Linkage::Single, Linkage::Complete, Linkage::Average])
+}
+
+/// The sparse blocked similarity store behind the [`AttrSimilarity`]
+/// contract, mirroring the engine's production adapter: flattened
+/// attribute indices, classes = distinct-name slots, neighbor lists from
+/// the CSR rows. Values are f32-rounded, exactly like the dense matrix.
+struct SparseAdapter {
+    sparse: SparseSimilarity,
+    offsets: Vec<u32>,
+}
+
+impl SparseAdapter {
+    fn new(universe: &Universe) -> Self {
+        let mut names: Vec<String> = Vec::new();
+        let mut offsets = Vec::new();
+        for source in universe.sources() {
+            offsets.push(names.len() as u32);
+            for attr in source.attributes() {
+                names.push(normalize_name(attr));
+            }
+        }
+        let sparse =
+            SparseSimilarity::build(&names, &NgramJaccard::default(), &SparseConfig::default())
+                .expect("the default measure is gram-blockable");
+        Self { sparse, offsets }
+    }
+
+    fn flat(&self, a: AttrId) -> usize {
+        self.offsets[a.source.index()] as usize + a.index as usize
+    }
+}
+
+impl AttrSimilarity for SparseAdapter {
+    fn similarity(&self, a: AttrId, b: AttrId) -> f64 {
+        self.sparse.similarity(self.flat(a), self.flat(b))
+    }
+
+    fn class_of(&self, a: AttrId) -> Option<u32> {
+        Some(self.sparse.distinct_slot(self.flat(a)))
+    }
+
+    fn neighbors_of_class(&self, class: u32) -> Option<&[u32]> {
+        Some(self.sparse.neighbor_slots(class))
+    }
 }
 
 proptest! {
@@ -245,5 +292,56 @@ proptest! {
         constraints.require_source(SourceId(sa));
         let config = MatchConfig { theta, linkage, ..MatchConfig::default() };
         assert_kernels_equivalent(&universe, &constraints, &config);
+    }
+
+    #[test]
+    fn incremental_with_sparse_neighbors_matches_brute_with_dense_values(
+        universe in arb_universe(),
+        theta in 0.05f64..1.0,
+        beta in 1usize..4,
+        linkage in arb_linkage(),
+        prune in any::<bool>(),
+    ) {
+        // The sparse-driven seed pass (neighbor lists over distinct-name
+        // classes, implicit-zero misses) against the brute-force kernel on
+        // f32-quantized string-path values: by the GramIndex bit-identity
+        // contract the two stores agree bitwise, so any divergence is a
+        // neighbor-skipping bug in the incremental kernel. θ > 0 by
+        // construction — the regime where skipping exact-zero pairs is
+        // provably lossless for every linkage.
+        let measure = NgramJaccard::default();
+        let reference = F32Quantized(MeasureAdapter::new(&universe, &measure));
+        let sparse = SparseAdapter::new(&universe);
+        let ids: Vec<SourceId> = universe.sources().iter().map(|s| s.id()).collect();
+        let config = MatchConfig { theta, beta, linkage, prune, ..MatchConfig::default() };
+        let incremental = match_sources(
+            &universe,
+            &ids,
+            &Constraints::none(),
+            &MatchConfig { kernel: MatchKernel::Incremental, ..config.clone() },
+            &sparse,
+        );
+        let brute = match_sources(
+            &universe,
+            &ids,
+            &Constraints::none(),
+            &MatchConfig { kernel: MatchKernel::BruteForce, ..config },
+            &reference,
+        );
+        match (incremental, brute) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.schema, b.schema);
+                prop_assert!(
+                    a.quality.total_cmp(&b.quality).is_eq(),
+                    "quality {} != {}", a.quality, b.quality
+                );
+                prop_assert_eq!(a.rounds, b.rounds);
+            }
+            (a, b) => {
+                prop_assert!(false, "feasibility disagrees: sparse={:?} brute={:?}",
+                    a.is_some(), b.is_some());
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@ use crate::arena::EvalArena;
 use crate::error::MubeError;
 use crate::matrix_sim::MatrixSimilarity;
 use crate::objective::{ArenaRef, MubeObjective, QefBinding};
-use crate::problem::ProblemSpec;
+use crate::problem::{ProblemSpec, SimBackend};
 use crate::solution::{Solution, SolveStats};
 
 /// The µBE engine, bound to one universe.
@@ -35,6 +35,7 @@ pub struct MubeBuilder<'u, 'm> {
     sketches: Option<Vec<Option<PcsaSketch>>>,
     measure: Option<&'m dyn SimilarityMeasure>,
     extra_qefs: Vec<Box<dyn Qef>>,
+    sim_backend: SimBackend,
 }
 
 impl<'u, 'm> MubeBuilder<'u, 'm> {
@@ -45,6 +46,7 @@ impl<'u, 'm> MubeBuilder<'u, 'm> {
             sketches: None,
             measure: None,
             extra_qefs: Vec::new(),
+            sim_backend: SimBackend::default(),
         }
     }
 
@@ -70,23 +72,71 @@ impl<'u, 'm> MubeBuilder<'u, 'm> {
         self
     }
 
-    /// Builds the engine, computing the similarity matrix.
+    /// Selects the similarity backend (default: [`SimBackend::Auto`] with a
+    /// 256 MiB dense budget — dense for small universes, sparse blocked
+    /// storage when the packed triangle would not fit).
+    pub fn sim_backend(mut self, backend: SimBackend) -> Self {
+        self.sim_backend = backend;
+        self
+    }
+
+    /// Builds the engine, computing the similarity store.
+    ///
+    /// Kept infallible for the common path: if the configured backend fails
+    /// to build (e.g. an explicit [`SimBackend::Sparse`] under a
+    /// non-blockable measure, or a spill I/O failure), this falls back to
+    /// the dense matrix — the historical behaviour. Use
+    /// [`MubeBuilder::try_build`] to surface backend errors instead.
     pub fn build(self) -> Mube<'u> {
+        let MubeBuilder {
+            universe,
+            sketches,
+            measure,
+            extra_qefs,
+            sim_backend,
+        } = self;
         let default_measure = NgramJaccard::default();
-        let measure: &dyn SimilarityMeasure = self.measure.unwrap_or(&default_measure);
-        let sim = MatrixSimilarity::new(self.universe, measure);
-        let ctx = match self.sketches {
-            Some(sketches) => QefContext::new(self.universe, sketches),
-            None => QefContext::without_sketches(self.universe),
+        let measure: &dyn SimilarityMeasure = measure.unwrap_or(&default_measure);
+        let sim = MatrixSimilarity::with_backend(universe, measure, &sim_backend)
+            .unwrap_or_else(|_| MatrixSimilarity::new(universe, measure));
+        Self::assemble(universe, sketches, extra_qefs, sim)
+    }
+
+    /// Builds the engine, surfacing similarity-backend failures as
+    /// [`MubeError::SimBackend`] instead of falling back to dense.
+    pub fn try_build(self) -> Result<Mube<'u>, MubeError> {
+        let MubeBuilder {
+            universe,
+            sketches,
+            measure,
+            extra_qefs,
+            sim_backend,
+        } = self;
+        let default_measure = NgramJaccard::default();
+        let measure: &dyn SimilarityMeasure = measure.unwrap_or(&default_measure);
+        let sim = MatrixSimilarity::with_backend(universe, measure, &sim_backend)?;
+        Ok(Self::assemble(universe, sketches, extra_qefs, sim))
+    }
+
+    /// Assembles the engine around an already-built similarity store.
+    fn assemble(
+        universe: &'u Universe,
+        sketches: Option<Vec<Option<PcsaSketch>>>,
+        extra_qefs: Vec<Box<dyn Qef>>,
+        sim: MatrixSimilarity,
+    ) -> Mube<'u> {
+        let ctx = match sketches {
+            Some(sketches) => QefContext::new(universe, sketches),
+            None => QefContext::without_sketches(universe),
         };
         let mut qefs: Vec<Box<dyn Qef>> = vec![
             Box::new(CardinalityQef),
             Box::new(CoverageQef),
             Box::new(RedundancyQef),
         ];
-        qefs.extend(self.extra_qefs);
+        qefs.extend(extra_qefs);
         Mube {
-            universe: self.universe,
+            universe,
             ctx,
             sim,
             qefs,

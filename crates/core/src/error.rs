@@ -36,6 +36,15 @@ pub enum MubeError {
     /// The solver reported a feasible selection whose `Match(S)` nevertheless
     /// produced a null schema — a solver/objective contract breach.
     InconsistentSolverResult,
+    /// The configured similarity backend could not be built (non-blockable
+    /// measure for the sparse backend, invalid τ, or a spill I/O failure).
+    /// Carries the backend's rendered error: the underlying
+    /// [`mube_similarity::SparseError`] holds an `io::Error`, which is
+    /// neither `Clone` nor `PartialEq` as this enum requires.
+    SimBackend {
+        /// Human-readable failure description from the backend.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MubeError {
@@ -67,6 +76,9 @@ impl fmt::Display for MubeError {
                 f,
                 "solver reported a feasible selection but Match(S) returned a null schema"
             ),
+            MubeError::SimBackend { reason } => {
+                write!(f, "similarity backend build failed: {reason}")
+            }
         }
     }
 }

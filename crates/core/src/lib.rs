@@ -46,8 +46,8 @@ pub use arena::{EvalArena, SpecDelta};
 pub use diff::SolutionDiff;
 pub use engine::{Mube, MubeBuilder};
 pub use error::MubeError;
-pub use matrix_sim::MatrixSimilarity;
+pub use matrix_sim::{MatrixSimilarity, SimBackendKind};
 pub use objective::MubeObjective;
-pub use problem::ProblemSpec;
+pub use problem::{ProblemSpec, SimBackend, SparseOptions};
 pub use session::Session;
 pub use solution::{Solution, SolveStats};

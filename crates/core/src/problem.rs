@@ -4,6 +4,77 @@ use mube_cluster::MatchConfig;
 use mube_qef::Weights;
 use mube_schema::{Constraints, GaConstraint, SourceId};
 
+/// Tuning for the sparse similarity backend (see [`SimBackend::Sparse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseOptions {
+    /// Score threshold for threshold-aware blocking: pairs below τ are
+    /// pruned and read back as `0.0`. `None` (the default) keeps the
+    /// lossless tier, bit-identical to the dense matrix. Only set this to
+    /// the spec's θ, and only when Match runs Single/Complete linkage with
+    /// no GA constraints — see `DESIGN.md` §14 for the exactness condition.
+    pub tau: Option<f64>,
+    /// Triples buffered in memory by the pair store before a sorted run is
+    /// cut (see [`mube_similarity::SpillConfig`]).
+    pub max_buffered_triples: usize,
+    /// Directory for spill runs during the build. `None` keeps runs in
+    /// memory.
+    pub spill_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for SparseOptions {
+    fn default() -> Self {
+        Self {
+            tau: None,
+            max_buffered_triples: mube_similarity::spill::DEFAULT_BUFFERED_TRIPLES,
+            spill_dir: None,
+        }
+    }
+}
+
+/// Which attribute-similarity backend the engine builds.
+///
+/// This is a [`crate::MubeBuilder`] knob, not a [`ProblemSpec`] field: the
+/// backend is part of the engine's iteration-independent precomputation
+/// (like the measure and the sketches), chosen once per universe. Putting
+/// it on the spec would force the session delta classifier to treat a
+/// backend flip as yet another invalidation class for no benefit — specs
+/// vary per iteration, the similarity store does not.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimBackend {
+    /// Always build the dense packed triangle, whatever its size.
+    Dense,
+    /// Always build the sparse blocked backend (requires an n-gram set
+    /// measure; fails on others).
+    Sparse(
+        /// Sparse build tuning.
+        SparseOptions,
+    ),
+    /// Build dense when the packed triangle fits `budget_bytes`, otherwise
+    /// fall back to the lossless sparse tier when the measure supports
+    /// blocking (n-gram set measures), and to dense regardless when it does
+    /// not (a non-blockable measure has no sparse representation — the
+    /// pre-existing allocate-and-hope behaviour, now taken knowingly).
+    Auto {
+        /// Dense-triangle budget in bytes (default 256 MiB ≈ 11.5k distinct
+        /// names).
+        budget_bytes: u64,
+    },
+}
+
+impl SimBackend {
+    /// The default auto budget: 256 MiB of packed `f32` triangle.
+    pub const DEFAULT_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+}
+
+impl Default for SimBackend {
+    /// Auto-routing under [`SimBackend::DEFAULT_BUDGET_BYTES`].
+    fn default() -> Self {
+        SimBackend::Auto {
+            budget_bytes: Self::DEFAULT_BUDGET_BYTES,
+        }
+    }
+}
+
 /// Everything the user edits between µBE iterations: weights, constraints,
 /// the source budget `m`, and the matching parameters θ and β.
 ///

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 
-use mube_core::{EvalArena, MubeBuilder, ProblemSpec, SpecDelta};
+use mube_core::{EvalArena, MubeBuilder, ProblemSpec, SimBackend, SimBackendKind, SpecDelta};
 use mube_datagen::UniverseConfig;
-use mube_opt::{Subset, SubsetProblem};
+use mube_opt::{Greedy, Subset, SubsetProblem};
 use mube_qef::Weights;
 
 /// Deterministic subsets from bitmasks (any size, including empty — the
@@ -73,5 +73,45 @@ proptest! {
             );
         }
         prop_assert_eq!(obj_b.match_calls(), 0);
+    }
+
+    #[test]
+    fn sparse_routed_solve_bit_equals_dense(
+        size in 8usize..20,
+        universe_seed in 0u64..1_000,
+        theta in prop::sample::select(vec![0.4f64, 0.6, 0.75, 0.9]),
+        m in 3usize..8,
+    ) {
+        // An Auto engine whose budget forces the sparse backend must solve
+        // to the bit like the dense engine: same sources, same mediated
+        // schema, identical Q(S). The sparse store is lossless (τ = None)
+        // by construction on this route.
+        let generated = UniverseConfig::small_test(size, universe_seed).generate();
+        let dense = MubeBuilder::new(&generated.universe)
+            .sketches(generated.sketches.clone())
+            .sim_backend(SimBackend::Dense)
+            .try_build()
+            .unwrap();
+        let routed = MubeBuilder::new(&generated.universe)
+            .sketches(generated.sketches.clone())
+            .sim_backend(SimBackend::Auto { budget_bytes: 0 })
+            .try_build()
+            .unwrap();
+        prop_assert_eq!(dense.similarity().backend_kind(), SimBackendKind::Dense);
+        prop_assert_eq!(routed.similarity().backend_kind(), SimBackendKind::Sparse);
+
+        let spec = ProblemSpec::new(m).with_theta(theta);
+        let solver = Greedy::default();
+        let a = dense.solve(&spec, &solver, 0).unwrap();
+        let b = routed.solve(&spec, &solver, 0).unwrap();
+        prop_assert_eq!(a.selected, b.selected);
+        prop_assert_eq!(a.schema, b.schema);
+        prop_assert_eq!(
+            a.overall_quality.to_bits(),
+            b.overall_quality.to_bits(),
+            "Q diverged: dense {} vs sparse-routed {}",
+            a.overall_quality,
+            b.overall_quality
+        );
     }
 }

@@ -41,10 +41,12 @@ pub mod offdomain;
 pub mod perturb;
 pub mod repository;
 pub mod sampler;
+pub mod scale;
 pub mod tuples;
 
 pub use concepts::{ConceptId, CONCEPTS, NUM_CONCEPTS};
 pub use generator::{GeneratedUniverse, UniverseConfig};
 pub use ground_truth::{ConceptOutcome, GaScore, GroundTruth};
 pub use perturb::PerturbConfig;
+pub use scale::{ScaleConfig, ScaleStats, ScaleUniverse};
 pub use tuples::PoolConfig;

@@ -1,0 +1,444 @@
+//! Large-universe generation mode: 10k–100k schema-only sources with
+//! heavy-tailed sizes and near-duplicate attribute names.
+//!
+//! The Section 7.1 generator ([`crate::UniverseConfig`]) reproduces the
+//! paper's 700-source Books experiment: 50 base schemas, perturbed copies,
+//! full tuple synthesis. That shape is wrong for stressing the *sparse
+//! similarity* layer at Internet scale — its attribute-name vocabulary is
+//! tiny (everything collapses to a few hundred distinct names, so blocking
+//! is trivial) and tuple synthesis dominates the runtime.
+//!
+//! This module generates what deep-web surveys actually observe at scale:
+//!
+//! * **Heavy-tailed source sizes** — attribute counts follow a Zipf law
+//!   (most query interfaces expose 2–5 fields; a few expose dozens).
+//! * **Zipf concept popularity** — a large synthetic concept vocabulary
+//!   where a handful of concepts ("title"-like) appear in most sources and
+//!   a long tail appears in a few.
+//! * **Near-duplicate names** — per-concept surface variants (separator
+//!   swaps, pluralization, suffixes, abbreviations) shared across sources,
+//!   plus rare character-level typos that are almost unique. These are the
+//!   realistic collision patterns blocking must survive: near-duplicates
+//!   share most grams (candidates that must be scored), typos share few
+//!   (candidates the threshold tier prunes).
+//! * **Off-domain noise** — pseudo-word attribute names that mostly share
+//!   no grams with anything (the implicit-zero mass of the sparse matrix).
+//!
+//! Generation is schema-only (no tuple pools, no PCSA sketches): at 100k
+//! sources the point is the Match path, and the optimizer's data-dependent
+//! QEFs degrade to the paper's uncooperative mode exactly as documented.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mube_schema::attribute::normalize_name;
+use mube_schema::{SourceBuilder, SourceId, Universe};
+
+use crate::sampler::{ClampedNormal, ZipfCardinality};
+
+/// Configuration of one large synthetic universe.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Number of sources to generate.
+    pub num_sources: usize,
+    /// Experiment seed driving every sampling decision.
+    pub seed: u64,
+    /// Size of the synthetic concept vocabulary (distinct canonical
+    /// attribute names available to draw from).
+    pub concepts: usize,
+    /// Zipf exponent over concept popularity: concept `j` is drawn with
+    /// probability ∝ `1/(j+1)^concept_exponent`.
+    pub concept_exponent: f64,
+    /// Largest attribute count a source may have.
+    pub max_attrs: usize,
+    /// Zipf exponent over source sizes: `k` attributes with probability
+    /// ∝ `1/k^attr_exponent` for `k` in `1..=max_attrs`.
+    pub attr_exponent: f64,
+    /// Probability an attribute uses a shared near-duplicate variant of its
+    /// concept's canonical name instead of the canonical itself.
+    pub near_dup_prob: f64,
+    /// Probability a near-duplicate additionally receives a character-level
+    /// typo (drop/duplicate/swap), making it almost unique.
+    pub typo_prob: f64,
+    /// Probability an attribute is off-domain noise with a pseudo-word name.
+    pub noise_prob: f64,
+}
+
+impl ScaleConfig {
+    /// A blocking-stress default at a given universe size and seed:
+    /// vocabulary scaled to `num_sources / 8` concepts (min 64), sizes 1–40
+    /// with a 1.6 tail, 30% near-duplicates of which 10% typo'd, 10% noise.
+    pub fn blocking_stress(num_sources: usize, seed: u64) -> Self {
+        Self {
+            num_sources,
+            seed,
+            concepts: (num_sources / 8).max(64),
+            concept_exponent: 1.0,
+            max_attrs: 40,
+            attr_exponent: 1.6,
+            near_dup_prob: 0.3,
+            typo_prob: 0.1,
+            noise_prob: 0.1,
+        }
+    }
+}
+
+/// Shape counters of a generated scale universe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScaleStats {
+    /// Total attributes across all sources.
+    pub total_attrs: usize,
+    /// Distinct normalized attribute names — the row count of the sparse
+    /// similarity build.
+    pub distinct_names: usize,
+    /// Largest per-source attribute count actually drawn.
+    pub max_source_attrs: usize,
+}
+
+/// A generated scale universe: schema-only sources plus shape counters.
+#[derive(Debug)]
+pub struct ScaleUniverse {
+    /// The sources (cardinality and MTTF set, no sketches).
+    pub universe: Universe,
+    /// Shape counters.
+    pub stats: ScaleStats,
+}
+
+/// Discrete Zipf sampler over `0..n`: value `j` with probability
+/// ∝ `1/(j+1)^exponent`, drawn by binary search on the precomputed CDF.
+struct ZipfIndex {
+    cdf: Vec<f64>,
+}
+
+impl ZipfIndex {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mass: Vec<f64> = (0..n.max(1))
+            .map(|j| 1.0 / ((j + 1) as f64).powf(exponent))
+            .collect();
+        let total: f64 = mass.iter().sum();
+        let mut acc = 0.0;
+        let cdf = mass
+            .iter()
+            .map(|m| {
+                acc += m / total;
+                acc
+            })
+            .collect();
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Word pools for canonical concept names. Two-word combinations give
+/// `32 × 64 = 2048` base names; concepts beyond that append a numeric
+/// disambiguator (rare at the configured vocabulary sizes).
+const HEAD_WORDS: [&str; 32] = [
+    "order", "item", "product", "customer", "account", "payment", "shipping", "billing", "user",
+    "session", "event", "ticket", "review", "rating", "category", "vendor", "invoice", "contact",
+    "address", "member", "listing", "auction", "offer", "search", "result", "page", "catalog",
+    "store", "brand", "model", "serial", "release",
+];
+const TAIL_WORDS: [&str; 64] = [
+    "id",
+    "name",
+    "date",
+    "time",
+    "type",
+    "status",
+    "code",
+    "number",
+    "count",
+    "total",
+    "price",
+    "cost",
+    "value",
+    "amount",
+    "currency",
+    "country",
+    "city",
+    "state",
+    "zip",
+    "phone",
+    "email",
+    "url",
+    "title",
+    "description",
+    "comment",
+    "note",
+    "tag",
+    "label",
+    "group",
+    "level",
+    "rank",
+    "score",
+    "weight",
+    "height",
+    "width",
+    "length",
+    "size",
+    "color",
+    "format",
+    "language",
+    "region",
+    "source",
+    "target",
+    "owner",
+    "creator",
+    "editor",
+    "author",
+    "publisher",
+    "year",
+    "month",
+    "day",
+    "quarter",
+    "week",
+    "start",
+    "end",
+    "duration",
+    "limit",
+    "offset",
+    "index",
+    "key",
+    "hash",
+    "flag",
+    "version",
+    "revision",
+];
+
+/// Canonical surface form of concept `c`.
+fn canonical_name(c: usize) -> String {
+    let head = HEAD_WORDS[c % HEAD_WORDS.len()];
+    let tail = TAIL_WORDS[(c / HEAD_WORDS.len()) % TAIL_WORDS.len()];
+    let round = c / (HEAD_WORDS.len() * TAIL_WORDS.len());
+    if round == 0 {
+        format!("{head} {tail}")
+    } else {
+        format!("{head} {tail} {round}")
+    }
+}
+
+/// Shared near-duplicate variant `v` (1..=4) of a canonical name — the
+/// transforms real query interfaces apply: separator style, pluralization,
+/// qualifier suffix, abbreviation. Deterministic in `(name, v)`, so the
+/// same variant recurs across sources and clusters with its siblings.
+fn variant_name(canonical: &str, v: usize) -> String {
+    match v % 4 {
+        0 => canonical.replace(' ', "_"),
+        1 => format!("{canonical}s"),
+        2 => format!("the {canonical}"),
+        _ => {
+            // Abbreviate the first word to its first three characters.
+            match canonical.split_once(' ') {
+                Some((head, rest)) => {
+                    let cut = head.chars().take(3).collect::<String>();
+                    format!("{cut} {rest}")
+                }
+                None => canonical.chars().take(3).collect(),
+            }
+        }
+    }
+}
+
+/// Character-level typo: drop, duplicate, or swap at an rng-chosen
+/// position. Operates on chars, so multi-byte names stay valid.
+fn typo(name: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 2 {
+        return name.to_string();
+    }
+    let pos = rng.gen_range(0..chars.len() - 1);
+    let mut out: Vec<char> = Vec::with_capacity(chars.len() + 1);
+    match rng.gen_range(0..3u32) {
+        0 => {
+            // Drop.
+            out.extend(
+                chars
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != pos)
+                    .map(|(_, c)| c),
+            );
+        }
+        1 => {
+            // Duplicate.
+            out.extend(&chars[..=pos]);
+            out.push(chars[pos]);
+            out.extend(&chars[pos + 1..]);
+        }
+        _ => {
+            // Swap with the next char.
+            out.extend(&chars[..pos]);
+            out.push(chars[pos + 1]);
+            out.push(chars[pos]);
+            out.extend(&chars[pos + 2..]);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// A pseudo-word noise name: 6–12 random lowercase letters, optionally two
+/// words. Mostly gram-disjoint from the concept vocabulary.
+fn noise_name(rng: &mut StdRng) -> String {
+    let word = |rng: &mut StdRng| {
+        let len = rng.gen_range(6..13usize);
+        (0..len)
+            .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+            .collect::<String>()
+    };
+    if rng.gen::<f64>() < 0.3 {
+        let (a, b) = (word(rng), word(rng));
+        format!("{a} {b}")
+    } else {
+        word(rng)
+    }
+}
+
+impl ScaleConfig {
+    /// Builds the universe.
+    pub fn generate(&self) -> ScaleUniverse {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let concept_zipf = ZipfIndex::new(self.concepts, self.concept_exponent);
+        let size_zipf = ZipfIndex::new(self.max_attrs.max(1), self.attr_exponent);
+        let cardinality = ZipfCardinality::new(10_000, 1_000_000, 20, 1.0);
+        let mttf = ClampedNormal {
+            mean: 100.0,
+            std: 40.0,
+            floor: 1.0,
+        };
+
+        let mut universe = Universe::new();
+        let mut stats = ScaleStats::default();
+        let mut distinct: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut names: Vec<String> = Vec::new();
+        for i in 0..self.num_sources {
+            let k = size_zipf.sample(&mut rng) + 1;
+            names.clear();
+            for _ in 0..k {
+                let name = if rng.gen::<f64>() < self.noise_prob {
+                    noise_name(&mut rng)
+                } else {
+                    let c = concept_zipf.sample(&mut rng);
+                    let canonical = canonical_name(c);
+                    if rng.gen::<f64>() < self.near_dup_prob {
+                        let v = variant_name(&canonical, rng.gen_range(0..4usize));
+                        if rng.gen::<f64>() < self.typo_prob {
+                            typo(&v, &mut rng)
+                        } else {
+                            v
+                        }
+                    } else {
+                        canonical
+                    }
+                };
+                // A schema lists each field once: resampling duplicates
+                // would skew the concept distribution, so just drop them
+                // (source sizes stay heavy-tailed either way).
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+            stats.total_attrs += names.len();
+            stats.max_source_attrs = stats.max_source_attrs.max(names.len());
+            for n in &names {
+                distinct.insert(normalize_name(n));
+            }
+            let builder = SourceBuilder::new(format!("scale-{i}"))
+                .attributes(names.iter().cloned())
+                .cardinality(cardinality.sample(&mut rng))
+                .characteristic("mttf", mttf.sample(&mut rng));
+            let id = universe
+                .add_source(builder)
+                .expect("generated schemas are well-formed");
+            debug_assert_eq!(id, SourceId(i as u32));
+        }
+        stats.distinct_names = distinct.len();
+        ScaleUniverse { universe, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size_with_heavy_tail() {
+        let g = ScaleConfig::blocking_stress(400, 7).generate();
+        assert_eq!(g.universe.len(), 400);
+        assert_eq!(
+            g.stats.total_attrs,
+            g.universe
+                .sources()
+                .iter()
+                .map(|s| s.attributes().len())
+                .sum::<usize>()
+        );
+        // Heavy tail: the largest source is far above the median size.
+        let mut sizes: Vec<usize> = g
+            .universe
+            .sources()
+            .iter()
+            .map(|s| s.attributes().len())
+            .collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        assert!(median <= 4, "median source size {median} not heavy-tailed");
+        assert!(g.stats.max_source_attrs >= 10, "no large sources drawn");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ScaleConfig::blocking_stress(150, 5).generate();
+        let b = ScaleConfig::blocking_stress(150, 5).generate();
+        assert_eq!(a.universe, b.universe);
+        assert_eq!(a.stats, b.stats);
+        let c = ScaleConfig::blocking_stress(150, 6).generate();
+        assert_ne!(a.universe, c.universe);
+    }
+
+    #[test]
+    fn vocabulary_grows_sublinearly_but_contains_near_dups() {
+        let g = ScaleConfig::blocking_stress(1000, 11).generate();
+        // Far fewer distinct names than attributes (heavy concept reuse)...
+        assert!(g.stats.distinct_names < g.stats.total_attrs / 2);
+        // ...but far more than the concept count (variants, typos, noise).
+        assert!(g.stats.distinct_names > 125);
+    }
+
+    #[test]
+    fn sources_carry_cardinality_and_mttf() {
+        let g = ScaleConfig::blocking_stress(50, 3).generate();
+        for s in g.universe.sources() {
+            assert!((10_000..=1_000_000).contains(&s.cardinality()));
+            assert!(s.characteristic("mttf").unwrap() >= 1.0);
+            assert!(!s.attributes().is_empty());
+        }
+    }
+
+    #[test]
+    fn variants_and_typos_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for c in [0usize, 1, 31, 32, 2047, 2048, 5000] {
+            let canon = canonical_name(c);
+            assert!(!canon.is_empty());
+            for v in 0..4 {
+                let var = variant_name(&canon, v);
+                assert!(!var.is_empty());
+                assert_ne!(var, canon, "variant {v} of {canon:?} is the canonical");
+                let t = typo(&var, &mut rng);
+                assert!(!t.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_names_are_distinct_per_concept() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in 0..4500 {
+            assert!(seen.insert(canonical_name(c)), "concept {c} collides");
+        }
+    }
+}

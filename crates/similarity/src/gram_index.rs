@@ -189,6 +189,17 @@ impl GramIndex {
         &self.gram_ids[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
+    /// Sorted dense gram ids of name `i`. Ids are frequency-ranked: the
+    /// smallest ids are the grams shared by the most names, so the *suffix*
+    /// of this span holds the name's rarest grams — the ones prefix
+    /// filtering indexes.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn gram_ids(&self, i: usize) -> &[u32] {
+        self.span(i)
+    }
+
     /// Intersection size of the gram sets of names `i` and `j`: popcount
     /// over ANDed bitmap words when both are packed, sorted-merge of the id
     /// spans otherwise.

@@ -24,12 +24,16 @@ pub mod levenshtein;
 pub mod matrix;
 pub mod measure;
 pub mod ngram;
+pub mod sparse;
+pub mod spill;
 pub mod token;
 
 pub use gram_index::{GramIndex, GramKind, GramSpec, MAX_BITMAP_WORDS};
 pub use jaro::{Jaro, JaroWinkler};
 pub use levenshtein::NormalizedLevenshtein;
-pub use matrix::SimilarityMatrix;
+pub use matrix::{DenseBudgetExceeded, SimilarityMatrix};
 pub use measure::{MeasureError, NgramCosine, NgramDice, NgramJaccard, SimilarityMeasure};
 pub use ngram::{ngram_multiset, ngram_set, normalized_gram_hashes, GramScratch};
+pub use sparse::{SparseBuildStats, SparseConfig, SparseError, SparseSimilarity};
+pub use spill::{CsrMatrix, SpillConfig, SpillError, SpillStats, TripleSink};
 pub use token::{MongeElkan, TokenJaccard};

@@ -88,6 +88,52 @@ fn fill_triangle<F: Fn(usize, usize) -> f32 + Sync>(d: usize, score: F) -> Vec<f
     tri
 }
 
+/// Deduplicates `names` preserving first-seen order: returns the distinct
+/// name list plus, per original index, the distinct slot it maps to. The
+/// dedup table is entry/get only and never iterated, so hash order cannot
+/// leak into the slot assignment (that follows first-seen push order).
+pub(crate) fn dedup_names(names: &[String]) -> (Vec<&str>, Vec<u32>) {
+    let mut distinct: Vec<&str> = Vec::new();
+    #[allow(clippy::disallowed_types)]
+    let mut slot_of_name: std::collections::HashMap<&str, u32> =
+        std::collections::HashMap::with_capacity(names.len());
+    let mut distinct_of = Vec::with_capacity(names.len());
+    for name in names {
+        let slot = *slot_of_name.entry(name.as_str()).or_insert_with(|| {
+            distinct.push(name.as_str());
+            (distinct.len() - 1) as u32
+        });
+        distinct_of.push(slot);
+    }
+    (distinct, distinct_of)
+}
+
+/// The dense triangle over `distinct` names would exceed the caller's
+/// memory budget. Returned by [`SimilarityMatrix::try_compute`] *before*
+/// any allocation is attempted, so callers can route to the sparse backend
+/// instead of aborting on OOM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseBudgetExceeded {
+    /// Distinct-name count the triangle would cover.
+    pub distinct: usize,
+    /// Bytes the packed `f32` triangle would need: `4 · d(d−1)/2`.
+    pub required_bytes: u128,
+    /// The caller's budget.
+    pub budget_bytes: u64,
+}
+
+impl std::fmt::Display for DenseBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dense similarity triangle over {} distinct names needs {} bytes, budget is {}",
+            self.distinct, self.required_bytes, self.budget_bytes
+        )
+    }
+}
+
+impl std::error::Error for DenseBudgetExceeded {}
+
 /// All-pairs similarity among `names`, addressable by the original indices.
 #[derive(Debug, Clone)]
 pub struct SimilarityMatrix {
@@ -106,21 +152,41 @@ pub struct SimilarityMatrix {
 impl SimilarityMatrix {
     /// Computes the matrix for `names` (already normalized) under `measure`.
     pub fn compute(names: &[String], measure: &dyn SimilarityMeasure) -> Self {
-        // Deduplicate names, preserving first-seen order. The dedup table is
-        // entry/get only and never iterated, so hash order cannot leak into
-        // the slot assignment (that follows first-seen push order).
-        let mut distinct: Vec<&str> = Vec::new();
-        #[allow(clippy::disallowed_types)]
-        let mut slot_of_name: std::collections::HashMap<&str, u32> =
-            std::collections::HashMap::with_capacity(names.len());
-        let mut distinct_of = Vec::with_capacity(names.len());
-        for name in names {
-            let slot = *slot_of_name.entry(name.as_str()).or_insert_with(|| {
-                distinct.push(name.as_str());
-                (distinct.len() - 1) as u32
+        let (distinct, distinct_of) = dedup_names(names);
+        Self::compute_inner(distinct, distinct_of, measure)
+    }
+
+    /// Like [`SimilarityMatrix::compute`], but refuses — before allocating
+    /// anything — when the packed triangle over the distinct names would
+    /// exceed `budget_bytes`. Large universes used to reach the allocator
+    /// and abort on OOM; the structured error lets callers fall back to the
+    /// sparse backend instead.
+    pub fn try_compute(
+        names: &[String],
+        measure: &dyn SimilarityMeasure,
+        budget_bytes: u64,
+    ) -> Result<Self, DenseBudgetExceeded> {
+        let (distinct, distinct_of) = dedup_names(names);
+        let d = distinct.len() as u128;
+        let required_bytes = d * d.saturating_sub(1) / 2 * std::mem::size_of::<f32>() as u128;
+        if required_bytes > u128::from(budget_bytes) {
+            return Err(DenseBudgetExceeded {
+                distinct: distinct.len(),
+                required_bytes,
+                budget_bytes,
             });
-            distinct_of.push(slot);
         }
+        Ok(Self::compute_inner(distinct, distinct_of, measure))
+    }
+
+    /// Shared body of [`SimilarityMatrix::compute`] /
+    /// [`SimilarityMatrix::try_compute`] over an already-deduplicated
+    /// universe.
+    fn compute_inner(
+        distinct: Vec<&str>,
+        distinct_of: Vec<u32>,
+        measure: &dyn SimilarityMeasure,
+    ) -> Self {
         let d = distinct.len();
         // Gram-set measures declare a `GramSpec`: intern the distinct names'
         // grams once into a `GramIndex` and fill the triangle with packed
@@ -305,6 +371,35 @@ mod tests {
                 assert_eq!(got.to_bits(), expect.to_bits(), "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn try_compute_within_budget_matches_compute() {
+        let m = NgramJaccard::default();
+        let ns = names(&["author", "author name", "keyword", "keyword", "isbn"]);
+        // 4 distinct names -> 6 triangle entries -> 24 bytes.
+        let a = SimilarityMatrix::compute(&ns, &m);
+        let b = SimilarityMatrix::try_compute(&ns, &m, 24).unwrap();
+        for i in 0..ns.len() {
+            for j in 0..ns.len() {
+                assert_eq!(a.similarity(i, j).to_bits(), b.similarity(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn try_compute_refuses_over_budget_before_allocating() {
+        let m = NgramJaccard::default();
+        let ns = names(&["author", "author name", "keyword", "keyword", "isbn"]);
+        let err = SimilarityMatrix::try_compute(&ns, &m, 23).unwrap_err();
+        assert_eq!(err.distinct, 4);
+        assert_eq!(err.required_bytes, 24);
+        assert_eq!(err.budget_bytes, 23);
+        // The budget arithmetic is exact even where d*(d-1)/2*4 would
+        // overflow u64: a refusal at usize::MAX-scale counts must not wrap.
+        let big: Vec<String> = (0..2000).map(|i| format!("name {i}")).collect();
+        let err = SimilarityMatrix::try_compute(&big, &m, 0).unwrap_err();
+        assert_eq!(err.required_bytes, 2000u128 * 1999 / 2 * 4);
     }
 
     #[test]

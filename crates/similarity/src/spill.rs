@@ -1,0 +1,640 @@
+//! Bounded-memory `(row, col, score)` pair store with an external-sort
+//! spill tier, merged into a CSR arena.
+//!
+//! The sparse similarity builder ([`crate::SparseSimilarity`]) emits one
+//! triple per candidate pair that survives blocking. At 100k distinct names
+//! the surviving pair set can still be large, and holding every triple until
+//! the final sort would defeat the point of blocking — so triples flow
+//! through a [`TripleSink`] that keeps at most a configured number of them
+//! in memory. When the buffer fills, it is sorted by `(row, col)` and
+//! written out as one *run*; [`TripleSink::into_csr`] then k-way-merges all
+//! runs (plus the in-memory tail) directly into the packed CSR arrays, so
+//! peak memory during candidate generation is `O(buffer + output)` instead
+//! of `O(candidates)`.
+//!
+//! Runs live either on disk (when [`SpillConfig::dir`] names a directory —
+//! the out-of-core tier) or in memory as plain byte buffers (the default;
+//! same code path, no filesystem). The run format is deterministic: 12
+//! little-endian bytes per triple — `row: u32`, `col: u32`,
+//! `score: f32::to_bits` — sorted strictly by `(row, col)`. The merge is a
+//! binary heap keyed on `(row, col, run index)`: pure integer comparisons,
+//! so the merged order (and therefore the CSR layout) is bit-identical run
+//! to run regardless of how triples were distributed across runs. Scores
+//! ride along as opaque payload bits and are never compared.
+
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+/// Bytes per serialized triple: `u32` row + `u32` col + `f32` score bits.
+const TRIPLE_BYTES: usize = 12;
+
+/// Default in-memory buffer: 4M triples ≈ 48 MiB before a run is cut.
+pub const DEFAULT_BUFFERED_TRIPLES: usize = 1 << 22;
+
+/// Where and how the pair store spills.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillConfig {
+    /// Number of triples buffered in memory before a sorted run is cut.
+    /// The effective floor is 1.
+    pub max_buffered_triples: usize,
+    /// Directory for run files (created if missing; run files are removed
+    /// after the merge). `None` keeps runs in memory — same sort/merge
+    /// machinery, no filesystem, but generation memory is then bounded only
+    /// per run, not overall.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        Self {
+            max_buffered_triples: DEFAULT_BUFFERED_TRIPLES,
+            dir: None,
+        }
+    }
+}
+
+/// Spill-store failures.
+#[derive(Debug)]
+pub enum SpillError {
+    /// Creating, writing, or reading a run file failed.
+    Io {
+        /// What the store was doing when the failure happened.
+        action: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Two triples with the same `(row, col)` reached the merge — the
+    /// producer must emit every ordered pair at most once.
+    DuplicateTriple {
+        /// Row of the duplicated entry.
+        row: u32,
+        /// Column of the duplicated entry.
+        col: u32,
+    },
+    /// A triple's row is outside the CSR row count given to
+    /// [`TripleSink::into_csr`].
+    RowOutOfRange {
+        /// The offending row.
+        row: u32,
+        /// The declared row count.
+        rows: usize,
+    },
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io { action, source } => write!(f, "spill store {action}: {source}"),
+            SpillError::DuplicateTriple { row, col } => {
+                write!(f, "duplicate spill triple ({row}, {col})")
+            }
+            SpillError::RowOutOfRange { row, rows } => {
+                write!(f, "spill triple row {row} outside CSR row count {rows}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpillError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(action: &'static str) -> impl FnOnce(std::io::Error) -> SpillError {
+    move |source| SpillError::Io { action, source }
+}
+
+/// One buffered triple. Ordering is `(row, col)` only — the score is
+/// payload, never a sort key (bit-stored so `Eq` stays honest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Triple {
+    row: u32,
+    col: u32,
+    bits: u32,
+}
+
+impl Triple {
+    fn encode(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.row.to_le_bytes());
+        out.extend_from_slice(&self.col.to_le_bytes());
+        out.extend_from_slice(&self.bits.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8; TRIPLE_BYTES]) -> Self {
+        let word = |i: usize| u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]);
+        Self {
+            row: word(0),
+            col: word(4),
+            bits: word(8),
+        }
+    }
+}
+
+/// One finished run, ready to be read back in sorted order.
+enum Run {
+    /// Serialized triples on disk.
+    Disk(PathBuf),
+    /// Serialized triples in memory.
+    Mem(Vec<u8>),
+}
+
+/// Sequential reader over one run.
+enum RunReader {
+    Disk(BufReader<File>),
+    Mem(std::io::Cursor<Vec<u8>>),
+}
+
+impl RunReader {
+    fn next_triple(&mut self) -> Result<Option<Triple>, SpillError> {
+        let mut buf = [0u8; TRIPLE_BYTES];
+        let read = match self {
+            RunReader::Disk(r) => read_exact_or_eof(r, &mut buf)?,
+            RunReader::Mem(r) => read_exact_or_eof(r, &mut buf)?,
+        };
+        Ok(read.then(|| Triple::decode(&buf)))
+    }
+}
+
+/// Reads exactly one triple, or cleanly detects end-of-run. A partial
+/// trailing record is corruption and surfaces as an I/O error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8; TRIPLE_BYTES]) -> Result<bool, SpillError> {
+    let mut filled = 0usize;
+    while filled < TRIPLE_BYTES {
+        let n = r.read(&mut buf[filled..]).map_err(io_err("read run"))?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(SpillError::Io {
+                action: "read run",
+                source: std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated spill run record",
+                ),
+            });
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Counters for one sink's lifetime, reported up through
+/// [`crate::sparse::SparseBuildStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Triples pushed into the sink.
+    pub pushed: u64,
+    /// Sorted runs cut (disk files or in-memory buffers).
+    pub runs: u32,
+    /// Triples written to run storage (excludes the final in-memory tail
+    /// when it never overflowed).
+    pub spilled_triples: u64,
+    /// Bytes written to run storage.
+    pub spilled_bytes: u64,
+}
+
+/// Accumulates `(row, col, score)` triples under a memory bound and merges
+/// them into a [`CsrMatrix`].
+pub struct TripleSink {
+    config: SpillConfig,
+    buf: Vec<Triple>,
+    runs: Vec<Run>,
+    stats: SpillStats,
+    /// Whether the spill directory has been created by this sink.
+    dir_ready: bool,
+}
+
+impl TripleSink {
+    /// An empty sink under `config`.
+    pub fn new(config: SpillConfig) -> Self {
+        let cap = config.max_buffered_triples.max(1);
+        Self {
+            config,
+            buf: Vec::with_capacity(cap.min(1 << 20)),
+            runs: Vec::new(),
+            stats: SpillStats::default(),
+            dir_ready: false,
+        }
+    }
+
+    /// Buffers one triple, cutting a sorted run when the buffer is full.
+    pub fn push(&mut self, row: u32, col: u32, score: f32) -> Result<(), SpillError> {
+        self.stats.pushed += 1;
+        self.buf.push(Triple {
+            row,
+            col,
+            bits: score.to_bits(),
+        });
+        if self.buf.len() >= self.config.max_buffered_triples.max(1) {
+            self.cut_run()?;
+        }
+        Ok(())
+    }
+
+    /// Sorts the buffer and writes it out as one run.
+    fn cut_run(&mut self) -> Result<(), SpillError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.buf.sort_unstable_by_key(|t| (t.row, t.col));
+        let mut bytes = Vec::with_capacity(self.buf.len() * TRIPLE_BYTES);
+        for t in &self.buf {
+            t.encode(&mut bytes);
+        }
+        self.stats.runs += 1;
+        self.stats.spilled_triples += self.buf.len() as u64;
+        self.stats.spilled_bytes += bytes.len() as u64;
+        let run = match &self.config.dir {
+            Some(dir) => {
+                if !self.dir_ready {
+                    std::fs::create_dir_all(dir).map_err(io_err("create spill dir"))?;
+                    self.dir_ready = true;
+                }
+                let path = dir.join(format!("run-{:06}.mube-spill", self.stats.runs));
+                let file = File::create(&path).map_err(io_err("create run file"))?;
+                let mut writer = BufWriter::new(file);
+                writer.write_all(&bytes).map_err(io_err("write run"))?;
+                writer.flush().map_err(io_err("flush run"))?;
+                Run::Disk(path)
+            }
+            None => Run::Mem(bytes),
+        };
+        self.runs.push(run);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Merges every run (external sort) plus the in-memory tail into a CSR
+    /// matrix with `rows` rows, consuming the sink. Run files are deleted
+    /// after a successful merge.
+    pub fn into_csr(mut self, rows: usize) -> Result<(CsrMatrix, SpillStats), SpillError> {
+        // Fast path: everything still fits in the buffer — sort in place
+        // and build directly, no serialization round-trip.
+        if self.runs.is_empty() {
+            self.buf.sort_unstable_by_key(|t| (t.row, t.col));
+            let csr = CsrMatrix::from_sorted(rows, self.buf.iter().copied().map(Ok))?;
+            return Ok((csr, self.stats));
+        }
+        // The tail becomes the final run so the merge sees uniform inputs.
+        self.cut_run()?;
+        let mut readers = Vec::with_capacity(self.runs.len());
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for run in self.runs {
+            match run {
+                Run::Disk(path) => {
+                    let file = File::open(&path).map_err(io_err("open run file"))?;
+                    readers.push(RunReader::Disk(BufReader::new(file)));
+                    paths.push(path);
+                }
+                Run::Mem(bytes) => readers.push(RunReader::Mem(std::io::Cursor::new(bytes))),
+            }
+        }
+        let csr = CsrMatrix::from_sorted(rows, MergeIter::new(&mut readers)?)?;
+        for path in paths {
+            // Cleanup is best-effort: a leftover run file costs disk space,
+            // not correctness, and the merge result is already built.
+            let _ = std::fs::remove_file(path);
+        }
+        Ok((csr, self.stats))
+    }
+}
+
+/// Heap entry for the k-way merge: min-order on `(row, col, run)`. Reversed
+/// comparisons because [`BinaryHeap`] is a max-heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Head {
+    row: u32,
+    col: u32,
+    run: u32,
+    bits: u32,
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.row, other.col, other.run).cmp(&(self.row, self.col, self.run))
+    }
+}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming k-way merge over sorted runs.
+struct MergeIter<'a> {
+    readers: &'a mut [RunReader],
+    heap: BinaryHeap<Head>,
+}
+
+impl<'a> MergeIter<'a> {
+    fn new(readers: &'a mut [RunReader]) -> Result<Self, SpillError> {
+        let mut heap = BinaryHeap::with_capacity(readers.len());
+        for (run, reader) in readers.iter_mut().enumerate() {
+            if let Some(t) = reader.next_triple()? {
+                heap.push(Head {
+                    row: t.row,
+                    col: t.col,
+                    run: run as u32,
+                    bits: t.bits,
+                });
+            }
+        }
+        Ok(Self { readers, heap })
+    }
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = Result<Triple, SpillError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let head = self.heap.pop()?;
+        match self.readers[head.run as usize].next_triple() {
+            Ok(Some(t)) => self.heap.push(Head {
+                row: t.row,
+                col: t.col,
+                run: head.run,
+                bits: t.bits,
+            }),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(Triple {
+            row: head.row,
+            col: head.col,
+            bits: head.bits,
+        }))
+    }
+}
+
+/// Compressed sparse rows of `f32` scores with sorted `u32` columns.
+/// Absent entries are implicit zeros.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsrMatrix {
+    /// Per row: start offset into `cols`/`vals`; one terminal entry.
+    offsets: Vec<usize>,
+    /// Column indices, sorted ascending within each row.
+    cols: Vec<u32>,
+    /// Scores, parallel to `cols`.
+    vals: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds from triples already sorted strictly ascending by
+    /// `(row, col)`. Duplicates and out-of-range rows are errors.
+    fn from_sorted<I>(rows: usize, triples: I) -> Result<Self, SpillError>
+    where
+        I: Iterator<Item = Result<Triple, SpillError>>,
+    {
+        let mut offsets = vec![0usize; rows + 1];
+        let mut cols: Vec<u32> = Vec::new();
+        let mut vals: Vec<f32> = Vec::new();
+        let mut prev: Option<(u32, u32)> = None;
+        for triple in triples {
+            let t = triple?;
+            if t.row as usize >= rows {
+                return Err(SpillError::RowOutOfRange { row: t.row, rows });
+            }
+            if prev == Some((t.row, t.col)) {
+                return Err(SpillError::DuplicateTriple {
+                    row: t.row,
+                    col: t.col,
+                });
+            }
+            debug_assert!(prev.is_none_or(|p| p < (t.row, t.col)), "merge unsorted");
+            prev = Some((t.row, t.col));
+            offsets[t.row as usize + 1] += 1;
+            cols.push(t.col);
+            vals.push(f32::from_bits(t.bits));
+        }
+        for r in 0..rows {
+            offsets[r + 1] += offsets[r];
+        }
+        Ok(Self {
+            offsets,
+            cols,
+            vals,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Sorted column indices of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.cols[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Scores of row `r`, parallel to [`CsrMatrix::row_cols`].
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row_vals(&self, r: usize) -> &[f32] {
+        &self.vals[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// The stored score at `(r, c)`, or `None` for an implicit zero.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn get(&self, r: usize, c: u32) -> Option<f32> {
+        let cols = self.row_cols(r);
+        cols.binary_search(&c).ok().map(|k| self.row_vals(r)[k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Per-test disk scratch dir; tests are the only place the similarity
+    /// crate touches ambient process state (the lint strips test regions).
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mube-spill-{}-{tag}", std::process::id()))
+    }
+
+    /// Deterministic pseudo-random triple set over `rows` rows: every
+    /// ordered pair (i, j) with (i*31 + j) % step == 0.
+    fn emit(rows: u32, step: u32, sink: &mut TripleSink) -> Vec<(u32, u32, f32)> {
+        let mut expect = Vec::new();
+        for i in 0..rows {
+            for j in 0..rows {
+                if i != j && (i * 31 + j) % step == 0 {
+                    let score = (i * rows + j) as f32 / (rows * rows) as f32;
+                    sink.push(i, j, score).unwrap();
+                    expect.push((i, j, score));
+                }
+            }
+        }
+        expect.sort_unstable_by_key(|t| (t.0, t.1));
+        expect
+    }
+
+    fn assert_csr_matches(csr: &CsrMatrix, expect: &[(u32, u32, f32)], rows: usize) {
+        assert_eq!(csr.rows(), rows);
+        assert_eq!(csr.nnz(), expect.len());
+        let mut seen = 0usize;
+        for r in 0..rows {
+            let cols = csr.row_cols(r);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} unsorted");
+            for (k, &c) in cols.iter().enumerate() {
+                let (er, ec, ev) = expect[seen + k];
+                assert_eq!((r as u32, c), (er, ec));
+                assert_eq!(csr.row_vals(r)[k].to_bits(), ev.to_bits());
+                assert_eq!(csr.get(r, c).map(f32::to_bits), Some(ev.to_bits()));
+            }
+            seen += cols.len();
+        }
+        assert_eq!(seen, expect.len());
+    }
+
+    #[test]
+    fn in_memory_fast_path_round_trips() {
+        // Buffer never overflows: no runs, direct sort.
+        for rows in [63u32, 64, 65] {
+            let mut sink = TripleSink::new(SpillConfig::default());
+            let expect = emit(rows, 7, &mut sink);
+            let (csr, stats) = sink.into_csr(rows as usize).unwrap();
+            assert_eq!(stats.runs, 0);
+            assert_eq!(stats.pushed, expect.len() as u64);
+            assert_csr_matches(&csr, &expect, rows as usize);
+        }
+    }
+
+    #[test]
+    fn memory_runs_round_trip_at_boundary_row_counts() {
+        // Tiny buffer forces many in-memory runs through the k-way merge.
+        for rows in [63u32, 64, 65] {
+            let mut sink = TripleSink::new(SpillConfig {
+                max_buffered_triples: 17,
+                dir: None,
+            });
+            let expect = emit(rows, 3, &mut sink);
+            let (csr, stats) = sink.into_csr(rows as usize).unwrap();
+            assert!(stats.runs > 1, "rows={rows}: expected multiple runs");
+            assert_csr_matches(&csr, &expect, rows as usize);
+        }
+    }
+
+    #[test]
+    fn disk_runs_round_trip_at_boundary_row_counts() {
+        for rows in [63u32, 64, 65] {
+            let dir = scratch(&format!("rt{rows}"));
+            let mut sink = TripleSink::new(SpillConfig {
+                max_buffered_triples: 11,
+                dir: Some(dir.clone()),
+            });
+            let expect = emit(rows, 3, &mut sink);
+            let (csr, stats) = sink.into_csr(rows as usize).unwrap();
+            assert!(stats.runs > 1);
+            assert!(stats.spilled_bytes >= stats.spilled_triples * 12);
+            assert_csr_matches(&csr, &expect, rows as usize);
+            // Run files were cleaned up.
+            let leftover = std::fs::read_dir(&dir)
+                .map(|d| d.count())
+                .unwrap_or_default();
+            assert_eq!(leftover, 0, "run files left behind in {}", dir.display());
+            let _ = std::fs::remove_dir(&dir);
+        }
+    }
+
+    #[test]
+    fn disk_and_memory_merges_are_identical() {
+        let dir = scratch("ident");
+        let mut mem = TripleSink::new(SpillConfig {
+            max_buffered_triples: 13,
+            dir: None,
+        });
+        let mut disk = TripleSink::new(SpillConfig {
+            max_buffered_triples: 13,
+            dir: Some(dir.clone()),
+        });
+        emit(65, 4, &mut mem);
+        emit(65, 4, &mut disk);
+        let (a, _) = mem.into_csr(65).unwrap();
+        let (b, _) = disk.into_csr(65).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn duplicate_triples_are_rejected() {
+        let mut sink = TripleSink::new(SpillConfig::default());
+        sink.push(3, 4, 0.5).unwrap();
+        sink.push(3, 4, 0.5).unwrap();
+        assert!(matches!(
+            sink.into_csr(8),
+            Err(SpillError::DuplicateTriple { row: 3, col: 4 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_across_runs_is_rejected() {
+        let mut sink = TripleSink::new(SpillConfig {
+            max_buffered_triples: 1,
+            dir: None,
+        });
+        sink.push(3, 4, 0.5).unwrap();
+        sink.push(3, 4, 0.25).unwrap();
+        assert!(matches!(
+            sink.into_csr(8),
+            Err(SpillError::DuplicateTriple { row: 3, col: 4 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_row_is_rejected() {
+        let mut sink = TripleSink::new(SpillConfig::default());
+        sink.push(9, 0, 0.5).unwrap();
+        assert!(matches!(
+            sink.into_csr(4),
+            Err(SpillError::RowOutOfRange { row: 9, rows: 4 })
+        ));
+    }
+
+    #[test]
+    fn empty_sink_builds_empty_csr() {
+        let sink = TripleSink::new(SpillConfig::default());
+        let (csr, stats) = sink.into_csr(5).unwrap();
+        assert_eq!(csr.rows(), 5);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(stats.pushed, 0);
+        for r in 0..5 {
+            assert!(csr.row_cols(r).is_empty());
+            assert_eq!(csr.get(r, 0), None);
+        }
+    }
+
+    #[test]
+    fn score_bits_survive_the_round_trip() {
+        // Negative zero, subnormals, and NaN payloads must survive bitwise.
+        let weird = [0.0f32, -0.0, f32::MIN_POSITIVE / 2.0, f32::NAN, 1.0];
+        let mut sink = TripleSink::new(SpillConfig {
+            max_buffered_triples: 2,
+            dir: None,
+        });
+        for (k, &w) in weird.iter().enumerate() {
+            sink.push(0, k as u32, w).unwrap();
+        }
+        let (csr, _) = sink.into_csr(1).unwrap();
+        for (k, &w) in weird.iter().enumerate() {
+            assert_eq!(csr.get(0, k as u32).map(f32::to_bits), Some(w.to_bits()));
+        }
+    }
+}

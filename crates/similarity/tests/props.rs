@@ -5,7 +5,8 @@ use proptest::prelude::*;
 
 use mube_similarity::{
     GramIndex, GramKind, Jaro, JaroWinkler, NgramCosine, NgramDice, NgramJaccard,
-    NormalizedLevenshtein, SimilarityMatrix, SimilarityMeasure,
+    NormalizedLevenshtein, SimilarityMatrix, SimilarityMeasure, SparseConfig, SparseSimilarity,
+    SpillConfig,
 };
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -132,6 +133,97 @@ proptest! {
                 let direct = m.similarity(&names[i], &names[j]) as f32;
                 let got = matrix.similarity(i, j) as f32;
                 prop_assert_eq!(got.to_bits(), direct.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_lossless_bit_identical_to_dense(
+        names in prop::collection::vec(tricky_name(), 1..24),
+    ) {
+        // The tentpole claim: on the lossless tier (τ = None), gram
+        // blocking only skips pairs whose similarity is exactly 0.0, so
+        // every read — hit or implicit-zero miss — must be bit-identical
+        // to the dense triangle, for both blockable coefficients.
+        let measures: [&dyn SimilarityMeasure; 2] =
+            [&NgramJaccard::default(), &NgramDice::default()];
+        for m in measures {
+            let dense = SimilarityMatrix::compute(&names, m);
+            let sparse = SparseSimilarity::build(&names, m, &SparseConfig::default()).unwrap();
+            for i in 0..names.len() {
+                for j in 0..names.len() {
+                    prop_assert_eq!(
+                        dense.similarity(i, j).to_bits(),
+                        sparse.similarity(i, j).to_bits(),
+                        "{} ({:?},{:?})", m.name(), &names[i], &names[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_build_unchanged_by_spilling(
+        names in prop::collection::vec(tricky_name(), 1..24),
+        buffer in 1usize..16,
+    ) {
+        // Forcing the pair store through tiny sorted runs (and the k-way
+        // merge) must not change a single stored bit relative to the
+        // all-in-buffer fast path.
+        let m = NgramJaccard::default();
+        let direct = SparseSimilarity::build(&names, &m, &SparseConfig::default()).unwrap();
+        let spilled = SparseSimilarity::build(
+            &names,
+            &m,
+            &SparseConfig {
+                tau: None,
+                spill: SpillConfig { max_buffered_triples: buffer, dir: None },
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(direct.stats().kept_pairs, spilled.stats().kept_pairs);
+        for i in 0..names.len() {
+            for j in 0..names.len() {
+                prop_assert_eq!(
+                    direct.similarity(i, j).to_bits(),
+                    spilled.similarity(i, j).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_threshold_tier_is_exact_filtering(
+        names in prop::collection::vec(tricky_name(), 1..24),
+        tau in 0.05f64..1.0,
+    ) {
+        // τ-pruning must behave as exact post-filtering of the dense
+        // matrix: scores ≥ τ survive bit-identically, scores < τ read back
+        // as exactly 0.0 — never a wrongly dropped pair (the length/prefix
+        // filters may only discard pairs the τ gate would discard anyway).
+        let m = NgramJaccard::default();
+        let dense = SimilarityMatrix::compute(&names, &m);
+        let sparse = SparseSimilarity::build(
+            &names,
+            &m,
+            &SparseConfig { tau: Some(tau), ..SparseConfig::default() },
+        )
+        .unwrap();
+        for i in 0..names.len() {
+            for j in 0..names.len() {
+                let full = dense.similarity(i, j);
+                let got = sparse.similarity(i, j);
+                if full >= tau || i == j || names[i] == names[j] {
+                    prop_assert_eq!(
+                        got.to_bits(), full.to_bits(),
+                        "kept pair ({:?},{:?}) τ={}", &names[i], &names[j], tau
+                    );
+                } else {
+                    prop_assert_eq!(
+                        got.to_bits(), 0.0f64.to_bits(),
+                        "pruned pair ({:?},{:?}) τ={} read {}", &names[i], &names[j], tau, got
+                    );
+                }
             }
         }
     }

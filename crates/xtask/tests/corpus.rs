@@ -117,6 +117,39 @@ fn bnb_module_is_determinism_scoped() {
     );
 }
 
+#[test]
+fn sparse_and_spill_modules_are_determinism_scoped() {
+    // The sparse blocked store and its spill-to-disk pair store feed Q(S)
+    // exactly like the dense triangle: a hash-order walk in candidate
+    // generation would reorder CSR rows, and a partial-order float compare
+    // in the τ gate or the run merge would change which pairs survive.
+    // Assert both paths are linted under the determinism families (bad
+    // fixtures fire) and still exist in the workspace, so a rename cannot
+    // silently drop them out of scope.
+    for rel in [
+        "crates/similarity/src/sparse.rs",
+        "crates/similarity/src/spill.rs",
+    ] {
+        assert_eq!(
+            hits(rel, HASH_ITER_BAD, "no-hash-iter"),
+            vec![8, 11, 12, 19],
+            "{rel}"
+        );
+        assert_eq!(
+            hits(rel, FLOAT_ORD_BAD, "float-ord"),
+            vec![6, 9, 13, 17],
+            "{rel}"
+        );
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(rel);
+        assert!(
+            path.is_file(),
+            "{rel} moved without updating the lint scope test"
+        );
+    }
+}
+
 // ---- no-ambient-entropy -------------------------------------------------
 
 const ENTROPY_BAD: &str = include_str!("fixtures/entropy_bad.rs");

@@ -4,8 +4,8 @@
 #
 #   scripts/bench.sh           full run; rewrites BENCH_match.json,
 #                              BENCH_solve.json, BENCH_session.json,
-#                              BENCH_kernels.json and BENCH_bound.json
-#                              (all checked in)
+#                              BENCH_kernels.json, BENCH_bound.json and
+#                              BENCH_scale.json (all checked in)
 #   scripts/bench.sh --smoke   tiny sizes, one rep; writes target/*.smoke.json
 #                              (not checked in) — wired into scripts/check.sh as a
 #                              cheap "the harness still runs end to end" gate.
@@ -20,7 +20,11 @@
 # (session arena), §12 (packed kernels) and §13 (exact branch-and-bound) for
 # how to read the output. The bound harness asserts its own contracts in-bin:
 # certified gaps non-negative and non-increasing along the budget ladder, and
-# the unlimited run bit-identical to the exhaustive enumerator at n=12.
+# the unlimited run bit-identical to the exhaustive enumerator at n=12. The
+# scale harness (DESIGN.md §14) asserts sparse/dense bit-identity and solve
+# identity every run, and that the dense backend refuses its memory budget
+# at the 10k-source tier while the spill-backed sparse build carries Match
+# and the greedy solve anyway.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,10 +34,12 @@ if [[ "${1:-}" == "--smoke" ]]; then
   cargo run --release -q -p mube-bench --bin session_iterate -- --smoke --out target/BENCH_session.smoke.json
   cargo run --release -q -p mube-bench --bin sim_kernels -- --smoke --out target/BENCH_kernels.smoke.json
   cargo run --release -q -p mube-bench --bin bound_gap -- --smoke --out target/BENCH_bound.smoke.json
+  cargo run --release -q -p mube-bench --bin scale_match -- --smoke --out target/BENCH_scale.smoke.json
 else
   cargo run --release -q -p mube-bench --bin match_kernel
   cargo run --release -q -p mube-bench --bin solve_portfolio
   cargo run --release -q -p mube-bench --bin session_iterate
   cargo run --release -q -p mube-bench --bin sim_kernels
   cargo run --release -q -p mube-bench --bin bound_gap
+  cargo run --release -q -p mube-bench --bin scale_match
 fi

@@ -35,11 +35,20 @@ echo "    negative certified gap anywhere in the artifact)"
 grep -q '"matches_exhaustive": true' target/BENCH_bound.smoke.json
 ! grep -q '"gap": -' target/BENCH_bound.smoke.json
 
+echo "==> sparse-at-scale smoke contracts (sparse/dense bit-identity + solve identity"
+echo "    asserted in-bin, dense refused its budget, spill path exercised)"
+grep -q '"bit_identical": true' target/BENCH_scale.smoke.json
+grep -q '"dense_refused": true' target/BENCH_scale.smoke.json
+
 echo "==> committed kernel trajectory carries the full-run threshold verdict"
 grep -q '"meets_thresholds": true' BENCH_kernels.json
 
 echo "==> committed bound trajectory certifies exactness and closes its gaps"
 grep -q '"matches_exhaustive": true' BENCH_bound.json
 ! grep -q '"gap": -' BENCH_bound.json
+
+echo "==> committed scale trajectory certifies losslessness and the dense refusal"
+grep -q '"bit_identical": true' BENCH_scale.json
+grep -q '"dense_refused": true' BENCH_scale.json
 
 echo "All checks passed."
