@@ -220,7 +220,7 @@ fn kernel_json(run: &KernelRun) -> String {
 fn bench_size(size: usize, reps: u32, out: &mut String) {
     eprintln!("== n = {size} sources ==");
     let generated = universe(size, 7, Scale::Reduced);
-    let mube: Mube<'_> = engine(&generated);
+    let mube: Mube = engine(&generated);
     let ids: Vec<SourceId> = generated
         .universe
         .sources()

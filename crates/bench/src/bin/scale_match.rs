@@ -81,7 +81,7 @@ fn class_representatives(universe: &Universe, sim: &dyn AttrSimilarity) -> Vec<A
 
 /// Asserts two engines produce the identical greedy solution and returns
 /// `(dense-ish millis, sparse-ish millis, quality)`.
-fn solve_pair(reference: &Mube<'_>, candidate: &Mube<'_>, label: &str) -> (f64, f64, f64) {
+fn solve_pair(reference: &Mube, candidate: &Mube, label: &str) -> (f64, f64, f64) {
     let spec = scale_spec();
     let solver = Greedy::default();
     let (ref_millis, ref_solution) = best_of(1, || {

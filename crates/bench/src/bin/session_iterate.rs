@@ -65,7 +65,7 @@ impl Feedback {
         }
     }
 
-    fn apply(&self, session: &mut Session<'_, '_>) {
+    fn apply(&self, session: &mut Session) {
         match self {
             Feedback::None => {}
             Feedback::Weights(_, w) => {
@@ -114,7 +114,7 @@ fn delta_name(delta: Option<SpecDelta>) -> &'static str {
 /// Runs one whole scripted session; returns per-iteration wall clocks and
 /// solutions, plus the arena entry count at the end.
 fn run_session(
-    mube: &mube_core::Mube<'_>,
+    mube: &mube_core::Mube,
     pin: SourceId,
     seed: u64,
     arena_enabled: bool,

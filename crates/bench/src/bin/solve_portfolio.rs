@@ -55,12 +55,7 @@ fn members() -> Vec<Arc<dyn Solver>> {
 const ROUNDS: u32 = 2;
 
 /// One timed single-solver solve against a fresh objective.
-fn timed_solve(
-    mube: &Mube<'_>,
-    spec: &ProblemSpec,
-    solver: &dyn Solver,
-    seed: u64,
-) -> (f64, Solution) {
+fn timed_solve(mube: &Mube, spec: &ProblemSpec, solver: &dyn Solver, seed: u64) -> (f64, Solution) {
     let start = Instant::now();
     let solution = mube
         .solve(spec, solver, seed)

@@ -62,7 +62,7 @@ pub fn universe(size: usize, seed: u64, scale: Scale) -> GeneratedUniverse {
 }
 
 /// Builds the engine for a generated universe.
-pub fn engine(generated: &GeneratedUniverse) -> Mube<'_> {
+pub fn engine(generated: &GeneratedUniverse) -> Mube {
     MubeBuilder::new(&generated.universe)
         .sketches(generated.sketches.clone())
         .build()
@@ -212,7 +212,7 @@ impl ProblemSpecPatch {
 
 /// Runs one solve and returns `(solution, wall time)`.
 pub fn timed_solve(
-    mube: &Mube<'_>,
+    mube: &Mube,
     spec: &ProblemSpec,
     solver: &dyn Solver,
     seed: u64,
@@ -225,12 +225,7 @@ pub fn timed_solve(
 }
 
 /// Mean wall time and mean quality over `reps` seeds.
-pub fn average_runs(
-    mube: &Mube<'_>,
-    spec: &ProblemSpec,
-    solver: &dyn Solver,
-    reps: u64,
-) -> RunSummary {
+pub fn average_runs(mube: &Mube, spec: &ProblemSpec, solver: &dyn Solver, reps: u64) -> RunSummary {
     let mut total_time = Duration::ZERO;
     let mut total_q = 0.0;
     let mut best_q = f64::NEG_INFINITY;

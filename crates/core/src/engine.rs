@@ -1,10 +1,13 @@
 //! The [`Mube`] engine and its builder.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mube_audit::{AuditReport, SolutionAuditor, SolutionFacts};
-use mube_opt::{Portfolio, PortfolioMember, SolveResult, Solver, SubsetProblem, TabuSearch};
+use mube_opt::{
+    CancelToken, Portfolio, PortfolioMember, SolveResult, Solver, SubsetProblem, TabuSearch,
+};
 use mube_pcsa::PcsaSketch;
 use mube_qef::{CardinalityQef, CharacteristicQef, CoverageQef, Qef, QefContext, RedundancyQef};
 use mube_schema::{SourceId, Universe};
@@ -15,32 +18,42 @@ use crate::error::MubeError;
 use crate::matrix_sim::MatrixSimilarity;
 use crate::objective::{ArenaRef, MubeObjective, QefBinding};
 use crate::problem::{ProblemSpec, SimBackend};
+use crate::snapshot::UniverseSnapshot;
 use crate::solution::{Solution, SolveStats};
 
-/// The µBE engine, bound to one universe.
+/// The µBE engine: a cheap, cloneable handle over one immutable
+/// [`UniverseSnapshot`].
 ///
-/// Holds everything that is expensive and iteration-independent: the
-/// all-pairs attribute similarity matrix, the cached PCSA signatures, and
-/// the registered QEFs. Per-iteration inputs live in [`ProblemSpec`].
-pub struct Mube<'u> {
-    universe: &'u Universe,
-    ctx: QefContext<'u>,
-    sim: MatrixSimilarity,
-    qefs: Vec<Box<dyn Qef>>,
+/// The snapshot holds everything expensive and iteration-independent (the
+/// all-pairs attribute similarity store, the cached PCSA signatures, the
+/// registered QEFs); the engine adds the solve orchestration on top.
+/// Cloning a `Mube` clones an `Arc`, so engines can be handed to threads
+/// and sessions freely — all clones share the one snapshot.
+/// Per-iteration inputs live in [`ProblemSpec`].
+#[derive(Clone)]
+pub struct Mube {
+    snapshot: Arc<UniverseSnapshot>,
 }
 
 /// Builder for [`Mube`].
-pub struct MubeBuilder<'u, 'm> {
-    universe: &'u Universe,
+pub struct MubeBuilder {
+    universe: Arc<Universe>,
     sketches: Option<Vec<Option<PcsaSketch>>>,
-    measure: Option<&'m dyn SimilarityMeasure>,
+    measure: Option<Box<dyn SimilarityMeasure>>,
     extra_qefs: Vec<Box<dyn Qef>>,
     sim_backend: SimBackend,
 }
 
-impl<'u, 'm> MubeBuilder<'u, 'm> {
-    /// Starts a builder for `universe`.
-    pub fn new(universe: &'u Universe) -> Self {
+impl MubeBuilder {
+    /// Starts a builder for `universe` (cloned into a shared handle; use
+    /// [`MubeBuilder::from_arc`] to avoid the copy when the caller already
+    /// holds an `Arc`).
+    pub fn new(universe: &Universe) -> Self {
+        Self::from_arc(Arc::new(universe.clone()))
+    }
+
+    /// Starts a builder that shares `universe` instead of cloning it.
+    pub fn from_arc(universe: Arc<Universe>) -> Self {
         Self {
             universe,
             sketches: None,
@@ -59,8 +72,9 @@ impl<'u, 'm> MubeBuilder<'u, 'm> {
     }
 
     /// Overrides the attribute similarity measure (default: 3-gram
-    /// Jaccard, the paper's choice).
-    pub fn measure(mut self, measure: &'m dyn SimilarityMeasure) -> Self {
+    /// Jaccard, the paper's choice). Only consulted while building — the
+    /// snapshot stores the computed matrix, not the measure.
+    pub fn measure(mut self, measure: Box<dyn SimilarityMeasure>) -> Self {
         self.measure = Some(measure);
         self
     }
@@ -87,7 +101,7 @@ impl<'u, 'm> MubeBuilder<'u, 'm> {
     /// non-blockable measure, or a spill I/O failure), this falls back to
     /// the dense matrix — the historical behaviour. Use
     /// [`MubeBuilder::try_build`] to surface backend errors instead.
-    pub fn build(self) -> Mube<'u> {
+    pub fn build(self) -> Mube {
         let MubeBuilder {
             universe,
             sketches,
@@ -96,15 +110,15 @@ impl<'u, 'm> MubeBuilder<'u, 'm> {
             sim_backend,
         } = self;
         let default_measure = NgramJaccard::default();
-        let measure: &dyn SimilarityMeasure = measure.unwrap_or(&default_measure);
-        let sim = MatrixSimilarity::with_backend(universe, measure, &sim_backend)
-            .unwrap_or_else(|_| MatrixSimilarity::new(universe, measure));
+        let measure: &dyn SimilarityMeasure = measure.as_deref().unwrap_or(&default_measure);
+        let sim = MatrixSimilarity::with_backend(&universe, measure, &sim_backend)
+            .unwrap_or_else(|_| MatrixSimilarity::new(&universe, measure));
         Self::assemble(universe, sketches, extra_qefs, sim)
     }
 
     /// Builds the engine, surfacing similarity-backend failures as
     /// [`MubeError::SimBackend`] instead of falling back to dense.
-    pub fn try_build(self) -> Result<Mube<'u>, MubeError> {
+    pub fn try_build(self) -> Result<Mube, MubeError> {
         let MubeBuilder {
             universe,
             sketches,
@@ -113,18 +127,18 @@ impl<'u, 'm> MubeBuilder<'u, 'm> {
             sim_backend,
         } = self;
         let default_measure = NgramJaccard::default();
-        let measure: &dyn SimilarityMeasure = measure.unwrap_or(&default_measure);
-        let sim = MatrixSimilarity::with_backend(universe, measure, &sim_backend)?;
+        let measure: &dyn SimilarityMeasure = measure.as_deref().unwrap_or(&default_measure);
+        let sim = MatrixSimilarity::with_backend(&universe, measure, &sim_backend)?;
         Ok(Self::assemble(universe, sketches, extra_qefs, sim))
     }
 
     /// Assembles the engine around an already-built similarity store.
     fn assemble(
-        universe: &'u Universe,
+        universe: Arc<Universe>,
         sketches: Option<Vec<Option<PcsaSketch>>>,
         extra_qefs: Vec<Box<dyn Qef>>,
         sim: MatrixSimilarity,
-    ) -> Mube<'u> {
+    ) -> Mube {
         let ctx = match sketches {
             Some(sketches) => QefContext::new(universe, sketches),
             None => QefContext::without_sketches(universe),
@@ -136,42 +150,43 @@ impl<'u, 'm> MubeBuilder<'u, 'm> {
         ];
         qefs.extend(extra_qefs);
         Mube {
-            universe,
-            ctx,
-            sim,
-            qefs,
+            snapshot: Arc::new(UniverseSnapshot::new(ctx, sim, qefs)),
         }
     }
 }
 
-impl<'u> Mube<'u> {
+impl Mube {
     /// The engine's universe.
-    pub fn universe(&self) -> &'u Universe {
-        self.universe
+    pub fn universe(&self) -> &Universe {
+        self.snapshot.universe()
+    }
+
+    /// The shared immutable snapshot backing this engine — hand clones of
+    /// this `Arc` (or of the whole engine) to other threads to run
+    /// concurrent sessions over one universe.
+    pub fn snapshot(&self) -> &Arc<UniverseSnapshot> {
+        &self.snapshot
     }
 
     /// The precomputed attribute similarity.
     pub fn similarity(&self) -> &MatrixSimilarity {
-        &self.sim
+        self.snapshot.similarity()
     }
 
     /// The QEF evaluation context (sketches, ranges).
-    pub fn context(&self) -> &QefContext<'u> {
-        &self.ctx
+    pub fn context(&self) -> &QefContext {
+        self.snapshot.context()
     }
 
     /// Validates a spec and resolves its weights into QEF bindings.
-    fn resolve_bindings<'a>(
-        &'a self,
-        spec: &'a ProblemSpec,
-    ) -> Result<Vec<(f64, QefBinding<'a>)>, MubeError> {
+    fn resolve_bindings(&self, spec: &ProblemSpec) -> Result<Vec<(f64, QefBinding)>, MubeError> {
         let mut bindings = Vec::with_capacity(spec.weights.len());
         for (name, w) in spec.weights.iter() {
             let binding = if name == "matching" {
                 QefBinding::Matching
-            } else if let Some(qef) = self.qefs.iter().find(|q| q.name() == name) {
-                QefBinding::Registered(qef.as_ref())
-            } else if self.ctx.characteristic_range(name).is_some() {
+            } else if let Some(idx) = self.snapshot.qefs().iter().position(|q| q.name() == name) {
+                QefBinding::Registered(idx)
+            } else if self.snapshot.context().characteristic_range(name).is_some() {
                 QefBinding::Characteristic(CharacteristicQef::new(
                     name,
                     mube_qef::Aggregation::WeightedSum,
@@ -187,7 +202,7 @@ impl<'u> Mube<'u> {
     }
 
     fn validate_spec(&self, spec: &ProblemSpec) -> Result<(), MubeError> {
-        spec.constraints.validate(self.universe)?;
+        spec.constraints.validate(self.universe())?;
         if spec.max_sources == 0 {
             return Err(MubeError::ZeroMaxSources);
         }
@@ -208,7 +223,7 @@ impl<'u> Mube<'u> {
     /// Builds the optimizer-facing objective for a spec, memoizing into a
     /// fresh private arena that dies with the objective. Exposed for
     /// benches and tests that want to drive solvers directly.
-    pub fn objective<'a>(&'a self, spec: &'a ProblemSpec) -> Result<MubeObjective<'a>, MubeError> {
+    pub fn objective(&self, spec: &ProblemSpec) -> Result<MubeObjective, MubeError> {
         self.objective_with(spec, ArenaRef::Owned(Box::default()))
     }
 
@@ -223,31 +238,29 @@ impl<'u> Mube<'u> {
     /// similarity matrix, or sketch set would alias unrelated evaluations
     /// (a universe-*size* change is detected and clears the arena; an
     /// equal-sized different universe is not detectable).
-    pub fn objective_in<'a>(
-        &'a self,
-        spec: &'a ProblemSpec,
-        arena: &'a EvalArena,
-    ) -> Result<MubeObjective<'a>, MubeError> {
+    pub fn objective_in(
+        &self,
+        spec: &ProblemSpec,
+        arena: &Arc<EvalArena>,
+    ) -> Result<MubeObjective, MubeError> {
         self.validate_spec(spec)?;
-        arena.prepare(spec, self.universe.len());
-        self.objective_with(spec, ArenaRef::Shared(arena))
+        arena.prepare(spec, self.universe().len());
+        self.objective_with(spec, ArenaRef::Shared(Arc::clone(arena)))
     }
 
-    fn objective_with<'a>(
-        &'a self,
-        spec: &'a ProblemSpec,
-        arena: ArenaRef<'a>,
-    ) -> Result<MubeObjective<'a>, MubeError> {
+    fn objective_with(
+        &self,
+        spec: &ProblemSpec,
+        arena: ArenaRef,
+    ) -> Result<MubeObjective, MubeError> {
         self.validate_spec(spec)?;
         let bindings = self.resolve_bindings(spec)?;
         let objective = MubeObjective::new(
-            self.universe,
-            &self.ctx,
-            &self.sim,
+            Arc::clone(&self.snapshot),
             bindings,
-            &spec.constraints,
-            &spec.match_config,
-            spec.max_sources.min(self.universe.len().max(1)),
+            spec.constraints.clone(),
+            spec.match_config.clone(),
+            spec.max_sources.min(self.universe().len().max(1)),
             arena,
         );
         if let Some(capacity) = spec.cache_capacity {
@@ -259,15 +272,25 @@ impl<'u> Mube<'u> {
     /// Turns a solver result into a [`Solution`]: reconstructs the winning
     /// schema, reports per-QEF values, and collects the solve stats
     /// (including the parallel-evaluation fields carried on the result).
+    ///
+    /// A cancelled result with a feasible incumbent still produces a full,
+    /// audited solution (flagged via [`SolveStats::cancelled`]); a
+    /// cancelled result that never saw a feasible candidate surfaces as
+    /// [`MubeError::Cancelled`] rather than the misleading
+    /// [`MubeError::NoFeasibleSolution`].
     fn finish(
         &self,
         spec: &ProblemSpec,
-        objective: &MubeObjective<'_>,
+        objective: &MubeObjective,
         result: &SolveResult,
         started: Instant,
     ) -> Result<Solution, MubeError> {
         if !result.is_feasible() {
-            return Err(MubeError::NoFeasibleSolution);
+            return Err(if result.cancelled {
+                MubeError::Cancelled
+            } else {
+                MubeError::NoFeasibleSolution
+            });
         }
         let selected: Vec<SourceId> = result.best.iter().map(|i| SourceId(i as u32)).collect();
         let outcome = objective
@@ -305,13 +328,16 @@ impl<'u> Mube<'u> {
                     // Cold unless the caller (Session) primed a warm-start
                     // solver; it overwrites this field after the solve.
                     warm_start: false,
+                    cancelled: result.cancelled,
                     elapsed: started.elapsed(),
                 }
             },
         };
         // Debug-mode oracle: every solve must satisfy the paper's §2
-        // invariants. Release builds skip the check; tests and benches can
-        // call `Mube::audit` explicitly.
+        // invariants — including cancelled solves, whose incumbent is a
+        // fully evaluated feasible candidate like any other. Release builds
+        // skip the check; tests and benches can call `Mube::audit`
+        // explicitly.
         #[cfg(debug_assertions)]
         self.audit(spec, &solution).assert_clean("Mube::solve");
         #[cfg(not(debug_assertions))]
@@ -329,6 +355,28 @@ impl<'u> Mube<'u> {
         Instant::now()
     }
 
+    /// One solve: objective construction (optionally on a shared arena),
+    /// optional cancellation arming, the search, and result assembly.
+    fn solve_with(
+        &self,
+        spec: &ProblemSpec,
+        solver: &dyn Solver,
+        seed: u64,
+        arena: Option<&Arc<EvalArena>>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Solution, MubeError> {
+        let started = Self::clock_now();
+        let mut objective = match arena {
+            Some(arena) => self.objective_in(spec, arena)?,
+            None => self.objective(spec)?,
+        };
+        if let Some(token) = cancel {
+            objective.arm_cancel(token);
+        }
+        let result = solver.solve(&objective, seed);
+        self.finish(spec, &objective, &result, started)
+    }
+
     /// Solves one iteration's optimization problem with the given solver.
     pub fn solve(
         &self,
@@ -336,10 +384,7 @@ impl<'u> Mube<'u> {
         solver: &dyn Solver,
         seed: u64,
     ) -> Result<Solution, MubeError> {
-        let started = Self::clock_now();
-        let objective = self.objective(spec)?;
-        let result = solver.solve(&objective, seed);
-        self.finish(spec, &objective, &result, started)
+        self.solve_with(spec, solver, seed, None, None)
     }
 
     /// Like [`Mube::solve`], but memoizes into a caller-owned
@@ -355,12 +400,63 @@ impl<'u> Mube<'u> {
         spec: &ProblemSpec,
         solver: &dyn Solver,
         seed: u64,
-        arena: &EvalArena,
+        arena: &Arc<EvalArena>,
     ) -> Result<Solution, MubeError> {
+        self.solve_with(spec, solver, seed, Some(arena), None)
+    }
+
+    /// Like [`Mube::solve`], with a [`CancelToken`] armed for the duration
+    /// of the solve. The solver polls the token at its round / node / batch
+    /// boundaries: a cancellation makes it stop and return its best
+    /// incumbent (flagged via [`SolveStats::cancelled`] and audited like
+    /// any other solution), or [`MubeError::Cancelled`] when no feasible
+    /// candidate had been seen yet. A token that never fires leaves the
+    /// result bit-identical to [`Mube::solve`] — polling is
+    /// observation-only.
+    pub fn solve_cancellable(
+        &self,
+        spec: &ProblemSpec,
+        solver: &dyn Solver,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<Solution, MubeError> {
+        self.solve_with(spec, solver, seed, None, Some(cancel))
+    }
+
+    /// [`Mube::solve_in`] with a [`CancelToken`] armed — the session path:
+    /// shared arena *and* cooperative cancellation.
+    pub fn solve_cancellable_in(
+        &self,
+        spec: &ProblemSpec,
+        solver: &dyn Solver,
+        seed: u64,
+        arena: &Arc<EvalArena>,
+        cancel: &CancelToken,
+    ) -> Result<Solution, MubeError> {
+        self.solve_with(spec, solver, seed, Some(arena), Some(cancel))
+    }
+
+    /// One portfolio race, with the same optional arena / cancellation
+    /// plumbing as [`Mube::solve_with`].
+    fn portfolio_with(
+        &self,
+        spec: &ProblemSpec,
+        portfolio: &Portfolio,
+        seed: u64,
+        arena: Option<&Arc<EvalArena>>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
         let started = Self::clock_now();
-        let objective = self.objective_in(spec, arena)?;
-        let result = solver.solve(&objective, seed);
-        self.finish(spec, &objective, &result, started)
+        let mut objective = match arena {
+            Some(arena) => self.objective_in(spec, arena)?,
+            None => self.objective(spec)?,
+        };
+        if let Some(token) = cancel {
+            objective.arm_cancel(token);
+        }
+        let outcome = portfolio.run(&objective, seed);
+        let solution = self.finish(spec, &objective, &outcome.result, started)?;
+        Ok((solution, outcome.members))
     }
 
     /// Solves by racing a [`Portfolio`] of solvers against one shared
@@ -375,11 +471,7 @@ impl<'u> Mube<'u> {
         portfolio: &Portfolio,
         seed: u64,
     ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
-        let started = Self::clock_now();
-        let objective = self.objective(spec)?;
-        let outcome = portfolio.run(&objective, seed);
-        let solution = self.finish(spec, &objective, &outcome.result, started)?;
-        Ok((solution, outcome.members))
+        self.portfolio_with(spec, portfolio, seed, None, None)
     }
 
     /// Like [`Mube::solve_portfolio`], but memoizing into a caller-owned
@@ -391,13 +483,23 @@ impl<'u> Mube<'u> {
         spec: &ProblemSpec,
         portfolio: &Portfolio,
         seed: u64,
-        arena: &EvalArena,
+        arena: &Arc<EvalArena>,
     ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
-        let started = Self::clock_now();
-        let objective = self.objective_in(spec, arena)?;
-        let outcome = portfolio.run(&objective, seed);
-        let solution = self.finish(spec, &objective, &outcome.result, started)?;
-        Ok((solution, outcome.members))
+        self.portfolio_with(spec, portfolio, seed, Some(arena), None)
+    }
+
+    /// [`Mube::solve_portfolio_in`] with a [`CancelToken`] armed: every
+    /// racing member polls the same token, so one cancellation stops the
+    /// whole race at the members' next checkpoints.
+    pub fn solve_portfolio_cancellable_in(
+        &self,
+        spec: &ProblemSpec,
+        portfolio: &Portfolio,
+        seed: u64,
+        arena: &Arc<EvalArena>,
+        cancel: &CancelToken,
+    ) -> Result<(Solution, Vec<PortfolioMember>), MubeError> {
+        self.portfolio_with(spec, portfolio, seed, Some(arena), Some(cancel))
     }
 
     /// Statically verifies a solution against the paper's §2 invariants
@@ -412,12 +514,12 @@ impl<'u> Mube<'u> {
             .iter()
             .map(|(name, &(w, v))| (name.clone(), w, v))
             .collect();
-        SolutionAuditor::new(self.universe)
+        SolutionAuditor::new(self.universe())
             .constraints(&spec.constraints)
             .theta(spec.match_config.theta)
             .beta(spec.match_config.beta)
-            .similarity(&self.sim)
-            .max_sources(spec.max_sources.min(self.universe.len().max(1)))
+            .similarity(self.similarity())
+            .max_sources(spec.max_sources.min(self.universe().len().max(1)))
             .audit(&SolutionFacts {
                 selected: &solution.selected,
                 schema: &solution.schema,
@@ -453,7 +555,7 @@ impl<'u> Mube<'u> {
     pub fn evaluate(&self, spec: &ProblemSpec, ids: &[SourceId]) -> Result<f64, MubeError> {
         let objective = self.objective(spec)?;
         let subset =
-            mube_opt::Subset::from_indices(self.universe.len(), ids.iter().map(|id| id.index()));
+            mube_opt::Subset::from_indices(self.universe().len(), ids.iter().map(|id| id.index()));
         Ok(objective.evaluate(&subset))
     }
 }
@@ -600,6 +702,100 @@ mod tests {
     }
 
     #[test]
+    fn cloned_engines_share_one_snapshot() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let clone = mube.clone();
+        assert!(Arc::ptr_eq(mube.snapshot(), clone.snapshot()));
+        let spec = ProblemSpec::new(2);
+        let a = mube.solve_default(&spec, 9).unwrap();
+        let b = clone.solve_default(&spec, 9).unwrap();
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.overall_quality.to_bits(), b.overall_quality.to_bits());
+    }
+
+    #[test]
+    fn unfired_cancel_token_is_bit_identical_to_plain_solve() {
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2);
+        let plain = mube.solve_default(&spec, 9).unwrap();
+        let token = CancelToken::new();
+        let armed = mube
+            .solve_cancellable(&spec, &TabuSearch::default(), 9, &token)
+            .unwrap();
+        assert!(!armed.stats.cancelled);
+        assert_eq!(plain.selected, armed.selected);
+        assert_eq!(plain.schema, armed.schema);
+        assert_eq!(
+            plain.overall_quality.to_bits(),
+            armed.overall_quality.to_bits()
+        );
+    }
+
+    #[test]
+    fn cancel_fired_before_arming_does_not_abort() {
+        // Epoch semantics: a cancellation consumed (or simply issued)
+        // before a solve starts must not abort that solve — each solve
+        // captures the epoch at arming time.
+        let u = tiny_universe();
+        let mube = MubeBuilder::new(&u).build();
+        let spec = ProblemSpec::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let solution = mube
+            .solve_cancellable(&spec, &TabuSearch::default(), 9, &token)
+            .unwrap();
+        assert!(!solution.stats.cancelled);
+        let plain = mube.solve_default(&spec, 9).unwrap();
+        assert_eq!(plain.selected, solution.selected);
+    }
+
+    #[test]
+    fn mid_solve_cancel_returns_audited_incumbent() {
+        use mube_schema::SourceSelection;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // A QEF that fires the cancel token on its Nth evaluation — a
+        // deterministic stand-in for a user hitting cancel mid-solve.
+        struct Tripwire {
+            token: CancelToken,
+            calls: AtomicU64,
+            after: u64,
+        }
+        impl Qef for Tripwire {
+            fn name(&self) -> &str {
+                "tripwire"
+            }
+            fn evaluate(&self, _s: &SourceSelection, _c: &QefContext) -> f64 {
+                if self.calls.fetch_add(1, Ordering::Relaxed) + 1 == self.after {
+                    self.token.cancel();
+                }
+                0.0
+            }
+        }
+
+        let u = tiny_universe();
+        let token = CancelToken::new();
+        let mube = MubeBuilder::new(&u)
+            .qef(Box::new(Tripwire {
+                token: token.clone(),
+                calls: AtomicU64::new(0),
+                after: 3,
+            }))
+            .build();
+        let spec = ProblemSpec::new(2)
+            .with_weights(Weights::new([("matching", 0.5), ("tripwire", 0.5)]).unwrap());
+        let cancelled = mube
+            .solve_cancellable(&spec, &TabuSearch::default(), 9, &token)
+            .unwrap();
+        assert!(cancelled.stats.cancelled);
+        assert!(cancelled.overall_quality.is_finite());
+        mube.audit(&spec, &cancelled)
+            .assert_clean("cancelled solve");
+    }
+
+    #[test]
     fn custom_qef_registers_and_binds() {
         use mube_qef::QefContext;
         use mube_schema::SourceSelection;
@@ -610,7 +806,7 @@ mod tests {
             fn name(&self) -> &str {
                 "favorite"
             }
-            fn evaluate(&self, selection: &SourceSelection, _ctx: &QefContext<'_>) -> f64 {
+            fn evaluate(&self, selection: &SourceSelection, _ctx: &QefContext) -> f64 {
                 f64::from(u8::from(selection.contains(SourceId(0))))
             }
         }
@@ -636,7 +832,7 @@ mod tests {
             fn name(&self) -> &str {
                 "mttf"
             }
-            fn evaluate(&self, _s: &SourceSelection, _c: &QefContext<'_>) -> f64 {
+            fn evaluate(&self, _s: &SourceSelection, _c: &QefContext) -> f64 {
                 0.5
             }
         }

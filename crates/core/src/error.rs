@@ -33,6 +33,11 @@ pub enum MubeError {
     /// The solver never found a feasible solution (all candidates violated
     /// GA constraints).
     NoFeasibleSolution,
+    /// The solve was cancelled before any feasible candidate was seen, so
+    /// there is no incumbent to return. (A cancellation *after* a feasible
+    /// incumbent exists is not an error: the solve returns that incumbent
+    /// with `stats.cancelled` set.)
+    Cancelled,
     /// The solver reported a feasible selection whose `Match(S)` nevertheless
     /// produced a null schema — a solver/objective contract breach.
     InconsistentSolverResult,
@@ -71,6 +76,9 @@ impl fmt::Display for MubeError {
                     f,
                     "no feasible solution found (GA constraints unsatisfiable?)"
                 )
+            }
+            MubeError::Cancelled => {
+                write!(f, "solve cancelled before any feasible incumbent was found")
             }
             MubeError::InconsistentSolverResult => write!(
                 f,

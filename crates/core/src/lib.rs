@@ -40,6 +40,7 @@ pub mod matrix_sim;
 pub mod objective;
 pub mod problem;
 pub mod session;
+pub mod snapshot;
 pub mod solution;
 
 pub use arena::{EvalArena, SpecDelta};
@@ -47,7 +48,9 @@ pub use diff::SolutionDiff;
 pub use engine::{Mube, MubeBuilder};
 pub use error::MubeError;
 pub use matrix_sim::{MatrixSimilarity, SimBackendKind};
+pub use mube_opt::CancelToken;
 pub use objective::MubeObjective;
 pub use problem::{ProblemSpec, SimBackend, SparseOptions};
 pub use session::Session;
+pub use snapshot::UniverseSnapshot;
 pub use solution::{Solution, SolveStats};

@@ -10,24 +10,25 @@
 
 use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use mube_cluster::{
     match_sources, match_sources_deferring_spans, MatchConfig, MatchOutcome, MatchStats,
 };
-use mube_opt::{LpConstraint, LpProblem, Relation, Subset, SubsetProblem};
-use mube_qef::{CharacteristicQef, Qef, QefContext};
-use mube_schema::{Constraints, MediatedSchema, SourceId, SourceSelection, Universe};
+use mube_opt::{CancelToken, LpConstraint, LpProblem, Relation, Subset, SubsetProblem};
+use mube_qef::{CharacteristicQef, Qef};
+use mube_schema::{Constraints, MediatedSchema, SourceId, SourceSelection};
 
 use crate::arena::{schema_key, ComponentEval, EvalArena, MatchPart, SpecDelta};
-use crate::matrix_sim::MatrixSimilarity;
+use crate::snapshot::UniverseSnapshot;
 
 /// A weight bound to the function it scales.
-pub(crate) enum QefBinding<'a> {
+pub(crate) enum QefBinding {
     /// The `F1` matching-quality QEF (computed via `Match(S)`).
     Matching,
-    /// A QEF registered on the engine.
-    Registered(&'a dyn Qef),
+    /// A QEF registered on the engine, by index into the snapshot's QEF
+    /// list (fixed at build time, so indices never dangle).
+    Registered(usize),
     /// An automatically derived source-characteristic QEF.
     Characteristic(CharacteristicQef),
 }
@@ -48,15 +49,15 @@ fn spanned_of(schema: &MediatedSchema) -> Vec<u32> {
 
 /// The evaluation arena an objective memoizes into: its own private arena
 /// (one-shot solves) or a borrowed session arena that outlives the solve.
-pub(crate) enum ArenaRef<'a> {
+pub(crate) enum ArenaRef {
     /// A fresh arena owned by this objective — dropped with it.
     Owned(Box<EvalArena>),
     /// A session-owned arena shared across iterations (and across a
     /// portfolio's member solvers within one iteration).
-    Shared(&'a EvalArena),
+    Shared(Arc<EvalArena>),
 }
 
-impl Deref for ArenaRef<'_> {
+impl Deref for ArenaRef {
     type Target = EvalArena;
 
     fn deref(&self) -> &EvalArena {
@@ -126,13 +127,11 @@ enum Probe {
 /// Together these make a `FeasibilityOnly` spec edit (required source
 /// added *or* dropped, new budget `m`) invalidate nothing while staying
 /// bit-identical to a cold evaluation under the edited spec.
-pub struct MubeObjective<'a> {
-    universe: &'a Universe,
-    ctx: &'a QefContext<'a>,
-    sim: &'a MatrixSimilarity,
-    bindings: Vec<(f64, QefBinding<'a>)>,
-    constraints: &'a Constraints,
-    match_config: &'a MatchConfig,
+pub struct MubeObjective {
+    snapshot: Arc<UniverseSnapshot>,
+    bindings: Vec<(f64, QefBinding)>,
+    constraints: Constraints,
+    match_config: MatchConfig,
     max_sources: usize,
     pinned: Vec<usize>,
     /// Sorted indices of the explicitly constrained sources `C` — the set
@@ -142,8 +141,13 @@ pub struct MubeObjective<'a> {
     /// Whether any binding is [`QefBinding::Matching`] — decides whether a
     /// cached entry's match part participates in combination at all.
     has_matching: bool,
-    arena: ArenaRef<'a>,
+    arena: ArenaRef,
     caching: AtomicBool,
+    /// Armed cancellation: the token plus the epoch captured when it was
+    /// armed. [`SubsetProblem::cancelled`] reports whether the token fired
+    /// since; `None` (or a token that never fires) leaves every evaluation
+    /// and every solver trajectory bit-identical to an unarmed run.
+    cancel: Option<(CancelToken, u64)>,
     /// The delta class the arena computed when it was pointed at this
     /// objective's spec (`None` for one-shot solves on a fresh arena).
     spec_delta: Option<SpecDelta>,
@@ -157,17 +161,14 @@ pub struct MubeObjective<'a> {
     match_stats: Mutex<MatchStats>,
 }
 
-impl<'a> MubeObjective<'a> {
-    #[allow(clippy::too_many_arguments)] // crate-internal constructor; only `Mube::objective_with` calls it
+impl MubeObjective {
     pub(crate) fn new(
-        universe: &'a Universe,
-        ctx: &'a QefContext<'a>,
-        sim: &'a MatrixSimilarity,
-        bindings: Vec<(f64, QefBinding<'a>)>,
-        constraints: &'a Constraints,
-        match_config: &'a MatchConfig,
+        snapshot: Arc<UniverseSnapshot>,
+        bindings: Vec<(f64, QefBinding)>,
+        constraints: Constraints,
+        match_config: MatchConfig,
         max_sources: usize,
-        arena: ArenaRef<'a>,
+        arena: ArenaRef,
     ) -> Self {
         let mut pinned: Vec<usize> = constraints
             .required_sources()
@@ -183,9 +184,7 @@ impl<'a> MubeObjective<'a> {
         let spec_delta = arena.last_delta();
         let invalidated = arena.last_invalidated();
         Self {
-            universe,
-            ctx,
-            sim,
+            snapshot,
             bindings,
             constraints,
             match_config,
@@ -195,6 +194,7 @@ impl<'a> MubeObjective<'a> {
             has_matching,
             arena,
             caching: AtomicBool::new(true),
+            cancel: None,
             spec_delta,
             invalidated,
             match_calls: AtomicU64::new(0),
@@ -229,12 +229,20 @@ impl<'a> MubeObjective<'a> {
     /// engine to reconstruct the winning schema).
     pub fn match_schema(&self, ids: &[SourceId]) -> Option<MatchOutcome> {
         match_sources(
-            self.universe,
+            self.snapshot.universe(),
             ids,
-            self.constraints,
-            self.match_config,
-            self.sim,
+            &self.constraints,
+            &self.match_config,
+            self.snapshot.similarity(),
         )
+    }
+
+    /// Arms cooperative cancellation: captures the token's current epoch so
+    /// only a [`CancelToken::cancel`] issued *after* arming fires for this
+    /// objective. Armed once by the engine before the solve starts.
+    pub(crate) fn arm_cancel(&mut self, token: &CancelToken) {
+        let epoch = token.epoch();
+        self.cancel = Some((token.clone(), epoch));
     }
 
     /// Number of `Match(S)` invocations so far (cache misses).
@@ -286,7 +294,8 @@ impl<'a> MubeObjective<'a> {
     /// `(name, weight, value)` triples — used to report per-QEF values on
     /// the final solution.
     pub fn component_values(&self, ids: &[SourceId]) -> Vec<(String, f64, f64)> {
-        let selection = SourceSelection::from_ids(self.universe.len(), ids.iter().copied());
+        let selection =
+            SourceSelection::from_ids(self.snapshot.universe().len(), ids.iter().copied());
         self.bindings
             .iter()
             .map(|(w, binding)| match binding {
@@ -294,15 +303,18 @@ impl<'a> MubeObjective<'a> {
                     let quality = self.match_schema(ids).map_or(0.0, |o| o.quality);
                     ("matching".to_owned(), *w, quality)
                 }
-                QefBinding::Registered(qef) => (
-                    qef.name().to_owned(),
-                    *w,
-                    qef.evaluate(&selection, self.ctx),
-                ),
+                QefBinding::Registered(idx) => {
+                    let qef = self.snapshot.qef(*idx);
+                    (
+                        qef.name().to_owned(),
+                        *w,
+                        qef.evaluate(&selection, self.snapshot.context()),
+                    )
+                }
                 QefBinding::Characteristic(qef) => (
                     qef.name().to_owned(),
                     *w,
-                    qef.evaluate(&selection, self.ctx),
+                    qef.evaluate(&selection, self.snapshot.context()),
                 ),
             })
             .collect()
@@ -331,11 +343,11 @@ impl<'a> MubeObjective<'a> {
     /// [`Self::spans_satisfied`] at read time.
     fn match_schema_deferred(&self, ids: &[SourceId]) -> Option<MatchOutcome> {
         match_sources_deferring_spans(
-            self.universe,
+            self.snapshot.universe(),
             ids,
-            self.constraints,
-            self.match_config,
-            self.sim,
+            &self.constraints,
+            &self.match_config,
+            self.snapshot.similarity(),
         )
     }
 
@@ -372,7 +384,7 @@ impl<'a> MubeObjective<'a> {
         let ids: Vec<SourceId> = subset.iter().map(|i| SourceId(i as u32)).collect();
         // Subset and SourceSelection share the packed-word layout over the
         // same universe: convert by word copy, not by re-inserting members.
-        let selection = SourceSelection::from_words(self.universe.len(), subset.words());
+        let selection = SourceSelection::from_words(self.snapshot.universe().len(), subset.words());
         let mut components = vec![0.0f64; self.bindings.len()];
         let mut match_part = None;
         let mut spans_ok = true;
@@ -398,8 +410,13 @@ impl<'a> MubeObjective<'a> {
                         None => return (f64::NEG_INFINITY, ComponentEval::infeasible()),
                     }
                 }
-                QefBinding::Registered(qef) => qef.evaluate(&selection, self.ctx),
-                QefBinding::Characteristic(qef) => qef.evaluate(&selection, self.ctx),
+                QefBinding::Registered(idx) => self
+                    .snapshot
+                    .qef(*idx)
+                    .evaluate(&selection, self.snapshot.context()),
+                QefBinding::Characteristic(qef) => {
+                    qef.evaluate(&selection, self.snapshot.context())
+                }
             };
             debug_assert!(
                 (0.0..=1.0 + 1e-9).contains(&value),
@@ -456,7 +473,8 @@ impl<'a> MubeObjective<'a> {
         }
         let budget = self.max_sources - decided_in.len();
         let possible = decided_out.complement();
-        let possible_sel = SourceSelection::from_words(self.universe.len(), possible.words());
+        let possible_sel =
+            SourceSelection::from_words(self.snapshot.universe().len(), possible.words());
         let cached: Option<Vec<f64>> = self
             .arena
             .probe(possible.fingerprint(), &possible, |entry| {
@@ -469,16 +487,17 @@ impl<'a> MubeObjective<'a> {
         for (k, (_, binding)) in self.bindings.iter().enumerate() {
             caps[k] = match binding {
                 QefBinding::Matching => 1.0,
-                QefBinding::Registered(qef) => {
+                QefBinding::Registered(idx) => {
+                    let qef = self.snapshot.qef(*idx);
                     let mut cap = if qef.monotone() {
                         match &cached {
                             Some(components) => components[k],
-                            None => qef.evaluate(&possible_sel, self.ctx),
+                            None => qef.evaluate(&possible_sel, self.snapshot.context()),
                         }
                     } else {
                         1.0
                     };
-                    if let Some(gains) = qef.modular(self.ctx) {
+                    if let Some(gains) = qef.modular(self.snapshot.context()) {
                         let in_sum: f64 = decided_in.iter().map(|i| gains[i]).sum();
                         let mut free_gains: Vec<f64> = possible
                             .iter()
@@ -493,7 +512,9 @@ impl<'a> MubeObjective<'a> {
                     }
                     cap
                 }
-                QefBinding::Characteristic(qef) => qef.upper_bound(&possible_sel, self.ctx),
+                QefBinding::Characteristic(qef) => {
+                    qef.upper_bound(&possible_sel, self.snapshot.context())
+                }
             };
         }
         Some(BindingCaps { caps, modular })
@@ -509,9 +530,15 @@ impl<'a> MubeObjective<'a> {
     }
 }
 
-impl SubsetProblem for MubeObjective<'_> {
+impl SubsetProblem for MubeObjective {
     fn universe_size(&self) -> usize {
-        self.universe.len()
+        self.snapshot.universe().len()
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|(token, epoch)| token.fired_since(*epoch))
     }
 
     fn max_selected(&self) -> usize {
@@ -555,7 +582,7 @@ impl SubsetProblem for MubeObjective<'_> {
             return None;
         }
         let budget = self.max_sources.saturating_sub(decided_in.len());
-        let free: Vec<usize> = (0..self.universe.len())
+        let free: Vec<usize> = (0..self.snapshot.universe().len())
             .filter(|&i| !decided_in.contains(i) && !decided_out.contains(i))
             .collect();
         if free.is_empty() || budget == 0 {

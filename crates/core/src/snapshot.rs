@@ -1,0 +1,88 @@
+//! The immutable per-universe bundle every engine and session shares.
+//!
+//! A [`UniverseSnapshot`] owns everything that is expensive to compute and
+//! iteration-independent: the universe itself (interned source and
+//! attribute names), the all-pairs attribute similarity store, the cached
+//! PCSA signatures wrapped in their [`QefContext`], and the registered
+//! QEFs. It is built once by [`MubeBuilder`](crate::MubeBuilder) and then
+//! only ever read — every field is immutable after construction, so the
+//! snapshot is `Send + Sync` and an `Arc<UniverseSnapshot>` can back any
+//! number of concurrent [`Session`](crate::Session)s without locks.
+//!
+//! [`Mube`](crate::Mube) is a thin cloneable handle over the `Arc`; cloning
+//! an engine or starting a session never re-derives the similarity matrix.
+
+use mube_qef::{Qef, QefContext};
+use mube_schema::Universe;
+use std::sync::Arc;
+
+use crate::matrix_sim::MatrixSimilarity;
+
+/// Immutable per-universe state: interned names, similarity store, PCSA
+/// sketches (inside the [`QefContext`]), and registered QEFs.
+///
+/// Constructed only by [`MubeBuilder`](crate::MubeBuilder); consumers hold
+/// it as `Arc<UniverseSnapshot>` and share it freely across threads.
+pub struct UniverseSnapshot {
+    /// QEF evaluation context; owns the `Arc<Universe>` and the sketches.
+    ctx: QefContext,
+    /// Precomputed all-pairs attribute similarity.
+    sim: MatrixSimilarity,
+    /// Registered QEFs (built-ins first, then user registrations). Bindings
+    /// refer to these by index, so the order is fixed at build time.
+    qefs: Vec<Box<dyn Qef>>,
+}
+
+impl UniverseSnapshot {
+    pub(crate) fn new(ctx: QefContext, sim: MatrixSimilarity, qefs: Vec<Box<dyn Qef>>) -> Self {
+        Self { ctx, sim, qefs }
+    }
+
+    /// The snapshot's universe.
+    pub fn universe(&self) -> &Universe {
+        self.ctx.universe()
+    }
+
+    /// A shared handle to the universe.
+    pub fn universe_arc(&self) -> Arc<Universe> {
+        self.ctx.universe_arc()
+    }
+
+    /// The QEF evaluation context (sketches, characteristic ranges).
+    pub fn context(&self) -> &QefContext {
+        &self.ctx
+    }
+
+    /// The precomputed attribute similarity store.
+    pub fn similarity(&self) -> &MatrixSimilarity {
+        &self.sim
+    }
+
+    /// The registered QEFs, in registration order (built-ins first).
+    pub fn qefs(&self) -> &[Box<dyn Qef>] {
+        &self.qefs
+    }
+
+    /// One registered QEF by index. Panics on out-of-range indices, which
+    /// cannot happen for indices minted by binding resolution against this
+    /// snapshot (bindings and snapshot are created together and the QEF
+    /// list never changes afterwards).
+    pub(crate) fn qef(&self, index: usize) -> &dyn Qef {
+        self.qefs[index].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Compile-time guarantee backing the multi-tenant design: one snapshot,
+    // many threads. (The public assertion test in `tests/` re-checks this
+    // from outside the crate.)
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UniverseSnapshot>();
+        assert_send_sync::<Arc<UniverseSnapshot>>();
+    }
+}

@@ -59,6 +59,13 @@ pub struct SolveStats {
     /// including the case where a session requested warm restarts but the
     /// configured solver does not support them.
     pub warm_start: bool,
+    /// Whether the solve was cut short by a
+    /// [`CancelToken`](crate::CancelToken): the solution is the honest
+    /// best incumbent at the stop point (audited like any other), and the
+    /// effort counters cover only the work actually done. Always `false`
+    /// for runs that completed — an armed token that never fires changes
+    /// nothing.
+    pub cancelled: bool,
     /// For portfolio solves, the name of the member solver that produced
     /// the solution; `None` for single-solver runs.
     pub portfolio_member: Option<&'static str>,

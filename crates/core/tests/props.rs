@@ -41,7 +41,7 @@ proptest! {
         let spec_b = ProblemSpec::new(n).with_weights(defaults.perturbed(&factors_b).unwrap());
 
         // Warm the arena under weights A.
-        let arena = EvalArena::new();
+        let arena = std::sync::Arc::new(EvalArena::new());
         {
             let obj_a = mube.objective_in(&spec_a, &arena).unwrap();
             for s in &subsets {

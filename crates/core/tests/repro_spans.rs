@@ -34,7 +34,7 @@ fn feasibility_only_reuse_diverges_from_cold_on_spans() {
     let s = Subset::from_indices(n, [0, 1, 2]);
 
     let spec_a = ProblemSpec::new(n).with_theta(0.5);
-    let arena = EvalArena::new();
+    let arena = std::sync::Arc::new(EvalArena::new());
     {
         let obj = mube.objective_in(&spec_a, &arena).unwrap();
         let v = obj.evaluate(&s);

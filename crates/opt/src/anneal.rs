@@ -37,7 +37,8 @@ impl Default for SimulatedAnnealing {
 
 impl Solver for SimulatedAnnealing {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
-        run_counted(problem, seed, |counted, rng| {
+        let mut was_cancelled = false;
+        let mut result = run_counted(problem, seed, |counted, rng| {
             let mut current = random_start(counted, rng);
             let mut current_obj = counted.evaluate(&current);
             let mut best = current.clone();
@@ -47,6 +48,11 @@ impl Solver for SimulatedAnnealing {
             let mut iters = 0u64;
 
             for _ in 0..self.max_iters {
+                // Step boundary: stop with the incumbent on cancellation.
+                if counted.cancelled() {
+                    was_cancelled = true;
+                    break;
+                }
                 iters += 1;
                 let moves = sample_moves(counted, &current, 1, rng);
                 let Some(mv) = moves.first().copied() else {
@@ -76,7 +82,9 @@ impl Solver for SimulatedAnnealing {
                 trajectory.push(best_obj);
             }
             (best, best_obj, iters, trajectory)
-        })
+        });
+        result.cancelled = was_cancelled;
+        result
     }
 
     fn name(&self) -> &'static str {

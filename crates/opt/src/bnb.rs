@@ -197,6 +197,7 @@ impl Solver for BranchAndBound {
         let mut nodes_pruned = 0u64;
         let mut trajectory = vec![incumbent];
         let mut gap = 0.0f64;
+        let mut was_cancelled = false;
 
         if !free.is_empty() && root_in.len() < m {
             let bound = self.node_bound(&counted, &root_in, &root_out, 0, incumbent);
@@ -221,6 +222,13 @@ impl Solver for BranchAndBound {
                 break;
             }
             if nodes_expanded >= self.node_budget {
+                gap = (top_bound - incumbent).max(0.0);
+                break;
+            }
+            // Node boundary: a cancellation stops the search exactly like an
+            // exhausted node budget, with the same honestly certified gap.
+            if counted.cancelled() {
+                was_cancelled = true;
                 gap = (top_bound - incumbent).max(0.0);
                 break;
             }
@@ -320,6 +328,7 @@ impl Solver for BranchAndBound {
             gap: Some(gap),
             nodes_expanded,
             nodes_pruned,
+            cancelled: was_cancelled,
         }
     }
 

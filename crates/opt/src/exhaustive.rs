@@ -28,7 +28,8 @@ impl Default for Exhaustive {
 
 impl Solver for Exhaustive {
     fn solve(&self, problem: &dyn SubsetProblem, _seed: u64) -> SolveResult {
-        run_counted(problem, 0, |counted, _rng| {
+        let mut was_cancelled = false;
+        let mut result = run_counted(problem, 0, |counted, _rng| {
             let n = counted.universe_size();
             let pins: Vec<usize> = counted.pinned().to_vec();
             let m = counted.max_selected();
@@ -43,6 +44,12 @@ impl Solver for Exhaustive {
             // Depth-first enumeration of free-item combinations up to
             // `budget` additional items.
             while let Some((start, base)) = stack.pop() {
+                // Batch boundary (one expansion of a base subset): stop
+                // with the incumbent on cancellation.
+                if counted.cancelled() {
+                    was_cancelled = true;
+                    break;
+                }
                 if base.len() >= pins.len() + budget {
                     continue;
                 }
@@ -64,7 +71,9 @@ impl Solver for Exhaustive {
             }
             let traj = vec![best_obj];
             (best, best_obj, candidates, traj)
-        })
+        });
+        result.cancelled = was_cancelled;
+        result
     }
 
     fn name(&self) -> &'static str {

@@ -21,6 +21,7 @@ pub struct Greedy {
 
 impl Solver for Greedy {
     fn solve(&self, problem: &dyn SubsetProblem, _seed: u64) -> SolveResult {
+        let mut was_cancelled = false;
         let mut result = run_counted(problem, 0, |counted, _rng| {
             let n = counted.universe_size();
             let mut current = Subset::from_indices(n, counted.pinned().iter().copied());
@@ -29,6 +30,11 @@ impl Solver for Greedy {
             let mut iters = 0u64;
 
             while current.len() < counted.max_selected() {
+                // Round boundary: stop with the incumbent on cancellation.
+                if counted.cancelled() {
+                    was_cancelled = true;
+                    break;
+                }
                 iters += 1;
                 // Propose every single-item extension, evaluate the whole
                 // round as one batch, then take the first maximum.
@@ -59,6 +65,7 @@ impl Solver for Greedy {
             (current, current_obj, iters, trajectory)
         });
         result.batch_width = self.batch.width();
+        result.cancelled = was_cancelled;
         result
     }
 

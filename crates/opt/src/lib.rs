@@ -25,6 +25,7 @@
 pub mod anneal;
 pub mod batch;
 pub mod bnb;
+pub mod cancel;
 pub mod exhaustive;
 pub mod greedy;
 pub mod lp;
@@ -41,6 +42,7 @@ pub mod tabu;
 pub use anneal::SimulatedAnnealing;
 pub use batch::BatchEvaluator;
 pub use bnb::BranchAndBound;
+pub use cancel::CancelToken;
 pub use exhaustive::Exhaustive;
 pub use greedy::Greedy;
 pub use lp::{

@@ -214,7 +214,14 @@ impl Portfolio {
                         };
                         let r = solver.solve(problem, derive_seed(seed, idx, round));
                         incumbent.offer(&r.best, r.objective);
+                        let stop = r.cancelled;
                         results.push(r);
+                        // Round boundary: a cancelled member run means the
+                        // token fired — later rounds would only spin through
+                        // their own immediate cancellation checks.
+                        if stop {
+                            break;
+                        }
                     }
                     lock_unpoisoned(posted).push((idx, results));
                 });
@@ -227,6 +234,10 @@ impl Portfolio {
             .iter()
             .flat_map(|(_, rs)| rs.iter().map(|r| r.evaluations))
             .sum();
+        // The portfolio ran cancelled if any member round did: the winning
+        // round itself may have completed before the token fired, but the
+        // race as a whole was cut short.
+        let any_cancelled = posted.iter().any(|(_, rs)| rs.iter().any(|r| r.cancelled));
         // Winner: best objective across every member round; ties go to the
         // lowest member index, then the earliest round (configuration order
         // — deterministic regardless of thread finishing order).
@@ -272,6 +283,7 @@ impl Portfolio {
                     evaluations: total_evals,
                     winner: Some(self.members[idx].name()),
                     batch_width: self.members.len(),
+                    cancelled: any_cancelled,
                     ..r
                 }
             }
@@ -286,6 +298,7 @@ impl Portfolio {
                 gap: None,
                 nodes_expanded: 0,
                 nodes_pruned: 0,
+                cancelled: any_cancelled,
             },
         };
         PortfolioOutcome { result, members }

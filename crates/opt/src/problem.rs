@@ -71,6 +71,20 @@ pub trait SubsetProblem: Sync {
     ) -> Option<(LpProblem, f64)> {
         None
     }
+
+    /// Whether the caller has requested that the current solve stop early
+    /// (see [`crate::CancelToken`]). Solvers poll this at round / node /
+    /// batch boundaries; when it returns `true` they abandon further search
+    /// and return their best incumbent with
+    /// [`crate::SolveResult::cancelled`] set. A problem that is never
+    /// cancellable simply keeps the default `false`.
+    ///
+    /// Polling is observation-only: a check that returns `false` must not
+    /// change anything about the search, so runs that complete are
+    /// bit-identical with or without a token attached.
+    fn cancelled(&self) -> bool {
+        false
+    }
 }
 
 /// Wraps a problem and counts objective evaluations, used by experiments to
@@ -123,6 +137,10 @@ impl<P: SubsetProblem + ?Sized> SubsetProblem for CountingProblem<'_, P> {
 
     fn lp_relaxation(&self, decided_in: &Subset, decided_out: &Subset) -> Option<(LpProblem, f64)> {
         self.inner.lp_relaxation(decided_in, decided_out)
+    }
+
+    fn cancelled(&self) -> bool {
+        self.inner.cancelled()
     }
 }
 

@@ -80,6 +80,7 @@ fn repair(problem: &dyn SubsetProblem, desired: &[bool], velocity: &[f64]) -> Su
 
 impl Solver for BinaryPso {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
+        let mut was_cancelled = false;
         let mut result = run_counted(problem, seed, |counted, rng| {
             let n = counted.universe_size();
             let mut velocities: Vec<Vec<f64>> = (0..self.particles)
@@ -107,6 +108,12 @@ impl Solver for BinaryPso {
             let mut iters = 0u64;
 
             for _ in 0..self.generations {
+                // Generation boundary: stop with the incumbent gbest on a
+                // fired cancellation.
+                if counted.cancelled() {
+                    was_cancelled = true;
+                    break;
+                }
                 iters += 1;
                 // Generation step: update every velocity against the
                 // *previous* generation's gbest and sample the desired
@@ -154,6 +161,7 @@ impl Solver for BinaryPso {
             (gbest, gbest_obj, iters, trajectory)
         });
         result.batch_width = self.batch.width();
+        result.cancelled = was_cancelled;
         result
     }
 

@@ -22,14 +22,22 @@ impl Default for RandomSearch {
 
 impl Solver for RandomSearch {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
-        run_counted(problem, seed, |counted, rng| {
+        let mut was_cancelled = false;
+        let mut result = run_counted(problem, seed, |counted, rng| {
             let n = counted.universe_size();
             let pins: Vec<usize> = counted.pinned().to_vec();
             let m = counted.max_selected();
             let mut best = Subset::from_indices(n, pins.iter().copied());
             let mut best_obj = counted.evaluate(&best);
             let mut trajectory = Vec::with_capacity(self.samples as usize);
+            let mut sampled = 0u64;
             for _ in 0..self.samples {
+                // Sample boundary: stop with the incumbent on cancellation.
+                if counted.cancelled() {
+                    was_cancelled = true;
+                    break;
+                }
+                sampled += 1;
                 // Vary the subset size uniformly in [max(1, pins), m].
                 let lo = pins.len().max(1).min(m);
                 let k = rng.gen_range(lo..=m.min(n));
@@ -42,8 +50,10 @@ impl Solver for RandomSearch {
                 }
                 trajectory.push(best_obj);
             }
-            (best, best_obj, self.samples, trajectory)
-        })
+            (best, best_obj, sampled, trajectory)
+        });
+        result.cancelled = was_cancelled;
+        result
     }
 
     fn name(&self) -> &'static str {

@@ -39,6 +39,7 @@ impl Default for StochasticLocalSearch {
 
 impl Solver for StochasticLocalSearch {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
+        let mut was_cancelled = false;
         let mut result = run_counted(problem, seed, |counted, rng| {
             let mut best = if let Some(items) = &self.warm_start {
                 let n = counted.universe_size();
@@ -59,7 +60,7 @@ impl Solver for StochasticLocalSearch {
             let mut trajectory = Vec::new();
             let mut iters = 0u64;
 
-            for restart in 0..self.restarts {
+            'restarts: for restart in 0..self.restarts {
                 let mut current = if restart == 0 {
                     best.clone()
                 } else {
@@ -67,6 +68,12 @@ impl Solver for StochasticLocalSearch {
                 };
                 let mut current_obj = counted.evaluate(&current);
                 for _ in 0..self.max_steps {
+                    // Step boundary: a fired cancellation abandons this and
+                    // every remaining restart, keeping the incumbent.
+                    if counted.cancelled() {
+                        was_cancelled = true;
+                        break 'restarts;
+                    }
                     iters += 1;
                     let moves = sample_moves(counted, &current, self.neighborhood_sample, rng);
                     // Best-improvement: propose the whole sample, evaluate
@@ -100,6 +107,7 @@ impl Solver for StochasticLocalSearch {
             (best, best_obj, iters, trajectory)
         });
         result.batch_width = self.batch.width();
+        result.cancelled = was_cancelled;
         result
     }
 

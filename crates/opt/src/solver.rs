@@ -41,6 +41,12 @@ pub struct SolveResult {
     /// Branch-and-bound nodes pruned by bound or dominance (0 for
     /// non-tree solvers).
     pub nodes_pruned: u64,
+    /// Whether the solver stopped early because the problem reported a
+    /// cancellation request (see [`crate::CancelToken`]). `best` is then
+    /// the honest incumbent at the stop point — feasible whenever any
+    /// feasible candidate had been seen. Runs that complete normally (even
+    /// with a token attached) always report `false`.
+    pub cancelled: bool,
 }
 
 impl SolveResult {
@@ -140,6 +146,7 @@ where
         gap: None,
         nodes_expanded: 0,
         nodes_pruned: 0,
+        cancelled: false,
     }
 }
 
@@ -217,6 +224,7 @@ mod tests {
             gap: None,
             nodes_expanded: 0,
             nodes_pruned: 0,
+            cancelled: false,
         }
     }
 

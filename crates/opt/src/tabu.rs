@@ -120,6 +120,7 @@ impl TabuSearch {
 
 impl Solver for TabuSearch {
     fn solve(&self, problem: &dyn SubsetProblem, seed: u64) -> SolveResult {
+        let mut was_cancelled = false;
         let mut result = run_counted(problem, seed, |counted, rng| {
             let n = counted.universe_size();
             let (max_iters, stall_limit) =
@@ -157,6 +158,13 @@ impl Solver for TabuSearch {
             let mut iters = 0u64;
 
             for iter in 0..max_iters {
+                // Round boundary: a fired cancellation stops the search
+                // here, keeping the incumbent found so far. An unfired
+                // check changes nothing about the trajectory.
+                if counted.cancelled() {
+                    was_cancelled = true;
+                    break;
+                }
                 iters = iter + 1;
                 let moves =
                     sample_moves_biased(counted, &current, sample, rng, preference.as_deref());
@@ -213,6 +221,7 @@ impl Solver for TabuSearch {
             (best, best_obj, iters, trajectory)
         });
         result.batch_width = self.batch.width();
+        result.cancelled = was_cancelled;
         result
     }
 

@@ -54,7 +54,7 @@ impl Aggregation {
         self,
         characteristic: &str,
         selection: &SourceSelection,
-        ctx: &QefContext<'_>,
+        ctx: &QefContext,
     ) -> f64 {
         if selection.is_empty() {
             return 0.0;
@@ -105,11 +105,7 @@ impl Aggregation {
     /// `possible` set or an undeclared characteristic can only ever score
     /// `0.0`; a constant characteristic (`max == min`) scores `1.0` for
     /// any non-empty selection, so the bound is `1.0`.
-    pub fn upper_bound(
-        characteristic: &str,
-        possible: &SourceSelection,
-        ctx: &QefContext<'_>,
-    ) -> f64 {
+    pub fn upper_bound(characteristic: &str, possible: &SourceSelection, ctx: &QefContext) -> f64 {
         if possible.is_empty() {
             return 0.0;
         }
@@ -171,7 +167,7 @@ mod tests {
     #[test]
     fn wsum_weights_by_cardinality() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         // a (norm 0, card 100) + b (norm 1, card 900): wsum = 900/1000.
         let v = Aggregation::WeightedSum.evaluate("mttf", &sel(&u, &[0, 1]), &ctx);
         assert!((v - 0.9).abs() < 1e-12, "got {v}");
@@ -180,7 +176,7 @@ mod tests {
     #[test]
     fn mean_ignores_cardinality() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         let v = Aggregation::Mean.evaluate("mttf", &sel(&u, &[0, 1]), &ctx);
         assert!((v - 0.5).abs() < 1e-12);
     }
@@ -188,7 +184,7 @@ mod tests {
     #[test]
     fn min_and_max() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         assert_eq!(
             Aggregation::Min.evaluate("mttf", &sel(&u, &[1, 2]), &ctx),
             0.5
@@ -202,7 +198,7 @@ mod tests {
     #[test]
     fn empty_selection_is_zero() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         for agg in [
             Aggregation::WeightedSum,
             Aggregation::Mean,
@@ -216,7 +212,7 @@ mod tests {
     #[test]
     fn unknown_characteristic_is_zero() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         assert_eq!(
             Aggregation::WeightedSum.evaluate("fee", &sel(&u, &[0, 1]), &ctx),
             0.0
@@ -235,7 +231,7 @@ mod tests {
             )
             .unwrap();
         }
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         assert_eq!(
             Aggregation::WeightedSum.evaluate("fee", &sel(&u, &[0, 1]), &ctx),
             1.0
@@ -265,7 +261,7 @@ mod tests {
                 .cardinality(10),
         )
         .unwrap();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         let v = Aggregation::Mean.evaluate(
             "mttf",
             &SourceSelection::from_ids(3, [SourceId(0), SourceId(2)]),
@@ -277,7 +273,7 @@ mod tests {
     #[test]
     fn upper_bound_dominates_every_aggregation_and_subset() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         let possible = sel(&u, &[0, 1, 2]);
         let cap = Aggregation::upper_bound("mttf", &possible, &ctx);
         assert!((cap - 1.0).abs() < 1e-12, "max norm over all three is 1.0");
@@ -305,7 +301,7 @@ mod tests {
     #[test]
     fn upper_bound_degenerate_conventions_mirror_evaluate() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u.clone()));
         assert_eq!(Aggregation::upper_bound("mttf", &sel(&u, &[]), &ctx), 0.0);
         assert_eq!(
             Aggregation::upper_bound("fee", &sel(&u, &[0, 1]), &ctx),
@@ -322,7 +318,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        let cctx = QefContext::without_sketches(&constant);
+        let cctx = QefContext::without_sketches(std::sync::Arc::new(constant.clone()));
         assert_eq!(
             Aggregation::upper_bound("fee", &sel(&constant, &[0]), &cctx),
             1.0

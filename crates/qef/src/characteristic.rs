@@ -41,7 +41,7 @@ impl CharacteristicQef {
 
     /// Admissible upper bound on this QEF over every sub-selection of
     /// `possible` (see [`Aggregation::upper_bound`]).
-    pub fn upper_bound(&self, possible: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+    pub fn upper_bound(&self, possible: &SourceSelection, ctx: &QefContext) -> f64 {
         Aggregation::upper_bound(&self.characteristic, possible, ctx)
     }
 }
@@ -51,7 +51,7 @@ impl Qef for CharacteristicQef {
         &self.name
     }
 
-    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext) -> f64 {
         self.aggregation
             .evaluate(&self.characteristic, selection, ctx)
     }
@@ -79,7 +79,7 @@ mod tests {
                 .characteristic("latency", 20.0),
         )
         .unwrap();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u));
         let qef = CharacteristicQef::new("latency", Aggregation::Max);
         assert_eq!(qef.name(), "latency");
         assert_eq!(qef.characteristic(), "latency");

@@ -2,6 +2,7 @@
 //! signatures and characteristic ranges.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mube_pcsa::PcsaSketch;
 use mube_schema::{SourceId, SourceSelection, Universe};
@@ -13,8 +14,12 @@ use mube_schema::{SourceId, SourceSelection, Universe};
 /// µBE"; sources that do not cooperate simply have no signature and are
 /// "assigned 0 coverage and redundancy QEFs" (their tuples contribute
 /// nothing to union estimates).
-pub struct QefContext<'a> {
-    universe: &'a Universe,
+///
+/// The context *owns* a shared handle to its universe (an
+/// [`Arc<Universe>`]), so it carries no lifetime and can live inside
+/// long-lived, thread-shared snapshots.
+pub struct QefContext {
+    universe: Arc<Universe>,
     /// Per source id: the cached PCSA signature, `None` for uncooperative
     /// sources.
     sketches: Vec<Option<PcsaSketch>>,
@@ -28,14 +33,14 @@ pub struct QefContext<'a> {
     char_ranges: BTreeMap<String, (f64, f64)>,
 }
 
-impl<'a> QefContext<'a> {
+impl QefContext {
     /// Builds a context from per-source signatures. `sketches[i]` must be
     /// the signature of source `i`, or `None` if that source does not
     /// cooperate.
     ///
     /// # Panics
     /// Panics if `sketches.len()` differs from the universe size.
-    pub fn new(universe: &'a Universe, sketches: Vec<Option<PcsaSketch>>) -> Self {
+    pub fn new(universe: Arc<Universe>, sketches: Vec<Option<PcsaSketch>>) -> Self {
         assert_eq!(
             sketches.len(),
             universe.len(),
@@ -73,13 +78,19 @@ impl<'a> QefContext<'a> {
 
     /// A context with no cooperating sources: data QEFs all evaluate to 0,
     /// matching the paper's degraded mode.
-    pub fn without_sketches(universe: &'a Universe) -> Self {
-        Self::new(universe, vec![None; universe.len()])
+    pub fn without_sketches(universe: Arc<Universe>) -> Self {
+        let len = universe.len();
+        Self::new(universe, vec![None; len])
     }
 
     /// The universe.
     pub fn universe(&self) -> &Universe {
-        self.universe
+        &self.universe
+    }
+
+    /// A cloneable shared handle to the universe.
+    pub fn universe_arc(&self) -> Arc<Universe> {
+        Arc::clone(&self.universe)
     }
 
     /// The cached signature of one source.
@@ -162,7 +173,7 @@ mod tests {
     #[test]
     fn union_estimates_reflect_overlap() {
         let (u, sketches) = universe_with_sketches();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         let both = SourceSelection::full(2);
         let only_a = SourceSelection::from_ids(2, [SourceId(0)]);
         // Universe distinct = 2500; source a distinct = 1000.
@@ -174,7 +185,7 @@ mod tests {
     #[test]
     fn selected_cardinality_sums_tuples() {
         let (u, sketches) = universe_with_sketches();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         assert_eq!(ctx.selected_cardinality(&SourceSelection::full(2)), 3000);
         assert_eq!(
             ctx.selected_cardinality(&SourceSelection::from_ids(2, [SourceId(1)])),
@@ -185,7 +196,7 @@ mod tests {
     #[test]
     fn characteristic_ranges() {
         let (u, sketches) = universe_with_sketches();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         assert_eq!(ctx.characteristic_range("mttf"), Some((50.0, 150.0)));
         assert_eq!(ctx.characteristic_range("fee"), None);
     }
@@ -194,7 +205,7 @@ mod tests {
     fn uncooperative_sources_contribute_nothing() {
         let (u, mut sketches) = universe_with_sketches();
         sketches[1] = None;
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         let both = SourceSelection::full(2);
         // Union over both = union over a only.
         let only_a = SourceSelection::from_ids(2, [SourceId(0)]);
@@ -206,7 +217,7 @@ mod tests {
     fn union_fast_paths_match_slow_merge() {
         let (u, mut sketches) = universe_with_sketches();
         sketches[1] = None;
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         // {0} contains every cooperating source -> the superset fast path
         // must return universe_union bit-for-bit.
         let only_a = SourceSelection::from_ids(2, [SourceId(0)]);
@@ -223,7 +234,7 @@ mod tests {
     #[test]
     fn without_sketches_mode() {
         let (u, _) = universe_with_sketches();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u));
         assert_eq!(ctx.universe_union(), 0.0);
         assert_eq!(ctx.union_estimate(&SourceSelection::full(2)), 0.0);
     }
@@ -232,6 +243,6 @@ mod tests {
     #[should_panic(expected = "one sketch slot per source")]
     fn sketch_count_mismatch_panics() {
         let (u, _) = universe_with_sketches();
-        QefContext::new(&u, vec![None]);
+        QefContext::new(std::sync::Arc::new(u), vec![None]);
     }
 }

@@ -21,9 +21,9 @@ use crate::qef::Qef;
 /// let mut u = Universe::new();
 /// u.add_source(SourceBuilder::new("a").attributes(["x"]).characteristic("mttf", 50.0)).unwrap();
 /// u.add_source(SourceBuilder::new("b").attributes(["x"]).characteristic("mttf", 200.0)).unwrap();
-/// let ctx = QefContext::without_sketches(&u);
+/// let ctx = QefContext::without_sketches(std::sync::Arc::new(u));
 ///
-/// let floor = FnQef::new("mttf-floor", |sel: &SourceSelection, ctx: &QefContext<'_>| {
+/// let floor = FnQef::new("mttf-floor", |sel: &SourceSelection, ctx: &QefContext| {
 ///     let (lo, hi) = ctx.characteristic_range("mttf").unwrap_or((0.0, 1.0));
 ///     sel.iter()
 ///         .filter_map(|id| ctx.universe().expect_source(id).characteristic("mttf"))
@@ -40,7 +40,7 @@ pub struct FnQef<F> {
 
 impl<F> FnQef<F>
 where
-    F: Fn(&SourceSelection, &QefContext<'_>) -> f64 + Send + Sync,
+    F: Fn(&SourceSelection, &QefContext) -> f64 + Send + Sync,
 {
     /// Wraps `f` as a QEF named `name`.
     pub fn new(name: impl Into<String>, f: F) -> Self {
@@ -53,13 +53,13 @@ where
 
 impl<F> Qef for FnQef<F>
 where
-    F: Fn(&SourceSelection, &QefContext<'_>) -> f64 + Send + Sync,
+    F: Fn(&SourceSelection, &QefContext) -> f64 + Send + Sync,
 {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext) -> f64 {
         (self.f)(selection, ctx).clamp(0.0, 1.0)
     }
 }
@@ -81,13 +81,10 @@ mod tests {
     #[test]
     fn closure_is_invoked_with_context() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
-        let qef = FnQef::new(
-            "half-mass",
-            |sel: &SourceSelection, ctx: &QefContext<'_>| {
-                ctx.selected_cardinality(sel) as f64 / ctx.universe().total_cardinality() as f64
-            },
-        );
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u));
+        let qef = FnQef::new("half-mass", |sel: &SourceSelection, ctx: &QefContext| {
+            ctx.selected_cardinality(sel) as f64 / ctx.universe().total_cardinality() as f64
+        });
         assert_eq!(qef.name(), "half-mass");
         let only_b = SourceSelection::from_ids(2, [SourceId(1)]);
         assert!((qef.evaluate(&only_b, &ctx) - 0.9).abs() < 1e-12);
@@ -96,9 +93,9 @@ mod tests {
     #[test]
     fn out_of_range_values_are_clamped() {
         let u = universe();
-        let ctx = QefContext::without_sketches(&u);
-        let too_big = FnQef::new("big", |_: &SourceSelection, _: &QefContext<'_>| 7.0);
-        let negative = FnQef::new("neg", |_: &SourceSelection, _: &QefContext<'_>| -3.0);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u));
+        let too_big = FnQef::new("big", |_: &SourceSelection, _: &QefContext| 7.0);
+        let negative = FnQef::new("neg", |_: &SourceSelection, _: &QefContext| -3.0);
         let sel = SourceSelection::empty(2);
         assert_eq!(too_big.evaluate(&sel, &ctx), 1.0);
         assert_eq!(negative.evaluate(&sel, &ctx), 0.0);

@@ -15,7 +15,7 @@ impl Qef for CardinalityQef {
         "cardinality"
     }
 
-    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext) -> f64 {
         let total = ctx.universe().total_cardinality();
         if total == 0 {
             return 0.0;
@@ -32,7 +32,7 @@ impl Qef for CardinalityQef {
     /// independently of the rest of the selection. (The gains sum to the
     /// same value `evaluate` computes up to float associativity — bound
     /// consumers must budget summation-order slack, not bit-identity.)
-    fn modular(&self, ctx: &QefContext<'_>) -> Option<Vec<f64>> {
+    fn modular(&self, ctx: &QefContext) -> Option<Vec<f64>> {
         let universe = ctx.universe();
         let total = universe.total_cardinality();
         if total == 0 {
@@ -59,7 +59,7 @@ impl Qef for CoverageQef {
         "coverage"
     }
 
-    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext) -> f64 {
         let denom = ctx.universe_union();
         if denom <= 0.0 {
             return 0.0;
@@ -105,7 +105,7 @@ impl Qef for RedundancyQef {
         "redundancy"
     }
 
-    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64 {
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext) -> f64 {
         let k = selection.len();
         if k <= 1 {
             return 1.0;
@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn cardinality_is_tuple_fraction() {
         let (u, sketches) = setup();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         assert!((CardinalityQef.evaluate(&sel(&[0]), &ctx) - 1.0 / 3.0).abs() < 1e-12);
         assert!((CardinalityQef.evaluate(&sel(&[0, 1, 2]), &ctx) - 1.0).abs() < 1e-12);
         assert_eq!(CardinalityQef.evaluate(&sel(&[]), &ctx), 0.0);
@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn coverage_counts_distinct_not_total() {
         let (u, sketches) = setup();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         // Universe distinct = 20k. a+b covers 10k distinct (~0.5); a+c
         // covers all 20k (~1.0).
         let ab = CoverageQef.evaluate(&sel(&[0, 1]), &ctx);
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn redundancy_rewards_disjoint_sources() {
         let (u, sketches) = setup();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         let clones = RedundancyQef.evaluate(&sel(&[0, 1]), &ctx);
         let disjoint = RedundancyQef.evaluate(&sel(&[0, 2]), &ctx);
         // Tolerances follow the sketch's error envelope: a ±10% union
@@ -200,7 +200,7 @@ mod tests {
     #[test]
     fn redundancy_single_source_is_one() {
         let (u, sketches) = setup();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         assert_eq!(RedundancyQef.evaluate(&sel(&[2]), &ctx), 1.0);
         assert_eq!(RedundancyQef.evaluate(&sel(&[]), &ctx), 1.0);
     }
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn all_values_in_unit_interval() {
         let (u, sketches) = setup();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         for ids in [&[][..], &[0], &[1, 2], &[0, 1, 2]] {
             let s = sel(ids);
             for qef in [&CardinalityQef as &dyn Qef, &CoverageQef, &RedundancyQef] {
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn uncooperative_sources_zero_coverage() {
         let (u, _) = setup();
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u));
         assert_eq!(CoverageQef.evaluate(&sel(&[0, 1, 2]), &ctx), 0.0);
         // Redundancy with no signatures: distinct estimate 0 -> ratio 0 ->
         // worst-case 0 (paper: uncooperative sources get 0 redundancy).
@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn cardinality_modular_gains_recover_evaluate() {
         let (u, sketches) = setup();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         let gains = CardinalityQef.modular(&ctx).expect("Card is modular");
         assert_eq!(gains.len(), 3);
         for ids in [&[][..], &[0], &[1, 2], &[0, 1, 2]] {
@@ -247,7 +247,7 @@ mod tests {
     #[test]
     fn monotonicity_declarations_hold_on_chains() {
         let (u, sketches) = setup();
-        let ctx = QefContext::new(&u, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         assert!(CardinalityQef.monotone());
         assert!(CoverageQef.monotone());
         assert!(!RedundancyQef.monotone());

@@ -17,7 +17,7 @@ pub trait Qef: Send + Sync {
     fn name(&self) -> &str;
 
     /// Evaluates the QEF on a selection.
-    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext<'_>) -> f64;
+    fn evaluate(&self, selection: &SourceSelection, ctx: &QefContext) -> f64;
 
     /// Whether the QEF is *monotone non-decreasing* under selection growth:
     /// `S ⊆ T ⟹ F(S) ≤ F(T)`. A monotone QEF evaluated on the set of all
@@ -36,7 +36,7 @@ pub trait Qef: Send + Sync {
     /// (top-`k` gain packing respects the cardinality budget) and feeds the
     /// LP relaxation. Returning `Some` for a QEF that is not exactly
     /// modular breaks exactness; the default is `None`.
-    fn modular(&self, _ctx: &QefContext<'_>) -> Option<Vec<f64>> {
+    fn modular(&self, _ctx: &QefContext) -> Option<Vec<f64>> {
         None
     }
 }
@@ -52,7 +52,7 @@ mod tests {
             "constant"
         }
 
-        fn evaluate(&self, _selection: &SourceSelection, _ctx: &QefContext<'_>) -> f64 {
+        fn evaluate(&self, _selection: &SourceSelection, _ctx: &QefContext) -> f64 {
             self.0
         }
     }

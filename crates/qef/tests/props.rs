@@ -45,10 +45,11 @@ proptest! {
         mask in any::<u32>(),
     ) {
         let (u, sketches) = universe_with(&cards, overlap);
-        let ctx = QefContext::new(&u, sketches);
+        let n = u.len();
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         let selection = SourceSelection::from_ids(
-            u.len(),
-            (0..u.len()).filter(|i| mask & (1 << (i % 32)) != 0).map(|i| SourceId(i as u32)),
+            n,
+            (0..n).filter(|i| mask & (1 << (i % 32)) != 0).map(|i| SourceId(i as u32)),
         );
         let char_qef = CharacteristicQef::new("mttf", Aggregation::WeightedSum);
         for qef in [
@@ -68,13 +69,14 @@ proptest! {
         overlap in 0u64..1_000,
     ) {
         let (u, sketches) = universe_with(&cards, overlap);
-        let ctx = QefContext::new(&u, sketches);
+        let n = u.len();
+        let ctx = QefContext::new(std::sync::Arc::new(u), sketches);
         // Grow the selection one source at a time; Card and Coverage must
         // be non-decreasing.
-        let mut sel = SourceSelection::empty(u.len());
+        let mut sel = SourceSelection::empty(n);
         let mut prev_card = 0.0;
         let mut prev_cov = 0.0;
-        for i in 0..u.len() {
+        for i in 0..n {
             sel.insert(SourceId(i as u32));
             let card = CardinalityQef.evaluate(&sel, &ctx);
             let cov = CoverageQef.evaluate(&sel, &ctx);
@@ -93,10 +95,10 @@ proptest! {
     ) {
         let (u1, s1) = universe_with(&cards, 0);
         let (u2, s2) = universe_with(&cards, 900);
-        let ctx1 = QefContext::new(&u1, s1);
-        let ctx2 = QefContext::new(&u2, s2);
         let all1 = SourceSelection::full(u1.len());
         let all2 = SourceSelection::full(u2.len());
+        let ctx1 = QefContext::new(std::sync::Arc::new(u1), s1);
+        let ctx2 = QefContext::new(std::sync::Arc::new(u2), s2);
         let r_disjoint = RedundancyQef.evaluate(&all1, &ctx1);
         let r_overlap = RedundancyQef.evaluate(&all2, &ctx2);
         prop_assert!(
@@ -155,7 +157,7 @@ proptest! {
             )
             .unwrap();
         }
-        let ctx = QefContext::without_sketches(&u);
+        let ctx = QefContext::without_sketches(std::sync::Arc::new(u));
         let all = SourceSelection::full(4);
         for agg in [
             Aggregation::WeightedSum,

@@ -1,0 +1,446 @@
+//! The `mubed` wire protocol: newline-delimited JSON requests and
+//! responses.
+//!
+//! One request per line, one JSON object per request. Every request
+//! carries a client-chosen `"id"`; every response echoes it, so clients
+//! may pipeline (in particular: send `"solve"` and then `"cancel"`
+//! without waiting — solve responses arrive when the solve finishes,
+//! cancel acknowledgements arrive immediately).
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id": 1, "cmd": "create-session",
+//!  "max_sources": 4, "theta": 0.5, "seed": 7, "solver": "tabu",
+//!  "weights": {"matching": 0.5, "cardinality": 0.5}}
+//! {"id": 2, "cmd": "edit-constraints", "session": 0,
+//!  "require_source": ["en1"],
+//!  "adopt_ga": [[{"source": "en1", "attr": "first name"},
+//!                {"source": "fr1", "attr": "prenom"}]],
+//!  "weights": {...}, "theta": 0.6, "max_sources": 5}
+//! {"id": 3, "cmd": "solve", "session": 0}
+//! {"id": 4, "cmd": "cancel", "session": 0}
+//! {"id": 5, "cmd": "inspect", "session": 0}
+//! {"id": 6, "cmd": "diff", "session": 0}
+//! ```
+//!
+//! Responses are `{"id": N, "ok": true, ...}` or
+//! `{"id": N, "ok": false, "error": "..."}`. Solutions are rendered with
+//! both a human-readable `"quality"` and the exact `"quality_bits"` hex
+//! form, so transcript comparisons can assert bit-identity without
+//! parsing decimal floats.
+//!
+//! This module is pure data: parsing requests into typed [`Request`]
+//! values and rendering responses back to [`Json`]. Name resolution
+//! (source names → ids) happens in the host layer, which holds the
+//! universe.
+
+use crate::json::{obj, Json};
+use mube_core::{Solution, SolutionDiff};
+use mube_schema::{GlobalAttribute, Universe};
+
+/// One parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The decoded command.
+    pub command: Command,
+}
+
+/// The protocol commands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Start a new session over the host's shared snapshot.
+    CreateSession(SessionSpec),
+    /// Apply user-feedback edits to a session's problem spec.
+    EditConstraints {
+        /// Target session id.
+        session: u64,
+        /// Edits, in the fixed application order of [`Edit`].
+        edits: Vec<Edit>,
+    },
+    /// Run one iteration of a session (responds when the solve finishes).
+    Solve {
+        /// Target session id.
+        session: u64,
+    },
+    /// Stop a session's in-flight solve at its next checkpoint. This is
+    /// the one command that bypasses the session's command queue.
+    Cancel {
+        /// Target session id.
+        session: u64,
+    },
+    /// Report a session's spec, history length, and latest solution.
+    Inspect {
+        /// Target session id.
+        session: u64,
+    },
+    /// Diff the session's two most recent solutions.
+    Diff {
+        /// Target session id.
+        session: u64,
+    },
+}
+
+/// Parameters of a new session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Source budget `m`.
+    pub max_sources: usize,
+    /// Matching threshold θ.
+    pub theta: f64,
+    /// Base RNG seed for the session's iteration sequence.
+    pub seed: u64,
+    /// Solver name (`tabu`, `sa`, `pso`, `sls`, `greedy`, `random`,
+    /// `exhaustive`).
+    pub solver: String,
+    /// QEF weights; empty means the engine defaults.
+    pub weights: Vec<(String, f64)>,
+}
+
+/// One user-feedback edit. Edits inside a single `edit-constraints`
+/// request are applied in variant order (sources, GAs, weights, θ, `m`),
+/// so a request's effect does not depend on JSON member order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Pin a source (by name) into every future solution.
+    RequireSource(String),
+    /// Adopt a GA constraint given as `(source name, attribute name)`
+    /// pairs.
+    AdoptGa(Vec<(String, String)>),
+    /// Replace the QEF weights.
+    SetWeights(Vec<(String, f64)>),
+    /// Change the matching threshold θ.
+    SetTheta(f64),
+    /// Change the source budget `m`.
+    SetMaxSources(usize),
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+/// A human-readable description of the first defect found (bad JSON,
+/// missing/mistyped field, unknown command).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = Json::parse(line).map_err(|e| e.to_string())?;
+    let id = value
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("request needs a numeric \"id\"")?;
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("request needs a string \"cmd\"")?;
+    let command = match cmd {
+        "create-session" => Command::CreateSession(parse_session_spec(&value)?),
+        "edit-constraints" => Command::EditConstraints {
+            session: session_field(&value)?,
+            edits: parse_edits(&value)?,
+        },
+        "solve" => Command::Solve {
+            session: session_field(&value)?,
+        },
+        "cancel" => Command::Cancel {
+            session: session_field(&value)?,
+        },
+        "inspect" => Command::Inspect {
+            session: session_field(&value)?,
+        },
+        "diff" => Command::Diff {
+            session: session_field(&value)?,
+        },
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    Ok(Request { id, command })
+}
+
+fn session_field(value: &Json) -> Result<u64, String> {
+    value
+        .get("session")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "request needs a numeric \"session\"".to_owned())
+}
+
+fn parse_session_spec(value: &Json) -> Result<SessionSpec, String> {
+    let max_sources = match value.get("max_sources") {
+        None => 5,
+        Some(v) => v
+            .as_u64()
+            .ok_or("\"max_sources\" must be a non-negative integer")? as usize,
+    };
+    let theta = match value.get("theta") {
+        None => 0.75,
+        Some(v) => v.as_f64().ok_or("\"theta\" must be a number")?,
+    };
+    let seed = match value.get("seed") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?,
+    };
+    let solver = match value.get("solver") {
+        None => "tabu".to_owned(),
+        Some(v) => v.as_str().ok_or("\"solver\" must be a string")?.to_owned(),
+    };
+    let weights = match value.get("weights") {
+        None => Vec::new(),
+        Some(v) => parse_weights(v)?,
+    };
+    Ok(SessionSpec {
+        max_sources,
+        theta,
+        seed,
+        solver,
+        weights,
+    })
+}
+
+fn parse_weights(value: &Json) -> Result<Vec<(String, f64)>, String> {
+    let members = value.as_obj().ok_or("\"weights\" must be an object")?;
+    let mut out = Vec::with_capacity(members.len());
+    for (name, weight) in members {
+        let w = weight
+            .as_f64()
+            .ok_or_else(|| format!("weight {name:?} must be a number"))?;
+        out.push((name.clone(), w));
+    }
+    Ok(out)
+}
+
+/// Collects the edits present in an `edit-constraints` request, in the
+/// fixed application order.
+fn parse_edits(value: &Json) -> Result<Vec<Edit>, String> {
+    let mut edits = Vec::new();
+    if let Some(required) = value.get("require_source") {
+        let names: Vec<&Json> = match required {
+            Json::Arr(items) => items.iter().collect(),
+            single => vec![single],
+        };
+        for name in names {
+            let name = name
+                .as_str()
+                .ok_or("\"require_source\" entries must be strings")?;
+            edits.push(Edit::RequireSource(name.to_owned()));
+        }
+    }
+    if let Some(gas) = value.get("adopt_ga") {
+        let gas = gas.as_arr().ok_or("\"adopt_ga\" must be an array of GAs")?;
+        for ga in gas {
+            let members = ga
+                .as_arr()
+                .ok_or("each GA must be an array of {source, attr} objects")?;
+            let mut attrs = Vec::with_capacity(members.len());
+            for member in members {
+                let source = member
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or("GA member needs a string \"source\"")?;
+                let attr = member
+                    .get("attr")
+                    .and_then(Json::as_str)
+                    .ok_or("GA member needs a string \"attr\"")?;
+                attrs.push((source.to_owned(), attr.to_owned()));
+            }
+            edits.push(Edit::AdoptGa(attrs));
+        }
+    }
+    if let Some(weights) = value.get("weights") {
+        edits.push(Edit::SetWeights(parse_weights(weights)?));
+    }
+    if let Some(theta) = value.get("theta") {
+        let theta = theta.as_f64().ok_or("\"theta\" must be a number")?;
+        edits.push(Edit::SetTheta(theta));
+    }
+    if let Some(m) = value.get("max_sources") {
+        let m = m
+            .as_u64()
+            .ok_or("\"max_sources\" must be a non-negative integer")?;
+        edits.push(Edit::SetMaxSources(m as usize));
+    }
+    if edits.is_empty() {
+        return Err("edit-constraints carries no recognized edit".to_owned());
+    }
+    Ok(edits)
+}
+
+/// Renders a success response with extra members, as one protocol line.
+pub fn ok_response(id: u64, extra: Vec<(&'static str, Json)>) -> String {
+    let mut members = vec![("id", Json::Num(id as f64)), ("ok", Json::Bool(true))];
+    members.extend(extra);
+    obj(members).render()
+}
+
+/// Renders an error response, as one protocol line.
+pub fn error_response(id: u64, message: &str) -> String {
+    obj([
+        ("id", Json::Num(id as f64)),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_owned())),
+    ])
+    .render()
+}
+
+/// Renders one GA as an array of `"source.attr"` display strings.
+fn render_ga(universe: &Universe, ga: &GlobalAttribute) -> Json {
+    Json::Arr(
+        ga.attrs()
+            .map(|attr| {
+                let source = universe.source(attr.source).map_or("?", |s| s.name());
+                let name = universe.attr_name(attr).unwrap_or("?");
+                Json::Str(format!("{source}.{name}"))
+            })
+            .collect(),
+    )
+}
+
+/// Renders a solution for the wire: selected source names, quality (both
+/// decimal and exact bit pattern), effort counters, and the mediated
+/// schema's GAs.
+pub fn render_solution(universe: &Universe, solution: &Solution) -> Json {
+    let selected = Json::Arr(
+        solution
+            .selected
+            .iter()
+            .map(|id| {
+                Json::Str(
+                    universe
+                        .source(*id)
+                        .map_or_else(|| format!("{id}"), |s| s.name().to_owned()),
+                )
+            })
+            .collect(),
+    );
+    let gas = Json::Arr(
+        solution
+            .schema
+            .gas()
+            .iter()
+            .map(|ga| render_ga(universe, ga))
+            .collect(),
+    );
+    let qef_values = Json::Obj(
+        solution
+            .qef_values
+            .iter()
+            .map(|(name, (_, v))| (name.clone(), Json::Num(*v)))
+            .collect(),
+    );
+    obj([
+        ("selected", selected),
+        ("quality", Json::Num(solution.overall_quality)),
+        (
+            "quality_bits",
+            Json::Str(format!("{:016x}", solution.overall_quality.to_bits())),
+        ),
+        ("qef_values", qef_values),
+        ("schema", gas),
+        ("cancelled", Json::Bool(solution.stats.cancelled)),
+        ("warm_start", Json::Bool(solution.stats.warm_start)),
+        ("match_calls", Json::Num(solution.stats.match_calls as f64)),
+        ("evaluations", Json::Num(solution.stats.evaluations as f64)),
+    ])
+}
+
+/// Renders a solution diff for the wire.
+pub fn render_diff(universe: &Universe, diff: &SolutionDiff) -> Json {
+    let names = |ids: &[mube_schema::SourceId]| {
+        Json::Arr(
+            ids.iter()
+                .map(|id| {
+                    Json::Str(
+                        universe
+                            .source(*id)
+                            .map_or_else(|| format!("{id}"), |s| s.name().to_owned()),
+                    )
+                })
+                .collect(),
+        )
+    };
+    obj([
+        ("removed_sources", names(&diff.removed_sources)),
+        ("added_sources", names(&diff.added_sources)),
+        (
+            "removed_gas",
+            Json::Arr(
+                diff.removed_gas
+                    .iter()
+                    .map(|ga| render_ga(universe, ga))
+                    .collect(),
+            ),
+        ),
+        (
+            "added_gas",
+            Json::Arr(
+                diff.added_gas
+                    .iter()
+                    .map(|ga| render_ga(universe, ga))
+                    .collect(),
+            ),
+        ),
+        ("quality_delta", Json::Num(diff.quality_delta)),
+        ("unchanged", Json::Bool(diff.is_unchanged())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_session_with_defaults() {
+        let r = parse_request(r#"{"id": 1, "cmd": "create-session"}"#).unwrap();
+        assert_eq!(r.id, 1);
+        match r.command {
+            Command::CreateSession(spec) => {
+                assert_eq!(spec.max_sources, 5);
+                assert_eq!(spec.solver, "tabu");
+                assert!(spec.weights.is_empty());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_edit_constraints_in_fixed_order() {
+        let r = parse_request(
+            r#"{"id": 2, "cmd": "edit-constraints", "session": 0,
+                "theta": 0.6, "require_source": "en1",
+                "adopt_ga": [[{"source": "en1", "attr": "city"},
+                              {"source": "fr1", "attr": "ville"}]]}"#,
+        )
+        .unwrap();
+        match r.command {
+            Command::EditConstraints { session, edits } => {
+                assert_eq!(session, 0);
+                // Variant order, not JSON member order: sources, GAs, θ.
+                assert!(matches!(&edits[0], Edit::RequireSource(n) if n == "en1"));
+                assert!(matches!(&edits[1], Edit::AdoptGa(attrs) if attrs.len() == 2));
+                assert!(matches!(&edits[2], Edit::SetTheta(_)));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"cmd": "solve", "session": 0}"#,
+            r#"{"id": 1}"#,
+            r#"{"id": 1, "cmd": "frobnicate"}"#,
+            r#"{"id": 1, "cmd": "solve"}"#,
+            r#"{"id": 1, "cmd": "edit-constraints", "session": 0}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn responses_echo_the_id() {
+        let ok = ok_response(7, vec![("session", Json::Num(0.0))]);
+        assert_eq!(ok, r#"{"id":7,"ok":true,"session":0}"#);
+        let err = error_response(8, "boom");
+        assert_eq!(err, r#"{"error":"boom","id":8,"ok":false}"#);
+    }
+}

@@ -59,6 +59,10 @@ const DETERMINISM_SCOPE: &[&str] = &[
     "crates/qef/",
     "crates/similarity/",
     "crates/schema/",
+    // The session host replays protocol transcripts for bit-identity: a
+    // hash-order walk in JSON rendering or session dispatch would change
+    // response bytes run to run.
+    "crates/serve/",
 ];
 
 /// Crates allowed to read ambient entropy (wall clocks, env vars): the
@@ -71,6 +75,7 @@ pub const LOCK_REGISTRY: &[&str] = &[
     "crates/core/src/arena.rs",
     "crates/core/src/objective.rs",
     "crates/opt/src/portfolio.rs",
+    "crates/serve/src/host.rs",
 ];
 
 /// Methods whose call on a hash collection exposes nondeterministic

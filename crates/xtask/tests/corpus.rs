@@ -241,6 +241,65 @@ fn dropped_and_scoped_guards_are_clean() {
 }
 
 #[test]
+fn serve_host_is_lock_registered_and_disciplined() {
+    // The session host's registry mutex is the serve crate's only lock:
+    // its module is registered (declaring locks is legal there) but the
+    // discipline rules still apply — a double acquisition or a guard
+    // crossing a closure must fire exactly as in the shard stores.
+    let rel = "crates/serve/src/host.rs";
+    assert!(hits(rel, LOCK_REGISTRY_BAD, "lock-discipline").is_empty());
+    assert_eq!(
+        hits(rel, LOCK_DOUBLE_BAD, "lock-discipline"),
+        vec![12, 17, 23]
+    );
+    // Everywhere else in the crate, lock state is banned outright.
+    assert_eq!(
+        hits(
+            "crates/serve/src/json.rs",
+            LOCK_REGISTRY_BAD,
+            "lock-discipline"
+        ),
+        vec![3, 6, 12]
+    );
+}
+
+#[test]
+fn serve_crate_is_determinism_scoped_and_entropy_checked() {
+    // Protocol transcripts are compared byte for byte across runs: a
+    // hash-order walk in JSON rendering or a wall-clock read in the host
+    // would break that. The serve crate sits inside the determinism scope
+    // and outside the entropy exemption.
+    for rel in [
+        "crates/serve/src/json.rs",
+        "crates/serve/src/proto.rs",
+        "crates/serve/src/host.rs",
+    ] {
+        assert_eq!(
+            hits(rel, HASH_ITER_BAD, "no-hash-iter"),
+            vec![8, 11, 12, 19],
+            "{rel}"
+        );
+        assert_eq!(
+            hits(rel, FLOAT_ORD_BAD, "float-ord"),
+            vec![6, 9, 13, 17],
+            "{rel}"
+        );
+        assert_eq!(
+            hits(rel, ENTROPY_BAD, "no-ambient-entropy"),
+            vec![5, 6, 7, 12],
+            "{rel}"
+        );
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(rel);
+        assert!(
+            path.is_file(),
+            "{rel} moved without updating the lint scope test"
+        );
+    }
+}
+
+#[test]
 fn registry_paths_exist_in_the_workspace() {
     // A registry entry pointing at a renamed/removed file would silently
     // turn that module's discipline checks into mention-count checks.

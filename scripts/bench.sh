@@ -4,8 +4,9 @@
 #
 #   scripts/bench.sh           full run; rewrites BENCH_match.json,
 #                              BENCH_solve.json, BENCH_session.json,
-#                              BENCH_kernels.json, BENCH_bound.json and
-#                              BENCH_scale.json (all checked in)
+#                              BENCH_kernels.json, BENCH_bound.json,
+#                              BENCH_scale.json and BENCH_tenancy.json
+#                              (all checked in)
 #   scripts/bench.sh --smoke   tiny sizes, one rep; writes target/*.smoke.json
 #                              (not checked in) — wired into scripts/check.sh as a
 #                              cheap "the harness still runs end to end" gate.
@@ -35,6 +36,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
   cargo run --release -q -p mube-bench --bin sim_kernels -- --smoke --out target/BENCH_kernels.smoke.json
   cargo run --release -q -p mube-bench --bin bound_gap -- --smoke --out target/BENCH_bound.smoke.json
   cargo run --release -q -p mube-bench --bin scale_match -- --smoke --out target/BENCH_scale.smoke.json
+  cargo run --release -q -p mube-bench --bin tenancy -- --smoke --out target/BENCH_tenancy.smoke.json
 else
   cargo run --release -q -p mube-bench --bin match_kernel
   cargo run --release -q -p mube-bench --bin solve_portfolio
@@ -42,4 +44,5 @@ else
   cargo run --release -q -p mube-bench --bin sim_kernels
   cargo run --release -q -p mube-bench --bin bound_gap
   cargo run --release -q -p mube-bench --bin scale_match
+  cargo run --release -q -p mube-bench --bin tenancy
 fi

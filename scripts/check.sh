@@ -40,6 +40,14 @@ echo "    asserted in-bin, dense refused its budget, spill path exercised)"
 grep -q '"bit_identical": true' target/BENCH_scale.smoke.json
 grep -q '"dense_refused": true' target/BENCH_scale.smoke.json
 
+echo "==> tenancy smoke contracts (concurrent sessions bit-identical to serial"
+echo "    replay, arena counts session-local — asserted in-bin)"
+grep -q '"replay_bit_identical": true' target/BENCH_tenancy.smoke.json
+
+echo "==> mubed serving smoke (4 concurrent sessions under a cancel storm,"
+echo "    every history bit-identical to its serial cancel-free replay)"
+cargo run --release -q --bin mubed -- --smoke
+
 echo "==> committed kernel trajectory carries the full-run threshold verdict"
 grep -q '"meets_thresholds": true' BENCH_kernels.json
 
@@ -50,5 +58,8 @@ grep -q '"matches_exhaustive": true' BENCH_bound.json
 echo "==> committed scale trajectory certifies losslessness and the dense refusal"
 grep -q '"bit_identical": true' BENCH_scale.json
 grep -q '"dense_refused": true' BENCH_scale.json
+
+echo "==> committed tenancy trajectory certifies concurrent/serial bit-identity"
+grep -q '"replay_bit_identical": true' BENCH_tenancy.json
 
 echo "All checks passed."

@@ -55,6 +55,7 @@
 //! | [`opt`] | tabu search and the other solvers, subset-problem framework |
 //! | [`datagen`] | the paper's synthetic experimental universe (§7.1) |
 //! | [`core`] | the engine: objective, solve, iterative sessions |
+//! | [`serve`] | the `mubed` session host: concurrent sessions over one snapshot |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -67,6 +68,7 @@ pub use mube_opt as opt;
 pub use mube_pcsa as pcsa;
 pub use mube_qef as qef;
 pub use mube_schema as schema;
+pub use mube_serve as serve;
 pub use mube_similarity as similarity;
 
 /// One-stop imports for typical use.
@@ -74,8 +76,8 @@ pub mod prelude {
     pub use mube_baseline::{DeaBaseline, TopCardinality};
     pub use mube_cluster::{Linkage, MatchConfig};
     pub use mube_core::{
-        EvalArena, Mube, MubeBuilder, MubeError, ProblemSpec, Session, Solution, SolutionDiff,
-        SpecDelta,
+        CancelToken, EvalArena, Mube, MubeBuilder, MubeError, ProblemSpec, Session, Solution,
+        SolutionDiff, SpecDelta, UniverseSnapshot,
     };
     pub use mube_opt::{
         BatchEvaluator, BinaryPso, Exhaustive, Greedy, Portfolio, PortfolioMember,

@@ -1,0 +1,235 @@
+//! Multi-tenant hammer: many concurrent sessions over ONE shared
+//! snapshot, with interleaved edits, solves, and mid-solve cancels — the
+//! serving workload of `mubed`, exercised straight at the library API.
+//!
+//! 8 threads each drive 4 sessions (32 sessions total) round-robin over
+//! one engine handle, while a canceller thread hammers every session's
+//! cancel token for a bounded burst. The contract under test:
+//!
+//! * **(a) bit-identity** — each session's *completed* history equals a
+//!   fresh single-threaded, cancel-free replay of the same seed and edit
+//!   script, bit for bit (selection, quality bits, schema). Neither
+//!   concurrency nor cancellation may perturb what a session computes.
+//! * **(b) honest cancelled incumbents** — a cancelled iterate returns a
+//!   valid audited solution (finite quality, budget respected) without
+//!   entering the history.
+//! * **(c) arena locality** — each session's evaluation arena ends with
+//!   exactly the entries its own replay produces: no cross-session
+//!   bleed-through, and no garbage left behind by cancelled attempts
+//!   (their entries are a prefix of the retry's own).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+use mube::datagen::UniverseConfig;
+use mube::prelude::*;
+
+const THREADS: usize = 8;
+const SESSIONS_PER_THREAD: usize = 4;
+const ITERATIONS: usize = 3;
+const MAX_SOURCES: usize = 4;
+
+fn engine() -> Mube {
+    let universe = UniverseConfig::small_test(16, 7).generate().universe;
+    MubeBuilder::new(&universe).build()
+}
+
+fn seed_of(thread: usize, slot: usize) -> u64 {
+    (thread * SESSIONS_PER_THREAD + slot) as u64 * 3 + 1
+}
+
+/// The per-step edit script: weights nudge before iteration 2, source pin
+/// before iteration 3. Seed-keyed so sessions diverge.
+fn apply_edit(session: &mut Session, universe: &Universe, step: usize, seed: u64) {
+    match step {
+        1 => {
+            session.set_weights(
+                Weights::new([
+                    ("matching", 0.24),
+                    ("cardinality", 0.26),
+                    ("coverage", 0.2),
+                    ("redundancy", 0.15),
+                    ("mttf", 0.15),
+                ])
+                .unwrap(),
+            );
+        }
+        2 => {
+            let index = (seed as usize) % universe.len();
+            session.require_source(universe.sources()[index].id());
+        }
+        _ => {}
+    }
+}
+
+type Fingerprint = Vec<(Vec<SourceId>, u64, String)>;
+
+fn fingerprint(history: &[Solution]) -> Fingerprint {
+    history
+        .iter()
+        .map(|s| {
+            (
+                s.selected.clone(),
+                s.overall_quality.to_bits(),
+                s.schema.to_string(),
+            )
+        })
+        .collect()
+}
+
+/// Drives one thread's 4 sessions round-robin until each has ITERATIONS
+/// completed iterations, retrying cancelled attempts and publishing each
+/// session's cancel handle so the canceller thread can hammer it.
+/// Returns per-slot (history fingerprint, arena entry count).
+fn drive(
+    mube: &Mube,
+    thread: usize,
+    cancelled_seen: &AtomicUsize,
+    handle_tx: &Sender<CancelToken>,
+) -> Vec<(Fingerprint, usize)> {
+    let universe = mube.universe();
+    let mut sessions: Vec<(Session, usize)> = (0..SESSIONS_PER_THREAD)
+        .map(|slot| {
+            let session = Session::new(mube, ProblemSpec::new(MAX_SOURCES).with_theta(0.5))
+                .with_seed(seed_of(thread, slot));
+            let _ = handle_tx.send(session.cancel_handle());
+            (session, 0usize) // edits applied so far
+        })
+        .collect();
+    loop {
+        let mut all_done = true;
+        for (slot, (session, edits_applied)) in sessions.iter_mut().enumerate() {
+            let completed = session.history().len();
+            if completed >= ITERATIONS {
+                continue;
+            }
+            all_done = false;
+            // Apply this step's edit exactly once, even across retries of
+            // a cancelled attempt (the replay applies the same script).
+            if *edits_applied == completed {
+                apply_edit(session, universe, completed, seed_of(thread, slot));
+                *edits_applied = completed + 1;
+            }
+            match session.iterate() {
+                Ok(solution) => {
+                    if solution.stats.cancelled {
+                        // (b): the incumbent is audited and sane but must
+                        // not have entered the history.
+                        assert!(
+                            solution.overall_quality.is_finite(),
+                            "cancelled incumbent has junk quality"
+                        );
+                        assert!(
+                            solution.selected.len() <= MAX_SOURCES,
+                            "cancelled incumbent violates the budget"
+                        );
+                        cancelled_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(MubeError::Cancelled) => {
+                    cancelled_seen.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("hammer solve failed: {e}"),
+            }
+            let after = session.history().len();
+            assert!(
+                after == completed || after == completed + 1,
+                "an iterate must add at most one history entry"
+            );
+            if after == completed {
+                // Cancelled attempt: it must be visible via the side
+                // channel, not the history.
+                assert!(
+                    session.last_cancelled().is_some(),
+                    "cancelled attempt left no incumbent behind"
+                );
+            }
+        }
+        if all_done {
+            break;
+        }
+    }
+    sessions
+        .into_iter()
+        .map(|(session, _)| (fingerprint(session.history()), session.arena().len()))
+        .collect()
+}
+
+/// The cancel-free, single-threaded replay of one session's script.
+fn replay(mube: &Mube, thread: usize, slot: usize) -> (Fingerprint, usize) {
+    let seed = seed_of(thread, slot);
+    let mut session =
+        Session::new(mube, ProblemSpec::new(MAX_SOURCES).with_theta(0.5)).with_seed(seed);
+    for step in 0..ITERATIONS {
+        apply_edit(&mut session, mube.universe(), step, seed);
+        session.iterate().unwrap();
+    }
+    (fingerprint(session.history()), session.arena().len())
+}
+
+#[test]
+fn hammer_32_sessions_8_threads_with_cancels_is_bit_identical_to_serial_replay() {
+    let mube = engine();
+    let cancelled_seen = Arc::new(AtomicUsize::new(0));
+
+    // Sessions are created inside the driver threads, so the canceller
+    // learns about their tokens over a channel as they come up.
+    let (handle_tx, handle_rx) = std::sync::mpsc::channel::<CancelToken>();
+
+    let mut drivers = Vec::new();
+    for thread in 0..THREADS {
+        let mube = mube.clone();
+        let cancelled_seen = Arc::clone(&cancelled_seen);
+        let handle_tx = handle_tx.clone();
+        drivers.push(std::thread::spawn(move || {
+            drive(&mube, thread, &cancelled_seen, &handle_tx)
+        }));
+    }
+    drop(handle_tx);
+
+    // The canceller: hammer every published token for a bounded burst,
+    // interleaving with the drivers' solves. Bounded so that once the
+    // burst ends every retry is guaranteed to complete.
+    let canceller = std::thread::spawn(move || {
+        let mut handles: Vec<CancelToken> = Vec::new();
+        for _ in 0..40 {
+            while let Ok(h) = handle_rx.try_recv() {
+                handles.push(h);
+            }
+            for h in &handles {
+                h.cancel();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    });
+
+    let mut outcomes: Vec<Vec<(Fingerprint, usize)>> = Vec::new();
+    for driver in drivers {
+        outcomes.push(driver.join().expect("driver thread panicked"));
+    }
+    canceller.join().expect("canceller thread panicked");
+
+    // (a) + (c): every session's completed history and final arena size
+    // must match its cancel-free serial replay exactly.
+    for (thread, slots) in outcomes.iter().enumerate() {
+        for (slot, (fp, arena_len)) in slots.iter().enumerate() {
+            let (replay_fp, replay_arena) = replay(&mube, thread, slot);
+            assert_eq!(
+                fp, &replay_fp,
+                "session ({thread},{slot}) diverged from serial replay"
+            );
+            assert_eq!(
+                *arena_len, replay_arena,
+                "session ({thread},{slot}) arena picked up foreign entries"
+            );
+            assert!(*arena_len > 0, "arena should have memoized something");
+        }
+    }
+    // The burst fires thousands of cancels across 32 sessions; if not one
+    // landed mid-solve the hammer is not hammering.
+    assert!(
+        cancelled_seen.load(Ordering::Relaxed) > 0,
+        "no cancel ever landed mid-solve — the interleaving is broken"
+    );
+}

@@ -8,7 +8,7 @@ use mube::datagen::UniverseConfig;
 use mube::opt::SubsetProblem;
 use mube::prelude::*;
 
-fn engine_for(generated: &mube::datagen::GeneratedUniverse) -> Mube<'_> {
+fn engine_for(generated: &mube::datagen::GeneratedUniverse) -> Mube {
     MubeBuilder::new(&generated.universe)
         .sketches(generated.sketches.clone())
         .build()

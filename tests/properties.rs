@@ -110,7 +110,7 @@ proptest! {
                 }
             })
             .collect();
-        let ctx = QefContext::new(&universe, sketches);
+        let ctx = QefContext::new(std::sync::Arc::new(universe.clone()), sketches);
         let selection = SourceSelection::from_ids(
             universe.len(),
             (0..universe.len())

@@ -1,0 +1,57 @@
+//! Compile-time thread-safety contract of the owned-snapshot API.
+//!
+//! The multi-tenant serving story rests on three auto-trait facts:
+//!
+//! * [`UniverseSnapshot`] is `Send + Sync` — one snapshot may be shared
+//!   by reference across any number of worker threads;
+//! * [`Session`] is `Send` — a session can be handed to a worker thread
+//!   that owns it outright;
+//! * [`CancelToken`] is `Send + Sync + Clone` — a cancel handle can be
+//!   cloned into any thread and fired from there.
+//!
+//! None of these are derived in one place a reviewer could read off; they
+//! emerge from the field types. These assertions turn a regression (say,
+//! an `Rc` or a non-`Sync` cache slipping into the snapshot) into a
+//! compile error with a pointed message instead of a distant type error
+//! in some spawn call.
+
+use mube::prelude::*;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+fn assert_clone<T: Clone>() {}
+
+#[test]
+fn snapshot_is_send_and_sync() {
+    assert_send::<UniverseSnapshot>();
+    assert_sync::<UniverseSnapshot>();
+    // And so is the engine handle wrapping it by Arc.
+    assert_send::<Mube>();
+    assert_sync::<Mube>();
+    assert_clone::<Mube>();
+}
+
+#[test]
+fn session_is_send() {
+    // Sessions move to worker threads; they are deliberately NOT Sync —
+    // a session is single-user state and two threads must not share one.
+    assert_send::<Session>();
+}
+
+#[test]
+fn cancel_token_is_send_sync_clone() {
+    assert_send::<CancelToken>();
+    assert_sync::<CancelToken>();
+    assert_clone::<CancelToken>();
+}
+
+#[test]
+fn solutions_and_arenas_travel_between_threads() {
+    // Solve outputs are handed back across channels; arenas are shared
+    // via Arc between a session and its observers.
+    assert_send::<Solution>();
+    assert_send::<EvalArena>();
+    assert_sync::<EvalArena>();
+    assert_send::<ProblemSpec>();
+    assert_clone::<ProblemSpec>();
+}
